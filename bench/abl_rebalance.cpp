@@ -1,0 +1,92 @@
+// Ablation A9 — what re-balancing costs, and why ERMS avoids it.
+//
+// §III.B: "it is desirable to avoid rebalancing because it takes
+// considerable time and bandwidth." We run the hot cycle (3 -> 8 -> 3
+// replicas) under both placement policies, then invoke the HDFS balancer
+// and measure what it has to do. Under Algorithm 1 the cycle leaves active
+// nodes untouched, so the balancer is a no-op; under the stock policy the
+// cool-down's deletions skew utilisation and the balancer pays for it.
+#include <set>
+
+#include "bench_common.h"
+#include "core/erms_placement.h"
+#include "core/standby.h"
+#include "hdfs/balancer.h"
+
+using namespace erms;
+using bench::Testbed;
+
+namespace {
+
+struct CycleCost {
+  double cycle_seconds;
+  hdfs::Balancer::Report balancer;
+};
+
+CycleCost run(bool use_erms_policy) {
+  hdfs::DataNodeConfig node;
+  node.capacity_bytes = 8 * util::GiB;  // small disks so skew is visible
+  Testbed t{hdfs::ClusterConfig{}, node};
+  const auto pool = t.standby_pool();
+  std::unique_ptr<core::StandbyManager> standby;
+  if (use_erms_policy) {
+    t.cluster->set_placement_policy(std::make_shared<core::ErmsPlacementPolicy>(
+        std::set<hdfs::NodeId>(pool.begin(), pool.end()), 3));
+    standby = std::make_unique<core::StandbyManager>(*t.cluster, pool);
+    standby->ensure_commissioned(pool.size());
+    t.sim.run();
+  }
+
+  // A dataset plus one file that goes hot and cools down again.
+  for (int i = 0; i < 12; ++i) {
+    t.cluster->populate_file("/base" + std::to_string(i), 512 * util::MiB, 3);
+  }
+  const auto hot = t.cluster->populate_file("/hot", 1 * util::GiB, 3);
+  const sim::SimTime cycle_start = t.sim.now();
+  t.cluster->change_replication(*hot, 8, hdfs::Cluster::IncreaseMode::kDirect, nullptr);
+  t.sim.run();
+  t.cluster->change_replication(*hot, 3, hdfs::Cluster::IncreaseMode::kDirect, nullptr);
+  t.sim.run();
+  const double cycle_s = (t.sim.now() - cycle_start).seconds();
+  if (standby) {
+    // Cool-down complete: ERMS powers the drained pool back down, so the
+    // balancer sees only the active fleet (standby nodes are not balance
+    // targets).
+    standby->power_down_drained();
+  }
+
+  hdfs::Balancer::Config cfg;
+  cfg.threshold = 0.05;
+  hdfs::Balancer balancer{*t.cluster, cfg};
+  hdfs::Balancer::Report report;
+  balancer.run([&](const hdfs::Balancer::Report& r) { report = r; });
+  t.sim.run();
+  return CycleCost{cycle_s, report};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation A9 — balancer work after a hot cycle (3 -> 8 -> 3)",
+      "Algorithm 1 leaves the cluster balanced (deletions come off the "
+      "standby pool); stock placement leaves skew the balancer must repair "
+      "with time and bandwidth.");
+
+  const CycleCost stock = run(false);
+  const CycleCost erms = run(true);
+
+  util::Table table({"policy", "cycle time (s)", "balancer moves",
+                     "balancer bytes", "balancer time (s)"});
+  table.add_row({"hdfs-default", util::Table::cell(stock.cycle_seconds, 1),
+                 util::Table::cell(std::uint64_t{stock.balancer.moves}),
+                 util::format_bytes(stock.balancer.bytes_moved),
+                 util::Table::cell(stock.balancer.elapsed.seconds(), 1)});
+  table.add_row({"erms-algorithm1", util::Table::cell(erms.cycle_seconds, 1),
+                 util::Table::cell(std::uint64_t{erms.balancer.moves}),
+                 util::format_bytes(erms.balancer.bytes_moved),
+                 util::Table::cell(erms.balancer.elapsed.seconds(), 1)});
+  bench::emit_table("abl_rebalance", table);
+  std::printf("\nExpected shape: ERMS needs (near) zero balancer work.\n");
+  return 0;
+}

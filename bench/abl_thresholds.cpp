@@ -1,0 +1,91 @@
+// Ablation A3 — the τ_M storage/performance trade-off.
+//
+// §IV.B: "It is a tradeoff between system performance and storage cost. We
+// can get high performance with a high overhead cost if these thresholds
+// are low." This bench sweeps τ_M over a hot workload and reports both
+// sides of the trade.
+#include "bench_common.h"
+#include "mapred/jobrunner.h"
+#include "workload/swim.h"
+
+using namespace erms;
+using bench::Testbed;
+
+namespace {
+
+struct TradeOff {
+  double throughput_mbps;
+  double locality;
+  double peak_storage_gb;
+  std::uint64_t promotions;
+};
+
+TradeOff run(double tau_M, const workload::Trace& trace) {
+  Testbed t;
+  core::ErmsConfig cfg;
+  cfg.thresholds.window = sim::minutes(5.0);
+  cfg.thresholds.tau_M = tau_M;
+  cfg.thresholds.tau_d = tau_M / 4.0;
+  cfg.thresholds.M_M = tau_M * 1.5;
+  cfg.thresholds.M_m = tau_M * 0.75;
+  cfg.thresholds.tau_DN = 60.0;
+  cfg.evaluation_period = sim::seconds(30.0);
+  core::ErmsManager erms{*t.cluster, std::vector<hdfs::NodeId>{}, cfg};
+  erms.start();
+  for (const workload::FileSpec& file : trace.files) {
+    t.cluster->populate_file(file.path, file.bytes);
+  }
+  mapred::MapRedConfig mr;
+  mr.compute_seconds_per_gib = 1.0;
+  mapred::JobRunner runner{*t.cluster, mr};
+  runner.submit_trace(trace);
+
+  auto peak = std::make_shared<double>(0.0);
+  for (int m = 0; m < 150; ++m) {
+    t.sim.schedule_at(sim::SimTime{sim::minutes(m).micros()}, [&t, peak] {
+      *peak = std::max(*peak, static_cast<double>(t.cluster->used_bytes_total()) / 1e9);
+    });
+  }
+  t.sim.run_until(sim::SimTime{sim::hours(1.6).micros()});
+
+  TradeOff out{};
+  const auto rep = runner.report();
+  out.throughput_mbps = rep.mean_read_throughput_mbps;
+  out.locality = rep.mean_locality;
+  out.peak_storage_gb = *peak;
+  out.promotions = erms.stats().hot_promotions;
+  erms.stop();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation A3 — tau_M sweep: performance vs storage overhead",
+      "Lower tau_M -> more replicas -> more throughput/locality at higher "
+      "peak storage (the paper's stated trade-off).");
+
+  workload::SwimConfig swim;
+  swim.file_count = 24;
+  swim.duration = sim::hours(1.0);
+  swim.epoch = sim::minutes(30.0);
+  swim.mean_interarrival_s = 1.5;
+  swim.zipf_exponent = 1.8;
+  swim.size_mu = 19.8;
+  swim.min_file_bytes = 128 * util::MiB;
+  swim.max_file_bytes = 2 * util::GiB;
+  const workload::Trace trace = workload::SwimTraceGenerator{swim}.generate(99);
+
+  util::Table table({"tau_M", "throughput (MB/s)", "locality", "peak storage (GB)",
+                     "promotions"});
+  for (const double tau : {16.0, 12.0, 8.0, 6.0, 4.0, 2.0}) {
+    const TradeOff r = run(tau, trace);
+    table.add_row({util::Table::cell(tau, 0), util::Table::cell(r.throughput_mbps),
+                   util::Table::cell(r.locality, 3),
+                   util::Table::cell(r.peak_storage_gb, 1),
+                   util::Table::cell(r.promotions)});
+  }
+  bench::emit_table("abl_thresholds", table);
+  return 0;
+}

@@ -1,0 +1,93 @@
+#pragma once
+
+// Shared scaffolding for the figure-reproduction benches: the paper's
+// testbed shape (1 namenode + 18 datanodes in 3 racks, GbE, SATA disks) and
+// small printing helpers. Absolute numbers differ from the paper's hardware;
+// the benches reproduce the *shapes* (who wins, by what factor, where the
+// crossovers fall) and EXPERIMENTS.md records paper-vs-measured.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/erms.h"
+#include "hdfs/cluster.h"
+#include "util/table.h"
+
+namespace erms::bench {
+
+/// The paper's datanode count and rack layout.
+inline constexpr std::size_t kRacks = 3;
+inline constexpr std::size_t kNodesPerRack = 6;
+inline constexpr std::size_t kNodes = kRacks * kNodesPerRack;
+
+struct Testbed {
+  sim::Simulation sim;
+  hdfs::Topology topo;
+  std::unique_ptr<hdfs::Cluster> cluster;
+
+  explicit Testbed(hdfs::ClusterConfig cfg = {}, hdfs::DataNodeConfig node_cfg = {}) {
+    topo = hdfs::Topology::uniform(kRacks, kNodesPerRack, node_cfg);
+    cluster = std::make_unique<hdfs::Cluster>(sim, topo, cfg);
+  }
+
+  /// The paper's Fig. 8/9 split — 10 active + 8 standby, with "the active
+  /// nodes and standby nodes ... both distributed in different racks"
+  /// (§III.B): each rack contributes its tail nodes to the pool.
+  [[nodiscard]] std::vector<hdfs::NodeId> standby_pool() const {
+    return {hdfs::NodeId{3},  hdfs::NodeId{4},  hdfs::NodeId{5},  hdfs::NodeId{9},
+            hdfs::NodeId{10}, hdfs::NodeId{11}, hdfs::NodeId{16}, hdfs::NodeId{17}};
+  }
+
+  /// The 10 nodes outside the standby pool.
+  [[nodiscard]] std::vector<hdfs::NodeId> active_set() const {
+    std::vector<hdfs::NodeId> nodes;
+    const auto pool = standby_pool();
+    for (std::uint32_t n = 0; n < kNodes; ++n) {
+      const hdfs::NodeId id{n};
+      if (std::find(pool.begin(), pool.end(), id) == pool.end()) {
+        nodes.push_back(id);
+      }
+    }
+    return nodes;
+  }
+
+  [[nodiscard]] std::vector<hdfs::NodeId> active_nodes(std::size_t count) const {
+    std::vector<hdfs::NodeId> nodes;
+    for (std::uint32_t n = 0; n < count; ++n) {
+      nodes.push_back(hdfs::NodeId{n});
+    }
+    return nodes;
+  }
+};
+
+inline void print_header(const std::string& figure, const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("Paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Print the table and, when ERMS_RESULTS_DIR is set, also write it as
+/// <dir>/<name>.csv for plotting.
+inline void emit_table(const std::string& name, const util::Table& table) {
+  table.print(std::cout);
+  const char* dir = std::getenv("ERMS_RESULTS_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return;
+  }
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  table.print_csv(out);
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+}  // namespace erms::bench

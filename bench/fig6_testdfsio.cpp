@@ -1,0 +1,53 @@
+// Fig. 6 — TestDFSIO reading performance vs replication factor.
+//
+// The paper reads the same data with 7..35 concurrent threads at different
+// replication factors and reports average execution time: more concurrent
+// readers degrade performance; higher replication factors restore it.
+#include "bench_common.h"
+#include "mapred/testdfsio.h"
+
+using namespace erms;
+using bench::Testbed;
+
+int main() {
+  bench::print_header(
+      "Fig. 6 — TestDFSIO read: avg execution time (s) vs replication factor",
+      "High concurrency hurts; higher replication factor helps. Rows are "
+      "reader counts (7..35), columns replication factors (1..7).");
+
+  const std::vector<std::size_t> thread_counts = {7, 14, 21, 28, 35};
+  const std::vector<std::uint32_t> reps = {1, 2, 3, 4, 5, 6, 7};
+
+  std::vector<std::string> headers = {"readers"};
+  for (const std::uint32_t rep : reps) {
+    headers.push_back("rep=" + std::to_string(rep));
+  }
+  util::Table table(headers);
+
+  for (const std::size_t readers : thread_counts) {
+    std::vector<std::string> row = {util::Table::cell(std::uint64_t{readers})};
+    for (const std::uint32_t rep : reps) {
+      // Average several placements: replica-to-client locality luck is real
+      // variance the paper's error bars would carry.
+      double sum = 0.0;
+      constexpr int kSeeds = 5;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        hdfs::ClusterConfig cfg;
+        cfg.seed = 42 + static_cast<std::uint64_t>(seed);
+        Testbed t{cfg};
+        t.cluster->populate_file("/bench/input", 1 * util::GiB, rep);
+        mapred::TestDfsIoOptions opts;
+        opts.readers = readers;
+        sum += mapred::run_concurrent_read(*t.cluster, "/bench/input", opts)
+                   .mean_execution_s;
+      }
+      row.push_back(util::Table::cell(sum / kSeeds, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit_table("fig6", table);
+
+  std::printf("\nShape checks: each column should grow downward (more readers → "
+              "slower); each row should shrink rightward (more replicas → faster).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Microbenchmark A6 — ClassAd parsing, evaluation and matchmaking rates.
+// ERMS refreshes one machine ad per datanode per evaluation tick and
+// matches job ads against them; these rates bound the cluster size one
+// manager can track.
+#include <benchmark/benchmark.h>
+
+#include "classad/classad.h"
+#include "classad/matchmaker.h"
+#include "classad/parser.h"
+
+namespace {
+
+using namespace erms::classad;
+
+ClassAd machine_ad(int i) {
+  ClassAd ad;
+  ad.insert_int("Node", i);
+  ad.insert_int("Memory", 4096 + i);
+  ad.insert_int("Sessions", i % 9);
+  ad.insert_int("MaxSessions", 9);
+  ad.insert_string("State", i % 3 == 0 ? "standby" : "active");
+  ad.insert("Requirements", parse_expr("true"));
+  return ad;
+}
+
+void BM_ParseExpr(benchmark::State& state) {
+  for (auto _ : state) {
+    auto e = parse_expr(
+        "TARGET.State == \"active\" && TARGET.Sessions < TARGET.MaxSessions && "
+        "(TARGET.Memory >= 2048 || TARGET.Node < 4)");
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseExpr);
+
+void BM_EvaluateExpr(benchmark::State& state) {
+  const ClassAd machine = machine_ad(5);
+  ClassAd job;
+  job.insert("Requirements",
+             parse_expr("TARGET.State == \"active\" && TARGET.Sessions < "
+                        "TARGET.MaxSessions && TARGET.Memory >= 2048"));
+  for (auto _ : state) {
+    const Value v = job.evaluate("Requirements", &machine);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvaluateExpr);
+
+void BM_BestMatch(benchmark::State& state) {
+  std::vector<ClassAd> machines;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    machines.push_back(machine_ad(i));
+  }
+  ClassAd job;
+  job.insert("Requirements",
+             parse_expr("TARGET.State == \"active\" && TARGET.Sessions < 8"));
+  job.insert("Rank", parse_expr("TARGET.MaxSessions - TARGET.Sessions"));
+  for (auto _ : state) {
+    auto match = Matchmaker::best_match(job, machines);
+    benchmark::DoNotOptimize(match);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BestMatch)->Arg(18)->Arg(100)->Arg(1000);
+
+void BM_ParseClassAd(benchmark::State& state) {
+  const std::string text =
+      "[ Node = 7; Rack = 1; State = \"active\"; UsedBytes = 1234567; "
+      "Sessions = 3; MaxSessions = 9; StandbyPool = false; ]";
+  for (auto _ : state) {
+    auto ad = parse_classad(text);
+    benchmark::DoNotOptimize(ad);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseClassAd);
+
+}  // namespace

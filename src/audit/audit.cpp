@@ -1,0 +1,148 @@
+#include "audit/audit.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace erms::audit {
+
+namespace {
+
+/// Render SimTime as the audit log's "YYYY-MM-DD hh:mm:ss,mmm" timestamp.
+/// Simulation time zero maps to an arbitrary epoch date.
+std::string format_timestamp(sim::SimTime t) {
+  const std::int64_t total_ms = t.micros() / 1000;
+  const std::int64_t ms = total_ms % 1000;
+  std::int64_t secs = total_ms / 1000;
+  const std::int64_t sec = secs % 60;
+  secs /= 60;
+  const std::int64_t min = secs % 60;
+  secs /= 60;
+  const std::int64_t hour = secs % 24;
+  const std::int64_t day = secs / 24;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "2012-05-%02" PRId64 " %02" PRId64 ":%02" PRId64 ":%02" PRId64 ",%03" PRId64,
+                1 + day % 28, hour, min, sec, ms);
+  return buf;
+}
+
+/// Invert format_timestamp back to SimTime (micros).
+std::optional<sim::SimTime> parse_timestamp(std::string_view date, std::string_view clock) {
+  int year = 0;
+  int month = 0;
+  int day = 0;
+  int hour = 0;
+  int min = 0;
+  int sec = 0;
+  int ms = 0;
+  if (std::sscanf(std::string(date).c_str(), "%d-%d-%d", &year, &month, &day) != 3) {
+    return std::nullopt;
+  }
+  if (std::sscanf(std::string(clock).c_str(), "%d:%d:%d,%d", &hour, &min, &sec, &ms) != 4) {
+    return std::nullopt;
+  }
+  const std::int64_t days = day - 1;
+  const std::int64_t total_ms =
+      ((days * 24 + hour) * 60 + min) * 60000ll + sec * 1000ll + ms;
+  return sim::SimTime{total_ms * 1000};
+}
+
+}  // namespace
+
+std::string AuditEvent::to_line() const {
+  std::string line = format_timestamp(time);
+  line += " INFO FSNamesystem.audit: allowed=";
+  line += allowed ? "true" : "false";
+  line += " ugi=" + ugi;
+  line += " ip=" + ip;
+  line += " cmd=" + cmd;
+  line += " src=" + src;
+  line += " dst=" + (dst.empty() ? std::string("null") : dst);
+  line += " perm=null";
+  if (block) {
+    line += " blk=" + std::to_string(*block);
+  }
+  if (datanode) {
+    line += " dn=" + std::to_string(*datanode);
+  }
+  return line;
+}
+
+cep::Event AuditEvent::to_cep_event() const {
+  cep::Event event{time, kStream};
+  event.attrs.insert_bool("allowed", allowed);
+  event.with_string("ugi", ugi)
+      .with_string("ip", ip)
+      .with_string("cmd", cmd)
+      .with_string("src", src);
+  if (!dst.empty()) {
+    event.with_string("dst", dst);
+  }
+  if (block) {
+    event.with_int("blk", *block);
+  }
+  if (datanode) {
+    event.with_int("dn", *datanode);
+  }
+  return event;
+}
+
+std::optional<AuditEvent> AuditLogParser::parse_line(std::string_view line) {
+  const std::vector<std::string_view> fields = util::split(util::trim(line), ' ');
+  // Minimum shape: date time INFO FSNamesystem.audit: k=v...
+  if (fields.size() < 5) {
+    return std::nullopt;
+  }
+  if (fields[3] != "FSNamesystem.audit:") {
+    return std::nullopt;
+  }
+  const auto time = parse_timestamp(fields[0], fields[1]);
+  if (!time) {
+    return std::nullopt;
+  }
+  AuditEvent event;
+  event.time = *time;
+  bool saw_cmd = false;
+  for (std::size_t i = 4; i < fields.size(); ++i) {
+    std::string_view key;
+    std::string_view value;
+    if (!util::split_key_value(fields[i], key, value)) {
+      continue;
+    }
+    if (key == "allowed") {
+      event.allowed = value == "true";
+    } else if (key == "ugi") {
+      event.ugi = std::string(value);
+    } else if (key == "ip") {
+      event.ip = std::string(value);
+    } else if (key == "cmd") {
+      event.cmd = std::string(value);
+      saw_cmd = true;
+    } else if (key == "src") {
+      event.src = std::string(value);
+    } else if (key == "dst") {
+      event.dst = value == "null" ? std::string() : std::string(value);
+    } else if (key == "blk") {
+      event.block = std::strtoll(std::string(value).c_str(), nullptr, 10);
+    } else if (key == "dn") {
+      event.datanode = std::strtoll(std::string(value).c_str(), nullptr, 10);
+    }
+  }
+  if (!saw_cmd) {
+    return std::nullopt;
+  }
+  return event;
+}
+
+std::vector<AuditEvent> AuditLogParser::parse(std::string_view log_text) {
+  std::vector<AuditEvent> events;
+  for (const std::string_view line : util::split(log_text, '\n')) {
+    if (auto event = parse_line(line)) {
+      events.push_back(std::move(*event));
+    }
+  }
+  return events;
+}
+
+}  // namespace erms::audit

@@ -1,0 +1,223 @@
+#include "cep/engine.h"
+
+#include <cassert>
+
+namespace erms::cep {
+
+namespace {
+
+/// Attribute value rendered for group keys: strings unquoted, numbers in
+/// their natural form, missing attributes as the empty string.
+std::string render_key(const classad::Value& v) {
+  if (v.is_string()) {
+    return v.as_string();
+  }
+  if (v.is_undefined()) {
+    return "";
+  }
+  return v.to_string();
+}
+
+/// Numeric view of an attribute for sum/avg/min/max; nullopt if non-numeric.
+std::optional<double> numeric(const classad::ClassAd& attrs, const std::string& name) {
+  const classad::Value v = attrs.evaluate(name);
+  if (v.is_number()) {
+    return v.as_number();
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+QueryId Engine::register_query(Query query, Listener listener) {
+  const QueryId id = ids_.next();
+  SlidingWindow window{query.window};
+  QueryState qs{std::move(query), std::move(listener), std::move(window), {}};
+  queries_.emplace(id, std::move(qs));
+  return id;
+}
+
+bool Engine::remove_query(QueryId id) { return queries_.erase(id) > 0; }
+
+std::string Engine::join_key(const std::vector<std::string>& parts) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += '\x1f';
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Engine::group_key_of(const Query& q, const Event& e) {
+  std::vector<std::string> key;
+  key.reserve(q.group_by.size());
+  for (const std::string& attr : q.group_by) {
+    key.push_back(render_key(e.attrs.evaluate(attr)));
+  }
+  return key;
+}
+
+bool Engine::event_matches(const Query& q, const Event& e) const {
+  if (!q.from.empty() && q.from != e.type) {
+    return false;
+  }
+  if (q.where) {
+    const classad::Value v = e.attrs.evaluate_expr(*q.where);
+    return v.is_bool() && v.as_bool();
+  }
+  return true;
+}
+
+void Engine::accumulate(QueryState& qs, const Event& e, int direction) {
+  const std::vector<std::string> key_values = group_key_of(qs.query, e);
+  const std::string key = join_key(key_values);
+  auto it = qs.groups.find(key);
+  if (it == qs.groups.end()) {
+    if (direction < 0) {
+      assert(false && "evicting from a missing group");
+      return;
+    }
+    GroupState g;
+    g.key_values = key_values;
+    g.sums.assign(qs.query.select.size(), 0.0);
+    g.non_null.assign(qs.query.select.size(), 0);
+    g.ordered.resize(qs.query.select.size());
+    it = qs.groups.emplace(key, std::move(g)).first;
+  }
+  GroupState& g = it->second;
+  g.count += static_cast<std::uint64_t>(static_cast<std::int64_t>(direction));
+
+  for (std::size_t i = 0; i < qs.query.select.size(); ++i) {
+    const Aggregate& agg = qs.query.select[i];
+    if (agg.kind == Aggregate::Kind::kCount) {
+      continue;  // uses g.count
+    }
+    const std::optional<double> v = numeric(e.attrs, agg.attr);
+    if (!v) {
+      continue;
+    }
+    if (direction > 0) {
+      g.sums[i] += *v;
+      ++g.non_null[i];
+      if (agg.kind == Aggregate::Kind::kMin || agg.kind == Aggregate::Kind::kMax) {
+        g.ordered[i].insert(*v);
+      }
+    } else {
+      g.sums[i] -= *v;
+      --g.non_null[i];
+      if (agg.kind == Aggregate::Kind::kMin || agg.kind == Aggregate::Kind::kMax) {
+        const auto pos = g.ordered[i].find(*v);
+        if (pos != g.ordered[i].end()) {
+          g.ordered[i].erase(pos);
+        }
+      }
+    }
+  }
+
+  if (g.count == 0) {
+    qs.groups.erase(it);
+  }
+}
+
+ResultRow Engine::make_row(const QueryState& qs, const GroupState& g) {
+  ResultRow row;
+  for (std::size_t i = 0; i < qs.query.group_by.size(); ++i) {
+    row.values.insert_string(qs.query.group_by[i], g.key_values[i]);
+  }
+  for (std::size_t i = 0; i < qs.query.select.size(); ++i) {
+    const Aggregate& agg = qs.query.select[i];
+    switch (agg.kind) {
+      case Aggregate::Kind::kCount:
+        row.values.insert_int(agg.alias, static_cast<std::int64_t>(g.count));
+        break;
+      case Aggregate::Kind::kSum:
+        row.values.insert_real(agg.alias, g.sums[i]);
+        break;
+      case Aggregate::Kind::kAvg:
+        if (g.non_null[i] > 0) {
+          row.values.insert_real(agg.alias, g.sums[i] / static_cast<double>(g.non_null[i]));
+        }
+        break;
+      case Aggregate::Kind::kMin:
+        if (!g.ordered[i].empty()) {
+          row.values.insert_real(agg.alias, *g.ordered[i].begin());
+        }
+        break;
+      case Aggregate::Kind::kMax:
+        if (!g.ordered[i].empty()) {
+          row.values.insert_real(agg.alias, *g.ordered[i].rbegin());
+        }
+        break;
+    }
+  }
+  return row;
+}
+
+void Engine::notify(QueryState& qs, const std::string& key) {
+  if (!qs.listener) {
+    return;
+  }
+  const auto it = qs.groups.find(key);
+  if (it == qs.groups.end()) {
+    return;
+  }
+  const ResultRow row = make_row(qs, it->second);
+  if (qs.query.having) {
+    const classad::Value v = row.values.evaluate_expr(*qs.query.having);
+    if (!v.is_bool() || !v.as_bool()) {
+      return;
+    }
+  }
+  qs.listener(row);
+}
+
+void Engine::push(const Event& event) {
+  ++events_processed_;
+  for (auto& [id, qs] : queries_) {
+    if (!event_matches(qs.query, event)) {
+      // Time still advances for this query's window.
+      qs.window.evict_until(event.time, [&qs](const Event& old) { accumulate(qs, old, -1); });
+      continue;
+    }
+    accumulate(qs, event, +1);
+    const std::string key = join_key(group_key_of(qs.query, event));
+    qs.window.push(event, [&qs](const Event& old) { accumulate(qs, old, -1); });
+    notify(qs, key);
+  }
+}
+
+void Engine::advance_to(sim::SimTime now) {
+  for (auto& [id, qs] : queries_) {
+    qs.window.evict_until(now, [&qs](const Event& old) { accumulate(qs, old, -1); });
+  }
+}
+
+std::vector<ResultRow> Engine::snapshot(QueryId id) const {
+  std::vector<ResultRow> out;
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return out;
+  }
+  out.reserve(it->second.groups.size());
+  for (const auto& [key, group] : it->second.groups) {
+    out.push_back(make_row(it->second, group));
+  }
+  return out;
+}
+
+std::optional<ResultRow> Engine::group_row(QueryId id,
+                                           const std::vector<std::string>& key) const {
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return std::nullopt;
+  }
+  const auto git = it->second.groups.find(join_key(key));
+  if (git == it->second.groups.end()) {
+    return std::nullopt;
+  }
+  return make_row(it->second, git->second);
+}
+
+}  // namespace erms::cep

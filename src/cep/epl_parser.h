@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string_view>
+
+#include "cep/pattern.h"
+#include "cep/query.h"
+
+namespace erms::cep {
+
+/// Parse the engine's EPL-like continuous-query language — the paper notes
+/// that "CEP system uses an SQL-standard-based continuous query language to
+/// express the query demands" (§III.C). Grammar:
+///
+///   SELECT <agg> [AS alias] {, <agg> [AS alias]}
+///   FROM <stream>
+///   [WHERE <classad-expr>]
+///   [GROUP BY <attr> {, <attr>}]
+///   WINDOW TIME <number>[s|ms|m|h] | WINDOW LENGTH <count>
+///   [HAVING <classad-expr>]
+///
+/// where <agg> is count(*) | sum(a) | avg(a) | min(a) | max(a).
+/// Keywords are case-insensitive. WHERE/HAVING bodies use the ClassAd
+/// expression language. Throws classad::ParseError on malformed input.
+Query parse_epl(std::string_view text);
+
+/// Parse a sequence-pattern statement for the PatternDetector:
+///
+///   PATTERN <name> ON <stream>
+///   OPENING <classad-expr>
+///   FOLLOWED BY <count> MATCHING <classad-expr>
+///   [CORRELATE BY <attr> {, <attr>}]
+///   WITHIN <number>[s|ms|m|h]
+///
+/// e.g. PATTERN born_hot ON audit OPENING cmd == "create"
+///      FOLLOWED BY 10 MATCHING cmd == "read" CORRELATE BY src WITHIN 120s
+Pattern parse_epl_pattern(std::string_view text);
+
+}  // namespace erms::cep

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "classad/classad.h"
+#include "sim/time.h"
+
+namespace erms::cep {
+
+/// One event in a stream: a timestamp, a stream/type name, and an attribute
+/// record. The attribute record is a ClassAd so WHERE/HAVING clauses can be
+/// evaluated with the same expression machinery the Condor substrate uses.
+struct Event {
+  sim::SimTime time;
+  std::string type;
+  classad::ClassAd attrs;
+
+  Event() = default;
+  Event(sim::SimTime t, std::string type_name) : time(t), type(std::move(type_name)) {}
+
+  Event& with_int(const std::string& name, std::int64_t v) {
+    attrs.insert_int(name, v);
+    return *this;
+  }
+  Event& with_real(const std::string& name, double v) {
+    attrs.insert_real(name, v);
+    return *this;
+  }
+  Event& with_string(const std::string& name, std::string v) {
+    attrs.insert_string(name, std::move(v));
+    return *this;
+  }
+};
+
+}  // namespace erms::cep

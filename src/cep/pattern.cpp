@@ -1,0 +1,110 @@
+#include "cep/pattern.h"
+
+namespace erms::cep {
+
+namespace {
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += '\x1f';
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string render(const classad::Value& v) {
+  if (v.is_string()) {
+    return v.as_string();
+  }
+  if (v.is_undefined()) {
+    return "";
+  }
+  return v.to_string();
+}
+
+}  // namespace
+
+PatternId PatternDetector::add_pattern(Pattern pattern, MatchFn on_match) {
+  const PatternId id = ids_.next();
+  patterns_.emplace(id, State{std::move(pattern), std::move(on_match), {}});
+  return id;
+}
+
+bool PatternDetector::remove_pattern(PatternId id) { return patterns_.erase(id) > 0; }
+
+bool PatternDetector::matches(const classad::ExprPtr& predicate, const Event& event) {
+  if (!predicate) {
+    return false;
+  }
+  const classad::Value v = event.attrs.evaluate_expr(*predicate);
+  return v.is_bool() && v.as_bool();
+}
+
+std::vector<std::string> PatternDetector::key_of(const Pattern& pattern,
+                                                 const Event& event) {
+  std::vector<std::string> key;
+  key.reserve(pattern.correlate_by.size());
+  for (const std::string& attr : pattern.correlate_by) {
+    key.push_back(render(event.attrs.evaluate(attr)));
+  }
+  return key;
+}
+
+void PatternDetector::expire(State& state, sim::SimTime now) {
+  for (auto it = state.open.begin(); it != state.open.end();) {
+    if (it->second.opened + state.pattern.within < now) {
+      it = state.open.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PatternDetector::push(const Event& event) {
+  for (auto& [id, state] : patterns_) {
+    if (!state.pattern.from.empty() && state.pattern.from != event.type) {
+      continue;
+    }
+    expire(state, event.time);
+
+    const std::vector<std::string> key_values = key_of(state.pattern, event);
+    const std::string key = join(key_values);
+
+    // Follower test first: an event may be both an opener and a follower
+    // (e.g. every `read` extends the burst), and the open instance wins —
+    // a counted follower never also refreshes the instance.
+    bool consumed = false;
+    const auto it = state.open.find(key);
+    if (it != state.open.end() && matches(state.pattern.follower, event)) {
+      consumed = true;
+      Instance& inst = it->second;
+      ++inst.followers;
+      if (inst.followers >= state.pattern.follower_count) {
+        PatternMatch match;
+        match.pattern = state.pattern.name;
+        match.key = key_values;
+        match.opened = inst.opened;
+        match.completed = event.time;
+        state.open.erase(it);
+        ++matches_fired_;
+        if (state.on_match) {
+          state.on_match(match);
+        }
+      }
+    }
+    if (!consumed && matches(state.pattern.opening, event)) {
+      // Open or refresh the instance for this key.
+      state.open[key] = Instance{event.time, 0};
+    }
+  }
+}
+
+std::size_t PatternDetector::open_instances(PatternId id) const {
+  const auto it = patterns_.find(id);
+  return it == patterns_.end() ? 0 : it->second.open.size();
+}
+
+}  // namespace erms::cep

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cep/event.h"
+#include "classad/expr.h"
+#include "util/ids.h"
+
+namespace erms::cep {
+
+struct PatternTag {};
+using PatternId = util::StrongId<PatternTag>;
+
+/// A sequence pattern over one stream: an *opening* event followed by at
+/// least `follower_count` *follower* events that share the same correlation
+/// key, all within `within` of the opening event. This is the CEP
+/// "correlation of events" capability the paper leans on (§II: the engine
+/// "identifies the most meaningful events from event clouds, analyzes their
+/// correlation") — e.g. "a file `create` followed by a burst of `read`s"
+/// marks a born-hot file.
+struct Pattern {
+  std::string name;
+  std::string from;                       // stream/type; empty = any
+  classad::ExprPtr opening;               // predicate for the opening event
+  classad::ExprPtr follower;              // predicate for follower events
+  std::vector<std::string> correlate_by;  // attrs the events must share
+  std::size_t follower_count{1};
+  sim::SimDuration within{sim::seconds(60.0)};
+};
+
+/// A completed pattern instance.
+struct PatternMatch {
+  std::string pattern;
+  std::vector<std::string> key;  // correlation attr values, in correlate_by order
+  sim::SimTime opened;
+  sim::SimTime completed;
+};
+
+/// Detects sequence patterns. One open instance per (pattern, key): a new
+/// opening event while an instance is open refreshes it (restarting the
+/// window); instances expire silently when the window passes.
+class PatternDetector {
+ public:
+  using MatchFn = std::function<void(const PatternMatch&)>;
+
+  PatternId add_pattern(Pattern pattern, MatchFn on_match);
+  bool remove_pattern(PatternId id);
+
+  /// Feed one event (non-decreasing times, as the simulation produces).
+  void push(const Event& event);
+
+  /// Open (pending) instances of a pattern right now.
+  [[nodiscard]] std::size_t open_instances(PatternId id) const;
+  [[nodiscard]] std::uint64_t matches_fired() const { return matches_fired_; }
+  [[nodiscard]] std::size_t pattern_count() const { return patterns_.size(); }
+
+ private:
+  struct Instance {
+    sim::SimTime opened;
+    std::size_t followers{0};
+  };
+  struct State {
+    Pattern pattern;
+    MatchFn on_match;
+    std::map<std::string, Instance> open;  // correlation key -> instance
+  };
+
+  [[nodiscard]] static bool matches(const classad::ExprPtr& predicate, const Event& event);
+  [[nodiscard]] static std::vector<std::string> key_of(const Pattern& pattern,
+                                                       const Event& event);
+  static void expire(State& state, sim::SimTime now);
+
+  std::map<PatternId, State> patterns_;
+  util::IdGenerator<PatternId> ids_{1};
+  std::uint64_t matches_fired_{0};
+};
+
+}  // namespace erms::cep

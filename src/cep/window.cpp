@@ -1,0 +1,33 @@
+#include "cep/window.h"
+
+namespace erms::cep {
+
+void SlidingWindow::push(Event event, const EvictFn& on_evict) {
+  const sim::SimTime now = event.time;
+  events_.push_back(std::move(event));
+  if (spec_.kind == WindowSpec::Kind::kLength) {
+    while (events_.size() > spec_.count) {
+      if (on_evict) {
+        on_evict(events_.front());
+      }
+      events_.pop_front();
+    }
+  } else {
+    evict_until(now, on_evict);
+  }
+}
+
+void SlidingWindow::evict_until(sim::SimTime now, const EvictFn& on_evict) {
+  if (spec_.kind != WindowSpec::Kind::kTime) {
+    return;
+  }
+  const sim::SimTime cutoff = now - spec_.duration;
+  while (!events_.empty() && events_.front().time <= cutoff) {
+    if (on_evict) {
+      on_evict(events_.front());
+    }
+    events_.pop_front();
+  }
+}
+
+}  // namespace erms::cep

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "cep/event.h"
+#include "sim/time.h"
+
+namespace erms::cep {
+
+/// Sliding-window specification — the paper singles these out as "the major
+/// features of CEP systems" (§II): a time window keeps events from the last
+/// `duration`; a length window keeps the last `count` events.
+struct WindowSpec {
+  enum class Kind { kTime, kLength };
+  Kind kind{Kind::kTime};
+  sim::SimDuration duration{sim::seconds(60.0)};
+  std::size_t count{1000};
+
+  static WindowSpec time(sim::SimDuration d) {
+    WindowSpec w;
+    w.kind = Kind::kTime;
+    w.duration = d;
+    return w;
+  }
+  static WindowSpec length(std::size_t n) {
+    WindowSpec w;
+    w.kind = Kind::kLength;
+    w.count = n;
+    return w;
+  }
+};
+
+/// A sliding window over a stream. Insertion is append-only (event times must
+/// be non-decreasing, which the simulation guarantees); eviction calls the
+/// given hook so aggregates can be decremented incrementally.
+class SlidingWindow {
+ public:
+  using EvictFn = std::function<void(const Event&)>;
+
+  explicit SlidingWindow(WindowSpec spec) : spec_(spec) {}
+
+  /// Append an event, then evict anything that falls out of the window.
+  void push(Event event, const EvictFn& on_evict);
+
+  /// Evict events older than `now - duration` (time windows only; length
+  /// windows evict on push). Called when time advances without new events.
+  void evict_until(sim::SimTime now, const EvictFn& on_evict);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
+  [[nodiscard]] const WindowSpec& spec() const { return spec_; }
+
+ private:
+  WindowSpec spec_;
+  std::deque<Event> events_;
+};
+
+}  // namespace erms::cep

@@ -1,0 +1,106 @@
+#include "classad/classad.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace erms::classad {
+
+std::string ClassAd::canonical(const std::string& name) {
+  std::string out = name;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+void ClassAd::insert(const std::string& name, ExprPtr expr) {
+  attrs_[canonical(name)] = std::move(expr);
+}
+
+void ClassAd::insert_int(const std::string& name, std::int64_t v) {
+  insert(name, literal(Value::integer(v)));
+}
+void ClassAd::insert_real(const std::string& name, double v) {
+  insert(name, literal(Value::real(v)));
+}
+void ClassAd::insert_bool(const std::string& name, bool v) {
+  insert(name, literal(Value::boolean(v)));
+}
+void ClassAd::insert_string(const std::string& name, std::string v) {
+  insert(name, literal(Value::string(std::move(v))));
+}
+
+bool ClassAd::erase(const std::string& name) { return attrs_.erase(canonical(name)) > 0; }
+
+ExprPtr ClassAd::lookup(const std::string& name) const {
+  const auto it = attrs_.find(canonical(name));
+  return it == attrs_.end() ? nullptr : it->second;
+}
+
+Value ClassAd::evaluate(const std::string& name, const ClassAd* target) const {
+  const ExprPtr expr = lookup(name);
+  if (!expr) {
+    return Value::undefined();
+  }
+  return evaluate_expr(*expr, target);
+}
+
+Value ClassAd::evaluate_expr(const Expr& expr, const ClassAd* target) const {
+  EvalContext ctx;
+  ctx.my = this;
+  ctx.target = target;
+  return expr.evaluate(ctx);
+}
+
+std::optional<std::int64_t> ClassAd::get_int(const std::string& name,
+                                             const ClassAd* target) const {
+  const Value v = evaluate(name, target);
+  if (v.type() == Value::Type::kInt) {
+    return v.as_int();
+  }
+  return std::nullopt;
+}
+
+std::optional<double> ClassAd::get_real(const std::string& name, const ClassAd* target) const {
+  const Value v = evaluate(name, target);
+  if (v.is_number()) {
+    return v.as_number();
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> ClassAd::get_bool(const std::string& name, const ClassAd* target) const {
+  const Value v = evaluate(name, target);
+  if (v.is_bool()) {
+    return v.as_bool();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ClassAd::get_string(const std::string& name,
+                                               const ClassAd* target) const {
+  const Value v = evaluate(name, target);
+  if (v.is_string()) {
+    return v.as_string();
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> ClassAd::attribute_names() const {
+  std::vector<std::string> out;
+  out.reserve(attrs_.size());
+  for (const auto& [name, expr] : attrs_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::string ClassAd::unparse() const {
+  std::string out = "[ ";
+  for (const auto& [name, expr] : attrs_) {
+    out += name + " = " + expr->unparse() + "; ";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace erms::classad

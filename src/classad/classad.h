@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classad/expr.h"
+#include "classad/value.h"
+
+namespace erms::classad {
+
+/// A ClassAd: an attribute → expression record. ERMS uses ads to describe
+/// datanodes (machine ads) and replication/erasure tasks (job ads), and the
+/// matchmaker pairs them (paper §III.A: "ClassAds ... to detect when
+/// datanodes are commissioned or decommissioned ... and to judge whether the
+/// replicas are added or removed successfully").
+///
+/// Attribute names are case-insensitive, as in Condor.
+class ClassAd {
+ public:
+  /// Insert/replace an attribute with an expression.
+  void insert(const std::string& name, ExprPtr expr);
+
+  /// Convenience typed inserts (wrap in literal expressions).
+  void insert_int(const std::string& name, std::int64_t v);
+  void insert_real(const std::string& name, double v);
+  void insert_bool(const std::string& name, bool v);
+  void insert_string(const std::string& name, std::string v);
+
+  /// Remove an attribute; returns true if it existed.
+  bool erase(const std::string& name);
+
+  /// The expression bound to `name`, or nullptr.
+  [[nodiscard]] ExprPtr lookup(const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const { return lookup(name) != nullptr; }
+  [[nodiscard]] std::size_t size() const { return attrs_.size(); }
+
+  /// Evaluate `name` in this ad (optionally with a TARGET ad in scope).
+  [[nodiscard]] Value evaluate(const std::string& name, const ClassAd* target = nullptr) const;
+
+  /// Evaluate an arbitrary expression with this ad as MY.
+  [[nodiscard]] Value evaluate_expr(const Expr& expr, const ClassAd* target = nullptr) const;
+
+  /// Typed accessors; nullopt on missing attribute or type mismatch.
+  [[nodiscard]] std::optional<std::int64_t> get_int(const std::string& name,
+                                                    const ClassAd* target = nullptr) const;
+  [[nodiscard]] std::optional<double> get_real(const std::string& name,
+                                               const ClassAd* target = nullptr) const;
+  [[nodiscard]] std::optional<bool> get_bool(const std::string& name,
+                                             const ClassAd* target = nullptr) const;
+  [[nodiscard]] std::optional<std::string> get_string(const std::string& name,
+                                                      const ClassAd* target = nullptr) const;
+
+  /// Attribute names in canonical (lower-cased, sorted) order.
+  [[nodiscard]] std::vector<std::string> attribute_names() const;
+
+  /// Render as `[ a = 1; b = "x"; ]`.
+  [[nodiscard]] std::string unparse() const;
+
+ private:
+  static std::string canonical(const std::string& name);
+  std::map<std::string, ExprPtr> attrs_;  // keys lower-cased
+};
+
+}  // namespace erms::classad

@@ -1,0 +1,247 @@
+#include "classad/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "classad/parser.h"
+
+namespace erms::classad {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+
+  auto push = [&](TokenKind kind, std::size_t at) {
+    Token t;
+    t.kind = kind;
+    t.offset = at;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Comments: // to end of line.
+    if (c == '/' && i + 1 < n && input[i + 1] == '/') {
+      while (i < n && input[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    const std::size_t start = i;
+    if (is_ident_start(c)) {
+      while (i < n && is_ident_char(input[i])) {
+        ++i;
+      }
+      Token t;
+      t.kind = TokenKind::kIdentifier;
+      t.text = std::string(input.substr(start, i - start));
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i])) != 0) {
+        ++i;
+      }
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1])) != 0) {
+        is_real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i])) != 0) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        std::size_t j = i + 1;
+        if (j < n && (input[j] == '+' || input[j] == '-')) {
+          ++j;
+        }
+        if (j < n && std::isdigit(static_cast<unsigned char>(input[j])) != 0) {
+          is_real = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i])) != 0) {
+            ++i;
+          }
+        }
+      }
+      const std::string text(input.substr(start, i - start));
+      Token t;
+      t.offset = start;
+      if (is_real) {
+        t.kind = TokenKind::kReal;
+        t.real_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInteger;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string text;
+      while (i < n && input[i] != '"') {
+        if (input[i] == '\\' && i + 1 < n) {
+          ++i;
+          switch (input[i]) {
+            case 'n':
+              text += '\n';
+              break;
+            case 't':
+              text += '\t';
+              break;
+            default:
+              text += input[i];
+          }
+        } else {
+          text += input[i];
+        }
+        ++i;
+      }
+      if (i >= n) {
+        throw ParseError("unterminated string", start);
+      }
+      ++i;  // closing quote
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    auto two = [&](char second) { return i + 1 < n && input[i + 1] == second; };
+    switch (c) {
+      case '+':
+        push(TokenKind::kPlus, start);
+        ++i;
+        break;
+      case '-':
+        push(TokenKind::kMinus, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, start);
+        ++i;
+        break;
+      case '/':
+        push(TokenKind::kSlash, start);
+        ++i;
+        break;
+      case '%':
+        push(TokenKind::kPercent, start);
+        ++i;
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      case '=':
+        if (two('=')) {
+          push(TokenKind::kEq, start);
+          i += 2;
+        } else {
+          push(TokenKind::kAssign, start);
+          ++i;
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kNot, start);
+          ++i;
+        }
+        break;
+      case '&':
+        if (two('&')) {
+          push(TokenKind::kAnd, start);
+          i += 2;
+        } else {
+          throw ParseError("expected '&&'", start);
+        }
+        break;
+      case '|':
+        if (two('|')) {
+          push(TokenKind::kOr, start);
+          i += 2;
+        } else {
+          throw ParseError("expected '||'", start);
+        }
+        break;
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        break;
+      case '[':
+        push(TokenKind::kLBracket, start);
+        ++i;
+        break;
+      case ']':
+        push(TokenKind::kRBracket, start);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        break;
+      case ';':
+        push(TokenKind::kSemicolon, start);
+        ++i;
+        break;
+      case '.':
+        push(TokenKind::kDot, start);
+        ++i;
+        break;
+      case '?':
+        push(TokenKind::kQuestion, start);
+        ++i;
+        break;
+      case ':':
+        push(TokenKind::kColon, start);
+        ++i;
+        break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", start);
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace erms::classad

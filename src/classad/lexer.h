@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erms::classad {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,  // possibly MY / TARGET / true / false / undefined / error
+  kInteger,
+  kReal,
+  kString,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,    // ==
+  kNe,    // !=
+  kAnd,   // &&
+  kOr,    // ||
+  kNot,   // !
+  kAssign,  // =
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kDot,
+  kQuestion,
+  kColon,
+};
+
+struct Token {
+  TokenKind kind{TokenKind::kEnd};
+  std::string text;        // identifier / string contents
+  std::int64_t int_value{0};
+  double real_value{0.0};
+  std::size_t offset{0};   // position in input, for error messages
+};
+
+/// Tokenize a ClassAd expression or ad. Throws ParseError (see parser.h) on
+/// malformed input (unterminated string, bad number).
+std::vector<Token> lex(std::string_view input);
+
+}  // namespace erms::classad

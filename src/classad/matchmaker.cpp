@@ -1,0 +1,58 @@
+#include "classad/matchmaker.h"
+
+#include <algorithm>
+
+namespace erms::classad {
+
+bool Matchmaker::requirements_satisfied(const ClassAd& request, const ClassAd& candidate) {
+  if (!request.contains("Requirements")) {
+    return true;
+  }
+  const Value v = request.evaluate("Requirements", &candidate);
+  return v.is_bool() && v.as_bool();
+}
+
+bool Matchmaker::matches(const ClassAd& a, const ClassAd& b) {
+  return requirements_satisfied(a, b) && requirements_satisfied(b, a);
+}
+
+double Matchmaker::rank(const ClassAd& request, const ClassAd& candidate) {
+  const Value v = request.evaluate("Rank", &candidate);
+  if (v.is_number()) {
+    return v.as_number();
+  }
+  if (v.is_bool()) {
+    return v.as_bool() ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+std::optional<Matchmaker::Match> Matchmaker::best_match(
+    const ClassAd& request, const std::vector<ClassAd>& candidates) {
+  std::optional<Match> best;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!matches(request, candidates[i])) {
+      continue;
+    }
+    const double r = rank(request, candidates[i]);
+    if (!best || r > best->rank) {
+      best = Match{i, r};
+    }
+  }
+  return best;
+}
+
+std::vector<Matchmaker::Match> Matchmaker::all_matches(
+    const ClassAd& request, const std::vector<ClassAd>& candidates) {
+  std::vector<Match> out;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (matches(request, candidates[i])) {
+      out.push_back(Match{i, rank(request, candidates[i])});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Match& a, const Match& b) { return a.rank > b.rank; });
+  return out;
+}
+
+}  // namespace erms::classad

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "classad/classad.h"
+
+namespace erms::classad {
+
+/// Condor-style matchmaking: two ads match when each ad's `Requirements`
+/// expression evaluates to true with the other ad as TARGET. `Rank`
+/// (evaluated in the requesting ad against the candidate) orders candidates.
+class Matchmaker {
+ public:
+  /// Symmetric match test. A missing Requirements attribute counts as true
+  /// (Condor's behaviour for machine ads without constraints).
+  [[nodiscard]] static bool matches(const ClassAd& a, const ClassAd& b);
+
+  /// One-sided test: does `request`'s Requirements accept `candidate`?
+  [[nodiscard]] static bool requirements_satisfied(const ClassAd& request,
+                                                   const ClassAd& candidate);
+
+  /// Rank of `candidate` from `request`'s point of view; 0.0 when absent or
+  /// non-numeric (Condor treats unranked matches equally).
+  [[nodiscard]] static double rank(const ClassAd& request, const ClassAd& candidate);
+
+  struct Match {
+    std::size_t index;  // into the candidates vector
+    double rank;
+  };
+
+  /// Best symmetric match for `request` among `candidates` (highest rank,
+  /// first on ties). nullopt when none match.
+  [[nodiscard]] static std::optional<Match> best_match(
+      const ClassAd& request, const std::vector<ClassAd>& candidates);
+
+  /// All symmetric matches, sorted by descending rank (stable for ties).
+  [[nodiscard]] static std::vector<Match> all_matches(
+      const ClassAd& request, const std::vector<ClassAd>& candidates);
+};
+
+}  // namespace erms::classad

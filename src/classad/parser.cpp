@@ -1,0 +1,263 @@
+#include "classad/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "classad/lexer.h"
+
+namespace erms::classad {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ExprPtr parse_full_expr() {
+    ExprPtr e = expr();
+    expect(TokenKind::kEnd, "trailing input after expression");
+    return e;
+  }
+
+  ClassAd parse_ad() {
+    ClassAd ad;
+    const bool bracketed = accept(TokenKind::kLBracket);
+    while (true) {
+      if (bracketed && accept(TokenKind::kRBracket)) {
+        break;
+      }
+      if (peek().kind == TokenKind::kEnd) {
+        if (bracketed) {
+          throw ParseError("missing ']'", peek().offset);
+        }
+        break;
+      }
+      const Token& name = peek();
+      if (name.kind != TokenKind::kIdentifier) {
+        throw ParseError("expected attribute name", name.offset);
+      }
+      advance();
+      expect(TokenKind::kAssign, "expected '=' after attribute name");
+      ad.insert(name.text, expr());
+      // Separators between assignments are ';' (optionally trailing).
+      while (accept(TokenKind::kSemicolon)) {
+      }
+    }
+    expect(TokenKind::kEnd, "trailing input after ad");
+    return ad;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) {
+      ++pos_;
+    }
+  }
+  bool accept(TokenKind kind) {
+    if (peek().kind == kind) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect(TokenKind kind, const char* message) {
+    if (!accept(kind)) {
+      throw ParseError(message, peek().offset);
+    }
+  }
+
+  ExprPtr expr() {
+    ExprPtr cond = or_expr();
+    if (accept(TokenKind::kQuestion)) {
+      ExprPtr then = expr();
+      expect(TokenKind::kColon, "expected ':' in conditional");
+      ExprPtr otherwise = expr();
+      return std::make_shared<ConditionalExpr>(std::move(cond), std::move(then),
+                                               std::move(otherwise));
+    }
+    return cond;
+  }
+
+  ExprPtr or_expr() {
+    ExprPtr lhs = and_expr();
+    while (accept(TokenKind::kOr)) {
+      lhs = std::make_shared<BinaryExpr>(BinaryOp::kOr, std::move(lhs), and_expr());
+    }
+    return lhs;
+  }
+
+  ExprPtr and_expr() {
+    ExprPtr lhs = cmp_expr();
+    while (accept(TokenKind::kAnd)) {
+      lhs = std::make_shared<BinaryExpr>(BinaryOp::kAnd, std::move(lhs), cmp_expr());
+    }
+    return lhs;
+  }
+
+  ExprPtr cmp_expr() {
+    ExprPtr lhs = sum_expr();
+    while (true) {
+      BinaryOp op;
+      switch (peek().kind) {
+        case TokenKind::kEq:
+          op = BinaryOp::kEq;
+          break;
+        case TokenKind::kNe:
+          op = BinaryOp::kNe;
+          break;
+        case TokenKind::kLt:
+          op = BinaryOp::kLt;
+          break;
+        case TokenKind::kLe:
+          op = BinaryOp::kLe;
+          break;
+        case TokenKind::kGt:
+          op = BinaryOp::kGt;
+          break;
+        case TokenKind::kGe:
+          op = BinaryOp::kGe;
+          break;
+        default:
+          return lhs;
+      }
+      advance();
+      lhs = std::make_shared<BinaryExpr>(op, std::move(lhs), sum_expr());
+    }
+  }
+
+  ExprPtr sum_expr() {
+    ExprPtr lhs = term_expr();
+    while (true) {
+      if (accept(TokenKind::kPlus)) {
+        lhs = std::make_shared<BinaryExpr>(BinaryOp::kAdd, std::move(lhs), term_expr());
+      } else if (accept(TokenKind::kMinus)) {
+        lhs = std::make_shared<BinaryExpr>(BinaryOp::kSub, std::move(lhs), term_expr());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr term_expr() {
+    ExprPtr lhs = unary_expr();
+    while (true) {
+      if (accept(TokenKind::kStar)) {
+        lhs = std::make_shared<BinaryExpr>(BinaryOp::kMul, std::move(lhs), unary_expr());
+      } else if (accept(TokenKind::kSlash)) {
+        lhs = std::make_shared<BinaryExpr>(BinaryOp::kDiv, std::move(lhs), unary_expr());
+      } else if (accept(TokenKind::kPercent)) {
+        lhs = std::make_shared<BinaryExpr>(BinaryOp::kMod, std::move(lhs), unary_expr());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr unary_expr() {
+    if (accept(TokenKind::kNot)) {
+      return std::make_shared<UnaryExpr>(UnaryOp::kNot, unary_expr());
+    }
+    if (accept(TokenKind::kMinus)) {
+      return std::make_shared<UnaryExpr>(UnaryOp::kMinus, unary_expr());
+    }
+    return primary();
+  }
+
+  ExprPtr primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        advance();
+        return literal(Value::integer(t.int_value));
+      }
+      case TokenKind::kReal: {
+        advance();
+        return literal(Value::real(t.real_value));
+      }
+      case TokenKind::kString: {
+        advance();
+        return literal(Value::string(t.text));
+      }
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr inner = expr();
+        expect(TokenKind::kRParen, "expected ')'");
+        return inner;
+      }
+      case TokenKind::kIdentifier:
+        return identifier();
+      default:
+        throw ParseError("expected expression", t.offset);
+    }
+  }
+
+  ExprPtr identifier() {
+    const Token name = peek();
+    advance();
+    const std::string low = lower(name.text);
+    // Keyword literals.
+    if (low == "true") {
+      return literal(Value::boolean(true));
+    }
+    if (low == "false") {
+      return literal(Value::boolean(false));
+    }
+    if (low == "undefined") {
+      return literal(Value::undefined());
+    }
+    if (low == "error") {
+      return literal(Value::error());
+    }
+    // Scoped reference: MY.attr / TARGET.attr.
+    if ((low == "my" || low == "target") && accept(TokenKind::kDot)) {
+      const Token& attr = peek();
+      if (attr.kind != TokenKind::kIdentifier) {
+        throw ParseError("expected attribute after scope", attr.offset);
+      }
+      advance();
+      const auto scope =
+          low == "my" ? AttrRefExpr::Scope::kMy : AttrRefExpr::Scope::kTarget;
+      return std::make_shared<AttrRefExpr>(scope, attr.text);
+    }
+    // Function call.
+    if (accept(TokenKind::kLParen)) {
+      std::vector<ExprPtr> args;
+      if (!accept(TokenKind::kRParen)) {
+        args.push_back(expr());
+        while (accept(TokenKind::kComma)) {
+          args.push_back(expr());
+        }
+        expect(TokenKind::kRParen, "expected ')' after arguments");
+      }
+      return std::make_shared<FunctionCallExpr>(name.text, std::move(args));
+    }
+    return std::make_shared<AttrRefExpr>(AttrRefExpr::Scope::kDefault, name.text);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+ExprPtr parse_expr(std::string_view input) {
+  Parser parser{lex(input)};
+  return parser.parse_full_expr();
+}
+
+ClassAd parse_classad(std::string_view input) {
+  Parser parser{lex(input)};
+  return parser.parse_ad();
+}
+
+}  // namespace erms::classad

@@ -1,0 +1,48 @@
+#include "classad/value.h"
+
+#include <cstdio>
+
+namespace erms::classad {
+
+std::string Value::to_string() const {
+  switch (type_) {
+    case Type::kUndefined:
+      return "undefined";
+    case Type::kError:
+      return "error";
+    case Type::kBool:
+      return bool_ ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(int_);
+    case Type::kReal: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%g", real_);
+      return buf;
+    }
+    case Type::kString:
+      return '"' + string_ + '"';
+  }
+  return "error";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) {
+    return false;
+  }
+  switch (a.type_) {
+    case Value::Type::kUndefined:
+    case Value::Type::kError:
+      return true;
+    case Value::Type::kBool:
+      return a.bool_ == b.bool_;
+    case Value::Type::kInt:
+      return a.int_ == b.int_;
+    case Value::Type::kReal:
+      return a.real_ == b.real_;
+    case Value::Type::kString:
+      return a.string_ == b.string_;
+  }
+  return false;
+}
+
+}  // namespace erms::classad

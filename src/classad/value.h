@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace erms::classad {
+
+/// A ClassAd value. ClassAds use three-valued logic: every expression can
+/// evaluate to UNDEFINED (an attribute reference that does not resolve) or
+/// ERROR (a type mismatch), and most operators propagate these.
+class Value {
+ public:
+  enum class Type { kUndefined, kError, kBool, kInt, kReal, kString };
+
+  Value() : type_(Type::kUndefined) {}
+
+  static Value undefined() { return Value{}; }
+  static Value error() {
+    Value v;
+    v.type_ = Type::kError;
+    return v;
+  }
+  static Value boolean(bool b) {
+    Value v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static Value integer(std::int64_t i) {
+    Value v;
+    v.type_ = Type::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static Value real(double d) {
+    Value v;
+    v.type_ = Type::kReal;
+    v.real_ = d;
+    return v;
+  }
+  static Value string(std::string s) {
+    Value v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_undefined() const { return type_ == Type::kUndefined; }
+  [[nodiscard]] bool is_error() const { return type_ == Type::kError; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kInt || type_ == Type::kReal; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+
+  /// Preconditions: matching type().
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const { return int_; }
+  [[nodiscard]] double as_real() const { return real_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  /// Numeric promotion: int or real as double.
+  [[nodiscard]] double as_number() const { return type_ == Type::kInt ? static_cast<double>(int_) : real_; }
+
+  /// Render in ClassAd syntax (strings quoted).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend std::ostream& operator<<(std::ostream& os, const Value& v) {
+    return os << v.to_string();
+  }
+
+ private:
+  Type type_;
+  bool bool_{false};
+  std::int64_t int_{0};
+  double real_{0.0};
+  std::string string_;
+};
+
+}  // namespace erms::classad

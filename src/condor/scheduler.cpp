@@ -1,0 +1,261 @@
+#include "condor/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "classad/parser.h"
+
+namespace erms::condor {
+
+std::map<JobId, JobStatus> replay_log(const std::vector<JobLogRecord>& log) {
+  std::map<JobId, JobStatus> statuses;
+  for (const JobLogRecord& rec : log) {
+    switch (rec.kind) {
+      case JobLogRecord::Kind::kSubmit:
+        statuses[rec.job] = JobStatus::kQueued;
+        break;
+      case JobLogRecord::Kind::kExecute:
+        statuses[rec.job] = JobStatus::kRunning;
+        break;
+      case JobLogRecord::Kind::kTerminateOk:
+        statuses[rec.job] = JobStatus::kCompleted;
+        break;
+      case JobLogRecord::Kind::kTerminateFail:
+        statuses[rec.job] = JobStatus::kFailed;
+        break;
+      case JobLogRecord::Kind::kRollback:
+        statuses[rec.job] = JobStatus::kRolledBack;
+        break;
+      case JobLogRecord::Kind::kCancel:
+        statuses[rec.job] = JobStatus::kCancelled;
+        break;
+    }
+  }
+  return statuses;
+}
+
+Scheduler::Scheduler(sim::Simulation& simulation)
+    : Scheduler(simulation, Config{}, util::Logger::null_logger()) {}
+
+Scheduler::Scheduler(sim::Simulation& simulation, Config config, util::Logger& logger)
+    : sim_(simulation), config_(config), log_sink_(logger) {}
+
+void Scheduler::register_command(const std::string& cmd, Executor executor, Rollback rollback) {
+  executors_[cmd] = std::move(executor);
+  if (rollback) {
+    rollbacks_[cmd] = std::move(rollback);
+  }
+}
+
+void Scheduler::append_log(JobLogRecord::Kind kind, const Job& job) {
+  JobLogRecord rec;
+  rec.kind = kind;
+  rec.time = sim_.now();
+  rec.job = job.id;
+  rec.cmd = job.ad.get_string("Cmd").value_or("?");
+  log_.push_back(std::move(rec));
+}
+
+JobId Scheduler::submit(classad::ClassAd ad, JobClass sched_class, int priority,
+                        TerminateFn on_terminate) {
+  const JobId id = ids_.next();
+  Entry entry;
+  entry.job.id = id;
+  entry.job.ad = std::move(ad);
+  entry.job.sched_class = sched_class;
+  entry.job.priority = priority;
+  entry.job.submitted = sim_.now();
+  entry.on_terminate = std::move(on_terminate);
+  append_log(JobLogRecord::Kind::kSubmit, entry.job);
+  entries_.emplace(id, std::move(entry));
+  // Pump from a fresh event so submit() itself never re-enters callbacks.
+  sim_.schedule_after(sim::micros(0), [this] { pump(); });
+  return id;
+}
+
+bool Scheduler::cancel(JobId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || it->second.job.status != JobStatus::kQueued) {
+    return false;
+  }
+  it->second.job.status = JobStatus::kCancelled;
+  it->second.job.finished = sim_.now();
+  append_log(JobLogRecord::Kind::kCancel, it->second.job);
+  if (it->second.on_terminate) {
+    const Job job = it->second.job;
+    TerminateFn fn = std::move(it->second.on_terminate);
+    sim_.schedule_after(sim::micros(0), [fn = std::move(fn), job] { fn(job); });
+  }
+  return true;
+}
+
+const Job* Scheduler::find(JobId id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.job;
+}
+
+std::vector<JobId> Scheduler::jobs_in_status(JobStatus status) const {
+  std::vector<JobId> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.job.status == status) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::size_t Scheduler::queued_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : entries_) {
+    n += entry.job.status == JobStatus::kQueued ? 1 : 0;
+  }
+  return n;
+}
+
+std::optional<JobId> Scheduler::next_startable() const {
+  const bool idle = !idle_probe_ || idle_probe_();
+  std::optional<JobId> best;
+  int best_priority = 0;
+  for (const auto& [id, entry] : entries_) {
+    const Job& job = entry.job;
+    if (job.status != JobStatus::kQueued) {
+      continue;
+    }
+    if (job.sched_class == JobClass::kWhenIdle && !idle) {
+      continue;
+    }
+    // std::map iterates in submission (id) order, so ties stay FIFO.
+    if (!best || job.priority > best_priority) {
+      best = id;
+      best_priority = job.priority;
+    }
+  }
+  return best;
+}
+
+void Scheduler::pump() {
+  while (running_ < config_.max_running) {
+    const auto id = next_startable();
+    if (!id) {
+      break;
+    }
+    start(entries_.at(*id));
+  }
+  // If deferred jobs remain queued, poll the idle probe periodically.
+  bool idle_waiting = false;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.job.status == JobStatus::kQueued &&
+        entry.job.sched_class == JobClass::kWhenIdle) {
+      idle_waiting = true;
+      break;
+    }
+  }
+  if (idle_waiting) {
+    schedule_idle_poll();
+  }
+}
+
+void Scheduler::schedule_idle_poll() {
+  if (idle_poll_scheduled_) {
+    return;
+  }
+  idle_poll_scheduled_ = true;
+  sim_.schedule_after(config_.idle_poll, [this] {
+    idle_poll_scheduled_ = false;
+    pump();
+  });
+}
+
+void Scheduler::start(Entry& entry) {
+  Job& job = entry.job;
+  assert(job.status == JobStatus::kQueued);
+  const auto cmd = job.ad.get_string("Cmd");
+  const auto exec_it = cmd ? executors_.find(*cmd) : executors_.end();
+  job.status = JobStatus::kRunning;
+  job.started = sim_.now();
+  append_log(JobLogRecord::Kind::kExecute, job);
+  ++running_;
+  if (log_sink_.enabled(util::LogLevel::kDebug)) {
+    log_sink_.log(util::LogLevel::kDebug, "condor",
+                  "start job " + std::to_string(job.id.value()) + " cmd=" +
+                      cmd.value_or("?"));
+  }
+  if (exec_it == executors_.end()) {
+    const JobId id = job.id;
+    sim_.schedule_after(sim::micros(0), [this, id] { finish(id, JobStatus::kFailed); });
+    return;
+  }
+  const JobId id = job.id;
+  exec_it->second(job.ad, [this, id](bool ok) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      return;
+    }
+    if (ok) {
+      finish(id, JobStatus::kCompleted);
+      return;
+    }
+    // Failure: roll back if the command registered a rollback ("If these
+    // tasks failed, they could rollback automatically" — §III.A).
+    const auto cmd = it->second.job.ad.get_string("Cmd");
+    const auto rb_it = cmd ? rollbacks_.find(*cmd) : rollbacks_.end();
+    if (rb_it == rollbacks_.end()) {
+      finish(id, JobStatus::kFailed);
+      return;
+    }
+    rb_it->second(it->second.job.ad, [this, id] { finish(id, JobStatus::kRolledBack); });
+  });
+}
+
+void Scheduler::finish(JobId id, JobStatus status) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return;
+  }
+  Job& job = it->second.job;
+  assert(job.status == JobStatus::kRunning);
+  job.status = status;
+  job.finished = sim_.now();
+  switch (status) {
+    case JobStatus::kCompleted:
+      append_log(JobLogRecord::Kind::kTerminateOk, job);
+      break;
+    case JobStatus::kRolledBack:
+      append_log(JobLogRecord::Kind::kRollback, job);
+      break;
+    default:
+      append_log(JobLogRecord::Kind::kTerminateFail, job);
+      break;
+  }
+  assert(running_ > 0);
+  --running_;
+  if (it->second.on_terminate) {
+    it->second.on_terminate(job);
+  }
+  pump();
+}
+
+void Scheduler::advertise(const std::string& name, classad::ClassAd ad) {
+  machines_[name] = std::move(ad);
+}
+
+bool Scheduler::invalidate(const std::string& name) { return machines_.erase(name) > 0; }
+
+const classad::ClassAd* Scheduler::machine(const std::string& name) const {
+  const auto it = machines_.find(name);
+  return it == machines_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Scheduler::query_machines(const std::string& constraint) const {
+  const classad::ExprPtr expr = classad::parse_expr(constraint);
+  std::vector<std::string> out;
+  for (const auto& [name, ad] : machines_) {
+    const classad::Value v = ad.evaluate_expr(*expr);
+    if (v.is_bool() && v.as_bool()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace erms::condor

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "sim/simulation.h"
+#include "util/ids.h"
+#include "util/log.h"
+
+namespace erms::condor {
+
+struct JobTag {};
+using JobId = util::StrongId<JobTag>;
+
+/// ERMS schedules urgent work (replica increase, erasure *de*coding)
+/// immediately and deferrable work (replica decrease, erasure encoding)
+/// "when the HDFS cluster is idle" (paper §III.A).
+enum class JobClass { kImmediate, kWhenIdle };
+
+enum class JobStatus {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kFailed,       // executor reported failure and no rollback was registered
+  kRolledBack,   // executor failed, rollback ran
+  kCancelled,
+};
+
+[[nodiscard]] constexpr const char* to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kCompleted:
+      return "completed";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kRolledBack:
+      return "rolled_back";
+    case JobStatus::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+/// A queued task, described by a ClassAd (attribute `Cmd` selects the
+/// executor; the rest are task parameters like File / TargetReplication).
+struct Job {
+  JobId id;
+  classad::ClassAd ad;
+  JobClass sched_class{JobClass::kImmediate};
+  int priority{0};
+  JobStatus status{JobStatus::kQueued};
+  sim::SimTime submitted;
+  sim::SimTime started;
+  sim::SimTime finished;
+};
+
+/// Append-only user-log record ("the Condor log mechanism is used to record
+/// all replication manager tasks and erasure coding tasks" — §III.A).
+struct JobLogRecord {
+  enum class Kind { kSubmit, kExecute, kTerminateOk, kTerminateFail, kRollback, kCancel };
+  Kind kind;
+  sim::SimTime time;
+  JobId job;
+  std::string cmd;
+};
+
+/// Final job statuses recovered by replaying a log (crash-recovery check).
+std::map<JobId, JobStatus> replay_log(const std::vector<JobLogRecord>& log);
+
+/// Mini-Condor: a priority job queue with two scheduling classes, pluggable
+/// executors per command, rollback-on-failure, an append-only job log, and a
+/// machine-ad registry with ClassAd matchmaking.
+class Scheduler {
+ public:
+  /// Executors run asynchronously on the simulation clock and report success.
+  using Executor = std::function<void(const classad::ClassAd&, std::function<void(bool)>)>;
+  /// Invoked when the job's executor fails, to undo partial work.
+  using Rollback = std::function<void(const classad::ClassAd&, std::function<void()>)>;
+  using TerminateFn = std::function<void(const Job&)>;
+  /// Probe deciding whether kWhenIdle jobs may start now.
+  using IdleProbe = std::function<bool()>;
+
+  struct Config {
+    std::uint32_t max_running = 4;
+    /// How often to re-test the idle probe while deferred jobs wait.
+    sim::SimDuration idle_poll = sim::seconds(5.0);
+  };
+
+  explicit Scheduler(sim::Simulation& simulation);
+  Scheduler(sim::Simulation& simulation, Config config,
+            util::Logger& logger = util::Logger::null_logger());
+
+  /// Register the executor (and optional rollback) for a `Cmd` value.
+  void register_command(const std::string& cmd, Executor executor, Rollback rollback = nullptr);
+
+  void set_idle_probe(IdleProbe probe) { idle_probe_ = std::move(probe); }
+
+  /// Submit a job ad (must carry a string `Cmd` attribute). `on_terminate`
+  /// fires once when the job reaches a terminal status.
+  JobId submit(classad::ClassAd ad, JobClass sched_class, int priority = 0,
+               TerminateFn on_terminate = nullptr);
+
+  /// Cancel a queued job (running jobs cannot be cancelled). Returns true on
+  /// success.
+  bool cancel(JobId id);
+
+  [[nodiscard]] const Job* find(JobId id) const;
+  [[nodiscard]] std::vector<JobId> jobs_in_status(JobStatus status) const;
+  [[nodiscard]] std::size_t queued_count() const;
+  [[nodiscard]] std::size_t running_count() const { return running_; }
+  [[nodiscard]] const std::vector<JobLogRecord>& log() const { return log_; }
+
+  // ----- machine ads (datanode registry) ---------------------------------
+  /// Advertise or refresh a machine ad under `name` — ERMS uses this "to
+  /// detect when datanodes are commissioned or decommissioned" (§III.A).
+  void advertise(const std::string& name, classad::ClassAd ad);
+  /// Drop a machine ad; returns true if it existed.
+  bool invalidate(const std::string& name);
+  [[nodiscard]] const classad::ClassAd* machine(const std::string& name) const;
+  /// Names of machines whose ads satisfy `constraint` (a ClassAd expression
+  /// evaluated against each machine ad).
+  [[nodiscard]] std::vector<std::string> query_machines(const std::string& constraint) const;
+  [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
+
+ private:
+  struct Entry {
+    Job job;
+    TerminateFn on_terminate;
+  };
+
+  void append_log(JobLogRecord::Kind kind, const Job& job);
+  void pump();
+  void start(Entry& entry);
+  void finish(JobId id, JobStatus status);
+  void schedule_idle_poll();
+
+  /// Highest-priority startable queued job (FIFO within a priority).
+  [[nodiscard]] std::optional<JobId> next_startable() const;
+
+  sim::Simulation& sim_;
+  Config config_;
+  util::Logger& log_sink_;
+  std::map<JobId, Entry> entries_;
+  std::vector<JobLogRecord> log_;
+  std::map<std::string, Executor> executors_;
+  std::map<std::string, Rollback> rollbacks_;
+  std::map<std::string, classad::ClassAd> machines_;
+  IdleProbe idle_probe_;
+  util::IdGenerator<JobId> ids_{1};
+  std::uint32_t running_{0};
+  bool idle_poll_scheduled_{false};
+};
+
+}  // namespace erms::condor

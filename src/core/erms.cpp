@@ -1,0 +1,359 @@
+#include "core/erms.h"
+
+#include <algorithm>
+
+namespace erms::core {
+
+namespace {
+constexpr int kPriorityUrgent = 10;
+constexpr int kPriorityBackground = 0;
+}  // namespace
+
+ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> standby_pool,
+                         ErmsConfig config, util::Logger& logger)
+    : cluster_(cluster),
+      config_(config),
+      log_(logger),
+      engine_(),
+      feed_(engine_, config.thresholds.window),
+      judge_(config.thresholds),
+      standby_(cluster, standby_pool),
+      scheduler_(cluster.simulation(),
+                 condor::Scheduler::Config{/*max_running=*/8, sim::seconds(5.0)}, logger),
+      placement_(std::make_shared<ErmsPlacementPolicy>(
+          std::set<hdfs::NodeId>(standby_pool.begin(), standby_pool.end()),
+          cluster.config().default_replication)) {
+  if (config_.predictive) {
+    predictor_.emplace(config_.predictor);
+  }
+  register_executors();
+  scheduler_.set_idle_probe([this] {
+    return cluster_.background_idle() &&
+           cluster_.network().active_flows() <= config_.idle_flow_threshold;
+  });
+}
+
+void ErmsManager::start() {
+  cluster_.set_placement_policy(placement_);
+  cluster_.set_audit_sink([this](const audit::AuditEvent& e) { feed_.on_audit(e); });
+  if (config_.auto_calibrate) {
+    // τ_M is "the largest access number one data replica could hold" —
+    // bounded by the datanodes' serving-session capacity (what Fig. 8
+    // measures empirically on real hardware).
+    double sessions = 0.0;
+    std::size_t nodes = 0;
+    for (const hdfs::NodeId n : cluster_.nodes()) {
+      sessions += cluster_.node(n).config.max_sessions;
+      ++nodes;
+    }
+    if (nodes > 0) {
+      judge_.calibrate(sessions / static_cast<double>(nodes));
+    }
+  }
+  advertise_nodes();
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  schedule_tick();
+}
+
+void ErmsManager::schedule_tick() {
+  tick_ = cluster_.simulation().schedule_after(config_.evaluation_period, [this] {
+    if (!running_) {
+      return;
+    }
+    evaluate();
+    schedule_tick();
+  });
+}
+
+void ErmsManager::stop() {
+  running_ = false;
+  tick_.cancel();
+}
+
+void ErmsManager::advertise_nodes() {
+  // Machine ads let operators (and our tests) query the cluster through
+  // Condor — "The ClassAds mechanism is used in ERMS to detect when
+  // datanodes are commissioned or decommissioned" (§III.A).
+  for (const hdfs::NodeId n : cluster_.nodes()) {
+    const hdfs::DataNode& dn = cluster_.node(n);
+    classad::ClassAd ad;
+    ad.insert_int("Node", n.value());
+    ad.insert_int("Rack", cluster_.rack_of(n).value());
+    ad.insert_string("State", hdfs::to_string(dn.state));
+    ad.insert_int("UsedBytes", static_cast<std::int64_t>(dn.used_bytes));
+    ad.insert_int("CapacityBytes", static_cast<std::int64_t>(dn.config.capacity_bytes));
+    ad.insert_int("Sessions", dn.active_sessions);
+    ad.insert_int("MaxSessions", dn.config.max_sessions);
+    ad.insert_bool("StandbyPool", standby_.in_pool(n));
+    scheduler_.advertise("dn" + std::to_string(n.value()), std::move(ad));
+  }
+}
+
+void ErmsManager::register_executors() {
+  // Replication increase: commission standby capacity, then copy directly to
+  // the optimal factor. Rollback restores the previous factor.
+  scheduler_.register_command(
+      "increase_replication",
+      [this](const classad::ClassAd& ad, std::function<void(bool)> done) {
+        const auto path = ad.get_string("File");
+        const auto target = ad.get_int("Target");
+        const hdfs::FileInfo* info =
+            path ? cluster_.metadata().find_path(*path) : nullptr;
+        if (info == nullptr || !target) {
+          done(false);
+          return;
+        }
+        const hdfs::FileId file = info->id;
+        const auto want =
+            static_cast<std::uint32_t>(std::max<std::int64_t>(1, *target));
+        const std::uint32_t extra =
+            want > info->replication ? want - info->replication : 0;
+        standby_.ensure_commissioned(extra, [this, file, want, done] {
+          advertise_nodes();
+          cluster_.change_replication(file, want, hdfs::Cluster::IncreaseMode::kDirect,
+                                      done);
+        });
+      },
+      [this](const classad::ClassAd& ad, std::function<void()> rolled_back) {
+        const auto path = ad.get_string("File");
+        const auto previous = ad.get_int("Previous");
+        const hdfs::FileInfo* info =
+            path ? cluster_.metadata().find_path(*path) : nullptr;
+        if (info == nullptr || !previous) {
+          rolled_back();
+          return;
+        }
+        cluster_.change_replication(info->id, static_cast<std::uint32_t>(*previous),
+                                    hdfs::Cluster::IncreaseMode::kDirect,
+                                    [rolled_back](bool) { rolled_back(); });
+      });
+
+  // Replication decrease (cooled data) — deletes prefer standby nodes, then
+  // drained nodes are powered down.
+  scheduler_.register_command(
+      "decrease_replication",
+      [this](const classad::ClassAd& ad, std::function<void(bool)> done) {
+        const auto path = ad.get_string("File");
+        const auto target = ad.get_int("Target");
+        const hdfs::FileInfo* info =
+            path ? cluster_.metadata().find_path(*path) : nullptr;
+        if (info == nullptr || !target) {
+          done(false);
+          return;
+        }
+        cluster_.change_replication(
+            info->id, static_cast<std::uint32_t>(std::max<std::int64_t>(1, *target)),
+            hdfs::Cluster::IncreaseMode::kDirect, [this, done](bool ok) {
+              if (config_.manage_standby_power) {
+                standby_.power_down_drained();
+                advertise_nodes();
+              }
+              done(ok);
+            });
+      });
+
+  // Erasure-encode cold data.
+  scheduler_.register_command(
+      "encode", [this](const classad::ClassAd& ad, std::function<void(bool)> done) {
+        const auto path = ad.get_string("File");
+        const hdfs::FileInfo* info =
+            path ? cluster_.metadata().find_path(*path) : nullptr;
+        if (info == nullptr) {
+          done(false);
+          return;
+        }
+        cluster_.encode_file(info->id, config_.parity_count, [this, done](bool ok) {
+          if (config_.manage_standby_power) {
+            standby_.power_down_drained();
+          }
+          done(ok);
+        });
+      });
+
+  // Decode re-warmed cold data back to replication.
+  scheduler_.register_command(
+      "decode", [this](const classad::ClassAd& ad, std::function<void(bool)> done) {
+        const auto path = ad.get_string("File");
+        const auto target = ad.get_int("Target");
+        const hdfs::FileInfo* info =
+            path ? cluster_.metadata().find_path(*path) : nullptr;
+        if (info == nullptr || !target) {
+          done(false);
+          return;
+        }
+        cluster_.decode_file(info->id, static_cast<std::uint32_t>(*target), done);
+      });
+}
+
+void ErmsManager::submit_change(const std::string& path, const std::string& cmd,
+                                std::uint32_t target, condor::JobClass sched_class,
+                                int priority) {
+  const hdfs::FileInfo* info = cluster_.metadata().find_path(path);
+  if (info == nullptr) {
+    return;
+  }
+  classad::ClassAd ad;
+  ad.insert_string("Cmd", cmd);
+  ad.insert_string("File", path);
+  ad.insert_int("Target", target);
+  ad.insert_int("Previous", info->replication);
+  in_flight_.insert(path);
+  scheduler_.submit(std::move(ad), sched_class, priority,
+                    [this, path](const condor::Job& job) {
+                      in_flight_.erase(path);
+                      if (job.status != condor::JobStatus::kCompleted) {
+                        ++stats_.jobs_failed;
+                      }
+                    });
+}
+
+void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
+  const std::string& path = info.path;
+  if (action_in_flight(path)) {
+    return;
+  }
+  const sim::SimTime now = cluster_.simulation().now();
+  if (!first_seen_.contains(path)) {
+    first_seen_[path] = now;
+  }
+
+  judge::FileObservation obs;
+  obs.path = path;
+  obs.accesses = feed_.file_accesses(path);
+  obs.block_count = info.blocks.size();
+  obs.replication = info.replication;
+  const auto per_block = feed_.block_accesses(path);
+  obs.block_accesses.reserve(per_block.size());
+  for (const auto& [blk, n] : per_block) {
+    obs.block_accesses.push_back(n);
+  }
+  const sim::SimTime last = feed_.last_access(path);
+  obs.last_access = std::max(last, first_seen_[path]);
+
+  const std::uint32_t default_rep = cluster_.config().default_replication;
+  judge::Classification verdict =
+      judge_.classify(obs, now, default_rep, config_.max_replication);
+
+  // Predictive upgrade (opt-in): a rising file may be promoted — or
+  // promoted *further* — on the forecast before the observed counts get
+  // there. Only the hot verdict (and its optimal factor) may come from a
+  // forecast; cooling and encoding always wait for real counts.
+  if (predictor_) {
+    predictor_->observe(path, static_cast<double>(obs.accesses));
+    const double predicted = predictor_->predict(path);
+    if (predicted > static_cast<double>(obs.accesses)) {
+      // Scale the whole observation by the forecast ratio so the
+      // block-level rules (2) and (3) see the rise too.
+      const double ratio = predicted / std::max(1.0, static_cast<double>(obs.accesses));
+      judge::FileObservation boosted = obs;
+      boosted.accesses = static_cast<std::uint64_t>(predicted);
+      for (std::uint64_t& nb : boosted.block_accesses) {
+        nb = static_cast<std::uint64_t>(static_cast<double>(nb) * ratio);
+      }
+      const judge::Classification forecast =
+          judge_.classify(boosted, now, default_rep, config_.max_replication);
+      const bool upgrades =
+          forecast.type == judge::DataType::kHot &&
+          (verdict.type != judge::DataType::kHot ||
+           forecast.optimal_replication > verdict.optimal_replication);
+      if (upgrades) {
+        if (forecast.optimal_replication > info.replication) {
+          ++stats_.predictive_promotions;
+        }
+        verdict = forecast;
+      }
+    }
+  }
+  types_[path] = verdict.type;
+
+  switch (verdict.type) {
+    case judge::DataType::kHot: {
+      if (info.erasure_coded) {
+        // Re-warmed cold data: decode first (urgent, like increases).
+        ++stats_.decodes;
+        submit_change(path, "decode", std::max(default_rep, verdict.optimal_replication),
+                      condor::JobClass::kImmediate, kPriorityUrgent);
+        break;
+      }
+      if (verdict.optimal_replication > info.replication) {
+        ++stats_.hot_promotions;
+        if (log_.enabled(util::LogLevel::kInfo)) {
+          log_.log(util::LogLevel::kInfo, "erms",
+                   path + " hot (rule " + std::to_string(verdict.rule) + "), rep " +
+                       std::to_string(info.replication) + " -> " +
+                       std::to_string(verdict.optimal_replication));
+        }
+        submit_change(path, "increase_replication", verdict.optimal_replication,
+                      condor::JobClass::kImmediate, kPriorityUrgent);
+      }
+      break;
+    }
+    case judge::DataType::kCooled: {
+      if (info.replication > default_rep) {
+        ++stats_.cooldowns;
+        submit_change(path, "decrease_replication", default_rep,
+                      condor::JobClass::kWhenIdle, kPriorityBackground);
+      }
+      break;
+    }
+    case judge::DataType::kCold: {
+      if (!info.erasure_coded) {
+        ++stats_.encodes;
+        submit_change(path, "encode", 1, condor::JobClass::kWhenIdle, kPriorityBackground);
+      }
+      break;
+    }
+    case judge::DataType::kNormal:
+      break;
+  }
+}
+
+void ErmsManager::check_node_overload() {
+  // Formula (4): Σ_i N_bi·r_bi > τ_DN on a node → raise the replication of
+  // the file contributing the most accesses to that node.
+  for (const auto& [dn, count] : feed_.node_accesses()) {
+    if (!judge_.node_overloaded(static_cast<double>(count))) {
+      continue;
+    }
+    const auto per_file = feed_.file_accesses_on_node(dn);
+    std::string worst_path;
+    std::uint64_t worst = 0;
+    for (const auto& [path, n] : per_file) {
+      if (n > worst && !action_in_flight(path)) {
+        worst = n;
+        worst_path = path;
+      }
+    }
+    if (worst_path.empty()) {
+      continue;
+    }
+    const hdfs::FileInfo* info = cluster_.metadata().find_path(worst_path);
+    if (info == nullptr || info->erasure_coded ||
+        info->replication >= config_.max_replication) {
+      continue;
+    }
+    ++stats_.overload_promotions;
+    submit_change(worst_path, "increase_replication", info->replication + 1,
+                  condor::JobClass::kImmediate, kPriorityUrgent);
+  }
+}
+
+void ErmsManager::evaluate() {
+  ++stats_.evaluations;
+  const sim::SimTime now = cluster_.simulation().now();
+  feed_.advance_to(now);
+
+  for (const hdfs::FileId file : cluster_.metadata().file_ids()) {
+    const hdfs::FileInfo* info = cluster_.metadata().find(file);
+    if (info != nullptr) {
+      evaluate_file(*info);
+    }
+  }
+  check_node_overload();
+  advertise_nodes();
+}
+
+}  // namespace erms::core

@@ -1,0 +1,99 @@
+#include "core/standby.h"
+
+#include <map>
+#include <memory>
+
+namespace erms::core {
+
+StandbyManager::StandbyManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> standby_pool)
+    : cluster_(cluster), pool_(standby_pool.begin(), standby_pool.end()) {
+  // Pool nodes start powered down.
+  for (const hdfs::NodeId n : pool_) {
+    if (cluster_.node(n).state == hdfs::NodeState::kActive &&
+        cluster_.node(n).blocks.empty()) {
+      cluster_.set_standby(n);
+    }
+  }
+}
+
+std::size_t StandbyManager::commissioned_count() const {
+  std::size_t n = 0;
+  for (const hdfs::NodeId id : pool_) {
+    const hdfs::NodeState s = cluster_.node(id).state;
+    n += (s == hdfs::NodeState::kActive) ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t StandbyManager::standby_count() const {
+  std::size_t n = 0;
+  for (const hdfs::NodeId id : pool_) {
+    n += (cluster_.node(id).state == hdfs::NodeState::kStandby) ? 1 : 0;
+  }
+  return n;
+}
+
+void StandbyManager::ensure_commissioned(std::size_t want, std::function<void()> ready) {
+  std::size_t serving_or_booting = 0;
+  std::map<std::uint32_t, std::vector<hdfs::NodeId>> by_rack;
+  std::size_t candidate_count = 0;
+  for (const hdfs::NodeId id : pool_) {
+    const hdfs::NodeState s = cluster_.node(id).state;
+    if (s == hdfs::NodeState::kActive || s == hdfs::NodeState::kCommissioning) {
+      ++serving_or_booting;
+    } else if (s == hdfs::NodeState::kStandby) {
+      by_rack[cluster_.rack_of(id).value()].push_back(id);
+      ++candidate_count;
+    }
+  }
+  // Interleave racks so commissioned standby capacity is rack-balanced (the
+  // model keeps both node classes "distributed in different racks", §III.B).
+  std::vector<hdfs::NodeId> candidates;
+  candidates.reserve(candidate_count);
+  for (std::size_t i = 0; candidates.size() < candidate_count; ++i) {
+    for (auto& [rack, nodes] : by_rack) {
+      if (i < nodes.size()) {
+        candidates.push_back(nodes[i]);
+      }
+    }
+  }
+  std::size_t to_start = want > serving_or_booting ? want - serving_or_booting : 0;
+  to_start = std::min(to_start, candidates.size());
+
+  if (to_start == 0) {
+    if (ready) {
+      if (serving_or_booting >= want || candidates.empty()) {
+        // Either satisfied already, or the pool simply cannot grow further.
+        cluster_.simulation().schedule_after(sim::micros(0), std::move(ready));
+      }
+    }
+    return;
+  }
+
+  auto remaining = std::make_shared<std::size_t>(to_start);
+  for (std::size_t i = 0; i < to_start; ++i) {
+    ++commissions_;
+    cluster_.commission(candidates[i], [remaining, ready] {
+      if (--*remaining == 0 && ready) {
+        ready();
+      }
+    });
+  }
+}
+
+std::size_t StandbyManager::power_down_drained() {
+  std::size_t count = 0;
+  for (const hdfs::NodeId id : pool_) {
+    const hdfs::DataNode& node = cluster_.node(id);
+    if (node.state == hdfs::NodeState::kActive && node.blocks.empty() &&
+        node.active_sessions == 0) {
+      if (cluster_.return_to_standby(id)) {
+        ++power_downs_;
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace erms::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "hdfs/cluster.h"
+
+namespace erms::core {
+
+/// Manages the standby half of the active/standby storage model (§III.B):
+/// powers standby nodes up when hot data needs extra replica capacity, and
+/// powers drained nodes back down "for energy saving" once their extra
+/// replicas are deleted.
+class StandbyManager {
+ public:
+  StandbyManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> standby_pool);
+
+  [[nodiscard]] const std::set<hdfs::NodeId>& pool() const { return pool_; }
+  [[nodiscard]] bool in_pool(hdfs::NodeId node) const { return pool_.contains(node); }
+
+  /// Pool nodes currently serving (commissioned and active).
+  [[nodiscard]] std::size_t commissioned_count() const;
+  /// Pool nodes powered down.
+  [[nodiscard]] std::size_t standby_count() const;
+
+  /// Commission pool nodes until at least `want` are serving (bounded by
+  /// pool size). `ready` fires once that many are up — immediately if they
+  /// already are.
+  void ensure_commissioned(std::size_t want, std::function<void()> ready = nullptr);
+
+  /// Power down every drained (block-free, active) pool node. Returns how
+  /// many nodes were powered down.
+  std::size_t power_down_drained();
+
+  [[nodiscard]] std::uint64_t commissions() const { return commissions_; }
+  [[nodiscard]] std::uint64_t power_downs() const { return power_downs_; }
+
+ private:
+  hdfs::Cluster& cluster_;
+  std::set<hdfs::NodeId> pool_;
+  std::uint64_t commissions_{0};
+  std::uint64_t power_downs_{0};
+};
+
+}  // namespace erms::core

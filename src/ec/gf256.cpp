@@ -1,0 +1,69 @@
+#include "ec/gf256.h"
+
+#include <cassert>
+
+namespace erms::ec {
+
+GF256::Tables::Tables() {
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp[i] = static_cast<Elem>(x);
+    log[x] = i;
+    x <<= 1;
+    if (x & 0x100u) {
+      x ^= kPoly;
+    }
+  }
+  for (unsigned i = 255; i < 512; ++i) {
+    exp[i] = exp[i - 255];
+  }
+  log[0] = 0;  // never read; log(0) is a precondition violation
+}
+
+const GF256::Tables& GF256::tables() {
+  static const Tables t;
+  return t;
+}
+
+GF256::Elem GF256::mul(Elem a, Elem b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+GF256::Elem GF256::div(Elem a, Elem b) {
+  assert(b != 0);
+  if (a == 0) {
+    return 0;
+  }
+  const Tables& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+GF256::Elem GF256::inv(Elem a) {
+  assert(a != 0);
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+GF256::Elem GF256::pow(Elem a, unsigned n) {
+  if (n == 0) {
+    return 1;
+  }
+  if (a == 0) {
+    return 0;
+  }
+  const Tables& t = tables();
+  return t.exp[(t.log[a] * n) % 255];
+}
+
+GF256::Elem GF256::exp(unsigned n) { return tables().exp[n % 255]; }
+
+unsigned GF256::log(Elem a) {
+  assert(a != 0);
+  return tables().log[a];
+}
+
+}  // namespace erms::ec

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace erms::ec {
+
+/// Arithmetic in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11d is
+/// the Rijndael-compatible 0x11b alternative; we use 0x11d, the polynomial
+/// used by most storage RS implementations, with generator 2).
+/// Multiplication/division go through log/exp tables built at static init.
+class GF256 {
+ public:
+  using Elem = std::uint8_t;
+
+  static constexpr unsigned kPoly = 0x11d;
+  static constexpr unsigned kFieldSize = 256;
+
+  /// Addition and subtraction are both XOR in a characteristic-2 field.
+  static constexpr Elem add(Elem a, Elem b) { return a ^ b; }
+  static constexpr Elem sub(Elem a, Elem b) { return a ^ b; }
+
+  static Elem mul(Elem a, Elem b);
+
+  /// Division a/b. Precondition: b != 0.
+  static Elem div(Elem a, Elem b);
+
+  /// Multiplicative inverse. Precondition: a != 0.
+  static Elem inv(Elem a);
+
+  /// a^n for n >= 0 (0^0 == 1 by convention).
+  static Elem pow(Elem a, unsigned n);
+
+  /// The generator element (2) raised to `n` — convenient for building
+  /// Vandermonde matrices.
+  static Elem exp(unsigned n);
+
+  /// Discrete log base 2. Precondition: a != 0.
+  static unsigned log(Elem a);
+
+ private:
+  struct Tables {
+    std::array<Elem, 512> exp;   // doubled so mul can skip a modulo
+    std::array<unsigned, 256> log;
+    Tables();
+  };
+  static const Tables& tables();
+};
+
+}  // namespace erms::ec

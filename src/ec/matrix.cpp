@@ -1,0 +1,107 @@
+#include "ec/matrix.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace erms::ec {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("Matrix: zero dimension");
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.set(i, i, 1);
+  }
+  return m;
+}
+
+Matrix Matrix::vandermonde(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const GF256::Elem base = GF256::exp(static_cast<unsigned>(r));
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.set(r, c, GF256::pow(base, static_cast<unsigned>(c)));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const GF256::Elem a = at(r, k);
+      if (a == 0) {
+        continue;
+      }
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out.set(r, c, GF256::add(out.at(r, c), GF256::mul(a, rhs.at(k, c))));
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  assert(rows_ == cols_);
+  const std::size_t n = rows_;
+  Matrix work = *this;
+  Matrix inv = Matrix::identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) {
+      ++pivot;
+    }
+    if (pivot == n) {
+      return std::nullopt;  // singular
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.data_[pivot * n + c], work.data_[col * n + c]);
+        std::swap(inv.data_[pivot * n + c], inv.data_[col * n + c]);
+      }
+    }
+    // Normalise the pivot row.
+    const GF256::Elem d = work.at(col, col);
+    const GF256::Elem dinv = GF256::inv(d);
+    for (std::size_t c = 0; c < n; ++c) {
+      work.set(col, c, GF256::mul(work.at(col, c), dinv));
+      inv.set(col, c, GF256::mul(inv.at(col, c), dinv));
+    }
+    // Eliminate the column from all other rows.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const GF256::Elem f = work.at(r, col);
+      if (f == 0) {
+        continue;
+      }
+      for (std::size_t c = 0; c < n; ++c) {
+        work.set(r, c, GF256::sub(work.at(r, c), GF256::mul(f, work.at(col, c))));
+        inv.set(r, c, GF256::sub(inv.at(r, c), GF256::mul(f, inv.at(col, c))));
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i] < rows_);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.set(i, c, at(rows[i], c));
+    }
+  }
+  return out;
+}
+
+}  // namespace erms::ec

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ec/gf256.h"
+
+namespace erms::ec {
+
+/// Dense matrix over GF(2^8). Small (k+m ≤ tens), so a simple row-major
+/// vector is the right representation.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] GF256::Elem at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  void set(std::size_t r, std::size_t c, GF256::Elem v) { data_[r * cols_ + c] = v; }
+
+  [[nodiscard]] const GF256::Elem* row(std::size_t r) const { return &data_[r * cols_]; }
+
+  static Matrix identity(std::size_t n);
+
+  /// Vandermonde matrix V[r][c] = (generator^r)^c — any square submatrix of
+  /// rows is invertible, which is what Reed–Solomon needs.
+  static Matrix vandermonde(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+
+  /// Gauss–Jordan inverse; nullopt if singular. Precondition: square.
+  [[nodiscard]] std::optional<Matrix> inverted() const;
+
+  /// New matrix made of the given rows of this one, in order.
+  [[nodiscard]] Matrix select_rows(const std::vector<std::size_t>& rows) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<GF256::Elem> data_;
+};
+
+}  // namespace erms::ec

@@ -1,0 +1,165 @@
+#include "ec/reed_solomon.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace erms::ec {
+
+ReedSolomon::ReedSolomon(std::size_t data_shards, std::size_t parity_shards)
+    : k_(data_shards), m_(parity_shards), encode_matrix_(1, 1) {
+  if (k_ == 0 || m_ == 0 || k_ + m_ > 255) {
+    throw std::invalid_argument("ReedSolomon: need 1<=k, 1<=m, k+m<=255");
+  }
+  // Systematic form: E = V * inverse(top k rows of V). The top k rows become
+  // the identity; any k-row submatrix of E stays invertible because E is V
+  // times an invertible matrix.
+  const Matrix v = Matrix::vandermonde(k_ + m_, k_);
+  std::vector<std::size_t> top(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    top[i] = i;
+  }
+  const auto top_inv = v.select_rows(top).inverted();
+  assert(top_inv.has_value());  // Vandermonde rows with distinct points
+  encode_matrix_ = v.multiply(*top_inv);
+}
+
+void ReedSolomon::check_shard_sizes(const std::vector<Shard>& shards,
+                                    std::size_t expect_count) const {
+  if (shards.size() != expect_count) {
+    throw std::invalid_argument("ReedSolomon: wrong shard count");
+  }
+  for (const Shard& s : shards) {
+    if (s.size() != shards.front().size()) {
+      throw std::invalid_argument("ReedSolomon: shards must be equal length");
+    }
+  }
+}
+
+void ReedSolomon::matrix_apply(const Matrix& m, const std::vector<const Shard*>& in,
+                               const std::vector<Shard*>& out) {
+  assert(m.rows() == out.size());
+  assert(m.cols() == in.size());
+  const std::size_t len = in.empty() ? 0 : in.front()->size();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    Shard& dst = *out[r];
+    dst.assign(len, 0);
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const GF256::Elem f = m.at(r, c);
+      if (f == 0) {
+        continue;
+      }
+      const Shard& src = *in[c];
+      if (f == 1) {
+        for (std::size_t i = 0; i < len; ++i) {
+          dst[i] ^= src[i];
+        }
+      } else {
+        for (std::size_t i = 0; i < len; ++i) {
+          dst[i] ^= GF256::mul(f, src[i]);
+        }
+      }
+    }
+  }
+}
+
+std::vector<ReedSolomon::Shard> ReedSolomon::encode(const std::vector<Shard>& data) const {
+  check_shard_sizes(data, k_);
+  // The parity rows are rows k..k+m-1 of the encoding matrix.
+  std::vector<std::size_t> parity_rows(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    parity_rows[i] = k_ + i;
+  }
+  const Matrix pm = encode_matrix_.select_rows(parity_rows);
+
+  std::vector<Shard> parity(m_);
+  std::vector<const Shard*> in(k_);
+  std::vector<Shard*> out(m_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    in[i] = &data[i];
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    out[i] = &parity[i];
+  }
+  matrix_apply(pm, in, out);
+  return parity;
+}
+
+bool ReedSolomon::reconstruct(std::vector<Shard>& shards,
+                              const std::vector<bool>& present) const {
+  if (shards.size() != k_ + m_ || present.size() != k_ + m_) {
+    throw std::invalid_argument("ReedSolomon::reconstruct: wrong shard count");
+  }
+  std::vector<std::size_t> have;
+  for (std::size_t i = 0; i < present.size(); ++i) {
+    if (present[i]) {
+      have.push_back(i);
+    }
+  }
+  if (have.size() < k_) {
+    return false;
+  }
+  have.resize(k_);  // any k present shards suffice
+
+  std::size_t len = shards[have.front()].size();
+  for (const std::size_t i : have) {
+    if (shards[i].size() != len) {
+      throw std::invalid_argument("ReedSolomon::reconstruct: shard length mismatch");
+    }
+  }
+
+  // Rows of the encoding matrix for the shards we have; its inverse maps the
+  // present shards back to the original data shards.
+  const auto inv = encode_matrix_.select_rows(have).inverted();
+  assert(inv.has_value());
+
+  // Recover data shards first.
+  std::vector<const Shard*> in(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    in[i] = &shards[have[i]];
+  }
+  std::vector<Shard> data(k_);
+  std::vector<Shard*> out(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    out[i] = &data[i];
+  }
+  matrix_apply(*inv, in, out);
+
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!present[i]) {
+      shards[i] = data[i];
+    }
+  }
+  // Recompute any missing parity from the (now complete) data shards.
+  bool parity_missing = false;
+  for (std::size_t i = k_; i < k_ + m_; ++i) {
+    parity_missing = parity_missing || !present[i];
+  }
+  if (parity_missing) {
+    std::vector<Shard> data_view(shards.begin(), shards.begin() + static_cast<std::ptrdiff_t>(k_));
+    std::vector<Shard> parity = encode(data_view);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (!present[k_ + i]) {
+        shards[k_ + i] = std::move(parity[i]);
+      }
+    }
+  }
+  return true;
+}
+
+bool ReedSolomon::verify(const std::vector<Shard>& data,
+                         const std::vector<Shard>& parity) const {
+  check_shard_sizes(data, k_);
+  if (parity.size() != m_) {
+    return false;
+  }
+  const std::vector<Shard> expect = encode(data);
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (parity[i] != expect[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace erms::ec

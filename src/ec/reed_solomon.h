@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ec/matrix.h"
+
+namespace erms::ec {
+
+/// Systematic Reed–Solomon erasure code over GF(2^8): k data shards, m
+/// parity shards; any k of the k+m shards reconstruct the rest. The paper's
+/// ERMS encodes cold files with k data blocks and m=4 parities at
+/// replication factor 1 (§IV.B).
+///
+/// The encoding matrix is a Vandermonde matrix row-reduced so its top k×k is
+/// the identity (systematic form). Every k-row submatrix remains invertible,
+/// which is the property decoding relies on.
+class ReedSolomon {
+ public:
+  using Shard = std::vector<std::uint8_t>;
+
+  /// Requires 1 <= k, 1 <= m, k + m <= 255 (distinct field points).
+  ReedSolomon(std::size_t data_shards, std::size_t parity_shards);
+
+  [[nodiscard]] std::size_t data_shards() const { return k_; }
+  [[nodiscard]] std::size_t parity_shards() const { return m_; }
+  [[nodiscard]] std::size_t total_shards() const { return k_ + m_; }
+
+  /// Compute the m parity shards for k equal-length data shards.
+  [[nodiscard]] std::vector<Shard> encode(const std::vector<Shard>& data) const;
+
+  /// Reconstruct missing shards in place. `shards` has k+m entries (data
+  /// first, then parity); `present[i]` says whether shards[i] holds valid
+  /// data. Missing shards may be empty vectors; they are resized and filled.
+  /// Returns false if fewer than k shards are present.
+  bool reconstruct(std::vector<Shard>& shards, const std::vector<bool>& present) const;
+
+  /// True if the parity shards are consistent with the data shards.
+  [[nodiscard]] bool verify(const std::vector<Shard>& data,
+                            const std::vector<Shard>& parity) const;
+
+  /// The full (k+m)×k encoding matrix (identity on top).
+  [[nodiscard]] const Matrix& encoding_matrix() const { return encode_matrix_; }
+
+ private:
+  void check_shard_sizes(const std::vector<Shard>& shards, std::size_t expect_count) const;
+
+  /// out[r] += sum_c matrix[r][c] * in[c], for byte vectors.
+  static void matrix_apply(const Matrix& m, const std::vector<const Shard*>& in,
+                           const std::vector<Shard*>& out);
+
+  std::size_t k_;
+  std::size_t m_;
+  Matrix encode_matrix_;  // (k+m) x k, systematic
+};
+
+}  // namespace erms::ec

@@ -1,0 +1,48 @@
+#include "ec/stripe_codec.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace erms::ec {
+
+StripeCodec::Stripe StripeCodec::encode(const std::vector<std::uint8_t>& bytes) const {
+  const std::size_t k = rs_.data_shards();
+  const std::size_t shard_len = bytes.empty() ? 1 : (bytes.size() + k - 1) / k;
+
+  Stripe stripe;
+  stripe.original_size = bytes.size();
+  stripe.shards.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    stripe.shards[i].assign(shard_len, 0);
+    const std::size_t begin = i * shard_len;
+    if (begin < bytes.size()) {
+      const std::size_t n = std::min(shard_len, bytes.size() - begin);
+      std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(begin), n,
+                  stripe.shards[i].begin());
+    }
+  }
+  std::vector<ReedSolomon::Shard> parity = rs_.encode(stripe.shards);
+  for (auto& p : parity) {
+    stripe.shards.push_back(std::move(p));
+  }
+  return stripe;
+}
+
+bool StripeCodec::decode(Stripe& stripe, const std::vector<bool>& present,
+                         std::vector<std::uint8_t>& out) const {
+  if (!rs_.reconstruct(stripe.shards, present)) {
+    return false;
+  }
+  out.clear();
+  out.reserve(stripe.original_size);
+  const std::size_t k = rs_.data_shards();
+  for (std::size_t i = 0; i < k && out.size() < stripe.original_size; ++i) {
+    const auto& shard = stripe.shards[i];
+    const std::size_t n =
+        std::min(shard.size(), static_cast<std::size_t>(stripe.original_size) - out.size());
+    out.insert(out.end(), shard.begin(), shard.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return true;
+}
+
+}  // namespace erms::ec

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ec/reed_solomon.h"
+
+namespace erms::ec {
+
+/// File-level striping on top of ReedSolomon: splits a byte buffer into k
+/// equal shards (zero-padded), computes m parities, and can rebuild the file
+/// from any k surviving shards. This mirrors what HDFS-RAID does to a block
+/// group when ERMS demotes a cold file.
+class StripeCodec {
+ public:
+  StripeCodec(std::size_t data_shards, std::size_t parity_shards)
+      : rs_(data_shards, parity_shards) {}
+
+  struct Stripe {
+    std::vector<ReedSolomon::Shard> shards;  // k data shards then m parity
+    std::uint64_t original_size{0};
+  };
+
+  /// Split + encode. The shard length is ceil(size/k), zero-padded.
+  [[nodiscard]] Stripe encode(const std::vector<std::uint8_t>& bytes) const;
+
+  /// Rebuild the original bytes. `present[i]` marks surviving shards; missing
+  /// shards in `stripe.shards` may be empty. Returns false if fewer than k
+  /// shards survive.
+  bool decode(Stripe& stripe, const std::vector<bool>& present,
+              std::vector<std::uint8_t>& out) const;
+
+  [[nodiscard]] const ReedSolomon& code() const { return rs_; }
+
+  /// Storage used by the stripe (all shards) vs. by `r` full replicas — the
+  /// overhead comparison the paper's Fig. 5 makes.
+  [[nodiscard]] static double storage_ratio(std::size_t k, std::size_t m, std::size_t replicas) {
+    return (static_cast<double>(k + m) / static_cast<double>(k)) /
+           static_cast<double>(replicas);
+  }
+
+ private:
+  ReedSolomon rs_;
+};
+
+}  // namespace erms::ec

@@ -1,0 +1,167 @@
+#include "hdfs/balancer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+
+namespace erms::hdfs {
+
+double Balancer::utilization(NodeId node) const {
+  const DataNode& dn = cluster_.node(node);
+  if (dn.config.capacity_bytes == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(dn.used_bytes) / static_cast<double>(dn.config.capacity_bytes);
+}
+
+double Balancer::mean_utilization() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const NodeId n : cluster_.nodes()) {
+    if (cluster_.is_serving(n)) {
+      sum += utilization(n);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+bool Balancer::is_balanced() const {
+  const double mean = mean_utilization();
+  for (const NodeId n : cluster_.nodes()) {
+    if (cluster_.is_serving(n) && std::abs(utilization(n) - mean) > config_.threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Balancer::Move> Balancer::plan_move() const {
+  const double mean = mean_utilization();
+
+  // Most over-utilised serving node beyond the threshold band.
+  std::optional<NodeId> source;
+  double worst = mean + config_.threshold;
+  for (const NodeId n : cluster_.nodes()) {
+    if (cluster_.is_serving(n) && utilization(n) > worst) {
+      worst = utilization(n);
+      source = n;
+    }
+  }
+  if (!source) {
+    return std::nullopt;
+  }
+
+  // Largest movable block on the source (skip blocks already being moved).
+  const DataNode& src = cluster_.node(*source);
+  std::vector<BlockId> blocks(src.blocks.begin(), src.blocks.end());
+  std::sort(blocks.begin(), blocks.end());  // determinism over the hash set
+  std::optional<Move> best;
+  std::uint64_t best_size = 0;
+  for (const BlockId b : blocks) {
+    if (pending_blocks_.contains(b)) {
+      continue;
+    }
+    const BlockInfo* info = cluster_.metadata().find_block(b);
+    if (info == nullptr || info->size <= best_size) {
+      continue;
+    }
+    // Best under-utilised target that keeps replica invariants.
+    std::optional<NodeId> target;
+    double lightest = std::numeric_limits<double>::infinity();
+    for (const NodeId t : cluster_.nodes()) {
+      if (!cluster_.is_serving(t) || t == *source || cluster_.node_has_block(t, b)) {
+        continue;
+      }
+      const DataNode& dn = cluster_.node(t);
+      if (dn.used_bytes + info->size > dn.config.capacity_bytes) {
+        continue;
+      }
+      const double u = utilization(t);
+      if (u >= utilization(*source) - config_.threshold) {
+        continue;  // would not reduce the imbalance
+      }
+      // Rack-spread invariant: do not collapse a multi-rack block onto one
+      // rack.
+      std::set<std::uint32_t> racks_after;
+      for (const NodeId loc : cluster_.locations(b)) {
+        if (loc != *source) {
+          racks_after.insert(cluster_.rack_of(loc).value());
+        }
+      }
+      racks_after.insert(cluster_.rack_of(t).value());
+      std::set<std::uint32_t> racks_before;
+      for (const NodeId loc : cluster_.locations(b)) {
+        racks_before.insert(cluster_.rack_of(loc).value());
+      }
+      if (racks_before.size() >= 2 && racks_after.size() < 2) {
+        continue;
+      }
+      if (u < lightest) {
+        lightest = u;
+        target = t;
+      }
+    }
+    if (target) {
+      best = Move{b, *source, *target};
+      best_size = info->size;
+    }
+  }
+  return best;
+}
+
+void Balancer::run(std::function<void(const Report&)> done) {
+  assert(!running_ && "one balancer run at a time");
+  running_ = true;
+  draining_ = false;
+  done_ = std::move(done);
+  report_ = Report{};
+  started_ = cluster_.simulation().now();
+  pending_blocks_.clear();
+  pump();
+}
+
+void Balancer::pump() {
+  if (!running_) {
+    return;
+  }
+  while (in_flight_ < config_.max_concurrent_moves && report_.moves < config_.max_moves &&
+         !draining_) {
+    const auto move = plan_move();
+    if (!move) {
+      draining_ = true;
+      break;
+    }
+    const BlockInfo* info = cluster_.metadata().find_block(move->block);
+    ++in_flight_;
+    ++report_.moves;
+    report_.bytes_moved += info != nullptr ? info->size : 0;
+    pending_blocks_.insert(move->block);
+    cluster_.move_replica(move->block, move->source, move->target,
+                          [this, block = move->block](bool) {
+                            pending_blocks_.erase(block);
+                            assert(in_flight_ > 0);
+                            --in_flight_;
+                            draining_ = false;
+                            pump();
+                          });
+  }
+  if (in_flight_ == 0) {
+    finish();
+  }
+}
+
+void Balancer::finish() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  report_.elapsed = cluster_.simulation().now() - started_;
+  report_.balanced = is_balanced();
+  if (done_) {
+    done_(report_);
+  }
+}
+
+}  // namespace erms::hdfs

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "hdfs/cluster.h"
+
+namespace erms::hdfs {
+
+/// The HDFS balancer: iteratively moves block replicas from over-utilised
+/// to under-utilised datanodes until every serving node's utilisation is
+/// within `threshold` of the cluster mean. The paper's Algorithm 1 is
+/// designed so ERMS "does not need to re-balance when increasing and
+/// decreasing the replication factor" — this component exists to quantify
+/// what that avoidance saves ("it takes considerable time and bandwidth",
+/// §III.B).
+class Balancer {
+ public:
+  struct Config {
+    /// Allowed deviation of per-node utilisation from the mean (fraction of
+    /// capacity), like the balancer's -threshold flag (default 10%).
+    double threshold = 0.10;
+    /// Upper bound on concurrent move streams.
+    std::uint32_t max_concurrent_moves = 4;
+    /// Safety cap on total moves per run.
+    std::size_t max_moves = 10'000;
+  };
+
+  struct Report {
+    std::size_t moves{0};
+    std::uint64_t bytes_moved{0};
+    sim::SimDuration elapsed{};
+    bool balanced{false};  // within threshold when the run ended
+  };
+
+  Balancer(Cluster& cluster, Config config) : cluster_(cluster), config_(config) {}
+  explicit Balancer(Cluster& cluster) : Balancer(cluster, Config{}) {}
+
+  /// True if every serving node is within threshold of the mean utilisation.
+  [[nodiscard]] bool is_balanced() const;
+
+  /// Utilisation (used/capacity) of one node.
+  [[nodiscard]] double utilization(NodeId node) const;
+
+  /// Mean utilisation over serving nodes.
+  [[nodiscard]] double mean_utilization() const;
+
+  /// Run to completion (asynchronously on the simulation clock); `done`
+  /// receives the report. Only one run at a time.
+  void run(std::function<void(const Report&)> done);
+
+ private:
+  struct Move {
+    BlockId block;
+    NodeId source;
+    NodeId target;
+  };
+
+  /// Plan the single best next move: the most over-utilised node sheds a
+  /// block to the most under-utilised eligible node (replica invariants are
+  /// preserved: target must not already hold the block, and rack spread may
+  /// not collapse to a single rack).
+  [[nodiscard]] std::optional<Move> plan_move() const;
+
+  void pump();
+  void finish();
+
+  Cluster& cluster_;
+  Config config_;
+  std::function<void(const Report&)> done_;
+  Report report_;
+  sim::SimTime started_;
+  std::set<BlockId> pending_blocks_;
+  std::uint32_t in_flight_{0};
+  bool running_{false};
+  bool draining_{false};
+};
+
+}  // namespace erms::hdfs

@@ -1,0 +1,61 @@
+#include "hdfs/block_scanner.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace erms::hdfs {
+
+BlockScanner::BlockScanner(Cluster& cluster, Config config)
+    : cluster_(cluster), config_(config) {}
+
+void BlockScanner::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  round_handle_ =
+      cluster_.simulation().schedule_after(config_.round_interval, [this] { round(); });
+}
+
+void BlockScanner::stop() {
+  running_ = false;
+  round_handle_.cancel();
+}
+
+void BlockScanner::round() {
+  if (!running_) {
+    return;
+  }
+  for (const NodeId n : cluster_.nodes()) {
+    if (!cluster_.is_serving(n)) {
+      continue;
+    }
+    // Deterministic order over the node's (hashed) block set.
+    const DataNode& node = cluster_.node(n);
+    std::vector<BlockId> blocks(node.blocks.begin(), node.blocks.end());
+    std::sort(blocks.begin(), blocks.end());
+    if (blocks.empty()) {
+      continue;
+    }
+    std::size_t& cur = cursor_[n];
+    std::vector<BlockId> corrupt;
+    for (std::size_t i = 0; i < config_.blocks_per_round && i < blocks.size(); ++i) {
+      const BlockId b = blocks[(cur + i) % blocks.size()];
+      ++replicas_scanned_;
+      if (cluster_.is_corrupt(b, n)) {
+        corrupt.push_back(b);
+      }
+    }
+    cur = (cur + config_.blocks_per_round) % blocks.size();
+    // Report after the sweep (mutating the block set mid-iteration would
+    // invalidate the cursor arithmetic).
+    for (const BlockId b : corrupt) {
+      ++corruptions_found_;
+      cluster_.report_corrupt_replica(b, n);
+    }
+  }
+  round_handle_ =
+      cluster_.simulation().schedule_after(config_.round_interval, [this] { round(); });
+}
+
+}  // namespace erms::hdfs

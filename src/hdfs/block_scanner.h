@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hdfs/cluster.h"
+
+namespace erms::hdfs {
+
+/// The datanode block scanner: a low-rate background sweep that verifies
+/// replica checksums so silent corruption is found *before* a client reads
+/// it (HDFS's DataBlockScanner; default three-week scan period, shortened
+/// here to simulated minutes). Found corruption is handled like a failed
+/// read checksum: the replica is dropped and re-replicated from a clean
+/// copy.
+class BlockScanner {
+ public:
+  struct Config {
+    /// Time between scan rounds; each round verifies `blocks_per_round`
+    /// replicas per datanode, oldest-unverified first (approximated here by
+    /// round-robin over each node's block set).
+    sim::SimDuration round_interval = sim::seconds(30.0);
+    std::size_t blocks_per_round = 8;
+  };
+
+  BlockScanner(Cluster& cluster, Config config);
+  explicit BlockScanner(Cluster& cluster) : BlockScanner(cluster, Config{}) {}
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t replicas_scanned() const { return replicas_scanned_; }
+  [[nodiscard]] std::uint64_t corruptions_found() const { return corruptions_found_; }
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void round();
+
+  Cluster& cluster_;
+  Config config_;
+  /// Per-node scan cursor (index into the sorted block list).
+  std::unordered_map<NodeId, std::size_t> cursor_;
+  std::uint64_t replicas_scanned_{0};
+  std::uint64_t corruptions_found_{0};
+  bool running_{false};
+  sim::EventHandle round_handle_;
+};
+
+}  // namespace erms::hdfs

@@ -1,0 +1,1208 @@
+#include "hdfs/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+
+namespace erms::hdfs {
+
+namespace {
+
+/// Worst-of for aggregating per-block locality into a file-level figure.
+ReadLocality worse(ReadLocality a, ReadLocality b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+double watts_of(const DataNode& node) {
+  switch (node.state) {
+    case NodeState::kStandby:
+      return node.config.standby_watts;
+    case NodeState::kDead:
+      return 0.0;
+    case NodeState::kActive:
+    case NodeState::kCommissioning:
+    case NodeState::kDecommissioning:
+      return node.config.active_watts;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Cluster::Cluster(sim::Simulation& simulation, const Topology& topology, ClusterConfig config,
+                 util::Logger& logger)
+    : sim_(simulation),
+      config_(config),
+      log_(logger),
+      rng_(config.seed),
+      network_(simulation,
+               [&topology, &config] {
+                 net::FabricSpec spec;
+                 spec.rack_count = topology.rack_count();
+                 spec.rack_uplink_bw = config.rack_uplink_bw;
+                 for (const NodeId n : topology.nodes()) {
+                   net::FabricSpec::Node node;
+                   node.rack = topology.rack_of(n).value();
+                   node.nic_bw = topology.config_of(n).nic_bw;
+                   node.disk_bw = topology.config_of(n).disk_bw;
+                   spec.nodes.push_back(node);
+                 }
+                 return spec;
+               }()),
+      placement_(std::make_shared<DefaultPlacementPolicy>()) {
+  for (const NodeId n : topology.nodes()) {
+    DataNode node;
+    node.id = n;
+    node.rack = topology.rack_of(n);
+    node.config = topology.config_of(n);
+    node.state = NodeState::kActive;
+    node.last_energy_update = sim_.now();
+    nodes_.push_back(std::move(node));
+  }
+}
+
+// ----- nodes ---------------------------------------------------------------
+
+std::vector<NodeId> Cluster::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const DataNode& n : nodes_) {
+    out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Cluster::nodes_in_state(NodeState state) const {
+  std::vector<NodeId> out;
+  for (const DataNode& n : nodes_) {
+    if (n.state == state) {
+      out.push_back(n.id);
+    }
+  }
+  return out;
+}
+
+bool Cluster::is_serving(NodeId id) const {
+  const NodeState s = nodes_[id.value()].state;
+  return s == NodeState::kActive || s == NodeState::kDecommissioning;
+}
+
+void Cluster::update_energy(DataNode& node) {
+  const double elapsed = (sim_.now() - node.last_energy_update).seconds();
+  node.energy_joules += watts_of(node) * elapsed;
+  node.last_energy_update = sim_.now();
+}
+
+void Cluster::set_node_state(NodeId id, NodeState state) {
+  DataNode& node = node_mutable(id);
+  update_energy(node);
+  node.state = state;
+}
+
+void Cluster::set_standby(NodeId id) {
+  assert(node(id).blocks.empty() && "standby nodes must hold no blocks");
+  set_node_state(id, NodeState::kStandby);
+}
+
+void Cluster::commission(NodeId id, std::function<void()> on_ready) {
+  DataNode& node = node_mutable(id);
+  if (node.state == NodeState::kActive || node.state == NodeState::kCommissioning) {
+    if (on_ready) {
+      sim_.schedule_after(sim::micros(0), std::move(on_ready));
+    }
+    return;
+  }
+  assert(node.state == NodeState::kStandby);
+  set_node_state(id, NodeState::kCommissioning);
+  sim_.schedule_after(config_.node_startup_delay, [this, id, cb = std::move(on_ready)] {
+    if (node_mutable(id).state == NodeState::kCommissioning) {
+      set_node_state(id, NodeState::kActive);
+      if (log_.enabled(util::LogLevel::kInfo)) {
+        log_.log(util::LogLevel::kInfo, "cluster",
+                 "node " + std::to_string(id.value()) + " commissioned");
+      }
+      if (cb) {
+        cb();
+      }
+    }
+  });
+}
+
+bool Cluster::return_to_standby(NodeId id) {
+  DataNode& node = node_mutable(id);
+  if (!node.blocks.empty() || node.state != NodeState::kActive) {
+    return false;
+  }
+  set_node_state(id, NodeState::kStandby);
+  return true;
+}
+
+void Cluster::decommission(NodeId id, DoneCallback done) {
+  DataNode& node = node_mutable(id);
+  if (node.state != NodeState::kActive) {
+    if (done) {
+      sim_.schedule_after(sim::micros(0), [done] { done(false); });
+    }
+    return;
+  }
+  set_node_state(id, NodeState::kDecommissioning);
+  const std::vector<BlockId> to_move(node.blocks.begin(), node.blocks.end());
+  if (to_move.empty()) {
+    set_node_state(id, NodeState::kStandby);
+    if (done) {
+      sim_.schedule_after(sim::micros(0), [done] { done(true); });
+    }
+    return;
+  }
+
+  auto remaining = std::make_shared<std::size_t>(to_move.size());
+  auto all_ok = std::make_shared<bool>(true);
+  for (const BlockId b : to_move) {
+    queue_background([this, id, b, remaining, all_ok,
+                      done](std::function<void()> finished) {
+      if (!node_has_block(id, b)) {
+        // Re-replication or a concurrent change already freed it.
+        finished();
+        if (--*remaining == 0 && finalize_decommission(id, *all_ok) && done) {
+          done(*all_ok);
+        }
+        return;
+      }
+      const std::vector<NodeId> targets =
+          placement_->choose_targets(*this, b, 1, std::nullopt, rng_);
+      if (targets.empty()) {
+        *all_ok = false;
+        finished();
+        if (--*remaining == 0 && finalize_decommission(id, *all_ok) && done) {
+          done(*all_ok);
+        }
+        return;
+      }
+      move_replica(b, id, targets.front(),
+                   [this, id, remaining, all_ok, done,
+                    finished = std::move(finished)](bool ok) {
+                     *all_ok = *all_ok && ok;
+                     finished();
+                     if (--*remaining == 0 && finalize_decommission(id, *all_ok) &&
+                         done) {
+                       done(*all_ok);
+                     }
+                   });
+    });
+  }
+}
+
+bool Cluster::finalize_decommission(NodeId id, bool drained) {
+  DataNode& node = node_mutable(id);
+  if (node.state != NodeState::kDecommissioning) {
+    return true;  // state changed underneath (e.g. failure); report anyway
+  }
+  if (drained && node.blocks.empty()) {
+    node.active_sessions = 0;
+    set_node_state(id, NodeState::kStandby);
+  }
+  return true;
+}
+
+void Cluster::fail_node(NodeId id) {
+  DataNode& node = node_mutable(id);
+  if (node.state == NodeState::kDead) {
+    return;
+  }
+  set_node_state(id, NodeState::kDead);
+  node.active_sessions = 0;
+  const std::vector<BlockId> lost(node.blocks.begin(), node.blocks.end());
+  for (const BlockId b : lost) {
+    remove_replica(b, id);
+  }
+  // Namenode re-replication monitor: queue recovery for every block that
+  // dropped below its file's target replication.
+  for (const BlockId b : lost) {
+    const BlockInfo* info = namespace_.find_block(b);
+    if (info == nullptr) {
+      continue;
+    }
+    const std::size_t live = locations(b).size();
+    if (live == 0) {
+      const FileInfo* file = namespace_.find(info->file);
+      const bool reconstructible = file != nullptr && file->erasure_coded;
+      if (reconstructible) {
+        queue_reconstruction(b);
+      } else {
+        ++blocks_lost_;
+        if (log_.enabled(util::LogLevel::kWarn)) {
+          log_.log(util::LogLevel::kWarn, "cluster",
+                   "block " + std::to_string(b.value()) + " lost (no replicas, no stripe)");
+        }
+      }
+      continue;
+    }
+    const FileInfo* file = namespace_.find(info->file);
+    const std::uint32_t target = info->is_parity ? 1 : (file != nullptr ? file->replication : 1);
+    if (live < target) {
+      queue_rereplication(b);
+    }
+  }
+}
+
+void Cluster::corrupt_replica(BlockId block, NodeId node) {
+  if (node_has_block(node, block)) {
+    corrupt_replicas_.insert({block, node});
+  }
+}
+
+bool Cluster::is_corrupt(BlockId block, NodeId node) const {
+  return corrupt_replicas_.contains({block, node});
+}
+
+void Cluster::report_corrupt_replica(BlockId block, NodeId node) {
+  if (!is_corrupt(block, node)) {
+    return;
+  }
+  ++corruptions_detected_;
+  remove_replica(block, node);
+  queue_rereplication(block);
+  if (log_.enabled(util::LogLevel::kWarn)) {
+    log_.log(util::LogLevel::kWarn, "cluster",
+             "corrupt replica reported: block " + std::to_string(block.value()) +
+                 " on node " + std::to_string(node.value()));
+  }
+}
+
+// ----- placement -------------------------------------------------------------
+
+void Cluster::set_placement_policy(std::shared_ptr<PlacementPolicy> policy) {
+  assert(policy != nullptr);
+  placement_ = std::move(policy);
+}
+
+// ----- replicas --------------------------------------------------------------
+
+void Cluster::add_replica(BlockId block, NodeId node_id) {
+  std::vector<NodeId>& locs = block_locations_[block];
+  if (std::find(locs.begin(), locs.end(), node_id) != locs.end()) {
+    return;
+  }
+  locs.push_back(node_id);
+  DataNode& node = node_mutable(node_id);
+  node.blocks.insert(block);
+  const BlockInfo* info = namespace_.find_block(block);
+  if (info != nullptr) {
+    node.used_bytes += info->size;
+  }
+}
+
+void Cluster::remove_replica(BlockId block, NodeId node_id) {
+  const auto it = block_locations_.find(block);
+  if (it != block_locations_.end()) {
+    auto& locs = it->second;
+    locs.erase(std::remove(locs.begin(), locs.end(), node_id), locs.end());
+    if (locs.empty()) {
+      block_locations_.erase(it);
+    }
+  }
+  DataNode& node = node_mutable(node_id);
+  if (node.blocks.erase(block) > 0) {
+    const BlockInfo* info = namespace_.find_block(block);
+    if (info != nullptr) {
+      node.used_bytes -= std::min(node.used_bytes, info->size);
+    }
+  }
+  corrupt_replicas_.erase({block, node_id});
+}
+
+std::vector<NodeId> Cluster::locations(BlockId block) const {
+  const auto it = block_locations_.find(block);
+  if (it == block_locations_.end()) {
+    return {};
+  }
+  return it->second;
+}
+
+bool Cluster::node_has_block(NodeId node_id, BlockId block) const {
+  return nodes_[node_id.value()].blocks.contains(block);
+}
+
+std::size_t Cluster::file_blocks_on_node(FileId file, NodeId node_id) const {
+  const FileInfo* info = namespace_.find(file);
+  if (info == nullptr) {
+    return 0;
+  }
+  std::size_t count = 0;
+  const DataNode& node = nodes_[node_id.value()];
+  for (const BlockId b : info->blocks) {
+    count += node.blocks.contains(b) ? 1 : 0;
+  }
+  for (const BlockId b : info->parity_blocks) {
+    count += node.blocks.contains(b) ? 1 : 0;
+  }
+  return count;
+}
+
+bool Cluster::file_available(FileId file) const {
+  const FileInfo* info = namespace_.find(file);
+  if (info == nullptr) {
+    return false;
+  }
+  std::size_t live_shards = 0;
+  std::size_t missing_data = 0;
+  for (const BlockId b : info->blocks) {
+    bool alive = false;
+    for (const NodeId n : locations(b)) {
+      alive = alive || is_serving(n);
+    }
+    if (alive) {
+      ++live_shards;
+    } else {
+      ++missing_data;
+    }
+  }
+  if (missing_data == 0) {
+    return true;
+  }
+  if (!info->erasure_coded) {
+    return false;
+  }
+  for (const BlockId b : info->parity_blocks) {
+    for (const NodeId n : locations(b)) {
+      if (is_serving(n)) {
+        ++live_shards;
+        break;
+      }
+    }
+  }
+  // RS(k, m): any k of k+m shards rebuild the file.
+  return live_shards >= info->blocks.size();
+}
+
+// ----- namespace & data -------------------------------------------------------
+
+std::optional<FileId> Cluster::populate_file(const std::string& path, std::uint64_t size,
+                                             std::optional<std::uint32_t> replication) {
+  const std::uint32_t rep = replication.value_or(config_.default_replication);
+  const auto file = namespace_.create(path, size, config_.block_size, rep);
+  if (!file) {
+    return std::nullopt;
+  }
+  const FileInfo* info = namespace_.find(*file);
+  for (const BlockId b : info->blocks) {
+    const std::vector<NodeId> targets =
+        placement_->choose_targets(*this, b, rep, std::nullopt, rng_);
+    for (const NodeId t : targets) {
+      add_replica(b, t);
+    }
+  }
+  emit_audit("create", path, NodeId{0}, std::nullopt, std::nullopt);
+  return file;
+}
+
+std::optional<FileId> Cluster::write_file(const std::string& path, std::uint64_t size,
+                                          NodeId writer, DoneCallback done,
+                                          std::optional<std::uint32_t> replication) {
+  const std::uint32_t rep = replication.value_or(config_.default_replication);
+  const auto file = namespace_.create(path, size, config_.block_size, rep);
+  if (!file) {
+    if (done) {
+      sim_.schedule_after(sim::micros(0), [done] { done(false); });
+    }
+    return std::nullopt;
+  }
+  emit_audit("create", path, writer, std::nullopt, std::nullopt);
+
+  // Write blocks one after another (HDFS streams a file block by block); a
+  // block completes when every pipeline hop finishes.
+  const FileInfo* info = namespace_.find(*file);
+  auto blocks = std::make_shared<std::vector<BlockId>>(info->blocks);
+  auto write_next = std::make_shared<std::function<void(std::size_t)>>();
+  *write_next = [this, blocks, writer, done, write_next](std::size_t index) {
+    if (index >= blocks->size()) {
+      if (done) {
+        done(true);
+      }
+      return;
+    }
+    const BlockId b = (*blocks)[index];
+    const BlockInfo* binfo = namespace_.find_block(b);
+    const std::vector<NodeId> targets = placement_->choose_targets(
+        *this, b, namespace_.find(binfo->file)->replication, writer, rng_);
+    if (targets.empty()) {
+      if (done) {
+        done(false);
+      }
+      return;
+    }
+    // Pipeline: writer -> t0 -> t1 -> ... Each hop is a flow; the block is
+    // committed when the slowest hop drains.
+    auto remaining = std::make_shared<std::size_t>(targets.size());
+    NodeId hop_src = writer;
+    for (const NodeId t : targets) {
+      net::NetworkModel::FlowOptions opts;
+      opts.src_disk = hop_src != writer;  // the writer streams from memory
+      opts.dst_disk = true;
+      network_.start_flow(hop_src.value(), t.value(), binfo->size, opts,
+                          [this, b, t, remaining, write_next, index](net::FlowId) {
+                            add_replica(b, t);
+                            if (--*remaining == 0) {
+                              (*write_next)(index + 1);
+                            }
+                          });
+      hop_src = t;
+    }
+  };
+  (*write_next)(0);
+  return file;
+}
+
+void Cluster::remove_file(FileId file) {
+  const FileInfo* info = namespace_.find(file);
+  if (info == nullptr) {
+    return;
+  }
+  emit_audit("delete", info->path, NodeId{0}, std::nullopt, std::nullopt);
+  // Free replicas while block sizes are still known, then drop metadata.
+  std::vector<BlockId> blocks = info->blocks;
+  blocks.insert(blocks.end(), info->parity_blocks.begin(), info->parity_blocks.end());
+  for (const BlockId b : blocks) {
+    for (const NodeId n : locations(b)) {
+      remove_replica(b, n);
+    }
+  }
+  namespace_.remove(file);
+}
+
+// ----- reads -------------------------------------------------------------------
+
+std::optional<NodeId> Cluster::pick_read_source(NodeId client, BlockId block) const {
+  const std::vector<NodeId> locs = locations(block);
+  std::optional<NodeId> best;
+  int best_score = std::numeric_limits<int>::max();
+  for (const NodeId n : locs) {
+    if (!is_serving(n)) {
+      continue;
+    }
+    const DataNode& dn = nodes_[n.value()];
+    if (dn.active_sessions >= dn.config.max_sessions) {
+      continue;
+    }
+    // Score: locality dominates, then current load.
+    int score = 0;
+    if (n == client) {
+      score = 0;
+    } else if (rack_of(n) == rack_of(client)) {
+      score = 1000;
+    } else {
+      score = 2000;
+    }
+    score += static_cast<int>(dn.active_sessions);
+    if (score < best_score) {
+      best_score = score;
+      best = n;
+    }
+  }
+  return best;
+}
+
+void Cluster::read_block(NodeId client, BlockId block, ReadCallback callback) {
+  const BlockInfo* info = namespace_.find_block(block);
+  if (info == nullptr) {
+    ReadOutcome out;
+    out.error = ReadError::kNoSuchBlock;
+    sim_.schedule_after(sim::micros(0), [callback, out] { callback(out); });
+    return;
+  }
+  const FileInfo* file = namespace_.find(info->file);
+  const std::optional<NodeId> source = pick_read_source(client, block);
+
+  emit_audit("read", file != nullptr ? file->path : "?", client,
+             block, source, source.has_value());
+
+  if (!source) {
+    // Distinguish "no live replica" from "all replica holders busy".
+    bool any_live = false;
+    for (const NodeId n : locations(block)) {
+      any_live = any_live || is_serving(n);
+    }
+    if (!any_live && file != nullptr && file->erasure_coded && !info->is_parity) {
+      read_block_via_reconstruction(client, *info, std::move(callback));
+      return;
+    }
+    ReadOutcome out;
+    out.error = any_live ? ReadError::kAllBusy : ReadError::kNoReplica;
+    if (any_live) {
+      ++reads_rejected_;
+    }
+    sim_.schedule_after(sim::micros(0), [callback, out] { callback(out); });
+    return;
+  }
+
+  DataNode& server = node_mutable(*source);
+  ++server.active_sessions;
+
+  ReadLocality locality = ReadLocality::kRemote;
+  if (*source == client) {
+    locality = ReadLocality::kNodeLocal;
+  } else if (rack_of(*source) == rack_of(client)) {
+    locality = ReadLocality::kRackLocal;
+  }
+
+  const sim::SimTime start = sim_.now();
+  net::NetworkModel::FlowOptions opts;
+  opts.src_disk = true;
+  opts.dst_disk = false;
+  const NodeId src = *source;
+  const std::uint64_t bytes = info->size;
+  const BlockId bid = block;
+  network_.start_flow(
+      src.value(), client.value(), bytes, opts,
+      [this, src, client, bid, callback, start, bytes, locality](net::FlowId) {
+        DataNode& server = node_mutable(src);
+        if (server.active_sessions > 0) {
+          --server.active_sessions;
+        }
+        // Checksum verification at the client: a corrupt replica is
+        // reported to the namenode, dropped, re-replicated from a clean
+        // copy, and the read transparently retries elsewhere.
+        if (is_corrupt(bid, src)) {
+          ++corruptions_detected_;
+          corrupt_replicas_.erase({bid, src});
+          remove_replica(bid, src);
+          queue_rereplication(bid);
+          if (log_.enabled(util::LogLevel::kWarn)) {
+            log_.log(util::LogLevel::kWarn, "cluster",
+                     "checksum failure: block " + std::to_string(bid.value()) +
+                         " on node " + std::to_string(src.value()));
+          }
+          read_block(client, bid, callback);
+          return;
+        }
+        ++reads_completed_;
+        ReadOutcome out;
+        out.ok = true;
+        out.locality = locality;
+        out.duration = sim_.now() - start;
+        out.bytes = bytes;
+        callback(out);
+      });
+}
+
+void Cluster::read_block_via_reconstruction(NodeId client, const BlockInfo& info,
+                                            ReadCallback callback) {
+  const FileInfo* file = namespace_.find(info.file);
+  assert(file != nullptr);
+  // Gather k live shards from the stripe (other data blocks + parities).
+  std::vector<std::pair<BlockId, NodeId>> shards;
+  const std::size_t k = file->blocks.size();
+  auto consider = [&](BlockId b) {
+    if (b == info.id || shards.size() >= k) {
+      return;
+    }
+    for (const NodeId n : locations(b)) {
+      if (is_serving(n)) {
+        shards.emplace_back(b, n);
+        return;
+      }
+    }
+  };
+  for (const BlockId b : file->blocks) {
+    consider(b);
+  }
+  for (const BlockId b : file->parity_blocks) {
+    consider(b);
+  }
+  if (shards.size() < k) {
+    ReadOutcome out;
+    out.error = ReadError::kNoReplica;
+    sim_.schedule_after(sim::micros(0), [callback, out] { callback(out); });
+    return;
+  }
+  // Degraded read: pull k shards in parallel and reconstruct at the client.
+  const sim::SimTime start = sim_.now();
+  auto remaining = std::make_shared<std::size_t>(shards.size());
+  const std::uint64_t bytes = info.size;
+  for (const auto& [shard_block, shard_node] : shards) {
+    const BlockInfo* sinfo = namespace_.find_block(shard_block);
+    net::NetworkModel::FlowOptions opts;
+    opts.src_disk = true;
+    network_.start_flow(shard_node.value(), client.value(), sinfo->size, opts,
+                        [this, remaining, callback, start, bytes](net::FlowId) {
+                          if (--*remaining > 0) {
+                            return;
+                          }
+                          ++reads_completed_;
+                          ReadOutcome out;
+                          out.ok = true;
+                          out.degraded = true;
+                          out.locality = ReadLocality::kRemote;
+                          out.duration = sim_.now() - start;
+                          out.bytes = bytes;
+                          callback(out);
+                        });
+  }
+}
+
+void Cluster::record_open(NodeId client, FileId file) {
+  const FileInfo* info = namespace_.find(file);
+  if (info != nullptr) {
+    emit_audit("open", info->path, client, std::nullopt, std::nullopt);
+  }
+}
+
+void Cluster::read_file(NodeId client, FileId file, ReadCallback callback) {
+  const FileInfo* info = namespace_.find(file);
+  if (info == nullptr) {
+    ReadOutcome out;
+    out.error = ReadError::kNoSuchBlock;
+    sim_.schedule_after(sim::micros(0), [callback, out] { callback(out); });
+    return;
+  }
+  emit_audit("open", info->path, client, std::nullopt, std::nullopt);
+
+  auto blocks = std::make_shared<std::vector<BlockId>>(info->blocks);
+  auto aggregate = std::make_shared<ReadOutcome>();
+  aggregate->ok = true;
+  aggregate->locality = ReadLocality::kNodeLocal;
+  const sim::SimTime start = sim_.now();
+
+  auto read_next = std::make_shared<std::function<void(std::size_t)>>();
+  *read_next = [this, blocks, client, callback, aggregate, start, read_next](std::size_t i) {
+    if (i >= blocks->size() || !aggregate->ok) {
+      aggregate->duration = sim_.now() - start;
+      callback(*aggregate);
+      return;
+    }
+    read_block(client, (*blocks)[i],
+               [aggregate, read_next, i](const ReadOutcome& out) {
+                 aggregate->ok = aggregate->ok && out.ok;
+                 aggregate->error = out.ok ? aggregate->error : out.error;
+                 aggregate->locality = worse(aggregate->locality, out.locality);
+                 aggregate->degraded = aggregate->degraded || out.degraded;
+                 aggregate->bytes += out.bytes;
+                 (*read_next)(i + 1);
+               });
+  };
+  (*read_next)(0);
+}
+
+// ----- replication management ---------------------------------------------------
+
+void Cluster::queue_background(BackgroundJob job) {
+  background_queue_.push_back(std::move(job));
+  pump_background_queue();
+}
+
+void Cluster::pump_background_queue() {
+  while (background_streams_ < config_.max_background_streams && !background_queue_.empty()) {
+    BackgroundJob job = std::move(background_queue_.front());
+    background_queue_.pop_front();
+    ++background_streams_;
+    job([this] {
+      assert(background_streams_ > 0);
+      --background_streams_;
+      // Defer the pump so a synchronous chain of completions cannot recurse.
+      sim_.schedule_after(sim::micros(0), [this] { pump_background_queue(); });
+    });
+  }
+}
+
+void Cluster::copy_block(BlockId block, std::optional<NodeId> source, NodeId target,
+                         DoneCallback done) {
+  const BlockInfo* info = namespace_.find_block(block);
+  if (info == nullptr || !is_serving(target) || node_has_block(target, block)) {
+    if (done) {
+      done(false);
+    }
+    return;
+  }
+  NodeId src = target;
+  if (source && is_serving(*source)) {
+    src = *source;
+  } else {
+    // Least-loaded live replica: spread transfer sources over every current
+    // holder (including replicas added moments ago), so a direct jump to the
+    // optimal factor fans out instead of draining one disk — this is what
+    // makes "increase directly" beat "one by one" (paper Fig. 7).
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    bool found = false;
+    for (const NodeId n : locations(block)) {
+      if (!is_serving(n)) {
+        continue;
+      }
+      const DataNode& dn = nodes_[n.value()];
+      const std::uint64_t load =
+          static_cast<std::uint64_t>(dn.background_reads) * 1000 + dn.active_sessions;
+      if (load < best) {
+        best = load;
+        src = n;
+        found = true;
+      }
+    }
+    if (!found) {
+      if (done) {
+        done(false);
+      }
+      return;
+    }
+  }
+  ++node_mutable(src).background_reads;
+  net::NetworkModel::FlowOptions opts;
+  opts.src_disk = src != target;
+  opts.dst_disk = true;
+  opts.max_rate = config_.background_bandwidth_cap;
+  network_.start_flow(src.value(), target.value(), info->size, opts,
+                      [this, block, src, target, done](net::FlowId) {
+                        DataNode& source_node = node_mutable(src);
+                        if (source_node.background_reads > 0) {
+                          --source_node.background_reads;
+                        }
+                        // Transfer checksums catch a corrupt source: the
+                        // bad replica is dropped and the copy fails (the
+                        // caller or the re-replication monitor retries from
+                        // a clean replica).
+                        if (is_corrupt(block, src)) {
+                          ++corruptions_detected_;
+                          remove_replica(block, src);
+                          queue_rereplication(block);
+                          if (done) {
+                            done(false);
+                          }
+                          return;
+                        }
+                        if (is_serving(target)) {
+                          add_replica(block, target);
+                          if (done) {
+                            done(true);
+                          }
+                        } else if (done) {
+                          done(false);
+                        }
+                      });
+}
+
+void Cluster::queue_rereplication(BlockId block) {
+  queue_background([this, block](std::function<void()> finished) {
+    const BlockInfo* info = namespace_.find_block(block);
+    if (info == nullptr) {
+      finished();
+      return;
+    }
+    const FileInfo* file = namespace_.find(info->file);
+    const std::uint32_t target_rep =
+        info->is_parity ? 1 : (file != nullptr ? file->replication : 1);
+    if (locations(block).size() >= target_rep) {
+      finished();  // already recovered (e.g. the node came back)
+      return;
+    }
+    const std::vector<NodeId> targets =
+        placement_->choose_targets(*this, block, 1, std::nullopt, rng_);
+    if (targets.empty()) {
+      finished();
+      return;
+    }
+    copy_block(block, std::nullopt, targets.front(),
+               [this, finished = std::move(finished)](bool ok) {
+                 if (ok) {
+                   ++rereplications_completed_;
+                 }
+                 finished();
+               });
+  });
+}
+
+void Cluster::queue_reconstruction(BlockId block) {
+  queue_background([this, block](std::function<void()> finished) {
+    const BlockInfo* info = namespace_.find_block(block);
+    if (info == nullptr) {
+      finished();
+      return;
+    }
+    if (!locations(block).empty()) {
+      finished();
+      return;
+    }
+    const FileInfo* file = namespace_.find(info->file);
+    if (file == nullptr || !file->erasure_coded) {
+      finished();
+      return;
+    }
+    const std::vector<NodeId> targets =
+        placement_->choose_targets(*this, block, 1, std::nullopt, rng_);
+    if (targets.empty()) {
+      finished();
+      return;
+    }
+    const NodeId target = targets.front();
+
+    // Pull k live shards to the target and rebuild there.
+    std::vector<std::pair<BlockId, NodeId>> shards;
+    const std::size_t k = file->blocks.size();
+    auto consider = [&](BlockId b) {
+      if (b == block || shards.size() >= k) {
+        return;
+      }
+      for (const NodeId n : locations(b)) {
+        if (is_serving(n)) {
+          shards.emplace_back(b, n);
+          return;
+        }
+      }
+    };
+    for (const BlockId b : file->blocks) {
+      consider(b);
+    }
+    for (const BlockId b : file->parity_blocks) {
+      consider(b);
+    }
+    if (shards.size() < k) {
+      ++blocks_lost_;
+      finished();
+      return;
+    }
+    auto remaining = std::make_shared<std::size_t>(shards.size());
+    for (const auto& [shard_block, shard_node] : shards) {
+      const BlockInfo* sinfo = namespace_.find_block(shard_block);
+      net::NetworkModel::FlowOptions opts;
+      opts.src_disk = true;
+      opts.dst_disk = true;
+      opts.max_rate = config_.background_bandwidth_cap;
+      network_.start_flow(
+          shard_node.value(), target.value(), sinfo->size, opts,
+          [this, block, target, remaining, finished](net::FlowId) {
+            if (--*remaining > 0) {
+              return;
+            }
+            if (is_serving(target)) {
+              add_replica(block, target);
+              ++rereplications_completed_;
+            }
+            finished();
+          });
+    }
+  });
+}
+
+void Cluster::change_replication(FileId file, std::uint32_t target, IncreaseMode mode,
+                                 DoneCallback done) {
+  const FileInfo* info = namespace_.find(file);
+  if (info == nullptr || target == 0) {
+    if (done) {
+      sim_.schedule_after(sim::micros(0), [done] { done(false); });
+    }
+    return;
+  }
+  emit_audit("setReplication", info->path, NodeId{0}, std::nullopt, std::nullopt);
+
+  const std::uint32_t current = info->replication;
+  namespace_.set_replication(file, target);
+
+  if (target < current) {
+    // Decrease: drop surplus replicas (policy decides which; ERMS prefers
+    // standby nodes so no re-balancing is needed).
+    for (const BlockId b : info->blocks) {
+      while (locations(b).size() > target) {
+        const auto victim = placement_->choose_replica_to_remove(*this, b, rng_);
+        if (!victim) {
+          break;
+        }
+        remove_replica(b, *victim);
+      }
+    }
+    if (done) {
+      sim_.schedule_after(sim::micros(0), [done] { done(true); });
+    }
+    return;
+  }
+
+  // Increase (or top-up at an unchanged factor — the deficit is computed
+  // from actual block locations, not the metadata factor). kDirect queues
+  // all extra replicas of all blocks at once; kOneByOne raises the factor
+  // one step at a time, confirming each step before the next.
+  if (mode == IncreaseMode::kDirect || target <= current + 1) {
+    auto remaining = std::make_shared<std::size_t>(0);
+    auto all_ok = std::make_shared<bool>(true);
+    std::vector<std::pair<BlockId, NodeId>> copies;
+    for (const BlockId b : info->blocks) {
+      const std::size_t have = locations(b).size();
+      if (have >= target) {
+        continue;
+      }
+      const std::vector<NodeId> targets =
+          placement_->choose_targets(*this, b, target - have, std::nullopt, rng_);
+      for (const NodeId t : targets) {
+        copies.emplace_back(b, t);
+      }
+    }
+    *remaining = copies.size();
+    if (copies.empty()) {
+      if (done) {
+        sim_.schedule_after(sim::micros(0), [done] { done(true); });
+      }
+      return;
+    }
+    for (const auto& [b, t] : copies) {
+      queue_background([this, b = b, t = t, remaining, all_ok,
+                        done](std::function<void()> finished) {
+        copy_block(b, std::nullopt, t,
+                   [remaining, all_ok, done, finished = std::move(finished)](bool ok) {
+                     *all_ok = *all_ok && ok;
+                     finished();
+                     if (--*remaining == 0 && done) {
+                       done(*all_ok);
+                     }
+                   });
+      });
+    }
+    return;
+  }
+
+  // One by one: raise the factor a step, poll until the step is confirmed,
+  // then issue the next step.
+  auto step = std::make_shared<std::function<void(std::uint32_t)>>();
+  *step = [this, file, target, done, step](std::uint32_t next) {
+    change_replication(file, next, IncreaseMode::kDirect,
+                       [this, file, target, done, step, next](bool ok) {
+                         if (!ok || next >= target) {
+                           if (done) {
+                             done(ok);
+                           }
+                           return;
+                         }
+                         sim_.schedule_after(config_.replication_step_poll,
+                                             [step, next] { (*step)(next + 1); });
+                       });
+  };
+  (*step)(current + 1);
+}
+
+void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback done) {
+  const FileInfo* info = namespace_.find(file);
+  if (info == nullptr || info->erasure_coded || parity_count == 0) {
+    if (done) {
+      sim_.schedule_after(sim::micros(0), [done] { done(false); });
+    }
+    return;
+  }
+  emit_audit("encode", info->path, NodeId{0}, std::nullopt, std::nullopt);
+
+  // Pick the encoder: the least-used active node.
+  std::optional<NodeId> encoder;
+  std::uint64_t best_used = std::numeric_limits<std::uint64_t>::max();
+  for (const DataNode& n : nodes_) {
+    if (n.state == NodeState::kActive && n.used_bytes < best_used) {
+      best_used = n.used_bytes;
+      encoder = n.id;
+    }
+  }
+  if (!encoder) {
+    if (done) {
+      sim_.schedule_after(sim::micros(0), [done] { done(false); });
+    }
+    return;
+  }
+  const NodeId enc = *encoder;
+  const FileId fid = file;
+  const std::uint64_t parity_size = info->block_size;
+  const std::vector<BlockId> data_blocks = info->blocks;
+
+  queue_background([this, fid, enc, parity_size, parity_count, data_blocks,
+                    done](std::function<void()> finished) {
+    // Stage 1: stream the k data blocks to the encoder.
+    auto stage1 = std::make_shared<std::size_t>(data_blocks.size());
+    auto after_reads = [this, fid, enc, parity_size, parity_count, done,
+                        finished]() {
+      // Stage 2: write the m parity blocks to policy-chosen targets.
+      const FileInfo* info = namespace_.find(fid);
+      if (info == nullptr) {
+        finished();
+        if (done) {
+          done(false);
+        }
+        return;
+      }
+      std::vector<BlockId> parities;
+      for (std::size_t i = 0; i < parity_count; ++i) {
+        parities.push_back(namespace_.add_parity_block(fid, parity_size));
+      }
+      auto stage2 = std::make_shared<std::size_t>(parities.size());
+      auto all_ok = std::make_shared<bool>(true);
+      auto finish_encode = [this, fid, done, finished, all_ok] {
+        // Stage 3: keep one replica per data block, drop the rest.
+        const FileInfo* info = namespace_.find(fid);
+        if (info != nullptr && *all_ok) {
+          namespace_.set_erasure_coded(fid, true);
+          namespace_.set_replication(fid, 1);
+          for (const BlockId b : info->blocks) {
+            while (locations(b).size() > 1) {
+              const auto victim = placement_->choose_replica_to_remove(*this, b, rng_);
+              if (!victim) {
+                break;
+              }
+              remove_replica(b, *victim);
+            }
+          }
+        }
+        finished();
+        if (done) {
+          done(*all_ok);
+        }
+      };
+      for (const BlockId p : parities) {
+        const std::vector<NodeId> targets =
+            placement_->choose_targets(*this, p, 1, enc, rng_);
+        if (targets.empty()) {
+          *all_ok = false;
+          if (--*stage2 == 0) {
+            finish_encode();
+          }
+          continue;
+        }
+        // Register the parity location up front so the next parity's
+        // placement sees it (otherwise every parity would pick the same
+        // "emptiest" node while the writes are still in flight).
+        const NodeId t = targets.front();
+        add_replica(p, t);
+        net::NetworkModel::FlowOptions opts;
+        opts.src_disk = true;
+        opts.dst_disk = true;
+        opts.max_rate = config_.background_bandwidth_cap;
+        network_.start_flow(enc.value(), t.value(), parity_size, opts,
+                            [stage2, finish_encode](net::FlowId) {
+                              if (--*stage2 == 0) {
+                                finish_encode();
+                              }
+                            });
+      }
+    };
+    for (const BlockId b : data_blocks) {
+      const BlockInfo* binfo = namespace_.find_block(b);
+      std::optional<NodeId> src;
+      for (const NodeId n : locations(b)) {
+        if (is_serving(n)) {
+          src = n;
+          break;
+        }
+      }
+      if (!src || binfo == nullptr) {
+        if (--*stage1 == 0) {
+          after_reads();
+        }
+        continue;
+      }
+      net::NetworkModel::FlowOptions opts;
+      opts.src_disk = true;
+      opts.dst_disk = src != enc;
+      opts.max_rate = config_.background_bandwidth_cap;
+      network_.start_flow(src->value(), enc.value(), binfo->size, opts,
+                          [stage1, after_reads](net::FlowId) {
+                            if (--*stage1 == 0) {
+                              after_reads();
+                            }
+                          });
+    }
+  });
+}
+
+void Cluster::decode_file(FileId file, std::uint32_t replication, DoneCallback done) {
+  const FileInfo* info = namespace_.find(file);
+  if (info == nullptr || !info->erasure_coded) {
+    if (done) {
+      sim_.schedule_after(sim::micros(0), [done] { done(false); });
+    }
+    return;
+  }
+  emit_audit("decode", info->path, NodeId{0}, std::nullopt, std::nullopt);
+  const FileId fid = file;
+  change_replication(file, replication, IncreaseMode::kDirect,
+                     [this, fid, done](bool ok) {
+                       if (ok) {
+                         const std::vector<BlockId> parities =
+                             namespace_.clear_parity_blocks(fid);
+                         for (const BlockId p : parities) {
+                           for (const NodeId n : locations(p)) {
+                             remove_replica(p, n);
+                           }
+                         }
+                         namespace_.set_erasure_coded(fid, false);
+                       }
+                       if (done) {
+                         done(ok);
+                       }
+                     });
+}
+
+void Cluster::move_replica(BlockId block, NodeId source, NodeId target, DoneCallback done) {
+  if (!node_has_block(source, block) || node_has_block(target, block) ||
+      !is_serving(source) || !is_serving(target)) {
+    if (done) {
+      sim_.schedule_after(sim::micros(0), [done] { done(false); });
+    }
+    return;
+  }
+  copy_block(block, source, target, [this, block, source, done](bool ok) {
+    if (ok) {
+      remove_replica(block, source);
+    }
+    if (done) {
+      done(ok);
+    }
+  });
+}
+
+// ----- stats ----------------------------------------------------------------------
+
+std::uint64_t Cluster::used_bytes_total() const {
+  std::uint64_t total = 0;
+  for (const DataNode& n : nodes_) {
+    total += n.used_bytes;
+  }
+  return total;
+}
+
+std::uint64_t Cluster::capacity_bytes_total() const {
+  std::uint64_t total = 0;
+  for (const DataNode& n : nodes_) {
+    if (n.state != NodeState::kDead) {
+      total += n.config.capacity_bytes;
+    }
+  }
+  return total;
+}
+
+double Cluster::energy_joules_total() {
+  double total = 0.0;
+  for (DataNode& n : nodes_) {
+    update_energy(n);
+    total += n.energy_joules;
+  }
+  return total;
+}
+
+// ----- audit ----------------------------------------------------------------------
+
+std::string Cluster::node_ip(NodeId id) const {
+  const DataNode& n = nodes_[id.value()];
+  return "/10.0." + std::to_string(n.rack.value()) + "." + std::to_string(id.value());
+}
+
+void Cluster::emit_audit(const std::string& cmd, const std::string& src, NodeId client,
+                         std::optional<BlockId> block, std::optional<NodeId> datanode,
+                         bool allowed) {
+  if (!audit_sink_) {
+    return;
+  }
+  audit::AuditEvent event;
+  event.time = sim_.now();
+  event.allowed = allowed;
+  event.ip = node_ip(client);
+  event.cmd = cmd;
+  event.src = src;
+  if (block) {
+    event.block = static_cast<std::int64_t>(block->value());
+  }
+  if (datanode) {
+    event.datanode = static_cast<std::int64_t>(datanode->value());
+  }
+  audit_sink_(event);
+}
+
+}  // namespace erms::hdfs

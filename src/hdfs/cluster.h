@@ -1,0 +1,299 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "audit/audit.h"
+#include "hdfs/namespace.h"
+#include "hdfs/placement.h"
+#include "hdfs/topology.h"
+#include "hdfs/types.h"
+#include "net/network.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "util/log.h"
+
+namespace erms::hdfs {
+
+/// Cluster-wide simulation parameters.
+struct ClusterConfig {
+  std::uint64_t block_size = 64 * util::MiB;
+  std::uint32_t default_replication = 3;
+  /// Per-rack uplink to the core switch. 2012-era fabrics were heavily
+  /// oversubscribed (6 nodes × 125 MB/s NICs behind ~200 MB/s of uplink),
+  /// which is why the paper cares about data locality at all.
+  double rack_uplink_bw = 200.0e6;
+  /// Time for a standby node to boot when commissioned.
+  sim::SimDuration node_startup_delay = sim::seconds(30.0);
+  /// Cluster-wide cap on concurrent re-replication / replication-change
+  /// transfer streams, so recovery does not starve foreground reads.
+  std::uint32_t max_background_streams = 12;
+  /// Per-stream rate ceiling for background transfers (re-replication,
+  /// replication changes, EC traffic, balancer moves) — HDFS's
+  /// dfs.datanode.balance.bandwidthPerSec-style throttle. 0 = uncapped.
+  double background_bandwidth_cap = 40.0e6;
+  /// One-by-one replication stepping polls for each step's completion
+  /// before issuing the next setReplication (ERMS "judges whether the
+  /// replicas are added ... successfully" through Condor ClassAds).
+  sim::SimDuration replication_step_poll = sim::seconds(3.0);
+  std::uint64_t seed = 42;
+};
+
+/// Live state of one datanode.
+struct DataNode {
+  NodeId id;
+  RackId rack;
+  DataNodeConfig config;
+  NodeState state{NodeState::kActive};
+  std::uint64_t used_bytes{0};
+  std::uint32_t active_sessions{0};
+  /// In-flight background copies reading from this node (source-selection
+  /// load balancing for replication transfers).
+  std::uint32_t background_reads{0};
+  std::unordered_set<BlockId> blocks;
+  double energy_joules{0.0};
+  sim::SimTime last_energy_update;
+};
+
+/// Outcome of a block or file read.
+struct ReadOutcome {
+  bool ok{false};
+  ReadError error{ReadError::kNone};
+  ReadLocality locality{ReadLocality::kRemote};
+  bool degraded{false};  // served via erasure-code reconstruction
+  sim::SimDuration duration{};
+  std::uint64_t bytes{0};
+};
+
+/// The simulated HDFS cluster: namenode metadata + datanode state + the
+/// network fabric. All I/O is asynchronous on the simulation clock. This is
+/// the substrate standing in for the paper's 19-node Hadoop testbed.
+class Cluster {
+ public:
+  using AuditSink = std::function<void(const audit::AuditEvent&)>;
+  using ReadCallback = std::function<void(const ReadOutcome&)>;
+  using DoneCallback = std::function<void(bool)>;
+
+  Cluster(sim::Simulation& simulation, const Topology& topology, ClusterConfig config,
+          util::Logger& logger = util::Logger::null_logger());
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // ----- nodes -----------------------------------------------------------
+  [[nodiscard]] const DataNode& node(NodeId id) const { return nodes_[id.value()]; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+  [[nodiscard]] std::vector<NodeId> nodes_in_state(NodeState state) const;
+  [[nodiscard]] RackId rack_of(NodeId id) const { return nodes_[id.value()].rack; }
+
+  /// Mark a node standby (powered down). Only valid while it holds no
+  /// blocks; use during cluster setup or after draining.
+  void set_standby(NodeId id);
+
+  /// Power up a standby node; it becomes active after the startup delay.
+  /// `on_ready` fires when it can accept replicas.
+  void commission(NodeId id, std::function<void()> on_ready = nullptr);
+
+  /// Drain is the caller's job (ERMS deletes standby replicas first); this
+  /// powers a now-empty active node back down.
+  bool return_to_standby(NodeId id);
+
+  /// Graceful decommission: the node keeps serving reads while every block
+  /// it holds is copied elsewhere; once drained it goes to standby.
+  /// `done(true)` when the node is powered down, `done(false)` if some
+  /// block could not be moved (no eligible target) — the node then stays in
+  /// kDecommissioning with its remaining blocks, as real HDFS does.
+  void decommission(NodeId id, DoneCallback done);
+
+  /// Fail a node: its replicas are lost and re-replication is queued for
+  /// every under-replicated block.
+  void fail_node(NodeId id);
+
+  /// Silently corrupt one replica (bit rot / bad disk sector). The namenode
+  /// learns about it the HDFS way: the next client read of that replica
+  /// fails its checksum, the replica is dropped and re-replicated, and the
+  /// read transparently retries another replica.
+  void corrupt_replica(BlockId block, NodeId node);
+  [[nodiscard]] bool is_corrupt(BlockId block, NodeId node) const;
+  [[nodiscard]] std::uint64_t corruptions_detected() const { return corruptions_detected_; }
+
+  /// Namenode-side handling of a verified-bad replica (from a client
+  /// checksum failure or the block scanner): drop it and re-replicate from
+  /// a clean copy.
+  void report_corrupt_replica(BlockId block, NodeId node);
+
+  /// True if the node can serve reads / accept writes.
+  [[nodiscard]] bool is_serving(NodeId id) const;
+
+  // ----- placement --------------------------------------------------------
+  void set_placement_policy(std::shared_ptr<PlacementPolicy> policy);
+  [[nodiscard]] const PlacementPolicy& placement_policy() const { return *placement_; }
+
+  // ----- namespace & data -------------------------------------------------
+  /// Instantly create a fully replicated file (experiment setup path; no
+  /// simulated write traffic).
+  std::optional<FileId> populate_file(const std::string& path, std::uint64_t size,
+                                      std::optional<std::uint32_t> replication = std::nullopt);
+
+  /// Create a file through the simulated write pipeline from `writer`;
+  /// `done(true)` when the last replica of the last block lands.
+  std::optional<FileId> write_file(const std::string& path, std::uint64_t size,
+                                   NodeId writer, DoneCallback done,
+                                   std::optional<std::uint32_t> replication = std::nullopt);
+
+  void remove_file(FileId file);
+
+  [[nodiscard]] const Namespace& metadata() const { return namespace_; }
+
+  // ----- reads ------------------------------------------------------------
+  /// Read every block of the file in sequence from `client`. The callback
+  /// fires once with the aggregate outcome (duration = sum, locality = the
+  /// worst block's locality, ok = all blocks ok).
+  void read_file(NodeId client, FileId file, ReadCallback callback);
+
+  /// Read one block. Emits a block-level audit event ("read"). If every
+  /// replica holder is at its session limit the read fails fast with
+  /// kAllBusy (HDFS rejects when xceivers are exhausted) — callers retry.
+  void read_block(NodeId client, BlockId block, ReadCallback callback);
+
+  /// Record a file-level open without transferring data — what the namenode
+  /// logs when a MapReduce job opens its input before the per-block reads.
+  void record_open(NodeId client, FileId file);
+
+  // ----- replication management (ERMS actions) ----------------------------
+  enum class IncreaseMode { kDirect, kOneByOne };
+
+  /// Change a file's replication factor. Increases copy block data over the
+  /// network (kDirect launches all extra replicas of a block concurrently;
+  /// kOneByOne raises the factor one step at a time, waiting for each step
+  /// to finish — the comparison of paper Fig. 7). Decreases are metadata
+  /// operations that free replicas chosen by the placement policy.
+  void change_replication(FileId file, std::uint32_t target, IncreaseMode mode,
+                          DoneCallback done);
+
+  /// Erasure-encode a cold file: read its k blocks to an encoder node,
+  /// write `parity_count` parity blocks, then drop replication to 1
+  /// (paper §III.C/IV.B: Reed–Solomon, replication 1 + 4 parities).
+  void encode_file(FileId file, std::size_t parity_count, DoneCallback done);
+
+  /// Undo encoding: restore `replication` data replicas then remove
+  /// parities (a re-warmed cold file).
+  void decode_file(FileId file, std::uint32_t replication, DoneCallback done);
+
+  /// Move one replica of `block` from `source` to `target` (copy over the
+  /// network, then drop the source replica) — the balancer's primitive.
+  /// Fails if the target already holds the block or either node is not
+  /// serving.
+  void move_replica(BlockId block, NodeId source, NodeId target, DoneCallback done);
+
+  // ----- queries (placement policies, judge, experiments) -----------------
+  /// Nodes currently holding a replica of `block` (any state incl. dead=no).
+  [[nodiscard]] std::vector<NodeId> locations(BlockId block) const;
+  [[nodiscard]] bool node_has_block(NodeId node, BlockId block) const;
+  /// How many blocks (data or parity) of `file` the node holds — used by
+  /// Algorithm 1's parity placement rule.
+  [[nodiscard]] std::size_t file_blocks_on_node(FileId file, NodeId node) const;
+  /// A file is available when every data block is readable directly or
+  /// reconstructible from its erasure stripe.
+  [[nodiscard]] bool file_available(FileId file) const;
+
+  // ----- stats -------------------------------------------------------------
+  [[nodiscard]] std::uint64_t used_bytes_total() const;
+  [[nodiscard]] std::uint64_t capacity_bytes_total() const;
+  /// Energy used by all nodes so far (standby nodes accrue at standby watts).
+  [[nodiscard]] double energy_joules_total();
+  [[nodiscard]] std::uint64_t reads_rejected() const { return reads_rejected_; }
+  [[nodiscard]] std::uint64_t reads_completed() const { return reads_completed_; }
+  [[nodiscard]] std::uint64_t blocks_lost() const { return blocks_lost_; }
+  [[nodiscard]] std::uint64_t rereplications_completed() const {
+    return rereplications_completed_;
+  }
+  [[nodiscard]] net::NetworkModel& network() { return network_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  /// True when no background replication/encode traffic is in flight — the
+  /// Condor substrate's idleness test for deferred tasks.
+  [[nodiscard]] bool background_idle() const {
+    return background_streams_ == 0 && background_queue_.empty();
+  }
+
+  // ----- audit -------------------------------------------------------------
+  void set_audit_sink(AuditSink sink) { audit_sink_ = std::move(sink); }
+
+ private:
+  /// A throttled background task (block copy, stripe reconstruction). The
+  /// job must invoke `finished` exactly once when its transfers complete.
+  using BackgroundJob = std::function<void(std::function<void()> finished)>;
+
+  DataNode& node_mutable(NodeId id) { return nodes_[id.value()]; }
+
+  void emit_audit(const std::string& cmd, const std::string& src, NodeId client,
+                  std::optional<BlockId> block, std::optional<NodeId> datanode,
+                  bool allowed = true);
+  [[nodiscard]] std::string node_ip(NodeId id) const;
+
+  /// Add/remove a replica in the block map + node state (metadata only).
+  void add_replica(BlockId block, NodeId node);
+  void remove_replica(BlockId block, NodeId node);
+
+  /// Pick the serving replica for a client: local, then rack-local, then the
+  /// least-loaded remote; only nodes with a free session. nullopt → busy.
+  [[nodiscard]] std::optional<NodeId> pick_read_source(NodeId client, BlockId block) const;
+
+  void read_block_via_reconstruction(NodeId client, const BlockInfo& info,
+                                     ReadCallback callback);
+
+  /// Enqueue a throttled background task (re-replication, replication
+  /// increase, EC transfers, stripe reconstruction).
+  void queue_background(BackgroundJob job);
+  void pump_background_queue();
+
+  /// Copy `block` onto `target` over the network (from `source`, or a live
+  /// replica chosen at start time). Registers the replica on success.
+  void copy_block(BlockId block, std::optional<NodeId> source, NodeId target,
+                  DoneCallback done);
+
+  void queue_rereplication(BlockId block);
+  /// Rebuild a block with no surviving replica from its erasure stripe.
+  void queue_reconstruction(BlockId block);
+  /// Power a fully drained decommissioning node down; returns true so the
+  /// caller can chain the user callback.
+  bool finalize_decommission(NodeId id, bool drained);
+
+  void update_energy(DataNode& node);
+  void set_node_state(NodeId id, NodeState state);
+
+  sim::Simulation& sim_;
+  ClusterConfig config_;
+  util::Logger& log_;
+  sim::Rng rng_;
+  net::NetworkModel network_;
+  Namespace namespace_;
+  std::vector<DataNode> nodes_;
+  std::unordered_map<BlockId, std::vector<NodeId>> block_locations_;
+  std::shared_ptr<PlacementPolicy> placement_;
+  AuditSink audit_sink_;
+
+  std::deque<BackgroundJob> background_queue_;
+  std::uint32_t background_streams_{0};
+
+  std::set<std::pair<BlockId, NodeId>> corrupt_replicas_;
+
+  std::uint64_t reads_rejected_{0};
+  std::uint64_t reads_completed_{0};
+  std::uint64_t blocks_lost_{0};
+  std::uint64_t rereplications_completed_{0};
+  std::uint64_t corruptions_detected_{0};
+};
+
+}  // namespace erms::hdfs

@@ -1,0 +1,130 @@
+#include <algorithm>
+#include <limits>
+
+#include "hdfs/cluster.h"
+#include "hdfs/placement.h"
+
+namespace erms::hdfs {
+
+namespace {
+
+/// Writable target test shared by the selection passes.
+bool eligible(const Cluster& cluster, BlockId block, NodeId node,
+              const std::vector<NodeId>& already_chosen) {
+  const DataNode& dn = cluster.node(node);
+  if (dn.state != NodeState::kActive) {
+    return false;
+  }
+  if (cluster.node_has_block(node, block)) {
+    return false;
+  }
+  const BlockInfo* info = cluster.metadata().find_block(block);
+  const std::uint64_t need = info != nullptr ? info->size : 0;
+  if (dn.used_bytes + need > dn.config.capacity_bytes) {
+    return false;
+  }
+  return std::find(already_chosen.begin(), already_chosen.end(), node) ==
+         already_chosen.end();
+}
+
+}  // namespace
+
+std::vector<NodeId> DefaultPlacementPolicy::choose_targets(const Cluster& cluster,
+                                                           BlockId block, std::size_t count,
+                                                           std::optional<NodeId> writer,
+                                                           sim::Rng& rng) const {
+  std::vector<NodeId> chosen;
+  if (count == 0) {
+    return chosen;
+  }
+  const std::vector<NodeId> existing = cluster.locations(block);
+
+  auto pick_random = [&](auto&& filter) -> std::optional<NodeId> {
+    std::vector<NodeId> pool;
+    for (const NodeId n : cluster.nodes()) {
+      if (eligible(cluster, block, n, chosen) && filter(n)) {
+        pool.push_back(n);
+      }
+    }
+    if (pool.empty()) {
+      return std::nullopt;
+    }
+    return pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+
+  // Racks already covered (existing replicas count toward rack spread).
+  auto rack_used = [&](RackId rack) {
+    for (const NodeId n : existing) {
+      if (cluster.rack_of(n) == rack) {
+        return true;
+      }
+    }
+    for (const NodeId n : chosen) {
+      if (cluster.rack_of(n) == rack) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const bool fresh_block = existing.empty();
+
+  // Replica 1: the writer's node when possible, otherwise random.
+  if (fresh_block && chosen.size() < count) {
+    if (writer && eligible(cluster, block, *writer, chosen)) {
+      chosen.push_back(*writer);
+    } else if (const auto n = pick_random([](NodeId) { return true; })) {
+      chosen.push_back(*n);
+    }
+  }
+
+  // Replica 2: a node in a different rack than replica 1.
+  if (fresh_block && chosen.size() < count && !chosen.empty()) {
+    const RackId first_rack = cluster.rack_of(chosen.front());
+    if (const auto n = pick_random(
+            [&](NodeId cand) { return cluster.rack_of(cand) != first_rack; })) {
+      chosen.push_back(*n);
+    }
+  }
+
+  // Replica 3: a different node in replica 2's rack.
+  if (fresh_block && chosen.size() < count && chosen.size() >= 2) {
+    const RackId second_rack = cluster.rack_of(chosen[1]);
+    if (const auto n = pick_random(
+            [&](NodeId cand) { return cluster.rack_of(cand) == second_rack; })) {
+      chosen.push_back(*n);
+    }
+  }
+
+  // Remaining replicas: prefer unused racks, then anywhere.
+  while (chosen.size() < count) {
+    auto n = pick_random([&](NodeId cand) { return !rack_used(cluster.rack_of(cand)); });
+    if (!n) {
+      n = pick_random([](NodeId) { return true; });
+    }
+    if (!n) {
+      break;  // cluster cannot host more distinct replicas
+    }
+    chosen.push_back(*n);
+  }
+  return chosen;
+}
+
+std::optional<NodeId> DefaultPlacementPolicy::choose_replica_to_remove(
+    const Cluster& cluster, BlockId block, sim::Rng& /*rng*/) const {
+  // HDFS removes from the node with the least free space.
+  std::optional<NodeId> victim;
+  std::uint64_t least_free = std::numeric_limits<std::uint64_t>::max();
+  for (const NodeId n : cluster.locations(block)) {
+    const DataNode& dn = cluster.node(n);
+    const std::uint64_t free = dn.config.capacity_bytes - std::min(dn.config.capacity_bytes, dn.used_bytes);
+    if (free < least_free) {
+      least_free = free;
+      victim = n;
+    }
+  }
+  return victim;
+}
+
+}  // namespace erms::hdfs

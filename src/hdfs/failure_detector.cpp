@@ -1,0 +1,67 @@
+#include "hdfs/failure_detector.h"
+
+namespace erms::hdfs {
+
+FailureDetector::FailureDetector(Cluster& cluster, Config config)
+    : cluster_(cluster), config_(config) {}
+
+void FailureDetector::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  const sim::SimTime now = cluster_.simulation().now();
+  for (const NodeId n : cluster_.nodes()) {
+    last_heartbeat_[n] = now;
+  }
+  tick_handle_ = cluster_.simulation().schedule_after(config_.heartbeat_interval,
+                                                      [this] { tick(); });
+}
+
+void FailureDetector::stop() {
+  running_ = false;
+  tick_handle_.cancel();
+}
+
+sim::SimDuration FailureDetector::silence(NodeId node) const {
+  const auto it = last_heartbeat_.find(node);
+  if (it == last_heartbeat_.end()) {
+    return sim::SimDuration{0};
+  }
+  return cluster_.simulation().now() - it->second;
+}
+
+void FailureDetector::tick() {
+  if (!running_) {
+    return;
+  }
+  const sim::SimTime now = cluster_.simulation().now();
+  const sim::SimDuration deadline =
+      config_.heartbeat_interval * static_cast<std::int64_t>(config_.tolerance);
+
+  for (const NodeId n : cluster_.nodes()) {
+    const DataNode& node = cluster_.node(n);
+    const bool alive_state = node.state == NodeState::kActive ||
+                             node.state == NodeState::kCommissioning ||
+                             node.state == NodeState::kDecommissioning;
+    if (!alive_state) {
+      // Standby/dead nodes are not expected to heartbeat; keep their clock
+      // fresh so a later commission does not start half-expired.
+      last_heartbeat_[n] = now;
+      continue;
+    }
+    if (!muted_.contains(n)) {
+      last_heartbeat_[n] = now;  // the healthy node heartbeats
+      continue;
+    }
+    if (now - last_heartbeat_[n] > deadline) {
+      ++failures_declared_;
+      cluster_.fail_node(n);
+      muted_.erase(n);
+    }
+  }
+  tick_handle_ = cluster_.simulation().schedule_after(config_.heartbeat_interval,
+                                                      [this] { tick(); });
+}
+
+}  // namespace erms::hdfs

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "hdfs/cluster.h"
+
+namespace erms::hdfs {
+
+/// The namenode's heartbeat-based failure detector. Datanodes heartbeat
+/// every few seconds; a node silent for `tolerance` intervals is declared
+/// dead, which drops its replicas and queues re-replication (HDFS defaults:
+/// 3 s heartbeats, 10 min dead-node interval — scaled down here so
+/// experiments exercise the path in simulated minutes).
+///
+/// In the simulator, healthy serving nodes "send" heartbeats implicitly;
+/// `mute()` makes a node fall silent without an explicit fail_node() call —
+/// the way a real crash looks to the namenode.
+class FailureDetector {
+ public:
+  struct Config {
+    sim::SimDuration heartbeat_interval = sim::seconds(3.0);
+    /// Missed consecutive heartbeats before the node is declared dead.
+    std::uint32_t tolerance = 10;
+  };
+
+  FailureDetector(Cluster& cluster, Config config);
+  explicit FailureDetector(Cluster& cluster) : FailureDetector(cluster, Config{}) {}
+
+  /// Begin monitoring (idempotent).
+  void start();
+  void stop();
+
+  /// Make a node fall silent (simulated crash, network partition, ...).
+  void mute(NodeId node) { muted_.insert(node); }
+  /// The node resumes heartbeating — if it was not yet declared dead, it
+  /// escapes; once dead it stays dead (a real node would re-register).
+  void unmute(NodeId node) { muted_.erase(node); }
+  [[nodiscard]] bool is_muted(NodeId node) const { return muted_.contains(node); }
+
+  /// Time since the last heartbeat of a node.
+  [[nodiscard]] sim::SimDuration silence(NodeId node) const;
+
+  [[nodiscard]] std::uint64_t failures_declared() const { return failures_declared_; }
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void tick();
+
+  Cluster& cluster_;
+  Config config_;
+  std::unordered_map<NodeId, sim::SimTime> last_heartbeat_;
+  std::unordered_set<NodeId> muted_;
+  std::uint64_t failures_declared_{0};
+  bool running_{false};
+  sim::EventHandle tick_handle_;
+};
+
+}  // namespace erms::hdfs

@@ -1,0 +1,231 @@
+#include "hdfs/namespace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace erms::hdfs {
+
+std::optional<FileId> Namespace::create(const std::string& path, std::uint64_t size,
+                                        std::uint64_t block_size, std::uint32_t replication) {
+  if (size == 0 || block_size == 0 || by_path_.contains(path)) {
+    return std::nullopt;
+  }
+  const FileId id = file_ids_.next();
+  FileInfo file;
+  file.id = id;
+  file.path = path;
+  file.size = size;
+  file.block_size = block_size;
+  file.replication = replication;
+
+  std::uint64_t remaining = size;
+  std::uint32_t index = 0;
+  while (remaining > 0) {
+    const std::uint64_t this_block = remaining < block_size ? remaining : block_size;
+    const BlockId bid = block_ids_.next();
+    BlockInfo block;
+    block.id = bid;
+    block.file = id;
+    block.size = this_block;
+    block.index = index++;
+    blocks_.emplace(bid, block);
+    file.blocks.push_back(bid);
+    remaining -= this_block;
+  }
+  by_path_.emplace(path, id);
+  files_.emplace(id, std::move(file));
+  return id;
+}
+
+std::vector<BlockId> Namespace::remove(FileId file) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) {
+    return {};
+  }
+  std::vector<BlockId> removed = it->second.blocks;
+  removed.insert(removed.end(), it->second.parity_blocks.begin(),
+                 it->second.parity_blocks.end());
+  for (const BlockId b : removed) {
+    blocks_.erase(b);
+  }
+  by_path_.erase(it->second.path);
+  files_.erase(it);
+  return removed;
+}
+
+BlockId Namespace::add_parity_block(FileId file, std::uint64_t size) {
+  FileInfo* info = find_mutable(file);
+  assert(info != nullptr);
+  const BlockId bid = block_ids_.next();
+  BlockInfo block;
+  block.id = bid;
+  block.file = file;
+  block.size = size;
+  block.index = static_cast<std::uint32_t>(info->blocks.size() + info->parity_blocks.size());
+  block.is_parity = true;
+  blocks_.emplace(bid, block);
+  info->parity_blocks.push_back(bid);
+  return bid;
+}
+
+std::vector<BlockId> Namespace::clear_parity_blocks(FileId file) {
+  FileInfo* info = find_mutable(file);
+  if (info == nullptr) {
+    return {};
+  }
+  std::vector<BlockId> removed = std::move(info->parity_blocks);
+  info->parity_blocks.clear();
+  for (const BlockId b : removed) {
+    blocks_.erase(b);
+  }
+  return removed;
+}
+
+void Namespace::set_replication(FileId file, std::uint32_t replication) {
+  if (FileInfo* info = find_mutable(file)) {
+    info->replication = replication;
+  }
+}
+
+void Namespace::set_erasure_coded(FileId file, bool coded) {
+  if (FileInfo* info = find_mutable(file)) {
+    info->erasure_coded = coded;
+  }
+}
+
+const FileInfo* Namespace::find(FileId file) const {
+  const auto it = files_.find(file);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+const FileInfo* Namespace::find_path(const std::string& path) const {
+  const auto it = by_path_.find(path);
+  return it == by_path_.end() ? nullptr : find(it->second);
+}
+
+const BlockInfo* Namespace::find_block(BlockId block) const {
+  const auto it = blocks_.find(block);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+FileInfo* Namespace::find_mutable(FileId file) {
+  const auto it = files_.find(file);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::vector<FileId> Namespace::file_ids() const {
+  std::vector<FileId> out;
+  out.reserve(files_.size());
+  for (const auto& [id, info] : files_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+void Namespace::save_image(std::ostream& os) const {
+  os << "fsimage v1\n";
+  // Stable order: by file id.
+  std::vector<const FileInfo*> files;
+  files.reserve(files_.size());
+  for (const auto& [id, info] : files_) {
+    files.push_back(&info);
+  }
+  std::sort(files.begin(), files.end(),
+            [](const FileInfo* a, const FileInfo* b) { return a->id < b->id; });
+  for (const FileInfo* f : files) {
+    os << "file " << f->id.value() << ' ' << f->path << ' ' << f->size << ' '
+       << f->block_size << ' ' << f->replication << ' ' << (f->erasure_coded ? 1 : 0)
+       << '\n';
+    for (const BlockId b : f->blocks) {
+      const BlockInfo& info = blocks_.at(b);
+      os << "block " << info.id.value() << ' ' << info.size << ' ' << info.index
+         << " 0\n";
+    }
+    for (const BlockId b : f->parity_blocks) {
+      const BlockInfo& info = blocks_.at(b);
+      os << "block " << info.id.value() << ' ' << info.size << ' ' << info.index
+         << " 1\n";
+    }
+  }
+  os << "end\n";
+}
+
+bool Namespace::load_image(std::istream& is) {
+  *this = Namespace{};
+  std::string line;
+  if (!std::getline(is, line) || line != "fsimage v1") {
+    return false;
+  }
+  FileInfo* current = nullptr;
+  std::uint64_t max_file_id = 0;
+  std::uint64_t max_block_id = 0;
+  bool ended = false;
+  while (std::getline(is, line)) {
+    std::istringstream ss{line};
+    std::string kind;
+    ss >> kind;
+    if (kind == "end") {
+      ended = true;
+      break;
+    }
+    if (kind == "file") {
+      FileInfo info;
+      std::uint64_t id = 0;
+      int coded = 0;
+      if (!(ss >> id >> info.path >> info.size >> info.block_size >> info.replication >>
+            coded)) {
+        *this = Namespace{};
+        return false;
+      }
+      info.id = FileId{id};
+      info.erasure_coded = coded != 0;
+      max_file_id = std::max(max_file_id, id);
+      by_path_.emplace(info.path, info.id);
+      current = &files_.emplace(info.id, std::move(info)).first->second;
+    } else if (kind == "block") {
+      std::uint64_t id = 0;
+      BlockInfo info;
+      int parity = 0;
+      if (current == nullptr ||
+          !(ss >> id >> info.size >> info.index >> parity)) {
+        *this = Namespace{};
+        return false;
+      }
+      info.id = BlockId{id};
+      info.file = current->id;
+      info.is_parity = parity != 0;
+      max_block_id = std::max(max_block_id, id);
+      (info.is_parity ? current->parity_blocks : current->blocks).push_back(info.id);
+      blocks_.emplace(info.id, info);
+    } else {
+      *this = Namespace{};
+      return false;
+    }
+  }
+  if (!ended) {
+    *this = Namespace{};
+    return false;
+  }
+  file_ids_ = util::IdGenerator<FileId>{max_file_id + 1};
+  block_ids_ = util::IdGenerator<BlockId>{max_block_id + 1};
+  return true;
+}
+
+std::uint64_t Namespace::logical_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, info] : files_) {
+    total += info.size * info.replication;
+    for (const BlockId b : info.parity_blocks) {
+      const auto it = blocks_.find(b);
+      if (it != blocks_.end()) {
+        total += it->second.size;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace erms::hdfs

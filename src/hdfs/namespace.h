@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hdfs/types.h"
+
+namespace erms::hdfs {
+
+/// Metadata of one block.
+struct BlockInfo {
+  BlockId id;
+  FileId file;
+  std::uint64_t size{0};
+  std::uint32_t index{0};   // position within the file
+  bool is_parity{false};    // erasure-coding parity block
+};
+
+/// Metadata of one file: a sequence of equal-size blocks (last may be
+/// short), a target replication factor, and — once ERMS demotes it to cold —
+/// an erasure-coding stripe (parity block list).
+struct FileInfo {
+  FileId id;
+  std::string path;
+  std::uint64_t size{0};
+  std::uint64_t block_size{0};
+  std::uint32_t replication{3};
+  std::vector<BlockId> blocks;
+  bool erasure_coded{false};
+  std::vector<BlockId> parity_blocks;
+};
+
+/// The namenode's namespace: file and block metadata (no locations — those
+/// live in the cluster's block map, as in HDFS where block locations are
+/// reported by datanodes rather than persisted).
+class Namespace {
+ public:
+  /// Create a file of `size` bytes split into `block_size` blocks.
+  /// Returns nullopt if the path already exists or size is 0.
+  std::optional<FileId> create(const std::string& path, std::uint64_t size,
+                               std::uint64_t block_size, std::uint32_t replication);
+
+  /// Remove a file and all its block metadata. Returns the removed blocks
+  /// (data + parity) so the caller can clear locations.
+  std::vector<BlockId> remove(FileId file);
+
+  /// Add a parity block of `size` bytes to `file` (erasure-coding path).
+  BlockId add_parity_block(FileId file, std::uint64_t size);
+
+  /// Drop all parity blocks of `file` (decode path); returns their ids.
+  std::vector<BlockId> clear_parity_blocks(FileId file);
+
+  void set_replication(FileId file, std::uint32_t replication);
+  void set_erasure_coded(FileId file, bool coded);
+
+  [[nodiscard]] const FileInfo* find(FileId file) const;
+  [[nodiscard]] const FileInfo* find_path(const std::string& path) const;
+  [[nodiscard]] const BlockInfo* find_block(BlockId block) const;
+
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  [[nodiscard]] std::vector<FileId> file_ids() const;
+
+  /// Sum over all files of size × replication, plus parity bytes — the
+  /// logical storage the cluster must hold (Fig. 5's utilisation metric).
+  [[nodiscard]] std::uint64_t logical_bytes() const;
+
+  /// fsimage-style persistence: serialise all file/block metadata (block
+  /// *locations* are runtime state rebuilt from block reports, exactly as
+  /// in HDFS, so they are not part of the image).
+  void save_image(std::ostream& os) const;
+
+  /// Rebuild a namespace from an image; replaces `*this`. Returns false and
+  /// leaves the namespace empty on a malformed image.
+  bool load_image(std::istream& is);
+
+ private:
+  FileInfo* find_mutable(FileId file);
+
+  std::unordered_map<FileId, FileInfo> files_;
+  std::unordered_map<BlockId, BlockInfo> blocks_;
+  std::unordered_map<std::string, FileId> by_path_;
+  util::IdGenerator<FileId> file_ids_{1};
+  util::IdGenerator<BlockId> block_ids_{1};
+};
+
+}  // namespace erms::hdfs

@@ -1,0 +1,45 @@
+#include "hdfs/topology.h"
+
+namespace erms::hdfs {
+
+RackId Topology::add_rack() { return RackId{static_cast<std::uint32_t>(racks_++)}; }
+
+NodeId Topology::add_node(RackId rack, DataNodeConfig config) {
+  const NodeId id{static_cast<std::uint32_t>(node_racks_.size())};
+  node_racks_.push_back(rack);
+  node_configs_.push_back(config);
+  return id;
+}
+
+std::vector<NodeId> Topology::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(node_racks_.size());
+  for (std::size_t i = 0; i < node_racks_.size(); ++i) {
+    out.push_back(NodeId{static_cast<std::uint32_t>(i)});
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::nodes_in_rack(RackId rack) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < node_racks_.size(); ++i) {
+    if (node_racks_[i] == rack) {
+      out.push_back(NodeId{static_cast<std::uint32_t>(i)});
+    }
+  }
+  return out;
+}
+
+Topology Topology::uniform(std::size_t racks, std::size_t nodes_per_rack,
+                           DataNodeConfig config) {
+  Topology topo;
+  for (std::size_t r = 0; r < racks; ++r) {
+    const RackId rack = topo.add_rack();
+    for (std::size_t n = 0; n < nodes_per_rack; ++n) {
+      topo.add_node(rack, config);
+    }
+  }
+  return topo;
+}
+
+}  // namespace erms::hdfs

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "hdfs/types.h"
+
+namespace erms::hdfs {
+
+/// Static rack/node layout of the cluster. Node and rack ids are dense
+/// indices (NodeId value == index into the node table), which also makes
+/// them directly usable as net::NetworkModel node indices.
+class Topology {
+ public:
+  RackId add_rack();
+
+  /// Register a node in `rack` with the given hardware profile.
+  NodeId add_node(RackId rack, DataNodeConfig config = {});
+
+  [[nodiscard]] std::size_t node_count() const { return node_racks_.size(); }
+  [[nodiscard]] std::size_t rack_count() const { return racks_; }
+
+  [[nodiscard]] RackId rack_of(NodeId node) const { return node_racks_[node.value()]; }
+  [[nodiscard]] const DataNodeConfig& config_of(NodeId node) const {
+    return node_configs_[node.value()];
+  }
+
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+  [[nodiscard]] std::vector<NodeId> nodes_in_rack(RackId rack) const;
+
+  /// Convenience builder: `racks` racks with `nodes_per_rack` identical
+  /// nodes each (the paper's testbed is 18 datanodes in 3 racks).
+  static Topology uniform(std::size_t racks, std::size_t nodes_per_rack,
+                          DataNodeConfig config = {});
+
+ private:
+  std::size_t racks_{0};
+  std::vector<RackId> node_racks_;
+  std::vector<DataNodeConfig> node_configs_;
+};
+
+}  // namespace erms::hdfs

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace erms::hdfs {
+
+struct NodeTag {};
+struct RackTag {};
+struct FileTag {};
+struct BlockTag {};
+
+using NodeId = util::StrongId<NodeTag, std::uint32_t>;
+using RackId = util::StrongId<RackTag, std::uint32_t>;
+using FileId = util::StrongId<FileTag>;
+using BlockId = util::StrongId<BlockTag>;
+
+/// Datanode lifecycle in the active/standby storage model (paper §III.B).
+/// Standby nodes are registered but powered down until ERMS commissions
+/// them; decommissioning nodes are being drained; dead nodes have failed.
+enum class NodeState {
+  kActive,
+  kStandby,          // powered off, can be commissioned
+  kCommissioning,    // booting; becomes Active after startup delay
+  kDecommissioning,  // draining replicas before going back to standby
+  kDead,
+};
+
+[[nodiscard]] constexpr const char* to_string(NodeState s) {
+  switch (s) {
+    case NodeState::kActive:
+      return "active";
+    case NodeState::kStandby:
+      return "standby";
+    case NodeState::kCommissioning:
+      return "commissioning";
+    case NodeState::kDecommissioning:
+      return "decommissioning";
+    case NodeState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+/// Why a block read was denied or failed.
+enum class ReadError {
+  kNone,
+  kNoSuchBlock,
+  kNoReplica,        // no live node holds the block
+  kAllBusy,          // every replica holder is at its session limit
+};
+
+/// Locality of a satisfied read, for the Fig. 3(b) locality metric.
+enum class ReadLocality { kNodeLocal, kRackLocal, kRemote };
+
+/// Per-node hardware profile (2012-era commodity box by default, matching
+/// the paper's testbed: GbE network, SATA disks).
+struct DataNodeConfig {
+  std::uint64_t capacity_bytes = 250 * util::GiB;
+  double disk_bw = 80.0e6;   // bytes/s
+  double nic_bw = 125.0e6;   // bytes/s (GbE)
+  /// Concurrent serving sessions (xceivers) before requests are rejected —
+  /// the paper measured 8–10 concurrent accesses per replica (Fig. 8).
+  std::uint32_t max_sessions = 9;
+  /// Power draw for the energy accounting in the active/standby model.
+  double active_watts = 250.0;
+  double standby_watts = 15.0;
+};
+
+}  // namespace erms::hdfs

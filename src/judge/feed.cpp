@@ -1,0 +1,125 @@
+#include "judge/feed.h"
+
+#include <cstdlib>
+
+#include "cep/epl_parser.h"
+
+namespace erms::judge {
+
+namespace {
+
+std::string window_clause(sim::SimDuration window) {
+  return " WINDOW TIME " + std::to_string(window.seconds()) + "s";
+}
+
+}  // namespace
+
+AccessStatsFeed::AccessStatsFeed(cep::Engine& engine, sim::SimDuration window)
+    : engine_(engine),
+      // The judge's three standing queries, written in the engine's EPL.
+      file_query_(engine.register_query(cep::parse_epl(
+          "SELECT count(*) AS n FROM audit WHERE cmd == \"open\" GROUP BY src" +
+          window_clause(window)))),
+      block_query_(engine.register_query(cep::parse_epl(
+          "SELECT count(*) AS n FROM audit WHERE cmd == \"read\" GROUP BY src, blk" +
+          window_clause(window)))),
+      node_query_(engine.register_query(cep::parse_epl(
+          "SELECT count(*) AS n FROM audit WHERE cmd == \"read\" GROUP BY dn" +
+          window_clause(window)))),
+      file_node_query_(engine.register_query(cep::parse_epl(
+          "SELECT count(*) AS n FROM audit WHERE cmd == \"read\" GROUP BY src, dn" +
+          window_clause(window)))) {}
+
+void AccessStatsFeed::on_audit(const audit::AuditEvent& event) {
+  ++events_ingested_;
+  if (event.cmd == "open" || event.cmd == "read") {
+    last_access_[event.src] = event.time;
+  }
+  engine_.push(event.to_cep_event());
+}
+
+void AccessStatsFeed::advance_to(sim::SimTime now) { engine_.advance_to(now); }
+
+std::uint64_t AccessStatsFeed::file_accesses(const std::string& path) const {
+  const auto row = engine_.group_row(file_query_, {path});
+  if (!row) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(row->values.get_int("n").value_or(0));
+}
+
+std::unordered_map<std::string, std::uint64_t> AccessStatsFeed::all_file_accesses() const {
+  std::unordered_map<std::string, std::uint64_t> out;
+  for (const cep::ResultRow& row : engine_.snapshot(file_query_)) {
+    const auto path = row.values.get_string("src");
+    const auto n = row.values.get_int("n");
+    if (path && n) {
+      out[*path] = static_cast<std::uint64_t>(*n);
+    }
+  }
+  return out;
+}
+
+std::unordered_map<std::int64_t, std::uint64_t> AccessStatsFeed::block_accesses(
+    const std::string& path) const {
+  std::unordered_map<std::int64_t, std::uint64_t> out;
+  for (const cep::ResultRow& row : engine_.snapshot(block_query_)) {
+    const auto src = row.values.get_string("src");
+    if (!src || *src != path) {
+      continue;
+    }
+    const auto blk = row.values.get_string("blk");  // group keys render as strings
+    const auto n = row.values.get_int("n");
+    if (blk && n && !blk->empty()) {
+      out[std::strtoll(blk->c_str(), nullptr, 10)] = static_cast<std::uint64_t>(*n);
+    }
+  }
+  return out;
+}
+
+std::unordered_map<std::int64_t, std::uint64_t> AccessStatsFeed::node_accesses() const {
+  std::unordered_map<std::int64_t, std::uint64_t> out;
+  for (const cep::ResultRow& row : engine_.snapshot(node_query_)) {
+    const auto dn = row.values.get_string("dn");
+    const auto n = row.values.get_int("n");
+    if (dn && n && !dn->empty()) {
+      out[std::strtoll(dn->c_str(), nullptr, 10)] = static_cast<std::uint64_t>(*n);
+    }
+  }
+  return out;
+}
+
+std::unordered_map<std::string, std::uint64_t> AccessStatsFeed::file_accesses_on_node(
+    std::int64_t datanode) const {
+  std::unordered_map<std::string, std::uint64_t> out;
+  const std::string want = std::to_string(datanode);
+  for (const cep::ResultRow& row : engine_.snapshot(file_node_query_)) {
+    const auto dn = row.values.get_string("dn");
+    if (!dn || *dn != want) {
+      continue;
+    }
+    const auto src = row.values.get_string("src");
+    const auto n = row.values.get_int("n");
+    if (src && n) {
+      out[*src] = static_cast<std::uint64_t>(*n);
+    }
+  }
+  return out;
+}
+
+sim::SimTime AccessStatsFeed::last_access(const std::string& path) const {
+  const auto it = last_access_.find(path);
+  return it == last_access_.end() ? sim::SimTime{0} : it->second;
+}
+
+std::vector<std::string> AccessStatsFeed::active_paths() const {
+  std::vector<std::string> out;
+  for (const cep::ResultRow& row : engine_.snapshot(file_query_)) {
+    if (const auto path = row.values.get_string("src")) {
+      out.push_back(*path);
+    }
+  }
+  return out;
+}
+
+}  // namespace erms::judge

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "audit/audit.h"
+#include "cep/engine.h"
+#include "judge/thresholds.h"
+
+namespace erms::judge {
+
+/// Bridges the audit stream to the Data Judge: converts audit records to CEP
+/// events, registers the three continuous queries ERMS needs (per-file,
+/// per-block and per-datanode access counts over the sliding time window
+/// t_w), and exposes the windowed counts. This is the paper's "log parser +
+/// CEP engine" pipeline assembled (§III.C).
+class AccessStatsFeed {
+ public:
+  AccessStatsFeed(cep::Engine& engine, sim::SimDuration window);
+
+  /// Consume one audit record (wire this to Cluster::set_audit_sink).
+  void on_audit(const audit::AuditEvent& event);
+
+  /// Evict expired window entries before reading counts.
+  void advance_to(sim::SimTime now);
+
+  /// N_d — file-level accesses (cmd=open) in the window, by path.
+  [[nodiscard]] std::uint64_t file_accesses(const std::string& path) const;
+  [[nodiscard]] std::unordered_map<std::string, std::uint64_t> all_file_accesses() const;
+
+  /// N_bi — block-level reads (cmd=read) in the window, for path's blocks.
+  [[nodiscard]] std::unordered_map<std::int64_t, std::uint64_t> block_accesses(
+      const std::string& path) const;
+
+  /// Σ N_b per datanode in the window (input to formula 4).
+  [[nodiscard]] std::unordered_map<std::int64_t, std::uint64_t> node_accesses() const;
+
+  /// Per-file read counts served by one datanode in the window — used to
+  /// find "the data D that contributes the largest access to DN" when
+  /// formula (4) flags an overloaded node.
+  [[nodiscard]] std::unordered_map<std::string, std::uint64_t> file_accesses_on_node(
+      std::int64_t datanode) const;
+
+  /// T_a — last access (open or read) per path, across all time.
+  [[nodiscard]] sim::SimTime last_access(const std::string& path) const;
+
+  /// Paths seen in the current window (union of open/read activity).
+  [[nodiscard]] std::vector<std::string> active_paths() const;
+
+  [[nodiscard]] std::uint64_t events_ingested() const { return events_ingested_; }
+
+ private:
+  cep::Engine& engine_;
+  cep::QueryId file_query_;
+  cep::QueryId block_query_;
+  cep::QueryId node_query_;
+  cep::QueryId file_node_query_;
+  std::unordered_map<std::string, sim::SimTime> last_access_;
+  std::uint64_t events_ingested_{0};
+};
+
+}  // namespace erms::judge

@@ -1,0 +1,111 @@
+#include "judge/judge.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace erms::judge {
+
+DataJudge::DataJudge(Thresholds thresholds) : thresholds_(thresholds) {
+  assert(thresholds_.valid());
+}
+
+void DataJudge::set_thresholds(Thresholds t) {
+  assert(t.valid());
+  thresholds_ = t;
+}
+
+std::uint32_t DataJudge::optimal_replication(const FileObservation& obs,
+                                             std::uint32_t default_replication,
+                                             std::uint32_t max_replication) const {
+  // r must absorb the file-level load (formula 1 inverted) ...
+  double needed = static_cast<double>(obs.accesses) / thresholds_.tau_M;
+  // ... and the hottest block's load (formula 2 inverted).
+  for (const std::uint64_t nb : obs.block_accesses) {
+    needed = std::max(needed, static_cast<double>(nb) / thresholds_.M_M);
+  }
+  auto r = static_cast<std::uint32_t>(std::ceil(needed));
+  r = std::max(r, default_replication);
+  r = std::min(r, max_replication);
+  return r;
+}
+
+Classification DataJudge::classify(const FileObservation& obs, sim::SimTime now,
+                                   std::uint32_t default_replication,
+                                   std::uint32_t max_replication) const {
+  Classification result;
+  const double r = std::max<double>(1.0, obs.replication);
+  const double per_replica = static_cast<double>(obs.accesses) / r;
+
+  // Formula (1): N_d / r > τ_M — the average per-replica load is too high.
+  if (per_replica > thresholds_.tau_M) {
+    result.type = DataType::kHot;
+    result.rule = 1;
+    result.optimal_replication = optimal_replication(obs, default_replication, max_replication);
+    return result;
+  }
+
+  // Formula (2): ∃ i: N_bi / r > M_M — one block is a hotspot even though
+  // the file-level average looks regular.
+  for (const std::uint64_t nb : obs.block_accesses) {
+    if (static_cast<double>(nb) / r > thresholds_.M_M) {
+      result.type = DataType::kHot;
+      result.rule = 2;
+      result.optimal_replication =
+          optimal_replication(obs, default_replication, max_replication);
+      return result;
+    }
+  }
+
+  // Formula (3): count(N_bj / r > M_m) / n_d > ε — enough blocks are
+  // intensely accessed.
+  if (obs.block_count > 0) {
+    std::size_t intense = 0;
+    for (const std::uint64_t nb : obs.block_accesses) {
+      intense += (static_cast<double>(nb) / r > thresholds_.M_m) ? 1 : 0;
+    }
+    if (static_cast<double>(intense) / static_cast<double>(obs.block_count) >
+        thresholds_.epsilon) {
+      result.type = DataType::kHot;
+      result.rule = 3;
+      result.optimal_replication =
+          optimal_replication(obs, default_replication, max_replication);
+      return result;
+    }
+  }
+
+  // Formula (6): N_d / r < τ_m and T_n − T_a > t — rarely accessed and old.
+  if (per_replica < thresholds_.tau_m && (now - obs.last_access) > thresholds_.cold_age) {
+    result.type = DataType::kCold;
+    result.rule = 6;
+    return result;
+  }
+
+  // Formula (5): N_d / r < τ_d — over-replicated hot data has cooled down.
+  // Only meaningful while the file still carries extra replicas.
+  if (per_replica < thresholds_.tau_d && obs.replication > default_replication) {
+    result.type = DataType::kCooled;
+    result.rule = 5;
+    return result;
+  }
+
+  result.type = DataType::kNormal;
+  result.rule = 0;
+  return result;
+}
+
+void DataJudge::calibrate(double measured_sessions_per_replica) {
+  if (measured_sessions_per_replica <= 0.0) {
+    return;
+  }
+  const double scale = measured_sessions_per_replica / thresholds_.tau_M;
+  thresholds_.tau_M = measured_sessions_per_replica;
+  thresholds_.tau_d *= scale;
+  thresholds_.tau_m *= scale;
+  thresholds_.M_M *= scale;
+  thresholds_.M_m *= scale;
+  thresholds_.tau_DN *= scale;
+  assert(thresholds_.valid());
+}
+
+}  // namespace erms::judge

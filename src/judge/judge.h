@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "judge/thresholds.h"
+#include "sim/time.h"
+
+namespace erms::judge {
+
+/// Windowed access statistics for one file, as gathered from the CEP engine.
+struct FileObservation {
+  std::string path;
+  /// N_d — accesses to the file within the window.
+  std::uint64_t accesses{0};
+  /// N_bi — accesses to each block within the window (index-aligned with
+  /// the file's blocks; may be shorter if some blocks were untouched).
+  std::vector<std::uint64_t> block_accesses;
+  /// n_d — the file's block count.
+  std::size_t block_count{0};
+  /// r — the file's current replication factor.
+  std::uint32_t replication{1};
+  /// T_a — last time the file was accessed (any window).
+  sim::SimTime last_access;
+};
+
+/// Outcome of classifying one file.
+struct Classification {
+  DataType type{DataType::kNormal};
+  /// Which formula fired: 1-3 → hot, 5 → cooled, 6 → cold, 0 → normal.
+  int rule{0};
+  /// For hot data, the replication factor ERMS should raise the file to
+  /// ("ERMS figures out optimal replica for hot data, and then increase the
+  /// extra replicas directly" — §IV.C).
+  std::uint32_t optimal_replication{0};
+};
+
+/// The Data Judge: applies formulas (1)-(6) to windowed access statistics.
+/// Pure logic — unit-testable without a cluster or CEP engine.
+class DataJudge {
+ public:
+  explicit DataJudge(Thresholds thresholds);
+
+  [[nodiscard]] const Thresholds& thresholds() const { return thresholds_; }
+  void set_thresholds(Thresholds t);
+
+  /// Classify one file at time `now`. `default_replication` is r_D;
+  /// `max_replication` bounds the optimal factor (p+q live nodes).
+  [[nodiscard]] Classification classify(const FileObservation& obs, sim::SimTime now,
+                                        std::uint32_t default_replication,
+                                        std::uint32_t max_replication) const;
+
+  /// Formula (4): is a datanode overloaded given Σ_i N_bi·r_bi — the total
+  /// replica-weighted access count of blocks it serves?
+  [[nodiscard]] bool node_overloaded(double weighted_accesses) const {
+    return weighted_accesses > thresholds_.tau_DN;
+  }
+
+  /// Smallest replication factor r with N_d/r ≤ τ_M and max_i N_bi/r ≤ M_M,
+  /// clamped to [default_replication, max_replication].
+  [[nodiscard]] std::uint32_t optimal_replication(const FileObservation& obs,
+                                                  std::uint32_t default_replication,
+                                                  std::uint32_t max_replication) const;
+
+  /// Recalibrate τ_M from a measured per-replica session capacity — "ERMS
+  /// could dynamically change these thresholds based on system
+  /// environments" (§III.C). Scales the other access thresholds
+  /// proportionally.
+  void calibrate(double measured_sessions_per_replica);
+
+ private:
+  Thresholds thresholds_;
+};
+
+}  // namespace erms::judge

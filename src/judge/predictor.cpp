@@ -1,0 +1,72 @@
+#include "judge/predictor.h"
+
+#include <algorithm>
+
+namespace erms::judge {
+
+void AccessPredictor::observe(const std::string& path, double accesses) {
+  State& s = state_[path];
+  if (!s.primed) {
+    s.level = accesses;
+    s.trend = 0.0;
+    s.primed = true;
+    return;
+  }
+  const double previous_level = s.level;
+  s.level = config_.alpha * accesses + (1.0 - config_.alpha) * (s.level + s.trend);
+  s.trend = config_.beta * (s.level - previous_level) + (1.0 - config_.beta) * s.trend;
+}
+
+double AccessPredictor::predict(const std::string& path) const {
+  const auto it = state_.find(path);
+  if (it == state_.end() || !it->second.primed) {
+    return 0.0;
+  }
+  return std::max(0.0, it->second.level + config_.horizon_periods * it->second.trend);
+}
+
+double AccessPredictor::level(const std::string& path) const {
+  const auto it = state_.find(path);
+  return it == state_.end() ? 0.0 : it->second.level;
+}
+
+double AccessPredictor::trend(const std::string& path) const {
+  const auto it = state_.find(path);
+  return it == state_.end() ? 0.0 : it->second.trend;
+}
+
+Classification PredictiveJudge::classify(const FileObservation& obs, sim::SimTime now,
+                                         std::uint32_t default_replication,
+                                         std::uint32_t max_replication) {
+  predictor_.observe(obs.path, static_cast<double>(obs.accesses));
+
+  const Classification observed =
+      judge_.classify(obs, now, default_replication, max_replication);
+
+  // Re-classify with the forecast count. Only the *hot* outcome (and a
+  // higher optimal factor) may be taken from the forecast: cooling and
+  // encoding always wait for real counts.
+  const double predicted = predictor_.predict(obs.path);
+  if (predicted > static_cast<double>(obs.accesses)) {
+    // Scale the whole observation by the forecast ratio so the block-level
+    // rules (2) and (3) see the rise too.
+    const double ratio = predicted / std::max(1.0, static_cast<double>(obs.accesses));
+    FileObservation boosted = obs;
+    boosted.accesses = static_cast<std::uint64_t>(predicted);
+    for (std::uint64_t& nb : boosted.block_accesses) {
+      nb = static_cast<std::uint64_t>(static_cast<double>(nb) * ratio);
+    }
+    const Classification forecast =
+        judge_.classify(boosted, now, default_replication, max_replication);
+    const bool upgrades = forecast.type == DataType::kHot &&
+                          (observed.type != DataType::kHot ||
+                           forecast.optimal_replication > observed.optimal_replication);
+    if (upgrades) {
+      ++predictive_promotions_;
+      return forecast;
+    }
+  }
+  return observed;
+}
+
+}  // namespace erms::judge

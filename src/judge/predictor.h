@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "judge/judge.h"
+#include "sim/time.h"
+
+namespace erms::judge {
+
+/// Trend-based access prediction — the paper's future work ("we plan to
+/// investigate more effective solutions to detect and predict the real-time
+/// data types", §V). Each file's windowed access count is smoothed with a
+/// double (Holt) exponential filter: a level plus a trend. Extrapolating one
+/// horizon ahead lets ERMS start commissioning standby nodes and copying
+/// replicas *before* formula (1) would fire, hiding the ~30 s node-startup
+/// plus transfer latency.
+class AccessPredictor {
+ public:
+  struct Config {
+    /// Smoothing factor for the level (0..1; higher = more reactive).
+    double alpha = 0.5;
+    /// Smoothing factor for the trend.
+    double beta = 0.3;
+    /// How far ahead to extrapolate, in observation periods.
+    double horizon_periods = 2.0;
+  };
+
+  AccessPredictor() : AccessPredictor(Config{}) {}
+  explicit AccessPredictor(Config config) : config_(config) {}
+
+  /// Record one observation period's access count for `path`.
+  void observe(const std::string& path, double accesses);
+
+  /// Predicted access count `horizon_periods` ahead; 0 for unseen paths.
+  /// Never negative.
+  [[nodiscard]] double predict(const std::string& path) const;
+
+  /// Current smoothed level / trend (for introspection and tests).
+  [[nodiscard]] double level(const std::string& path) const;
+  [[nodiscard]] double trend(const std::string& path) const;
+
+  /// Forget a file (deleted).
+  void forget(const std::string& path) { state_.erase(path); }
+
+  [[nodiscard]] std::size_t tracked_files() const { return state_.size(); }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct State {
+    double level{0.0};
+    double trend{0.0};
+    bool primed{false};
+  };
+  Config config_;
+  std::unordered_map<std::string, State> state_;
+};
+
+/// Wraps a DataJudge with prediction: classification uses the *larger* of
+/// the observed and predicted access counts, so rising files are promoted
+/// early, while cooling decisions still use observed counts only (we never
+/// drop replicas on a forecast).
+class PredictiveJudge {
+ public:
+  explicit PredictiveJudge(Thresholds thresholds)
+      : PredictiveJudge(thresholds, AccessPredictor::Config{}) {}
+  PredictiveJudge(Thresholds thresholds, AccessPredictor::Config predictor_config)
+      : judge_(thresholds), predictor_(predictor_config) {}
+
+  /// Feed one evaluation period's observation and classify.
+  [[nodiscard]] Classification classify(const FileObservation& obs, sim::SimTime now,
+                                        std::uint32_t default_replication,
+                                        std::uint32_t max_replication);
+
+  [[nodiscard]] DataJudge& judge() { return judge_; }
+  [[nodiscard]] AccessPredictor& predictor() { return predictor_; }
+
+  /// How many classifications were upgraded to hot purely by the forecast.
+  [[nodiscard]] std::uint64_t predictive_promotions() const {
+    return predictive_promotions_;
+  }
+
+ private:
+  DataJudge judge_;
+  AccessPredictor predictor_;
+  std::uint64_t predictive_promotions_{0};
+};
+
+}  // namespace erms::judge

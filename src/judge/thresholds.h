@@ -1,0 +1,62 @@
+#pragma once
+
+#include "sim/time.h"
+
+namespace erms::judge {
+
+/// The four data types ERMS distinguishes (paper §I): hot data is heavily
+/// and concurrently accessed; cooled data is formerly hot data whose load
+/// dropped; cold data is rarely accessed and old; everything else is normal.
+enum class DataType { kHot, kCooled, kNormal, kCold };
+
+[[nodiscard]] constexpr const char* to_string(DataType t) {
+  switch (t) {
+    case DataType::kHot:
+      return "hot";
+    case DataType::kCooled:
+      return "cooled";
+    case DataType::kNormal:
+      return "normal";
+    case DataType::kCold:
+      return "cold";
+  }
+  return "?";
+}
+
+/// Classification thresholds from §III.C. All access counts are measured
+/// within the CEP time window `window` (t_w in the paper); the per-replica
+/// quantities in formulas (1)-(6) divide by the file's current replication
+/// factor r. Invariant: 0 < tau_m < tau_d < tau_M and M_m < M_M.
+struct Thresholds {
+  /// τ_M — the largest access count one replica can hold (formula 1). The
+  /// paper measures 8–10 concurrent sessions per replica (Fig. 8) and
+  /// evaluates ERMS at τ_M ∈ {8, 6, 4} (Fig. 3).
+  double tau_M = 8.0;
+  /// τ_d — below this per-replica access count, hot data has cooled
+  /// (formula 5).
+  double tau_d = 2.0;
+  /// τ_m — below this per-replica access count (and old enough), data is
+  /// cold (formula 6).
+  double tau_m = 0.5;
+  /// τ_DN — per-datanode total weighted access count above which the node
+  /// is overloaded (formula 4).
+  double tau_DN = 40.0;
+  /// M_M — the per-block per-replica access count that alone marks a file
+  /// hot (formula 2: locality hotspots inside a file).
+  double M_M = 12.0;
+  /// M_m — the lower per-block bound used with ε (formula 3), M_m < M_M.
+  double M_m = 6.0;
+  /// ε — fraction of a file's blocks that must exceed M_m for formula 3.
+  double epsilon = 0.5;
+  /// t — minimum time since last access before data may be cold (formula 6).
+  sim::SimDuration cold_age = sim::hours(24.0);
+  /// t_w — CEP sliding window length over the audit stream.
+  sim::SimDuration window = sim::seconds(60.0);
+
+  [[nodiscard]] bool valid() const {
+    return tau_m > 0.0 && tau_m < tau_d && tau_d < tau_M && M_m < M_M && epsilon > 0.0 &&
+           epsilon < 1.0 && tau_DN > 0.0 && cold_age.micros() > 0 && window.micros() > 0;
+  }
+};
+
+}  // namespace erms::judge

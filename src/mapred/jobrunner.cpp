@@ -1,0 +1,294 @@
+#include "mapred/jobrunner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace erms::mapred {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}
+
+JobRunner::JobRunner(hdfs::Cluster& cluster, MapRedConfig config)
+    : cluster_(cluster), config_(config) {
+  for (const hdfs::NodeId n : cluster_.nodes()) {
+    for (std::uint32_t s = 0; s < config_.map_slots_per_node; ++s) {
+      slots_.push_back(Slot{n, false});
+    }
+  }
+}
+
+std::optional<MrJobId> JobRunner::submit(const std::string& input_path) {
+  const hdfs::FileInfo* info = cluster_.metadata().find_path(input_path);
+  if (info == nullptr) {
+    return std::nullopt;
+  }
+  const MrJobId id = ids_.next();
+  // The job client opens its input at the namenode (one audit `open`); the
+  // map tasks then read the blocks individually.
+  cluster_.record_open(
+      hdfs::NodeId{static_cast<std::uint32_t>(id.value() % cluster_.node_count())},
+      info->id);
+  ActiveJob job;
+  job.result.id = id;
+  job.result.input_path = input_path;
+  job.result.submitted = cluster_.simulation().now();
+  job.result.tasks = info->blocks.size();
+  for (const hdfs::BlockId b : info->blocks) {
+    job.pending.push_back(Task{b, 0});
+  }
+  active_jobs_.emplace(id, std::move(job));
+  pump();
+  return id;
+}
+
+void JobRunner::submit_trace(const workload::Trace& trace) {
+  for (const workload::JobSpec& spec : trace.jobs) {
+    cluster_.simulation().schedule_at(spec.submit_time,
+                                      [this, path = spec.input_path] { submit(path); });
+  }
+}
+
+std::optional<std::size_t> JobRunner::pick_task(const ActiveJob& job, hdfs::NodeId node,
+                                                bool require_local) const {
+  std::optional<std::size_t> rack_choice;
+  std::optional<std::size_t> any_choice;
+  for (std::size_t i = 0; i < job.pending.size(); ++i) {
+    const hdfs::BlockId block = job.pending[i].block;
+    bool node_local = false;
+    bool rack_local = false;
+    for (const hdfs::NodeId loc : cluster_.locations(block)) {
+      if (!cluster_.is_serving(loc)) {
+        continue;
+      }
+      if (loc == node) {
+        node_local = true;
+        break;
+      }
+      if (cluster_.rack_of(loc) == cluster_.rack_of(node)) {
+        rack_local = true;
+      }
+    }
+    if (node_local) {
+      return i;
+    }
+    if (rack_local && !rack_choice) {
+      rack_choice = i;
+    }
+    if (!any_choice) {
+      any_choice = i;
+    }
+  }
+  if (require_local) {
+    return std::nullopt;
+  }
+  return rack_choice ? rack_choice : any_choice;
+}
+
+std::optional<MrJobId> JobRunner::pick_job(hdfs::NodeId node) {
+  if (config_.scheduler == SchedulerKind::kFifo) {
+    // FIFO: oldest job with pending work; no locality waiting.
+    for (auto& [id, job] : active_jobs_) {
+      if (!job.pending.empty()) {
+        return id;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Fair: serve jobs by fewest running tasks (min share first), with delay
+  // scheduling — a job may pass up `locality_delay_opportunities` offers
+  // while waiting for a node-local slot.
+  std::vector<MrJobId> order;
+  for (const auto& [id, job] : active_jobs_) {
+    if (!job.pending.empty()) {
+      order.push_back(id);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [this](MrJobId a, MrJobId b) {
+    return active_jobs_.at(a).running < active_jobs_.at(b).running;
+  });
+  for (const MrJobId id : order) {
+    ActiveJob& job = active_jobs_.at(id);
+    if (pick_task(job, node, /*require_local=*/true)) {
+      job.locality_skips = 0;
+      return id;
+    }
+    if (job.locality_skips >= config_.locality_delay_opportunities) {
+      job.locality_skips = 0;
+      return id;  // waited long enough; accept non-local
+    }
+    ++job.locality_skips;
+  }
+  return std::nullopt;
+}
+
+bool JobRunner::assign(std::size_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  assert(!slot.busy);
+  if (!cluster_.is_serving(slot.node)) {
+    return false;
+  }
+  const auto job_id = pick_job(slot.node);
+  if (!job_id) {
+    return false;
+  }
+  ActiveJob& job = active_jobs_.at(*job_id);
+  const bool require_local = false;  // pick_job already applied the delay rule
+  const auto task_index = pick_task(job, slot.node, require_local);
+  if (!task_index) {
+    return false;
+  }
+  Task task = job.pending[*task_index];
+  task.dispatched = cluster_.simulation().now();
+  job.pending.erase(job.pending.begin() + static_cast<std::ptrdiff_t>(*task_index));
+  ++job.running;
+  if (!job.started) {
+    job.started = true;
+    job.result.started = cluster_.simulation().now();
+  }
+  slot.busy = true;
+  run_task(slot_index, *job_id, task);
+  return true;
+}
+
+void JobRunner::run_task(std::size_t slot_index, MrJobId job_id, Task task) {
+  const hdfs::NodeId node = slots_[slot_index].node;
+  cluster_.read_block(node, task.block,
+                      [this, slot_index, job_id, task](const hdfs::ReadOutcome& outcome) {
+                        if (!outcome.ok && outcome.error == hdfs::ReadError::kAllBusy &&
+                            task.retries < config_.max_read_retries) {
+                          // Stay in the slot and retry after a backoff — the
+                          // hotspot contention the paper's Fig. 3 measures.
+                          Task retry = task;
+                          ++retry.retries;
+                          cluster_.simulation().schedule_after(
+                              config_.busy_retry_backoff, [this, slot_index, job_id, retry] {
+                                run_task(slot_index, job_id, retry);
+                              });
+                          return;
+                        }
+                        finish_task(slot_index, job_id, task, outcome);
+                      });
+}
+
+void JobRunner::finish_task(std::size_t slot_index, MrJobId job_id, const Task& task,
+                            const hdfs::ReadOutcome& outcome) {
+  auto it = active_jobs_.find(job_id);
+  assert(it != active_jobs_.end());
+  ActiveJob& job = it->second;
+
+  auto complete = [this, slot_index, job_id] {
+    slots_[slot_index].busy = false;
+    auto jit = active_jobs_.find(job_id);
+    if (jit != active_jobs_.end()) {
+      --jit->second.running;
+      maybe_finish_job(job_id);
+    }
+    pump();
+  };
+
+  if (!outcome.ok) {
+    ++job.result.failed_tasks;
+    cluster_.simulation().schedule_after(sim::micros(0), complete);
+    return;
+  }
+
+  switch (outcome.locality) {
+    case hdfs::ReadLocality::kNodeLocal:
+      ++job.result.node_local;
+      break;
+    case hdfs::ReadLocality::kRackLocal:
+      ++job.result.rack_local;
+      break;
+    case hdfs::ReadLocality::kRemote:
+      ++job.result.remote;
+      break;
+  }
+  job.result.bytes_read += outcome.bytes;
+  // Time from dispatch to last byte: transfer plus any session-rejection
+  // backoffs — the contention penalty elastic replication removes.
+  job.result.read_seconds +=
+      (cluster_.simulation().now() - task.dispatched).seconds();
+
+  // Map computation proportional to the input read.
+  const double compute_s =
+      static_cast<double>(outcome.bytes) / kGiB * config_.compute_seconds_per_gib;
+  cluster_.simulation().schedule_after(sim::seconds(compute_s), complete);
+}
+
+void JobRunner::maybe_finish_job(MrJobId job_id) {
+  auto it = active_jobs_.find(job_id);
+  if (it == active_jobs_.end()) {
+    return;
+  }
+  ActiveJob& job = it->second;
+  if (!job.pending.empty() || job.running > 0) {
+    return;
+  }
+  job.result.finished = cluster_.simulation().now();
+  results_.push_back(job.result);
+  if (on_job_done_) {
+    on_job_done_(results_.back());
+  }
+  active_jobs_.erase(it);
+}
+
+void JobRunner::pump() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].busy) {
+      assign(i);
+    }
+  }
+  // Delay scheduling can leave slots idle while tasks remain; poll again so
+  // passed-up offers recur.
+  bool pending = false;
+  for (const auto& [id, job] : active_jobs_) {
+    pending = pending || !job.pending.empty();
+  }
+  if (pending && !pump_scheduled_) {
+    pump_scheduled_ = true;
+    cluster_.simulation().schedule_after(sim::seconds(1.0), [this] {
+      pump_scheduled_ = false;
+      pump();
+    });
+  }
+}
+
+WorkloadReport JobRunner::report() const {
+  WorkloadReport rep;
+  rep.jobs = results_.size();
+  if (results_.empty()) {
+    return rep;
+  }
+  double sum_duration = 0.0;
+  double sum_throughput = 0.0;
+  std::size_t throughput_jobs = 0;
+  double sum_locality = 0.0;
+  std::size_t tasks = 0;
+  std::size_t rack = 0;
+  for (const JobResult& r : results_) {
+    sum_duration += r.duration_seconds();
+    // Job-level reading throughput: input bytes over the job's lifetime.
+    // Queueing, hot-spot stalls and slow remote reads all show up here,
+    // which is what Fig. 3(a)'s "average reading throughput" responds to.
+    if (r.duration_seconds() > 0.0) {
+      sum_throughput += static_cast<double>(r.bytes_read) / r.duration_seconds() / 1e6;
+      ++throughput_jobs;
+    }
+    sum_locality += r.locality_fraction();
+    tasks += r.tasks;
+    rack += r.rack_local;
+    rep.failed_tasks += r.failed_tasks;
+  }
+  rep.mean_job_duration_s = sum_duration / static_cast<double>(results_.size());
+  rep.mean_read_throughput_mbps =
+      throughput_jobs == 0 ? 0.0 : sum_throughput / static_cast<double>(throughput_jobs);
+  rep.mean_locality = sum_locality / static_cast<double>(results_.size());
+  rep.rack_local_fraction =
+      tasks == 0 ? 0.0 : static_cast<double>(rack) / static_cast<double>(tasks);
+  return rep;
+}
+
+}  // namespace erms::mapred

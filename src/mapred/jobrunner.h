@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hdfs/cluster.h"
+#include "util/ids.h"
+#include "workload/swim.h"
+
+namespace erms::mapred {
+
+struct MrJobTag {};
+using MrJobId = util::StrongId<MrJobTag>;
+
+/// Which Hadoop scheduler to emulate (the paper evaluates ERMS under both,
+/// Fig. 3).
+enum class SchedulerKind { kFifo, kFair };
+
+struct MapRedConfig {
+  SchedulerKind scheduler{SchedulerKind::kFifo};
+  /// Map slots per datanode (2012-era Hadoop: ~2 per core pair).
+  std::uint32_t map_slots_per_node = 2;
+  /// Per-task CPU time added on top of the block read.
+  double compute_seconds_per_gib = 4.0;
+  /// Fair-scheduler delay scheduling: how many scheduling opportunities a
+  /// job may decline while waiting for a node-local slot.
+  std::uint32_t locality_delay_opportunities = 3;
+  /// Retry backoff when every replica holder is session-saturated.
+  sim::SimDuration busy_retry_backoff = sim::millis(500);
+  std::uint32_t max_read_retries = 40;
+};
+
+/// Completed-job record.
+struct JobResult {
+  MrJobId id;
+  std::string input_path;
+  sim::SimTime submitted;
+  sim::SimTime started;
+  sim::SimTime finished;
+  std::size_t tasks{0};
+  std::size_t node_local{0};
+  std::size_t rack_local{0};
+  std::size_t remote{0};
+  std::size_t failed_tasks{0};
+  std::uint64_t bytes_read{0};
+  /// Sum over tasks of the time spent reading (for throughput accounting).
+  double read_seconds{0.0};
+
+  [[nodiscard]] double locality_fraction() const {
+    return tasks == 0 ? 0.0
+                      : static_cast<double>(node_local) / static_cast<double>(tasks);
+  }
+  [[nodiscard]] double duration_seconds() const { return (finished - submitted).seconds(); }
+};
+
+/// Aggregates over a finished workload (the Fig. 3 metrics).
+struct WorkloadReport {
+  std::size_t jobs{0};
+  double mean_job_duration_s{0.0};
+  /// Mean per-task read throughput (MB/s) — "Average Reading Throughput".
+  double mean_read_throughput_mbps{0.0};
+  /// Mean over jobs of the node-local task fraction — "Data Locality of
+  /// Jobs".
+  double mean_locality{0.0};
+  double rack_local_fraction{0.0};
+  std::size_t failed_tasks{0};
+};
+
+/// MapReduce task-scheduling simulator over the HDFS cluster: one map task
+/// per input block, a fixed number of map slots per node, and FIFO or Fair
+/// task assignment with delay scheduling. Reduce phases are out of scope —
+/// the paper's metrics (read throughput, map locality) are map-side.
+class JobRunner {
+ public:
+  JobRunner(hdfs::Cluster& cluster, MapRedConfig config);
+
+  /// Submit a job reading `input_path` at the current simulation time.
+  /// Returns nullopt if the file does not exist.
+  std::optional<MrJobId> submit(const std::string& input_path);
+
+  /// Schedule a whole trace's jobs at their submit times (files must exist).
+  void submit_trace(const workload::Trace& trace);
+
+  /// Completion callback (optional).
+  void set_on_job_done(std::function<void(const JobResult&)> fn) {
+    on_job_done_ = std::move(fn);
+  }
+
+  [[nodiscard]] const std::vector<JobResult>& results() const { return results_; }
+  [[nodiscard]] std::size_t pending_jobs() const { return active_jobs_.size(); }
+  [[nodiscard]] bool idle() const { return active_jobs_.empty(); }
+
+  [[nodiscard]] WorkloadReport report() const;
+
+ private:
+  struct Task {
+    hdfs::BlockId block;
+    std::uint32_t retries{0};
+    /// When the task was dispatched to a slot; the job's read time counts
+    /// from here, so session-rejection retries (hot-spot stalls) are paid.
+    sim::SimTime dispatched;
+  };
+  struct ActiveJob {
+    JobResult result;
+    std::deque<Task> pending;
+    std::size_t running{0};
+    std::uint32_t locality_skips{0};
+    bool started{false};
+  };
+  struct Slot {
+    hdfs::NodeId node;
+    bool busy{false};
+  };
+
+  void pump();
+  /// Try to hand `slot` a task; returns true if one was assigned.
+  bool assign(std::size_t slot_index);
+  void run_task(std::size_t slot_index, MrJobId job_id, Task task);
+  void finish_task(std::size_t slot_index, MrJobId job_id, const Task& task,
+                   const hdfs::ReadOutcome& outcome);
+  void maybe_finish_job(MrJobId job_id);
+
+  /// Scheduler policy: which job should the free slot on `node` serve, and
+  /// which of its tasks? nullopt = leave the slot idle for now.
+  [[nodiscard]] std::optional<MrJobId> pick_job(hdfs::NodeId node);
+  /// Best task of `job` for `node` (node-local > rack-local > any).
+  [[nodiscard]] std::optional<std::size_t> pick_task(const ActiveJob& job,
+                                                     hdfs::NodeId node,
+                                                     bool require_local) const;
+
+  hdfs::Cluster& cluster_;
+  MapRedConfig config_;
+  std::vector<Slot> slots_;
+  std::map<MrJobId, ActiveJob> active_jobs_;  // ordered: FIFO by submit id
+  std::vector<JobResult> results_;
+  std::function<void(const JobResult&)> on_job_done_;
+  util::IdGenerator<MrJobId> ids_{1};
+  bool pump_scheduled_{false};
+};
+
+}  // namespace erms::mapred

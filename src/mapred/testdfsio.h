@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hdfs/cluster.h"
+
+namespace erms::mapred {
+
+/// Result of one TestDFSIO-style run.
+struct TestDfsIoResult {
+  std::size_t readers{0};
+  std::size_t succeeded{0};
+  std::size_t rejected_initially{0};  // readers that needed at least one retry
+  double mean_execution_s{0.0};
+  double max_execution_s{0.0};
+  /// Aggregate throughput: total bytes delivered / wall-clock span (MB/s).
+  double aggregate_throughput_mbps{0.0};
+  /// Mean per-reader throughput (MB/s).
+  double mean_reader_throughput_mbps{0.0};
+};
+
+/// Options for the concurrent-read driver.
+struct TestDfsIoOptions {
+  std::size_t readers = 7;
+  /// Retry backoff when every replica holder is at its session limit.
+  sim::SimDuration busy_backoff = sim::millis(500);
+  std::uint32_t max_retries = 1000;
+  /// Clients are spread round-robin over these nodes; empty = all serving
+  /// nodes at start time.
+  std::vector<hdfs::NodeId> client_nodes;
+};
+
+/// TestDFSIO-like parallel read benchmark: `readers` clients all read `path`
+/// concurrently and the driver reports mean/max execution time and
+/// throughput (paper §IV.C, Figs. 6 and 9). Runs the simulation until every
+/// reader finishes.
+TestDfsIoResult run_concurrent_read(hdfs::Cluster& cluster, const std::string& path,
+                                    const TestDfsIoOptions& options);
+
+/// Probe the Fig. 8 metric: the largest reader count N such that all N
+/// concurrent readers are admitted without any session rejection.
+std::size_t max_concurrent_readers(hdfs::Cluster& cluster, const std::string& path,
+                                   std::size_t limit,
+                                   const std::vector<hdfs::NodeId>& client_nodes = {});
+
+}  // namespace erms::mapred

@@ -1,0 +1,41 @@
+#include "metrics/cdf.h"
+
+#include <algorithm>
+
+namespace erms::metrics {
+
+std::vector<CdfBuilder::Point> CdfBuilder::build() const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<Point> out;
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Collapse runs of equal values to one point at the run's end.
+    if (i + 1 < sorted.size() && sorted[i + 1] == sorted[i]) {
+      continue;
+    }
+    out.push_back({sorted[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+std::vector<CdfBuilder::Point> CdfBuilder::build_uniform(std::size_t n) const {
+  std::vector<Point> out;
+  if (samples_.empty() || n == 0) {
+    return out;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted.front();
+  const double hi = sorted.back();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac = n == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    const double x = lo + (hi - lo) * frac;
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    out.push_back({x, static_cast<double>(it - sorted.begin()) / static_cast<double>(sorted.size())});
+  }
+  return out;
+}
+
+}  // namespace erms::metrics

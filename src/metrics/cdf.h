@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace erms::metrics {
+
+/// Builds an empirical CDF from samples (paper Fig. 4: CDF of data accesses
+/// over time).
+class CdfBuilder {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  struct Point {
+    double x;
+    double p;  // P(X <= x)
+  };
+
+  /// The full empirical CDF (one point per distinct sample value).
+  [[nodiscard]] std::vector<Point> build() const;
+
+  /// CDF evaluated at `n` evenly spaced x positions across the sample range.
+  [[nodiscard]] std::vector<Point> build_uniform(std::size_t n) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace erms::metrics

@@ -1,0 +1,52 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace erms::metrics {
+
+void StatsSummary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatsSummary::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double StatsSummary::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatsSummary::stddev() const { return std::sqrt(variance()); }
+
+double PercentileTracker::percentile(double p) const {
+  assert(!values_.empty());
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  if (p <= 0.0) {
+    return values_.front();
+  }
+  if (p >= 100.0) {
+    return values_.back();
+  }
+  const double idx = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) {
+    return values_.back();
+  }
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+}  // namespace erms::metrics

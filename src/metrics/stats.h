@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace erms::metrics {
+
+/// Streaming summary statistics (Welford's algorithm for the variance).
+class StatsSummary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Exact percentile over a retained sample set (sorts on demand).
+class PercentileTracker {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+
+  /// Percentile in [0, 100] by linear interpolation. Precondition: count()>0.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_{false};
+};
+
+}  // namespace erms::metrics

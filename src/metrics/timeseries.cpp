@@ -1,0 +1,60 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace erms::metrics {
+
+double TimeSeries::value_at(sim::SimTime t) const {
+  assert(!points_.empty());
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](sim::SimTime lhs, const Point& p) { return lhs < p.time; });
+  if (it == points_.begin()) {
+    return points_.front().value;
+  }
+  return std::prev(it)->value;
+}
+
+double TimeSeries::time_weighted_mean(sim::SimTime from, sim::SimTime to) const {
+  assert(!points_.empty());
+  assert(from < to);
+  double area = 0.0;
+  sim::SimTime cursor = from;
+  double current = value_at(from);
+  for (const Point& p : points_) {
+    if (p.time <= from) {
+      continue;
+    }
+    if (p.time >= to) {
+      break;
+    }
+    area += current * (p.time - cursor).seconds();
+    cursor = p.time;
+    current = p.value;
+  }
+  area += current * (to - cursor).seconds();
+  return area / (to - from).seconds();
+}
+
+std::vector<TimeSeries::Point> TimeSeries::resampled(std::size_t n) const {
+  if (points_.empty() || n == 0) {
+    return {};
+  }
+  if (points_.size() <= n) {
+    return points_;
+  }
+  std::vector<Point> out;
+  out.reserve(n);
+  const sim::SimTime t0 = points_.front().time;
+  const sim::SimTime t1 = points_.back().time;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac = n == 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    const sim::SimTime t{t0.micros() +
+                         static_cast<std::int64_t>(frac * static_cast<double>((t1 - t0).micros()))};
+    out.push_back({t, value_at(t)});
+  }
+  return out;
+}
+
+}  // namespace erms::metrics

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace erms::metrics {
+
+/// A (time, value) series sampled from a running simulation, e.g. storage
+/// utilisation over the course of an experiment (paper Fig. 5).
+class TimeSeries {
+ public:
+  struct Point {
+    sim::SimTime time;
+    double value;
+  };
+
+  void record(sim::SimTime t, double value) { points_.push_back({t, value}); }
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Value at time `t` (step interpolation: last sample at or before `t`;
+  /// the first sample's value if `t` precedes it). Precondition: !empty().
+  [[nodiscard]] double value_at(sim::SimTime t) const;
+
+  /// Time-weighted average over [from, to]. Precondition: !empty(), from<to.
+  [[nodiscard]] double time_weighted_mean(sim::SimTime from, sim::SimTime to) const;
+
+  /// Downsample to at most `n` evenly spaced points over the series' span
+  /// (used when printing figure series).
+  [[nodiscard]] std::vector<Point> resampled(std::size_t n) const;
+
+ private:
+  std::vector<Point> points_;  // non-decreasing in time
+};
+
+}  // namespace erms::metrics

@@ -1,0 +1,238 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace erms::net {
+
+namespace {
+// A flow is considered drained when this many bytes (or fewer) remain; the
+// fluid model accumulates tiny floating-point residues.
+constexpr double kEpsilonBytes = 1e-3;
+}  // namespace
+
+NetworkModel::NetworkModel(sim::Simulation& simulation, FabricSpec spec)
+    : sim_(simulation), spec_(std::move(spec)) {
+  if (spec_.nodes.empty()) {
+    throw std::invalid_argument("NetworkModel: no nodes");
+  }
+  for (const auto& node : spec_.nodes) {
+    if (node.rack >= spec_.rack_count) {
+      throw std::invalid_argument("NetworkModel: node rack out of range");
+    }
+    links_.push_back(Link{node.disk_bw});
+    links_.push_back(Link{node.nic_bw});
+    links_.push_back(Link{node.nic_bw});
+  }
+  for (std::size_t r = 0; r < spec_.rack_count; ++r) {
+    links_.push_back(Link{spec_.rack_uplink_bw});
+    links_.push_back(Link{spec_.rack_uplink_bw});
+  }
+}
+
+FlowId NetworkModel::start_flow(std::size_t src, std::size_t dst, std::uint64_t bytes,
+                                FlowOptions options, CompletionFn on_done) {
+  assert(src < spec_.nodes.size() && dst < spec_.nodes.size());
+  const FlowId id = flow_ids_.next();
+
+  Flow flow;
+  flow.id = id;
+  flow.remaining = static_cast<double>(bytes);
+  flow.total_bytes = bytes;
+  flow.max_rate = options.max_rate;
+  flow.last_update = sim_.now();
+  flow.on_done = std::move(on_done);
+
+  if (options.src_disk) {
+    flow.path.push_back(disk_link(src));
+  }
+  if (src != dst) {
+    flow.path.push_back(nic_out_link(src));
+    const std::size_t src_rack = spec_.nodes[src].rack;
+    const std::size_t dst_rack = spec_.nodes[dst].rack;
+    if (src_rack != dst_rack) {
+      flow.inter_rack = true;
+      flow.path.push_back(uplink_out_link(src_rack));
+      flow.path.push_back(uplink_in_link(dst_rack));
+    }
+    flow.path.push_back(nic_in_link(dst));
+  }
+  if (options.dst_disk && !(src == dst && options.src_disk)) {
+    // A same-node copy with both ends on disk shares one spindle; model it as
+    // a single disk-link traversal (already added above).
+    flow.path.push_back(disk_link(dst));
+  }
+  if (flow.path.empty()) {
+    // Memory-to-memory on one node: effectively instantaneous; finish on the
+    // next event so callers still see asynchronous completion.
+    flow.path.push_back(disk_link(src));
+  }
+
+  advance_progress();
+  flows_.emplace(id, std::move(flow));
+  rebalance();
+  return id;
+}
+
+void NetworkModel::cancel_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  advance_progress();
+  it->second.completion.cancel();
+  flows_.erase(it);
+  rebalance();
+}
+
+double NetworkModel::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void NetworkModel::advance_progress() {
+  const sim::SimTime now = sim_.now();
+  for (auto& [id, flow] : flows_) {
+    const double elapsed = (now - flow.last_update).seconds();
+    if (elapsed > 0.0) {
+      flow.remaining = std::max(0.0, flow.remaining - flow.rate * elapsed);
+    }
+    flow.last_update = now;
+  }
+}
+
+void NetworkModel::rebalance() {
+  // Progressive filling (max-min fairness): repeatedly find the most
+  // constrained link, freeze its flows at the equal share, remove that
+  // capacity, and continue until every flow is frozen.
+  struct LinkState {
+    double remaining_capacity;
+    std::size_t unfrozen_flows{0};
+  };
+  std::vector<LinkState> state(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    state[i].remaining_capacity = links_[i].capacity;
+  }
+  for (auto& [id, flow] : flows_) {
+    flow.rate = -1.0;  // unfrozen marker
+    for (const std::size_t link : flow.path) {
+      ++state[link].unfrozen_flows;
+    }
+  }
+
+  std::size_t unfrozen = flows_.size();
+  while (unfrozen > 0) {
+    // Bottleneck link: minimum per-flow share among links with unfrozen flows.
+    double min_share = std::numeric_limits<double>::infinity();
+    for (const auto& link : state) {
+      if (link.unfrozen_flows > 0) {
+        min_share = std::min(min_share,
+                             link.remaining_capacity / static_cast<double>(link.unfrozen_flows));
+      }
+    }
+    assert(min_share < std::numeric_limits<double>::infinity());
+    min_share = std::max(min_share, 0.0);
+
+    // Rate-capped flows whose ceiling is below the fair share freeze at the
+    // cap first (weighted-fairness with per-flow ceilings); the loop then
+    // recomputes shares with their capacity released to the others.
+    bool froze_capped = false;
+    for (auto& [id, flow] : flows_) {
+      if (flow.rate >= 0.0 || flow.max_rate <= 0.0 || flow.max_rate >= min_share) {
+        continue;
+      }
+      flow.rate = flow.max_rate;
+      froze_capped = true;
+      --unfrozen;
+      for (const std::size_t link : flow.path) {
+        state[link].remaining_capacity =
+            std::max(0.0, state[link].remaining_capacity - flow.max_rate);
+        --state[link].unfrozen_flows;
+      }
+    }
+    if (froze_capped) {
+      continue;
+    }
+
+    // Freeze every unfrozen flow that crosses a link achieving that share.
+    bool froze_any = false;
+    for (auto& [id, flow] : flows_) {
+      if (flow.rate >= 0.0) {
+        continue;
+      }
+      bool bottlenecked = false;
+      for (const std::size_t link : flow.path) {
+        const auto& ls = state[link];
+        if (ls.unfrozen_flows > 0 &&
+            ls.remaining_capacity / static_cast<double>(ls.unfrozen_flows) <=
+                min_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) {
+        continue;
+      }
+      flow.rate = flow.max_rate > 0.0 ? std::min(min_share, flow.max_rate) : min_share;
+      froze_any = true;
+      --unfrozen;
+      for (const std::size_t link : flow.path) {
+        state[link].remaining_capacity =
+            std::max(0.0, state[link].remaining_capacity - flow.rate);
+        --state[link].unfrozen_flows;
+      }
+    }
+    assert(froze_any);
+    if (!froze_any) {
+      break;  // defensive: avoid an infinite loop under FP pathology
+    }
+  }
+
+  // Reschedule completion events at the new rates.
+  for (auto& [id, flow] : flows_) {
+    flow.completion.cancel();
+    const FlowId fid = id;
+    if (flow.remaining <= kEpsilonBytes) {
+      flow.completion = sim_.schedule_after(sim::micros(0), [this, fid] { complete_flow(fid); });
+      continue;
+    }
+    if (flow.rate <= 0.0) {
+      continue;  // fully blocked; will be rescheduled on the next rebalance
+    }
+    // Round the completion up to the next microsecond so the event fires at
+    // or after the fluid model's drain time, never a fraction early.
+    const double secs = flow.remaining / flow.rate;
+    const auto micros = static_cast<std::int64_t>(std::ceil(secs * 1e6)) + 1;
+    flow.completion =
+        sim_.schedule_after(sim::micros(micros), [this, fid] { complete_flow(fid); });
+  }
+}
+
+void NetworkModel::complete_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  advance_progress();
+  if (it->second.remaining > kEpsilonBytes) {
+    // Spurious wake-up (the flow's rate dropped since this event was
+    // scheduled); recompute rates and reschedule everyone's completions.
+    rebalance();
+    return;
+  }
+  bytes_completed_ += it->second.total_bytes;
+  if (it->second.inter_rack) {
+    inter_rack_bytes_ += it->second.total_bytes;
+  }
+  CompletionFn on_done = std::move(it->second.on_done);
+  flows_.erase(it);
+  rebalance();
+  if (on_done) {
+    on_done(id);
+  }
+}
+
+}  // namespace erms::net

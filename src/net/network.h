@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "util/ids.h"
+
+namespace erms::net {
+
+struct FlowTag {};
+using FlowId = util::StrongId<FlowTag>;
+
+/// Static description of the cluster fabric.
+struct FabricSpec {
+  struct Node {
+    std::size_t rack{0};
+    double nic_bw{125.0e6};   // bytes/s (GbE ≈ 125 MB/s)
+    double disk_bw{80.0e6};   // bytes/s (2012-era SATA)
+  };
+  std::vector<Node> nodes;
+  std::size_t rack_count{1};
+  /// Per-rack uplink to the core switch, each direction. An oversubscribed
+  /// fabric has rack_uplink_bw < sum of member NIC bandwidth.
+  double rack_uplink_bw{500.0e6};
+};
+
+/// Event-driven fluid-flow network model with max-min fair bandwidth
+/// sharing. Every transfer (block read, replication pipeline hop) is a flow
+/// whose path claims capacity on: the source disk (optional), source NIC,
+/// rack uplinks when crossing racks, destination NIC, and destination disk
+/// (optional, for writes). Rates are recomputed by progressive filling each
+/// time a flow starts or finishes; completions are scheduled on the
+/// simulation clock.
+///
+/// This is what makes replica count matter in the experiments: a single
+/// replica's node saturates its disk/NIC as readers pile on, while extra
+/// replicas on other nodes add capacity (paper Figs. 6, 8, 9).
+class NetworkModel {
+ public:
+  struct FlowOptions {
+    bool src_disk = true;   // transfer reads from the source disk
+    bool dst_disk = false;  // transfer writes to the destination disk
+    /// Per-flow rate ceiling (bytes/s); 0 = uncapped. Models HDFS's
+    /// throttled balancer/re-replication streams
+    /// (dfs.datanode.balance.bandwidthPerSec).
+    double max_rate = 0.0;
+  };
+  using CompletionFn = std::function<void(FlowId)>;
+
+  NetworkModel(sim::Simulation& simulation, FabricSpec spec);
+
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  /// Start a transfer of `bytes` from node `src` to node `dst` (indices into
+  /// the spec). src == dst models a local read (disk-only path). `on_done`
+  /// fires on the simulation clock when the last byte arrives.
+  FlowId start_flow(std::size_t src, std::size_t dst, std::uint64_t bytes,
+                    FlowOptions options, CompletionFn on_done);
+
+  /// Abort a flow; its completion callback never fires. No-op if already
+  /// finished.
+  void cancel_flow(FlowId id);
+
+  /// Current rate (bytes/s) of an active flow; 0 if finished/unknown.
+  [[nodiscard]] double flow_rate(FlowId id) const;
+
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return spec_.nodes.size(); }
+  [[nodiscard]] const FabricSpec& spec() const { return spec_; }
+
+  /// Aggregate counters for the experiment harnesses.
+  [[nodiscard]] std::uint64_t total_bytes_completed() const { return bytes_completed_; }
+  [[nodiscard]] std::uint64_t inter_rack_bytes() const { return inter_rack_bytes_; }
+
+ private:
+  // Link ids are indices into links_: per node disk / nic_out / nic_in, then
+  // per rack uplink_out / uplink_in.
+  struct Link {
+    double capacity;
+  };
+  struct Flow {
+    FlowId id;
+    std::vector<std::size_t> path;  // link indices
+    double remaining;               // bytes
+    double max_rate{0.0};           // 0 = uncapped
+    double rate{0.0};               // bytes/s
+    sim::SimTime last_update;
+    bool inter_rack{false};
+    std::uint64_t total_bytes{0};
+    CompletionFn on_done;
+    sim::EventHandle completion;
+  };
+
+  [[nodiscard]] std::size_t disk_link(std::size_t node) const { return node * 3; }
+  [[nodiscard]] std::size_t nic_out_link(std::size_t node) const { return node * 3 + 1; }
+  [[nodiscard]] std::size_t nic_in_link(std::size_t node) const { return node * 3 + 2; }
+  [[nodiscard]] std::size_t uplink_out_link(std::size_t rack) const {
+    return spec_.nodes.size() * 3 + rack * 2;
+  }
+  [[nodiscard]] std::size_t uplink_in_link(std::size_t rack) const {
+    return spec_.nodes.size() * 3 + rack * 2 + 1;
+  }
+
+  /// Charge progress to every flow for time elapsed since its last update.
+  void advance_progress();
+
+  /// Recompute all flow rates (progressive filling) and reschedule
+  /// completion events.
+  void rebalance();
+
+  void complete_flow(FlowId id);
+
+  sim::Simulation& sim_;
+  FabricSpec spec_;
+  std::vector<Link> links_;
+  std::unordered_map<FlowId, Flow> flows_;
+  util::IdGenerator<FlowId> flow_ids_{1};
+  std::uint64_t bytes_completed_{0};
+  std::uint64_t inter_rack_bytes_{0};
+};
+
+}  // namespace erms::net

@@ -1,0 +1,73 @@
+#include "sim/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace erms::sim {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return std::uniform_real_distribution<double>{lo, hi}(engine_);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  return std::exponential_distribution<double>{1.0 / mean}(engine_);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  return std::poisson_distribution<std::int64_t>{mean}(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>{mu, sigma}(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return std::bernoulli_distribution{p}(engine_);
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent) : exponent_(exponent) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  }
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k), exponent);
+    cdf_[k - 1] = sum;
+  }
+  for (double& v : cdf_) {
+    v /= sum;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform_real(0.0, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  assert(k >= 1 && k <= cdf_.size());
+  const double lo = (k == 1) ? 0.0 : cdf_[k - 2];
+  return cdf_[k - 1] - lo;
+}
+
+}  // namespace erms::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace erms::sim {
+
+/// Deterministic random source for a simulation run. One instance per run,
+/// seeded explicitly, so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Exponentially distributed value with the given mean (>0).
+  double exponential(double mean);
+
+  /// Poisson-distributed count with the given mean (>=0).
+  std::int64_t poisson(double mean);
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Shuffle a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed ranks in [1, n]: P(k) ∝ 1/k^s. Used to model heavy-tailed
+/// file popularity (paper §V: "data access patterns in HDFS clusters are
+/// heavy-tailed"). The CDF is precomputed once; sampling is a binary search.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t n() const { return cdf_.size(); }
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+  /// Sample a rank in [1, n].
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank k (1-based).
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
+};
+
+}  // namespace erms::sim

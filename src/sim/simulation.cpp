@@ -1,0 +1,32 @@
+#include "sim/simulation.h"
+
+namespace erms::sim {
+
+bool Simulation::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  EventQueue::Fired fired = queue_.pop();
+  now_ = fired.time;
+  ++events_executed_;
+  fired.fn();
+  return true;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulation::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace erms::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace erms::sim {
+
+/// Discrete-event simulation driver: a virtual clock plus the event queue.
+/// All simulated components hold a reference to one Simulation and schedule
+/// callbacks on it; `run()` advances the clock event by event.
+class Simulation {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time.
+  EventHandle schedule_after(SimDuration delay, EventQueue::Callback fn) {
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  EventHandle schedule_at(SimTime at, EventQueue::Callback fn) {
+    return queue_.schedule(at < now_ ? now_ : at, std::move(fn));
+  }
+
+  /// Run one event. Returns false if the queue was empty.
+  bool step();
+
+  /// Run until the queue drains or `stop()` is called.
+  void run();
+
+  /// Run until the virtual clock reaches `deadline` (events at exactly
+  /// `deadline` are executed). The clock is advanced to `deadline` even if
+  /// the queue drains earlier.
+  void run_until(SimTime deadline);
+
+  /// Ask a running `run()`/`run_until()` loop to return after the current
+  /// event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  SimTime now_{};
+  EventQueue queue_;
+  bool stopped_{false};
+  std::uint64_t events_executed_{0};
+};
+
+}  // namespace erms::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace erms::sim {
+
+/// Simulated time, in integer microseconds since simulation start.
+/// An integer representation keeps event ordering exact — no floating-point
+/// drift when summing many small transfer times.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+  [[nodiscard]] constexpr double hours() const { return seconds() / 3600.0; }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) { return a.micros_ == b.micros_; }
+  friend constexpr bool operator!=(SimTime a, SimTime b) { return a.micros_ != b.micros_; }
+  friend constexpr bool operator<(SimTime a, SimTime b) { return a.micros_ < b.micros_; }
+  friend constexpr bool operator<=(SimTime a, SimTime b) { return a.micros_ <= b.micros_; }
+  friend constexpr bool operator>(SimTime a, SimTime b) { return a.micros_ > b.micros_; }
+  friend constexpr bool operator>=(SimTime a, SimTime b) { return a.micros_ >= b.micros_; }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.seconds() << "s";
+  }
+
+ private:
+  std::int64_t micros_{0};
+};
+
+/// A span of simulated time; separate type so `time + time` does not compile.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  friend constexpr bool operator==(SimDuration a, SimDuration b) { return a.micros_ == b.micros_; }
+  friend constexpr bool operator!=(SimDuration a, SimDuration b) { return a.micros_ != b.micros_; }
+  friend constexpr bool operator<(SimDuration a, SimDuration b) { return a.micros_ < b.micros_; }
+  friend constexpr bool operator<=(SimDuration a, SimDuration b) { return a.micros_ <= b.micros_; }
+  friend constexpr bool operator>(SimDuration a, SimDuration b) { return a.micros_ > b.micros_; }
+  friend constexpr bool operator>=(SimDuration a, SimDuration b) { return a.micros_ >= b.micros_; }
+
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration{a.micros_ + b.micros_};
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration{a.micros_ - b.micros_};
+  }
+  friend constexpr SimDuration operator*(SimDuration d, std::int64_t k) {
+    return SimDuration{d.micros_ * k};
+  }
+
+ private:
+  std::int64_t micros_{0};
+};
+
+constexpr SimTime operator+(SimTime t, SimDuration d) { return SimTime{t.micros() + d.micros()}; }
+constexpr SimTime operator-(SimTime t, SimDuration d) { return SimTime{t.micros() - d.micros()}; }
+constexpr SimDuration operator-(SimTime a, SimTime b) { return SimDuration{a.micros() - b.micros()}; }
+
+constexpr SimDuration micros(std::int64_t n) { return SimDuration{n}; }
+constexpr SimDuration millis(std::int64_t n) { return SimDuration{n * 1000}; }
+constexpr SimDuration seconds(double s) {
+  return SimDuration{static_cast<std::int64_t>(s * 1e6)};
+}
+constexpr SimDuration minutes(double m) { return seconds(m * 60.0); }
+constexpr SimDuration hours(double h) { return seconds(h * 3600.0); }
+
+}  // namespace erms::sim

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace erms::util {
+
+/// Byte quantities. Plain u64 with named constructors so call sites read as
+/// `64 * MiB` rather than magic numbers.
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+inline constexpr std::uint64_t TiB = 1024ull * GiB;
+
+/// Render a byte count as a human-readable string ("1.50 GiB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace erms::util

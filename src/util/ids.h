@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace erms::util {
+
+/// Strongly typed integer id. Distinct `Tag` types produce incompatible ids,
+/// so a BlockId can never be passed where a NodeId is expected.
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return a.value_ > b.value_; }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) { return os << id.value_; }
+
+ private:
+  Rep value_{0};
+};
+
+/// Monotonically increasing id generator for a StrongId type.
+template <typename Id>
+class IdGenerator {
+ public:
+  constexpr explicit IdGenerator(typename Id::rep_type first = 0) : next_(first) {}
+  [[nodiscard]] Id next() { return Id{next_++}; }
+
+ private:
+  typename Id::rep_type next_;
+};
+
+}  // namespace erms::util
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<erms::util::StrongId<Tag, Rep>> {
+  size_t operator()(erms::util::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

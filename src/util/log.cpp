@@ -1,0 +1,35 @@
+#include "util/log.h"
+
+namespace erms::util {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::log(LogLevel level, const std::string& component, const std::string& message) {
+  if (!enabled(level)) {
+    return;
+  }
+  (*sink_) << '[' << level_name(level) << "] " << component << ": " << message << '\n';
+}
+
+Logger& Logger::null_logger() {
+  static Logger logger{nullptr, LogLevel::kOff};
+  return logger;
+}
+
+}  // namespace erms::util

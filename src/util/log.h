@@ -1,0 +1,36 @@
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace erms::util {
+
+enum class LogLevel { kDebug, kInfo, kWarn, kError, kOff };
+
+/// Minimal leveled logger. Library code logs through an injected `Logger&`
+/// (Core Guidelines I.3: no global mutable singletons in the libraries); the
+/// examples and benches construct one writing to stderr.
+class Logger {
+ public:
+  explicit Logger(std::ostream* sink = nullptr, LogLevel level = LogLevel::kInfo)
+      : sink_(sink), level_(level) {}
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return sink_ != nullptr && level >= level_ && level_ != LogLevel::kOff;
+  }
+
+  void log(LogLevel level, const std::string& component, const std::string& message);
+
+  /// A logger that drops everything; handy default for library constructors.
+  static Logger& null_logger();
+
+ private:
+  std::ostream* sink_;
+  LogLevel level_;
+};
+
+}  // namespace erms::util

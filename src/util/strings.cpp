@@ -1,0 +1,45 @@
+#include "util/strings.h"
+
+#include <cctype>
+
+namespace erms::util {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool split_key_value(std::string_view s, std::string_view& key, std::string_view& value) {
+  const std::size_t pos = s.find('=');
+  if (pos == std::string_view::npos) {
+    return false;
+  }
+  key = s.substr(0, pos);
+  value = s.substr(pos + 1);
+  return true;
+}
+
+}  // namespace erms::util

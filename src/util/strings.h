@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erms::util {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse the "key=value" form used by HDFS audit logs; returns false if there
+/// is no '=' in `s`.
+bool split_key_value(std::string_view s, std::string_view& key, std::string_view& value);
+
+}  // namespace erms::util

@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace erms::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("Table::add_row: more cells than headers");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::cell(std::uint64_t v) { return std::to_string(v); }
+std::string Table::cell(std::int64_t v) { return std::to_string(v); }
+std::string Table::cell(int v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+}  // namespace erms::util

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace erms::util {
+
+/// Column-aligned plain-text table, used by the benchmark harnesses to print
+/// the rows the paper's figures report. Also exports CSV for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; each cell is pre-formatted. Rows shorter than the header
+  /// are padded with empty cells, longer rows are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::uint64_t v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(int v);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Write the table with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Write RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace erms::util

@@ -1,0 +1,128 @@
+#include "workload/swim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <numbers>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace erms::workload {
+
+std::uint64_t Trace::total_input_bytes() const {
+  std::uint64_t total = 0;
+  std::unordered_map<std::string, std::uint64_t> sizes;
+  for (const FileSpec& f : files) {
+    sizes[f.path] = f.bytes;
+  }
+  for (const JobSpec& j : jobs) {
+    const auto it = sizes.find(j.input_path);
+    if (it != sizes.end()) {
+      total += it->second;
+    }
+  }
+  return total;
+}
+
+Trace SwimTraceGenerator::generate(std::uint64_t seed) const {
+  sim::Rng rng{seed};
+  Trace trace;
+
+  // Dataset: log-normal sizes clamped to [min, max].
+  trace.files.reserve(config_.file_count);
+  for (std::size_t i = 0; i < config_.file_count; ++i) {
+    FileSpec file;
+    file.path = "/data/part-" + std::to_string(i);
+    const double raw = rng.lognormal(config_.size_mu, config_.size_sigma);
+    file.bytes = std::clamp(static_cast<std::uint64_t>(raw), config_.min_file_bytes,
+                            config_.max_file_bytes);
+    trace.files.push_back(std::move(file));
+  }
+
+  // Per-epoch popularity: a Zipf rank permutation redrawn each epoch, so the
+  // head of the distribution (the hot files) rotates over the run.
+  const sim::ZipfDistribution zipf{config_.file_count, config_.zipf_exponent};
+  const std::int64_t epoch_us = std::max<std::int64_t>(1, config_.epoch.micros());
+  const std::int64_t duration_us = config_.duration.micros();
+  const auto epochs = static_cast<std::size_t>((duration_us + epoch_us - 1) / epoch_us);
+
+  std::vector<std::vector<std::size_t>> rank_to_file(epochs);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    std::vector<std::size_t>& perm = rank_to_file[e];
+    perm.resize(config_.file_count);
+    for (std::size_t i = 0; i < config_.file_count; ++i) {
+      perm[i] = i;
+    }
+    rng.shuffle(perm);
+  }
+
+  // Poisson arrivals with diurnal modulation (thinning).
+  const double base_rate = 1.0 / config_.mean_interarrival_s;  // jobs per second
+  const double peak_rate = base_rate * (1.0 + config_.diurnal_amplitude);
+  double t = 0.0;
+  const double horizon = config_.duration.seconds();
+  while (true) {
+    t += rng.exponential(1.0 / peak_rate);
+    if (t >= horizon) {
+      break;
+    }
+    const double phase = 2.0 * std::numbers::pi * t / (24.0 * 3600.0);
+    const double rate =
+        base_rate * (1.0 + config_.diurnal_amplitude * std::sin(phase));
+    if (!rng.chance(rate / peak_rate)) {
+      continue;  // thinned out
+    }
+    JobSpec job;
+    job.submit_time = sim::SimTime{static_cast<std::int64_t>(t * 1e6)};
+    const auto epoch = std::min<std::size_t>(
+        epochs - 1, static_cast<std::size_t>(job.submit_time.micros() / epoch_us));
+    const std::size_t rank = zipf.sample(rng);  // 1-based
+    job.input_path = trace.files[rank_to_file[epoch][rank - 1]].path;
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+void save_trace(const Trace& trace, std::ostream& os) {
+  os << "section,path,value\n";
+  for (const FileSpec& f : trace.files) {
+    os << "file," << f.path << ',' << f.bytes << '\n';
+  }
+  for (const JobSpec& j : trace.jobs) {
+    os << "job," << j.input_path << ',' << j.submit_time.micros() << '\n';
+  }
+}
+
+Trace load_trace(std::istream& is) {
+  Trace trace;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (first) {
+      first = false;  // header
+      continue;
+    }
+    const auto fields = util::split(line, ',');
+    if (fields.size() != 3) {
+      continue;
+    }
+    if (fields[0] == "file") {
+      FileSpec f;
+      f.path = std::string(fields[1]);
+      f.bytes = std::strtoull(std::string(fields[2]).c_str(), nullptr, 10);
+      trace.files.push_back(std::move(f));
+    } else if (fields[0] == "job") {
+      JobSpec j;
+      j.input_path = std::string(fields[1]);
+      j.submit_time =
+          sim::SimTime{std::strtoll(std::string(fields[2]).c_str(), nullptr, 10)};
+      trace.jobs.push_back(std::move(j));
+    }
+  }
+  return trace;
+}
+
+}  // namespace erms::workload

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+#include "util/bytes.h"
+
+namespace erms::workload {
+
+/// A file in the synthetic dataset.
+struct FileSpec {
+  std::string path;
+  std::uint64_t bytes{0};
+};
+
+/// One job in the trace: at `submit_time` a MapReduce job (or plain client)
+/// reads `input_path` end to end.
+struct JobSpec {
+  sim::SimTime submit_time;
+  std::string input_path;
+};
+
+/// A complete workload trace.
+struct Trace {
+  std::vector<FileSpec> files;
+  std::vector<JobSpec> jobs;
+
+  [[nodiscard]] std::uint64_t total_input_bytes() const;
+};
+
+/// Parameters of the SWIM-like synthesizer. SWIM (Statistical Workload
+/// Injector for MapReduce) replays distributions fitted to a Facebook
+/// production trace; the paper replays its 1-month 3000-machine trace
+/// (§IV.B). We synthesize from the published shape: heavy-tailed (Zipf) file
+/// popularity, log-normal input sizes, Poisson job arrivals, and per-epoch
+/// popularity churn so files heat up and cool down over the run (the
+/// lifecycle of §I: hot → cooled → normal → cold).
+struct SwimConfig {
+  std::size_t file_count = 200;
+  /// Zipf exponent of file popularity (~1.1 fits the Facebook trace tail).
+  double zipf_exponent = 1.1;
+  /// Log-normal parameters of file sizes (median ≈ 256 MiB).
+  double size_mu = 19.4;  // ln(256 MiB) ≈ 19.4
+  double size_sigma = 1.0;
+  std::uint64_t min_file_bytes = 64 * util::MiB;
+  std::uint64_t max_file_bytes = 8 * util::GiB;
+  /// Mean seconds between job submissions.
+  double mean_interarrival_s = 15.0;
+  sim::SimDuration duration = sim::hours(6.0);
+  /// Popularity is re-drawn every epoch: the hot set rotates.
+  sim::SimDuration epoch = sim::hours(1.0);
+  /// Arrival-rate modulation: rate(t) = base·(1 + diurnal_amplitude·sin).
+  double diurnal_amplitude = 0.6;
+};
+
+/// Deterministic trace synthesis for a given seed.
+class SwimTraceGenerator {
+ public:
+  explicit SwimTraceGenerator(SwimConfig config) : config_(config) {}
+
+  [[nodiscard]] Trace generate(std::uint64_t seed) const;
+
+  [[nodiscard]] const SwimConfig& config() const { return config_; }
+
+ private:
+  SwimConfig config_;
+};
+
+/// CSV persistence: "files" section then "jobs" section. Round-trips through
+/// load_trace.
+void save_trace(const Trace& trace, std::ostream& os);
+Trace load_trace(std::istream& is);
+
+}  // namespace erms::workload

@@ -1,0 +1,78 @@
+#include "workload/swim_format.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace erms::workload {
+
+std::vector<SwimJobRecord> parse_swim_file(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_swim_text(buffer.str());
+}
+
+std::vector<SwimJobRecord> parse_swim_text(const std::string& text) {
+  std::vector<SwimJobRecord> records;
+  for (const std::string_view line : util::split(text, '\n')) {
+    const auto fields = util::split(util::trim(line), '\t');
+    if (fields.size() < 6) {
+      continue;
+    }
+    SwimJobRecord rec;
+    rec.job_id = std::string(fields[0]);
+    char* end = nullptr;
+    const std::string submit(fields[1]);
+    rec.submit_time_s = std::strtod(submit.c_str(), &end);
+    if (end == submit.c_str() || rec.submit_time_s < 0.0) {
+      continue;
+    }
+    rec.inter_job_gap_s = std::strtod(std::string(fields[2]).c_str(), nullptr);
+    rec.map_input_bytes = std::strtoull(std::string(fields[3]).c_str(), nullptr, 10);
+    rec.shuffle_bytes = std::strtoull(std::string(fields[4]).c_str(), nullptr, 10);
+    rec.reduce_output_bytes =
+        std::strtoull(std::string(fields[5]).c_str(), nullptr, 10);
+    if (rec.job_id.empty() || rec.map_input_bytes == 0) {
+      continue;
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+Trace import_swim(const std::vector<SwimJobRecord>& records,
+                  const SwimImportOptions& options) {
+  Trace trace;
+  // Distinct (rounded) input sizes become shared input files.
+  std::map<std::uint64_t, std::string> file_by_size;
+  for (const SwimJobRecord& rec : records) {
+    const std::uint64_t clamped =
+        std::clamp(rec.map_input_bytes, options.min_file_bytes, options.max_file_bytes);
+    const std::uint64_t bucket = std::max<std::uint64_t>(1, options.size_bucket_bytes);
+    std::uint64_t rounded = (clamped + bucket - 1) / bucket * bucket;
+    rounded = std::min(rounded, options.max_file_bytes);
+
+    auto it = file_by_size.find(rounded);
+    if (it == file_by_size.end()) {
+      FileSpec file;
+      file.path = options.path_prefix + std::to_string(file_by_size.size());
+      file.bytes = rounded;
+      it = file_by_size.emplace(rounded, file.path).first;
+      trace.files.push_back(std::move(file));
+    }
+    JobSpec job;
+    const double at = rec.submit_time_s / std::max(1e-9, options.time_compression);
+    job.submit_time = sim::SimTime{static_cast<std::int64_t>(at * 1e6)};
+    job.input_path = it->second;
+    trace.jobs.push_back(std::move(job));
+  }
+  std::sort(trace.jobs.begin(), trace.jobs.end(),
+            [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+  return trace;
+}
+
+}  // namespace erms::workload

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/swim.h"
+
+namespace erms::workload {
+
+/// One record of a SWIM workload file. SWIM (the Statistical Workload
+/// Injector for MapReduce the paper replays, ref. [17]) publishes its
+/// Facebook traces as tab-separated lines:
+///
+///   job_id \t submit_time_s \t inter_job_gap_s \t map_input_bytes \t
+///   shuffle_bytes \t reduce_output_bytes
+///
+struct SwimJobRecord {
+  std::string job_id;
+  double submit_time_s{0.0};
+  double inter_job_gap_s{0.0};
+  std::uint64_t map_input_bytes{0};
+  std::uint64_t shuffle_bytes{0};
+  std::uint64_t reduce_output_bytes{0};
+};
+
+/// Parse a SWIM-format trace file; malformed lines are skipped.
+std::vector<SwimJobRecord> parse_swim_file(std::istream& is);
+std::vector<SwimJobRecord> parse_swim_text(const std::string& text);
+
+/// Options for converting SWIM records into a replayable Trace.
+struct SwimImportOptions {
+  /// SWIM replay materialises one input file per distinct input size
+  /// (rounded to this granularity); jobs with equal rounded sizes share a
+  /// file, which is how popularity skew appears during replay.
+  std::uint64_t size_bucket_bytes = 64 * util::MiB;
+  /// Clamp tiny/huge inputs to a simulable range.
+  std::uint64_t min_file_bytes = 64 * util::MiB;
+  std::uint64_t max_file_bytes = 8 * util::GiB;
+  /// Compress the trace's wall-clock: replayed submit time = original/x.
+  double time_compression = 1.0;
+  std::string path_prefix = "/swim/input-";
+};
+
+/// Build a Trace (files + job submissions) from SWIM records.
+Trace import_swim(const std::vector<SwimJobRecord>& records,
+                  const SwimImportOptions& options = {});
+
+}  // namespace erms::workload

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "audit/audit.h"
+
+namespace erms::audit {
+namespace {
+
+AuditEvent sample_event() {
+  AuditEvent e;
+  e.time = sim::SimTime{3'725'123'000};  // 01:02:05.123
+  e.allowed = true;
+  e.ugi = "hadoop";
+  e.ip = "/10.0.1.7";
+  e.cmd = "open";
+  e.src = "/data/part-0001";
+  return e;
+}
+
+TEST(AuditFormat, LineShape) {
+  const std::string line = sample_event().to_line();
+  EXPECT_NE(line.find("INFO FSNamesystem.audit:"), std::string::npos);
+  EXPECT_NE(line.find("allowed=true"), std::string::npos);
+  EXPECT_NE(line.find("ugi=hadoop"), std::string::npos);
+  EXPECT_NE(line.find("ip=/10.0.1.7"), std::string::npos);
+  EXPECT_NE(line.find("cmd=open"), std::string::npos);
+  EXPECT_NE(line.find("src=/data/part-0001"), std::string::npos);
+  EXPECT_NE(line.find("dst=null"), std::string::npos);
+  EXPECT_NE(line.find("01:02:05,123"), std::string::npos);
+}
+
+TEST(AuditFormat, ExtensionsOnlyWhenPresent) {
+  AuditEvent e = sample_event();
+  EXPECT_EQ(e.to_line().find("blk="), std::string::npos);
+  e.block = 42;
+  e.datanode = 7;
+  const std::string line = e.to_line();
+  EXPECT_NE(line.find("blk=42"), std::string::npos);
+  EXPECT_NE(line.find("dn=7"), std::string::npos);
+}
+
+TEST(AuditParse, RoundTrip) {
+  AuditEvent e = sample_event();
+  e.block = 11;
+  e.datanode = 3;
+  const auto parsed = AuditLogParser::parse_line(e.to_line());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->time, e.time);
+  EXPECT_EQ(parsed->allowed, e.allowed);
+  EXPECT_EQ(parsed->ugi, e.ugi);
+  EXPECT_EQ(parsed->ip, e.ip);
+  EXPECT_EQ(parsed->cmd, e.cmd);
+  EXPECT_EQ(parsed->src, e.src);
+  EXPECT_EQ(parsed->block, e.block);
+  EXPECT_EQ(parsed->datanode, e.datanode);
+}
+
+TEST(AuditParse, RoundTripDenied) {
+  AuditEvent e = sample_event();
+  e.allowed = false;
+  const auto parsed = AuditLogParser::parse_line(e.to_line());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->allowed);
+}
+
+TEST(AuditParse, RealHadoopLine) {
+  const auto parsed = AuditLogParser::parse_line(
+      "2012-05-03 14:21:07,987 INFO FSNamesystem.audit: allowed=true "
+      "ugi=webuser ip=/10.0.2.14 cmd=open src=/logs/day1 dst=null perm=null");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cmd, "open");
+  EXPECT_EQ(parsed->src, "/logs/day1");
+  EXPECT_TRUE(parsed->dst.empty());
+  EXPECT_FALSE(parsed->block.has_value());
+}
+
+TEST(AuditParse, RejectsNonAuditLines) {
+  EXPECT_FALSE(AuditLogParser::parse_line("").has_value());
+  EXPECT_FALSE(AuditLogParser::parse_line("not an audit line at all").has_value());
+  EXPECT_FALSE(AuditLogParser::parse_line(
+                   "2012-05-03 14:21:07,987 INFO NameNode: something else entirely")
+                   .has_value());
+  // Missing cmd= field.
+  EXPECT_FALSE(AuditLogParser::parse_line(
+                   "2012-05-03 14:21:07,987 INFO FSNamesystem.audit: allowed=true")
+                   .has_value());
+}
+
+TEST(AuditParse, WholeLogSkipsJunk) {
+  const AuditEvent a = sample_event();
+  AuditEvent b = sample_event();
+  b.cmd = "create";
+  const std::string log =
+      a.to_line() + "\njunk line\n\n" + b.to_line() + "\ntrailing junk";
+  const auto events = AuditLogParser::parse(log);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].cmd, "open");
+  EXPECT_EQ(events[1].cmd, "create");
+}
+
+TEST(AuditCep, EventCarriesAttributes) {
+  AuditEvent e = sample_event();
+  e.block = 9;
+  e.datanode = 2;
+  const cep::Event ce = e.to_cep_event();
+  EXPECT_EQ(ce.type, "audit");
+  EXPECT_EQ(ce.time, e.time);
+  EXPECT_EQ(ce.attrs.get_string("cmd"), "open");
+  EXPECT_EQ(ce.attrs.get_string("src"), "/data/part-0001");
+  EXPECT_EQ(ce.attrs.get_int("blk"), 9);
+  EXPECT_EQ(ce.attrs.get_int("dn"), 2);
+  EXPECT_EQ(ce.attrs.get_bool("allowed"), true);
+}
+
+TEST(AuditCep, OmitsAbsentExtensions) {
+  const cep::Event ce = sample_event().to_cep_event();
+  EXPECT_FALSE(ce.attrs.contains("blk"));
+  EXPECT_FALSE(ce.attrs.contains("dn"));
+  EXPECT_FALSE(ce.attrs.contains("dst"));
+}
+
+TEST(AuditTimestamp, MultiDayRollover) {
+  AuditEvent e = sample_event();
+  e.time = sim::SimTime{(48ll * 3600 + 61) * 1'000'000};  // day 3, 00:01:01
+  const auto parsed = AuditLogParser::parse_line(e.to_line());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->time, e.time);
+}
+
+}  // namespace
+}  // namespace erms::audit

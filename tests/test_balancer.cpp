@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hdfs/balancer.h"
+#include "hdfs/cluster.h"
+
+namespace erms::hdfs {
+namespace {
+
+using util::MiB;
+
+struct Fixture {
+  sim::Simulation sim;
+  Topology topo;
+  std::unique_ptr<Cluster> cluster;
+
+  explicit Fixture(std::uint64_t capacity = 10 * util::GiB) {
+    DataNodeConfig node;
+    node.capacity_bytes = capacity;
+    topo = Topology::uniform(3, 4, node);
+    cluster = std::make_unique<Cluster>(sim, topo, ClusterConfig{});
+  }
+};
+
+/// Deliberately skew the cluster: every block of every file on the same
+/// three nodes (a tiny placement policy used only by these tests).
+class SkewedPolicy final : public PlacementPolicy {
+ public:
+  std::vector<NodeId> choose_targets(const Cluster& cluster, BlockId block,
+                                     std::size_t count, std::optional<NodeId>,
+                                     sim::Rng&) const override {
+    std::vector<NodeId> out;
+    for (std::uint32_t n = 0; n < count && n < cluster.node_count(); ++n) {
+      if (!cluster.node_has_block(NodeId{n}, block)) {
+        out.push_back(NodeId{n});
+      }
+    }
+    return out;
+  }
+  std::optional<NodeId> choose_replica_to_remove(const Cluster& cluster, BlockId block,
+                                                 sim::Rng&) const override {
+    const auto locs = cluster.locations(block);
+    return locs.empty() ? std::nullopt : std::optional<NodeId>(locs.back());
+  }
+  [[nodiscard]] std::string name() const override { return "skewed"; }
+};
+
+TEST(Balancer, BalancedClusterNeedsNoMoves) {
+  Fixture f;
+  for (int i = 0; i < 12; ++i) {
+    f.cluster->populate_file("/f" + std::to_string(i), 128 * MiB, 3);
+  }
+  Balancer balancer{*f.cluster};
+  Balancer::Report report;
+  balancer.run([&](const Balancer::Report& r) { report = r; });
+  f.sim.run();
+  EXPECT_TRUE(report.balanced);
+  EXPECT_EQ(report.moves, 0u);
+}
+
+TEST(Balancer, SkewedClusterGetsBalanced) {
+  Fixture f;
+  f.cluster->set_placement_policy(std::make_shared<SkewedPolicy>());
+  for (int i = 0; i < 10; ++i) {
+    f.cluster->populate_file("/f" + std::to_string(i), 256 * MiB, 3);
+  }
+  Balancer balancer{*f.cluster};
+  EXPECT_FALSE(balancer.is_balanced());
+  const double before_spread =
+      balancer.utilization(NodeId{0}) - balancer.utilization(NodeId{11});
+  EXPECT_GT(before_spread, 0.2);
+
+  Balancer::Report report;
+  balancer.run([&](const Balancer::Report& r) { report = r; });
+  f.sim.run();
+  EXPECT_TRUE(report.balanced);
+  EXPECT_GT(report.moves, 0u);
+  EXPECT_GT(report.bytes_moved, 0u);
+  EXPECT_GT(report.elapsed.seconds(), 0.0);
+  EXPECT_TRUE(balancer.is_balanced());
+}
+
+TEST(Balancer, PreservesReplicaCountAndDistinctness) {
+  Fixture f;
+  f.cluster->set_placement_policy(std::make_shared<SkewedPolicy>());
+  std::vector<FileId> files;
+  for (int i = 0; i < 6; ++i) {
+    files.push_back(*f.cluster->populate_file("/f" + std::to_string(i), 192 * MiB, 3));
+  }
+  Balancer balancer{*f.cluster};
+  balancer.run(nullptr);
+  f.sim.run();
+  for (const FileId file : files) {
+    const FileInfo* info = f.cluster->metadata().find(file);
+    for (const BlockId b : info->blocks) {
+      const auto locs = f.cluster->locations(b);
+      EXPECT_EQ(locs.size(), 3u);
+      const std::set<NodeId> distinct(locs.begin(), locs.end());
+      EXPECT_EQ(distinct.size(), 3u);
+    }
+  }
+}
+
+TEST(Balancer, PreservesRackSpread) {
+  Fixture f;
+  f.cluster->set_placement_policy(std::make_shared<SkewedPolicy>());
+  // Nodes 0..2 span rack 0 only? Topology::uniform(3,4): nodes 0-3 rack0,
+  // 4-7 rack1, 8-11 rack2 — the skewed policy puts replicas on 0,1,2 (one
+  // rack). The balancer must never reduce multi-rack blocks to one rack; a
+  // single-rack block is allowed to *gain* rack spread though.
+  const auto file = f.cluster->populate_file("/f", 256 * MiB, 3);
+  Balancer balancer{*f.cluster};
+  balancer.run(nullptr);
+  f.sim.run();
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  for (const BlockId b : info->blocks) {
+    EXPECT_EQ(f.cluster->locations(b).size(), 3u);
+  }
+}
+
+TEST(Balancer, MoveReplicaPrimitive) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 2);
+  const BlockId block = f.cluster->metadata().find(*file)->blocks[0];
+  const auto locs = f.cluster->locations(block);
+  // Find a node without the block.
+  NodeId target{0};
+  for (const NodeId n : f.cluster->nodes()) {
+    if (!f.cluster->node_has_block(n, block)) {
+      target = n;
+      break;
+    }
+  }
+  bool ok = false;
+  f.cluster->move_replica(block, locs.front(), target, [&](bool r) { ok = r; });
+  f.sim.run();
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(f.cluster->node_has_block(target, block));
+  EXPECT_FALSE(f.cluster->node_has_block(locs.front(), block));
+  EXPECT_EQ(f.cluster->locations(block).size(), 2u);
+}
+
+TEST(Balancer, MoveReplicaRejectsBadArguments) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 2);
+  const BlockId block = f.cluster->metadata().find(*file)->blocks[0];
+  const auto locs = f.cluster->locations(block);
+  bool ok = true;
+  // Target already holds the block.
+  f.cluster->move_replica(block, locs[0], locs[1], [&](bool r) { ok = r; });
+  f.sim.run();
+  EXPECT_FALSE(ok);
+  // Source does not hold the block.
+  NodeId outsider{0};
+  for (const NodeId n : f.cluster->nodes()) {
+    if (!f.cluster->node_has_block(n, block)) {
+      outsider = n;
+      break;
+    }
+  }
+  ok = true;
+  f.cluster->move_replica(block, outsider, outsider, [&](bool r) { ok = r; });
+  f.sim.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST(Balancer, UtilizationMath) {
+  Fixture f{/*capacity=*/1 * util::GiB};
+  f.cluster->set_placement_policy(std::make_shared<SkewedPolicy>());
+  f.cluster->populate_file("/f", 512 * util::MiB, 1);  // all on node 0
+  Balancer balancer{*f.cluster};
+  EXPECT_NEAR(balancer.utilization(NodeId{0}), 0.5, 1e-9);
+  EXPECT_NEAR(balancer.utilization(NodeId{5}), 0.0, 1e-9);
+  EXPECT_NEAR(balancer.mean_utilization(), 0.5 / 12.0, 1e-9);
+}
+
+TEST(Balancer, IgnoresNonServingNodes) {
+  Fixture f;
+  f.cluster->set_standby(NodeId{11});
+  Balancer balancer{*f.cluster};
+  // An empty standby node must not count as "under-utilised" imbalance.
+  EXPECT_TRUE(balancer.is_balanced());
+}
+
+TEST(Balancer, RespectsMoveCap) {
+  Fixture f;
+  f.cluster->set_placement_policy(std::make_shared<SkewedPolicy>());
+  for (int i = 0; i < 10; ++i) {
+    f.cluster->populate_file("/f" + std::to_string(i), 256 * MiB, 3);
+  }
+  Balancer::Config cfg;
+  cfg.max_moves = 2;
+  Balancer balancer{*f.cluster, cfg};
+  Balancer::Report report;
+  balancer.run([&](const Balancer::Report& r) { report = r; });
+  f.sim.run();
+  EXPECT_EQ(report.moves, 2u);
+  EXPECT_FALSE(report.balanced);
+}
+
+}  // namespace
+}  // namespace erms::hdfs

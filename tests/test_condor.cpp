@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "classad/parser.h"
+#include "condor/scheduler.h"
+#include "sim/simulation.h"
+
+namespace erms::condor {
+namespace {
+
+classad::ClassAd job_ad(const std::string& cmd) {
+  classad::ClassAd ad;
+  ad.insert_string("Cmd", cmd);
+  return ad;
+}
+
+struct Fixture {
+  sim::Simulation sim;
+  Scheduler sched{sim};
+};
+
+TEST(Scheduler, RunsImmediateJob) {
+  Fixture f;
+  int ran = 0;
+  f.sched.register_command("noop",
+                           [&](const classad::ClassAd&, std::function<void(bool)> done) {
+                             ++ran;
+                             done(true);
+                           });
+  JobStatus final_status{};
+  const JobId id = f.sched.submit(job_ad("noop"), JobClass::kImmediate, 0,
+                                  [&](const Job& j) { final_status = j.status; });
+  f.sim.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(final_status, JobStatus::kCompleted);
+  EXPECT_EQ(f.sched.find(id)->status, JobStatus::kCompleted);
+}
+
+TEST(Scheduler, UnknownCommandFails) {
+  Fixture f;
+  JobStatus final_status{};
+  f.sched.submit(job_ad("missing"), JobClass::kImmediate, 0,
+                 [&](const Job& j) { final_status = j.status; });
+  f.sim.run();
+  EXPECT_EQ(final_status, JobStatus::kFailed);
+}
+
+TEST(Scheduler, MissingCmdAttributeFails) {
+  Fixture f;
+  JobStatus final_status{};
+  f.sched.submit(classad::ClassAd{}, JobClass::kImmediate, 0,
+                 [&](const Job& j) { final_status = j.status; });
+  f.sim.run();
+  EXPECT_EQ(final_status, JobStatus::kFailed);
+}
+
+TEST(Scheduler, PriorityOrdersStarts) {
+  Fixture f;
+  Scheduler::Config cfg;
+  cfg.max_running = 1;
+  Scheduler sched{f.sim, cfg};
+  std::vector<int> order;
+  sched.register_command("task",
+                         [&](const classad::ClassAd& ad, std::function<void(bool)> done) {
+                           order.push_back(static_cast<int>(*ad.get_int("N")));
+                           // Finish after 1s so queued jobs wait.
+                           f.sim.schedule_after(sim::seconds(1.0), [done] { done(true); });
+                         });
+  for (int i = 0; i < 3; ++i) {
+    classad::ClassAd ad = job_ad("task");
+    ad.insert_int("N", i);
+    sched.submit(std::move(ad), JobClass::kImmediate, i);  // rising priority
+  }
+  f.sim.run();
+  // The pump runs after all three submissions land (submit defers it), so
+  // starts follow pure priority order.
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(Scheduler, MaxRunningThrottles) {
+  Fixture f;
+  Scheduler::Config cfg;
+  cfg.max_running = 2;
+  Scheduler sched{f.sim, cfg};
+  int concurrent = 0;
+  int peak = 0;
+  sched.register_command("slow",
+                         [&](const classad::ClassAd&, std::function<void(bool)> done) {
+                           peak = std::max(peak, ++concurrent);
+                           f.sim.schedule_after(sim::seconds(1.0), [&, done] {
+                             --concurrent;
+                             done(true);
+                           });
+                         });
+  for (int i = 0; i < 6; ++i) {
+    sched.submit(job_ad("slow"), JobClass::kImmediate);
+  }
+  f.sim.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(sched.jobs_in_status(JobStatus::kCompleted).size(), 6u);
+}
+
+TEST(Scheduler, WhenIdleWaitsForProbe) {
+  Fixture f;
+  bool idle = false;
+  f.sched.set_idle_probe([&] { return idle; });
+  double ran_at = -1.0;
+  f.sched.register_command("bg",
+                           [&](const classad::ClassAd&, std::function<void(bool)> done) {
+                             ran_at = f.sim.now().seconds();
+                             done(true);
+                           });
+  f.sched.submit(job_ad("bg"), JobClass::kWhenIdle);
+  f.sim.schedule_after(sim::seconds(60.0), [&] { idle = true; });
+  f.sim.run_until(sim::SimTime{sim::seconds(200.0).micros()});
+  // Started only after the probe flipped (>= 60s, found by the 5s poll).
+  ASSERT_GE(ran_at, 60.0);
+  EXPECT_LE(ran_at, 70.0);
+}
+
+TEST(Scheduler, ImmediateJobsIgnoreIdleProbe) {
+  Fixture f;
+  f.sched.set_idle_probe([] { return false; });
+  bool ran = false;
+  f.sched.register_command("now",
+                           [&](const classad::ClassAd&, std::function<void(bool)> done) {
+                             ran = true;
+                             done(true);
+                           });
+  f.sched.submit(job_ad("now"), JobClass::kImmediate);
+  f.sim.run_until(sim::SimTime{sim::seconds(1.0).micros()});
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, RollbackOnFailure) {
+  Fixture f;
+  bool rolled_back = false;
+  f.sched.register_command(
+      "flaky",
+      [](const classad::ClassAd&, std::function<void(bool)> done) { done(false); },
+      [&](const classad::ClassAd&, std::function<void()> finished) {
+        rolled_back = true;
+        finished();
+      });
+  JobStatus final_status{};
+  f.sched.submit(job_ad("flaky"), JobClass::kImmediate, 0,
+                 [&](const Job& j) { final_status = j.status; });
+  f.sim.run();
+  EXPECT_TRUE(rolled_back);
+  EXPECT_EQ(final_status, JobStatus::kRolledBack);
+}
+
+TEST(Scheduler, FailureWithoutRollbackIsFailed) {
+  Fixture f;
+  f.sched.register_command(
+      "bad", [](const classad::ClassAd&, std::function<void(bool)> done) { done(false); });
+  JobStatus final_status{};
+  f.sched.submit(job_ad("bad"), JobClass::kImmediate, 0,
+                 [&](const Job& j) { final_status = j.status; });
+  f.sim.run();
+  EXPECT_EQ(final_status, JobStatus::kFailed);
+}
+
+TEST(Scheduler, CancelQueuedJob) {
+  Fixture f;
+  Scheduler::Config cfg;
+  cfg.max_running = 1;
+  Scheduler sched{f.sim, cfg};
+  sched.register_command("slow",
+                         [&](const classad::ClassAd&, std::function<void(bool)> done) {
+                           f.sim.schedule_after(sim::seconds(10.0), [done] { done(true); });
+                         });
+  sched.submit(job_ad("slow"), JobClass::kImmediate);
+  const JobId second = sched.submit(job_ad("slow"), JobClass::kImmediate);
+  // Cancel before the first job finishes.
+  f.sim.schedule_after(sim::seconds(1.0), [&] { EXPECT_TRUE(sched.cancel(second)); });
+  f.sim.run();
+  EXPECT_EQ(sched.find(second)->status, JobStatus::kCancelled);
+  EXPECT_FALSE(sched.cancel(second));  // already terminal
+}
+
+TEST(Scheduler, JobTimestampsOrdered) {
+  Fixture f;
+  f.sched.register_command("noop",
+                           [&](const classad::ClassAd&, std::function<void(bool)> done) {
+                             f.sim.schedule_after(sim::seconds(2.0), [done] { done(true); });
+                           });
+  const JobId id = f.sched.submit(job_ad("noop"), JobClass::kImmediate);
+  f.sim.run();
+  const Job* job = f.sched.find(id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_LE(job->submitted, job->started);
+  EXPECT_LT(job->started, job->finished);
+  EXPECT_NEAR((job->finished - job->started).seconds(), 2.0, 1e-6);
+}
+
+// ---------- job log & replay ----------
+
+TEST(JobLog, RecordsLifecycle) {
+  Fixture f;
+  f.sched.register_command("noop", [](const classad::ClassAd&,
+                                      std::function<void(bool)> done) { done(true); });
+  const JobId id = f.sched.submit(job_ad("noop"), JobClass::kImmediate);
+  f.sim.run();
+  const auto& log = f.sched.log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].kind, JobLogRecord::Kind::kSubmit);
+  EXPECT_EQ(log[1].kind, JobLogRecord::Kind::kExecute);
+  EXPECT_EQ(log[2].kind, JobLogRecord::Kind::kTerminateOk);
+  EXPECT_EQ(log[0].job, id);
+  EXPECT_EQ(log[0].cmd, "noop");
+}
+
+TEST(JobLog, ReplayReconstructsStatuses) {
+  Fixture f;
+  f.sched.register_command("ok", [](const classad::ClassAd&,
+                                    std::function<void(bool)> done) { done(true); });
+  f.sched.register_command(
+      "fail",
+      [](const classad::ClassAd&, std::function<void(bool)> done) { done(false); },
+      [](const classad::ClassAd&, std::function<void()> fin) { fin(); });
+  const JobId a = f.sched.submit(job_ad("ok"), JobClass::kImmediate);
+  const JobId b = f.sched.submit(job_ad("fail"), JobClass::kImmediate);
+  const JobId c = f.sched.submit(job_ad("ok"), JobClass::kImmediate);
+  f.sim.run();
+  const auto statuses = replay_log(f.sched.log());
+  EXPECT_EQ(statuses.at(a), JobStatus::kCompleted);
+  EXPECT_EQ(statuses.at(b), JobStatus::kRolledBack);
+  EXPECT_EQ(statuses.at(c), JobStatus::kCompleted);
+  // Replay agrees with live state for every job.
+  for (const auto& [id, status] : statuses) {
+    EXPECT_EQ(f.sched.find(id)->status, status);
+  }
+}
+
+// ---------- machine ads ----------
+
+TEST(Machines, AdvertiseAndQuery) {
+  Fixture f;
+  for (int i = 0; i < 4; ++i) {
+    classad::ClassAd ad;
+    ad.insert_int("Node", i);
+    ad.insert_string("State", i < 2 ? "active" : "standby");
+    f.sched.advertise("dn" + std::to_string(i), std::move(ad));
+  }
+  EXPECT_EQ(f.sched.machine_count(), 4u);
+  const auto active = f.sched.query_machines("State == \"active\"");
+  EXPECT_EQ(active, (std::vector<std::string>{"dn0", "dn1"}));
+  const auto standby = f.sched.query_machines("State == \"standby\" && Node > 2");
+  EXPECT_EQ(standby, (std::vector<std::string>{"dn3"}));
+}
+
+TEST(Machines, AdvertiseRefreshes) {
+  Fixture f;
+  classad::ClassAd ad;
+  ad.insert_string("State", "standby");
+  f.sched.advertise("dn0", ad);
+  EXPECT_TRUE(f.sched.query_machines("State == \"active\"").empty());
+  ad.insert_string("State", "active");
+  f.sched.advertise("dn0", ad);
+  EXPECT_EQ(f.sched.query_machines("State == \"active\"").size(), 1u);
+}
+
+TEST(Machines, BadConstraintThrows) {
+  Fixture f;
+  f.sched.advertise("dn0", classad::ClassAd{});
+  EXPECT_THROW(f.sched.query_machines("State == "), classad::ParseError);
+}
+
+TEST(Machines, NonBooleanConstraintMatchesNothing) {
+  Fixture f;
+  classad::ClassAd ad;
+  ad.insert_int("Node", 1);
+  f.sched.advertise("dn0", ad);
+  EXPECT_TRUE(f.sched.query_machines("Node").empty());        // int, not bool
+  EXPECT_TRUE(f.sched.query_machines("Missing == 1").empty());  // undefined
+}
+
+TEST(Scheduler, TerminateCallbackCanSubmitFollowUp) {
+  // ERMS's executors chain jobs from terminate callbacks; re-entrancy into
+  // the scheduler must be safe.
+  Fixture f;
+  f.sched.register_command("noop", [](const classad::ClassAd&,
+                                      std::function<void(bool)> done) { done(true); });
+  int completed = 0;
+  f.sched.submit(job_ad("noop"), JobClass::kImmediate, 0, [&](const Job&) {
+    ++completed;
+    f.sched.submit(job_ad("noop"), JobClass::kImmediate, 0,
+                   [&](const Job&) { ++completed; });
+  });
+  f.sim.run();
+  EXPECT_EQ(completed, 2);
+}
+
+TEST(Machines, Invalidate) {
+  Fixture f;
+  f.sched.advertise("dn0", classad::ClassAd{});
+  EXPECT_TRUE(f.sched.invalidate("dn0"));
+  EXPECT_FALSE(f.sched.invalidate("dn0"));
+  EXPECT_EQ(f.sched.machine(std::string("dn0")), nullptr);
+}
+
+}  // namespace
+}  // namespace erms::condor

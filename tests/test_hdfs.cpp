@@ -1,0 +1,1021 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "hdfs/block_scanner.h"
+#include "hdfs/cluster.h"
+#include "hdfs/failure_detector.h"
+#include "hdfs/namespace.h"
+#include "hdfs/topology.h"
+
+namespace erms::hdfs {
+namespace {
+
+using util::MiB;
+
+struct Fixture {
+  sim::Simulation sim;
+  Topology topo;
+  std::unique_ptr<Cluster> cluster;
+
+  explicit Fixture(std::size_t racks = 3, std::size_t per_rack = 6, ClusterConfig cfg = {}) {
+    topo = Topology::uniform(racks, per_rack);
+    cluster = std::make_unique<Cluster>(sim, topo, cfg);
+  }
+};
+
+// ---------- topology ----------
+
+TEST(Topology, UniformLayout) {
+  const Topology t = Topology::uniform(3, 6);
+  EXPECT_EQ(t.rack_count(), 3u);
+  EXPECT_EQ(t.node_count(), 18u);
+  EXPECT_EQ(t.rack_of(NodeId{0}), RackId{0});
+  EXPECT_EQ(t.rack_of(NodeId{7}), RackId{1});
+  EXPECT_EQ(t.rack_of(NodeId{17}), RackId{2});
+  EXPECT_EQ(t.nodes_in_rack(RackId{1}).size(), 6u);
+}
+
+TEST(Topology, PerNodeConfig) {
+  Topology t;
+  const RackId r = t.add_rack();
+  DataNodeConfig big;
+  big.capacity_bytes = 1000;
+  const NodeId n = t.add_node(r, big);
+  EXPECT_EQ(t.config_of(n).capacity_bytes, 1000u);
+}
+
+// ---------- namespace ----------
+
+TEST(Namespace, SplitsIntoBlocks) {
+  Namespace ns;
+  const auto file = ns.create("/f", 200 * MiB, 64 * MiB, 3);
+  ASSERT_TRUE(file.has_value());
+  const FileInfo* info = ns.find(*file);
+  ASSERT_NE(info, nullptr);
+  ASSERT_EQ(info->blocks.size(), 4u);  // 64+64+64+8
+  EXPECT_EQ(ns.find_block(info->blocks[0])->size, 64 * MiB);
+  EXPECT_EQ(ns.find_block(info->blocks[3])->size, 8 * MiB);
+  EXPECT_EQ(ns.find_block(info->blocks[2])->index, 2u);
+}
+
+TEST(Namespace, RejectsDuplicatesAndEmpty) {
+  Namespace ns;
+  EXPECT_TRUE(ns.create("/f", MiB, MiB, 3).has_value());
+  EXPECT_FALSE(ns.create("/f", MiB, MiB, 3).has_value());
+  EXPECT_FALSE(ns.create("/g", 0, MiB, 3).has_value());
+}
+
+TEST(Namespace, LookupByPath) {
+  Namespace ns;
+  const auto file = ns.create("/a/b", MiB, MiB, 3);
+  EXPECT_EQ(ns.find_path("/a/b")->id, *file);
+  EXPECT_EQ(ns.find_path("/nope"), nullptr);
+}
+
+TEST(Namespace, RemoveReturnsAllBlocks) {
+  Namespace ns;
+  const auto file = ns.create("/f", 3 * MiB, MiB, 3);
+  ns.add_parity_block(*file, MiB);
+  const auto removed = ns.remove(*file);
+  EXPECT_EQ(removed.size(), 4u);
+  EXPECT_EQ(ns.find(*file), nullptr);
+  EXPECT_EQ(ns.file_count(), 0u);
+}
+
+TEST(Namespace, ParityLifecycle) {
+  Namespace ns;
+  const auto file = ns.create("/f", 2 * MiB, MiB, 3);
+  const BlockId p1 = ns.add_parity_block(*file, MiB);
+  const BlockId p2 = ns.add_parity_block(*file, MiB);
+  EXPECT_TRUE(ns.find_block(p1)->is_parity);
+  EXPECT_EQ(ns.find(*file)->parity_blocks.size(), 2u);
+  const auto cleared = ns.clear_parity_blocks(*file);
+  EXPECT_EQ(cleared, (std::vector<BlockId>{p1, p2}));
+  EXPECT_EQ(ns.find_block(p1), nullptr);
+  EXPECT_TRUE(ns.find(*file)->parity_blocks.empty());
+}
+
+TEST(Namespace, LogicalBytesCountsReplicationAndParity) {
+  Namespace ns;
+  const auto file = ns.create("/f", 10 * MiB, MiB, 3);
+  EXPECT_EQ(ns.logical_bytes(), 30 * MiB);
+  ns.set_replication(*file, 5);
+  EXPECT_EQ(ns.logical_bytes(), 50 * MiB);
+  ns.add_parity_block(*file, MiB);
+  EXPECT_EQ(ns.logical_bytes(), 51 * MiB);
+}
+
+TEST(Namespace, FsimageRoundTrip) {
+  Namespace ns;
+  const auto a = ns.create("/a", 200 * MiB, 64 * MiB, 3);
+  const auto b = ns.create("/dir/b", 64 * MiB, 64 * MiB, 5);
+  ns.add_parity_block(*a, 64 * MiB);
+  ns.add_parity_block(*a, 64 * MiB);
+  ns.set_erasure_coded(*a, true);
+  ns.set_replication(*a, 1);
+
+  std::stringstream image;
+  ns.save_image(image);
+  Namespace back;
+  ASSERT_TRUE(back.load_image(image));
+
+  EXPECT_EQ(back.file_count(), 2u);
+  const FileInfo* fa = back.find_path("/a");
+  ASSERT_NE(fa, nullptr);
+  EXPECT_EQ(fa->id, *a);
+  EXPECT_EQ(fa->size, 200 * MiB);
+  EXPECT_EQ(fa->replication, 1u);
+  EXPECT_TRUE(fa->erasure_coded);
+  EXPECT_EQ(fa->blocks.size(), 4u);
+  EXPECT_EQ(fa->parity_blocks.size(), 2u);
+  EXPECT_EQ(back.find_block(fa->blocks[3])->size, 8 * MiB);
+  EXPECT_TRUE(back.find_block(fa->parity_blocks[1])->is_parity);
+  const FileInfo* fb = back.find_path("/dir/b");
+  ASSERT_NE(fb, nullptr);
+  EXPECT_EQ(fb->replication, 5u);
+  EXPECT_EQ(back.logical_bytes(), ns.logical_bytes());
+
+  // Id generators continue past the loaded ids: no collisions.
+  const auto c = back.create("/c", MiB, MiB, 3);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_GT(c->value(), b->value());
+}
+
+TEST(Namespace, FsimageRejectsGarbage) {
+  Namespace ns;
+  std::stringstream bad1{"not an image\n"};
+  EXPECT_FALSE(ns.load_image(bad1));
+  EXPECT_EQ(ns.file_count(), 0u);
+  std::stringstream bad2{"fsimage v1\nfile oops\nend\n"};
+  EXPECT_FALSE(ns.load_image(bad2));
+  std::stringstream truncated{"fsimage v1\nfile 1 /a 100 100 3 0\n"};  // no "end"
+  EXPECT_FALSE(ns.load_image(truncated));
+}
+
+TEST(Namespace, FsimageEmpty) {
+  Namespace ns;
+  std::stringstream image;
+  ns.save_image(image);
+  Namespace back;
+  EXPECT_TRUE(back.load_image(image));
+  EXPECT_EQ(back.file_count(), 0u);
+}
+
+// ---------- placement (default policy) ----------
+
+TEST(DefaultPlacement, SpreadsAcrossRacksNoDuplicates) {
+  Fixture f;
+  for (int i = 0; i < 20; ++i) {
+    const auto file =
+        f.cluster->populate_file("/p" + std::to_string(i), 64 * MiB, 3);
+    ASSERT_TRUE(file.has_value());
+    const FileInfo* info = f.cluster->metadata().find(*file);
+    for (const BlockId b : info->blocks) {
+      const auto locs = f.cluster->locations(b);
+      ASSERT_EQ(locs.size(), 3u);
+      // No node holds two replicas of the same block.
+      const std::set<NodeId> distinct(locs.begin(), locs.end());
+      EXPECT_EQ(distinct.size(), 3u);
+      // Default HDFS: exactly two racks for three replicas.
+      std::set<std::uint32_t> racks;
+      for (const NodeId n : locs) {
+        racks.insert(f.cluster->rack_of(n).value());
+      }
+      EXPECT_EQ(racks.size(), 2u);
+    }
+  }
+}
+
+TEST(DefaultPlacement, HighReplicationUsesMoreRacks) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 6);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  const auto locs = f.cluster->locations(info->blocks[0]);
+  EXPECT_EQ(locs.size(), 6u);
+  std::set<std::uint32_t> racks;
+  for (const NodeId n : locs) {
+    racks.insert(f.cluster->rack_of(n).value());
+  }
+  EXPECT_EQ(racks.size(), 3u);  // remaining replicas prefer unused racks
+}
+
+TEST(DefaultPlacement, CapsAtDistinctNodes) {
+  Fixture f(1, 4);
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 10);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  EXPECT_EQ(f.cluster->locations(info->blocks[0]).size(), 4u);
+}
+
+TEST(DefaultPlacement, RespectsCapacity) {
+  ClusterConfig cfg;
+  cfg.block_size = 64 * MiB;
+  Topology topo;
+  const RackId r = topo.add_rack();
+  DataNodeConfig small;
+  small.capacity_bytes = 32 * MiB;  // cannot hold one block
+  DataNodeConfig normal;
+  topo.add_node(r, small);
+  topo.add_node(r, normal);
+  topo.add_node(r, normal);
+  sim::Simulation sim;
+  Cluster cluster{sim, topo, cfg};
+  const auto file = cluster.populate_file("/f", 64 * MiB, 3);
+  const auto locs = cluster.locations(cluster.metadata().find(*file)->blocks[0]);
+  EXPECT_EQ(locs.size(), 2u);
+  for (const NodeId n : locs) {
+    EXPECT_NE(n, NodeId{0});
+  }
+}
+
+// ---------- reads ----------
+
+TEST(ClusterRead, LocalReadIsDiskBound) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 3);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  const NodeId holder = f.cluster->locations(info->blocks[0]).front();
+  ReadOutcome out;
+  f.cluster->read_block(holder, info->blocks[0], [&](const ReadOutcome& o) { out = o; });
+  f.sim.run();
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.locality, ReadLocality::kNodeLocal);
+  EXPECT_EQ(out.bytes, 64 * MiB);
+  // 64 MiB at 80 MB/s disk ≈ 0.839 s.
+  EXPECT_NEAR(out.duration.seconds(), 64.0 * MiB / 80.0e6, 1e-3);
+}
+
+TEST(ClusterRead, PrefersLocalOverRemote) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 3);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  const auto locs = f.cluster->locations(info->blocks[0]);
+  // From every holder the read must be node-local.
+  for (const NodeId n : locs) {
+    ReadOutcome out;
+    f.cluster->read_block(n, info->blocks[0], [&](const ReadOutcome& o) { out = o; });
+    f.sim.run();
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.locality, ReadLocality::kNodeLocal);
+  }
+}
+
+TEST(ClusterRead, NoSuchBlock) {
+  Fixture f;
+  ReadOutcome out;
+  f.cluster->read_block(NodeId{0}, BlockId{999}, [&](const ReadOutcome& o) { out = o; });
+  f.sim.run();
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, ReadError::kNoSuchBlock);
+}
+
+TEST(ClusterRead, SessionLimitRejects) {
+  ClusterConfig cfg;
+  Topology topo;
+  const RackId r = topo.add_rack();
+  DataNodeConfig dn;
+  dn.max_sessions = 2;
+  for (int i = 0; i < 4; ++i) {
+    topo.add_node(r, dn);
+  }
+  sim::Simulation sim;
+  Cluster cluster{sim, topo, cfg};
+  const auto file = cluster.populate_file("/f", 64 * MiB, 1);  // single replica
+  const BlockId block = cluster.metadata().find(*file)->blocks[0];
+
+  int ok = 0;
+  int busy = 0;
+  for (int i = 0; i < 5; ++i) {
+    cluster.read_block(NodeId{3}, block, [&](const ReadOutcome& o) {
+      if (o.ok) {
+        ++ok;
+      } else if (o.error == ReadError::kAllBusy) {
+        ++busy;
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(ok, 2);    // session cap
+  EXPECT_EQ(busy, 3);  // rejected fast
+  EXPECT_EQ(cluster.reads_rejected(), 3u);
+  EXPECT_EQ(cluster.reads_completed(), 2u);
+}
+
+TEST(ClusterRead, SessionsReleaseAfterRead) {
+  ClusterConfig cfg;
+  Topology topo;
+  const RackId r = topo.add_rack();
+  DataNodeConfig dn;
+  dn.max_sessions = 1;
+  topo.add_node(r, dn);
+  topo.add_node(r, dn);
+  sim::Simulation sim;
+  Cluster cluster{sim, topo, cfg};
+  const auto file = cluster.populate_file("/f", MiB, 1);
+  const BlockId block = cluster.metadata().find(*file)->blocks[0];
+  bool first = false;
+  cluster.read_block(NodeId{1}, block, [&](const ReadOutcome& o) { first = o.ok; });
+  sim.run();
+  ASSERT_TRUE(first);
+  bool second = false;
+  cluster.read_block(NodeId{1}, block, [&](const ReadOutcome& o) { second = o.ok; });
+  sim.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(ClusterRead, MoreReplicasMoreConcurrentCapacity) {
+  // The Fig. 8 mechanism in miniature: total admissible concurrent reads
+  // scale with the replica count.
+  for (const std::uint32_t rep : {1u, 2u, 3u}) {
+    Fixture f;
+    const auto file = f.cluster->populate_file("/f", 64 * MiB, rep);
+    const BlockId block = f.cluster->metadata().find(*file)->blocks[0];
+    int ok = 0;
+    for (int i = 0; i < 40; ++i) {
+      f.cluster->read_block(NodeId{static_cast<std::uint32_t>(i % 18)}, block,
+                            [&](const ReadOutcome& o) { ok += o.ok ? 1 : 0; });
+    }
+    f.sim.run();
+    EXPECT_EQ(ok, static_cast<int>(rep * 9));  // 9 sessions per node
+  }
+}
+
+TEST(ClusterRead, FileReadAggregates) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 200 * MiB, 3);
+  ReadOutcome out;
+  f.cluster->read_file(NodeId{0}, *file, [&](const ReadOutcome& o) { out = o; });
+  f.sim.run();
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.bytes, 200 * MiB);
+  EXPECT_GT(out.duration.seconds(), 0.0);
+}
+
+// ---------- writes ----------
+
+TEST(ClusterWrite, PipelinePlacesAllReplicas) {
+  Fixture f;
+  bool done = false;
+  const auto file =
+      f.cluster->write_file("/w", 128 * MiB, NodeId{2}, [&](bool ok) { done = ok; });
+  ASSERT_TRUE(file.has_value());
+  f.sim.run();
+  ASSERT_TRUE(done);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  for (const BlockId b : info->blocks) {
+    EXPECT_EQ(f.cluster->locations(b).size(), 3u);
+  }
+  // First replica lands on the writer (default policy).
+  EXPECT_TRUE(f.cluster->node_has_block(NodeId{2}, info->blocks[0]));
+  EXPECT_GT(f.sim.now().seconds(), 0.0);
+}
+
+TEST(ClusterWrite, DuplicatePathFails) {
+  Fixture f;
+  f.cluster->populate_file("/w", MiB, 3);
+  bool result = true;
+  EXPECT_FALSE(f.cluster->write_file("/w", MiB, NodeId{0}, [&](bool ok) { result = ok; })
+                   .has_value());
+  f.sim.run();
+  EXPECT_FALSE(result);
+}
+
+TEST(ClusterWrite, UsedBytesTracked) {
+  Fixture f;
+  f.cluster->populate_file("/f", 100 * MiB, 3);
+  EXPECT_EQ(f.cluster->used_bytes_total(), 300 * MiB);
+  const FileId id = f.cluster->metadata().find_path("/f")->id;
+  f.cluster->remove_file(id);
+  EXPECT_EQ(f.cluster->used_bytes_total(), 0u);
+}
+
+// ---------- replication changes ----------
+
+TEST(Replication, DirectIncreaseReachesTarget) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 128 * MiB, 3);
+  bool ok = false;
+  f.cluster->change_replication(*file, 6, Cluster::IncreaseMode::kDirect,
+                                [&](bool r) { ok = r; });
+  f.sim.run();
+  ASSERT_TRUE(ok);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  EXPECT_EQ(info->replication, 6u);
+  for (const BlockId b : info->blocks) {
+    EXPECT_EQ(f.cluster->locations(b).size(), 6u);
+  }
+}
+
+TEST(Replication, OneByOneReachesTargetButSlower) {
+  Fixture f1;
+  const auto fa = f1.cluster->populate_file("/f", 256 * MiB, 3);
+  bool done1 = false;
+  f1.cluster->change_replication(*fa, 7, Cluster::IncreaseMode::kDirect,
+                                 [&](bool) { done1 = true; });
+  f1.sim.run();
+  const double direct_s = f1.sim.now().seconds();
+
+  Fixture f2;
+  const auto fb = f2.cluster->populate_file("/f", 256 * MiB, 3);
+  bool done2 = false;
+  f2.cluster->change_replication(*fb, 7, Cluster::IncreaseMode::kOneByOne,
+                                 [&](bool) { done2 = true; });
+  f2.sim.run();
+  const double onebyone_s = f2.sim.now().seconds();
+
+  ASSERT_TRUE(done1);
+  ASSERT_TRUE(done2);
+  const FileInfo* info = f2.cluster->metadata().find(*fb);
+  for (const BlockId b : info->blocks) {
+    EXPECT_EQ(f2.cluster->locations(b).size(), 7u);
+  }
+  // Fig. 7's claim: direct is faster.
+  EXPECT_LT(direct_s, onebyone_s);
+}
+
+TEST(Replication, DecreaseFreesReplicas) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 128 * MiB, 6);
+  bool ok = false;
+  f.cluster->change_replication(*file, 2, Cluster::IncreaseMode::kDirect,
+                                [&](bool r) { ok = r; });
+  f.sim.run();
+  ASSERT_TRUE(ok);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  for (const BlockId b : info->blocks) {
+    EXPECT_EQ(f.cluster->locations(b).size(), 2u);
+  }
+  EXPECT_EQ(f.cluster->used_bytes_total(), 2 * 128 * MiB);
+}
+
+TEST(Replication, NoopChange) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", MiB, 3);
+  bool ok = false;
+  f.cluster->change_replication(*file, 3, Cluster::IncreaseMode::kDirect,
+                                [&](bool r) { ok = r; });
+  f.sim.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Replication, UnknownFileFails) {
+  Fixture f;
+  bool ok = true;
+  f.cluster->change_replication(FileId{404}, 3, Cluster::IncreaseMode::kDirect,
+                                [&](bool r) { ok = r; });
+  f.sim.run();
+  EXPECT_FALSE(ok);
+}
+
+// ---------- erasure coding (metadata/flows level) ----------
+
+TEST(ErasureCoding, EncodeProducesParityAndSingleReplicas) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/cold", 256 * MiB, 3);
+  bool ok = false;
+  f.cluster->encode_file(*file, 4, [&](bool r) { ok = r; });
+  f.sim.run();
+  ASSERT_TRUE(ok);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  EXPECT_TRUE(info->erasure_coded);
+  EXPECT_EQ(info->replication, 1u);
+  EXPECT_EQ(info->parity_blocks.size(), 4u);
+  for (const BlockId b : info->blocks) {
+    EXPECT_EQ(f.cluster->locations(b).size(), 1u);
+  }
+  for (const BlockId p : info->parity_blocks) {
+    EXPECT_EQ(f.cluster->locations(p).size(), 1u);
+  }
+  // Storage: 4 data blocks + 4 parity = 8 blocks of 64 MiB.
+  EXPECT_EQ(f.cluster->used_bytes_total(), 8 * 64 * MiB);
+}
+
+TEST(ErasureCoding, EncodeSavesStorageVsTriplication) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/cold", 512 * MiB, 3);
+  const std::uint64_t before = f.cluster->used_bytes_total();  // 1536 MiB
+  f.cluster->encode_file(*file, 4, nullptr);
+  f.sim.run();
+  const std::uint64_t after = f.cluster->used_bytes_total();
+  // 512 MiB of data at replication 1 plus 4 parity blocks of 64 MiB: exactly
+  // half of the triplicated footprint.
+  EXPECT_EQ(after, 768 * MiB);
+  EXPECT_LE(after, before / 2);
+}
+
+TEST(ErasureCoding, DoubleEncodeFails) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/cold", 128 * MiB, 3);
+  f.cluster->encode_file(*file, 4, nullptr);
+  f.sim.run();
+  bool ok = true;
+  f.cluster->encode_file(*file, 4, [&](bool r) { ok = r; });
+  f.sim.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST(ErasureCoding, SingleBlockFile) {
+  // k=1: the paper's RS(1,4) corner — parities cost more than triplication,
+  // but the mechanics must still hold.
+  Fixture f;
+  const auto file = f.cluster->populate_file("/tiny", 64 * MiB, 3);
+  bool ok = false;
+  f.cluster->encode_file(*file, 4, [&](bool r) { ok = r; });
+  f.sim.run();
+  ASSERT_TRUE(ok);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  EXPECT_EQ(info->parity_blocks.size(), 4u);
+  EXPECT_EQ(f.cluster->locations(info->blocks[0]).size(), 1u);
+  // Losing the single data replica: reconstructible from any 1 of 4 parities.
+  f.cluster->fail_node(f.cluster->locations(info->blocks[0]).front());
+  EXPECT_TRUE(f.cluster->file_available(*file));
+}
+
+TEST(ErasureCoding, DecodeNonCodedFails) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/plain", 64 * MiB, 3);
+  bool ok = true;
+  f.cluster->decode_file(*file, 3, [&](bool r) { ok = r; });
+  f.sim.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST(ErasureCoding, ReadsStillServeWhileCoded) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/cold", 256 * MiB, 3);
+  f.cluster->encode_file(*file, 4, nullptr);
+  f.sim.run();
+  ReadOutcome out;
+  f.cluster->read_file(NodeId{2}, *file, [&](const ReadOutcome& o) { out = o; });
+  f.sim.run();
+  EXPECT_TRUE(out.ok);
+  EXPECT_FALSE(out.degraded);  // replicas exist, no reconstruction needed
+  EXPECT_EQ(out.bytes, 256 * MiB);
+}
+
+TEST(ErasureCoding, DecodeRestoresReplication) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/cold", 256 * MiB, 3);
+  f.cluster->encode_file(*file, 4, nullptr);
+  f.sim.run();
+  bool ok = false;
+  f.cluster->decode_file(*file, 3, [&](bool r) { ok = r; });
+  f.sim.run();
+  ASSERT_TRUE(ok);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  EXPECT_FALSE(info->erasure_coded);
+  EXPECT_EQ(info->replication, 3u);
+  EXPECT_TRUE(info->parity_blocks.empty());
+  for (const BlockId b : info->blocks) {
+    EXPECT_EQ(f.cluster->locations(b).size(), 3u);
+  }
+}
+
+TEST(ErasureCoding, DegradedReadReconstructs) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/cold", 256 * MiB, 3);
+  f.cluster->encode_file(*file, 4, nullptr);
+  f.sim.run();
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  const BlockId victim_block = info->blocks[0];
+  // Fail the single holder of block 0.
+  const NodeId holder = f.cluster->locations(victim_block).front();
+  f.cluster->fail_node(holder);
+  // Read the file while re-replication may still be running: the degraded
+  // path must serve the missing block from the stripe.
+  ReadOutcome out;
+  f.cluster->read_file(NodeId{(holder.value() + 1) % 18}, *file,
+                       [&](const ReadOutcome& o) { out = o; });
+  f.sim.run();
+  EXPECT_TRUE(out.ok);
+  EXPECT_TRUE(out.degraded);
+}
+
+// ---------- failures ----------
+
+TEST(Failure, ReReplicationRestoresFactor) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 128 * MiB, 3);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  const NodeId victim = f.cluster->locations(info->blocks[0]).front();
+  f.cluster->fail_node(victim);
+  f.sim.run();
+  for (const BlockId b : info->blocks) {
+    EXPECT_EQ(f.cluster->locations(b).size(), 3u) << "block " << b.value();
+    for (const NodeId n : f.cluster->locations(b)) {
+      EXPECT_NE(n, victim);
+    }
+  }
+  EXPECT_GT(f.cluster->rereplications_completed(), 0u);
+}
+
+TEST(Failure, AllReplicasLostWithoutStripeIsDataLoss) {
+  Fixture f(1, 3);
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 1);
+  const NodeId holder =
+      f.cluster->locations(f.cluster->metadata().find(*file)->blocks[0]).front();
+  f.cluster->fail_node(holder);
+  f.sim.run();
+  EXPECT_EQ(f.cluster->blocks_lost(), 1u);
+  EXPECT_FALSE(f.cluster->file_available(*file));
+}
+
+TEST(Failure, TriplicationSurvivesTwoNodeFailures) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 128 * MiB, 3);
+  const FileInfo* info = f.cluster->metadata().find(*file);
+  const auto locs = f.cluster->locations(info->blocks[0]);
+  f.cluster->fail_node(locs[0]);
+  f.cluster->fail_node(locs[1]);
+  EXPECT_TRUE(f.cluster->file_available(*file));
+  f.sim.run();
+  EXPECT_EQ(f.cluster->locations(info->blocks[0]).size(), 3u);
+}
+
+TEST(Failure, DeadNodeServesNothing) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 3);
+  const BlockId block = f.cluster->metadata().find(*file)->blocks[0];
+  for (const NodeId n : f.cluster->locations(block)) {
+    f.cluster->fail_node(n);
+  }
+  ReadOutcome out;
+  f.cluster->read_block(NodeId{0}, block, [&](const ReadOutcome& o) { out = o; });
+  // Run only a moment — re-replication cannot have finished (no source).
+  f.sim.run_until(f.sim.now() + sim::millis(1));
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, ReadError::kNoReplica);
+}
+
+// ---------- standby lifecycle ----------
+
+TEST(Standby, CommissionDelayThenActive) {
+  Fixture f;
+  f.cluster->set_standby(NodeId{17});
+  EXPECT_EQ(f.cluster->node(NodeId{17}).state, NodeState::kStandby);
+  bool ready = false;
+  f.cluster->commission(NodeId{17}, [&] { ready = true; });
+  EXPECT_FALSE(ready);
+  f.sim.run();
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(f.cluster->node(NodeId{17}).state, NodeState::kActive);
+  EXPECT_NEAR(f.sim.now().seconds(), 30.0, 1e-6);  // default startup delay
+}
+
+TEST(Standby, CommissionActiveNodeIsImmediate) {
+  Fixture f;
+  bool ready = false;
+  f.cluster->commission(NodeId{3}, [&] { ready = true; });
+  f.sim.run();
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(f.sim.now().micros(), 0);
+}
+
+TEST(Standby, ReturnToStandbyRequiresEmpty) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 18);  // everywhere
+  EXPECT_FALSE(f.cluster->return_to_standby(NodeId{5}));
+  f.cluster->remove_file(*file);
+  EXPECT_TRUE(f.cluster->return_to_standby(NodeId{5}));
+  EXPECT_EQ(f.cluster->node(NodeId{5}).state, NodeState::kStandby);
+}
+
+TEST(Standby, StandbyNodesGetNoReplicas) {
+  Fixture f;
+  for (std::uint32_t n = 12; n < 18; ++n) {
+    f.cluster->set_standby(NodeId{n});
+  }
+  for (int i = 0; i < 10; ++i) {
+    f.cluster->populate_file("/f" + std::to_string(i), 128 * MiB, 3);
+  }
+  for (std::uint32_t n = 12; n < 18; ++n) {
+    EXPECT_TRUE(f.cluster->node(NodeId{n}).blocks.empty());
+  }
+}
+
+TEST(Standby, EnergyAccountingFavoursStandby) {
+  Fixture f;
+  f.cluster->set_standby(NodeId{17});
+  f.sim.schedule_after(sim::hours(1.0), [] {});
+  f.sim.run();
+  f.cluster->energy_joules_total();
+  const DataNode& standby = f.cluster->node(NodeId{17});
+  const DataNode& active = f.cluster->node(NodeId{0});
+  EXPECT_NEAR(standby.energy_joules, 15.0 * 3600.0, 1.0);
+  EXPECT_NEAR(active.energy_joules, 250.0 * 3600.0, 1.0);
+}
+
+// ---------- heartbeat failure detection ----------
+
+TEST(FailureDetection, MutedNodeDeclaredDeadAfterTolerance) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 128 * MiB, 3);
+  FailureDetector::Config cfg;
+  cfg.heartbeat_interval = sim::seconds(3.0);
+  cfg.tolerance = 5;
+  FailureDetector detector{*f.cluster, cfg};
+  detector.start();
+
+  const NodeId victim =
+      f.cluster->locations(f.cluster->metadata().find(*file)->blocks[0]).front();
+  f.sim.schedule_after(sim::seconds(10.0), [&] { detector.mute(victim); });
+  f.sim.run_until(sim::SimTime{sim::seconds(12.0).micros()});
+  EXPECT_EQ(f.cluster->node(victim).state, NodeState::kActive);  // not yet
+
+  f.sim.run_until(sim::SimTime{sim::minutes(3.0).micros()});
+  EXPECT_EQ(f.cluster->node(victim).state, NodeState::kDead);
+  EXPECT_EQ(detector.failures_declared(), 1u);
+  // Re-replication restored the factor.
+  for (const BlockId b : f.cluster->metadata().find(*file)->blocks) {
+    EXPECT_EQ(f.cluster->locations(b).size(), 3u);
+  }
+  detector.stop();
+}
+
+TEST(FailureDetection, UnmuteBeforeDeadlineEscapes) {
+  Fixture f;
+  FailureDetector::Config cfg;
+  cfg.heartbeat_interval = sim::seconds(3.0);
+  cfg.tolerance = 10;
+  FailureDetector detector{*f.cluster, cfg};
+  detector.start();
+  detector.mute(NodeId{5});
+  f.sim.schedule_after(sim::seconds(15.0), [&] { detector.unmute(NodeId{5}); });
+  f.sim.run_until(sim::SimTime{sim::minutes(2.0).micros()});
+  EXPECT_EQ(f.cluster->node(NodeId{5}).state, NodeState::kActive);
+  EXPECT_EQ(detector.failures_declared(), 0u);
+  detector.stop();
+}
+
+TEST(FailureDetection, HealthyClusterNeverDeclares) {
+  Fixture f;
+  FailureDetector detector{*f.cluster};
+  detector.start();
+  f.sim.run_until(sim::SimTime{sim::minutes(5.0).micros()});
+  EXPECT_EQ(detector.failures_declared(), 0u);
+  for (const NodeId n : f.cluster->nodes()) {
+    EXPECT_EQ(f.cluster->node(n).state, NodeState::kActive);
+  }
+  detector.stop();
+}
+
+TEST(FailureDetection, SilenceTracksMutedNodes) {
+  Fixture f;
+  FailureDetector detector{*f.cluster};
+  detector.start();
+  detector.mute(NodeId{3});
+  f.sim.run_until(sim::SimTime{sim::seconds(9.5).micros()});
+  EXPECT_GE(detector.silence(NodeId{3}).seconds(), 9.0);
+  EXPECT_LE(detector.silence(NodeId{0}).seconds(), 3.1);
+  detector.stop();
+}
+
+// ---------- corruption & checksums ----------
+
+TEST(Corruption, ReadDetectsDropsAndRetries) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 3);
+  const BlockId block = f.cluster->metadata().find(*file)->blocks[0];
+  const auto locs = f.cluster->locations(block);
+  // Corrupt the replica a local reader would pick.
+  f.cluster->corrupt_replica(block, locs.front());
+  ASSERT_TRUE(f.cluster->is_corrupt(block, locs.front()));
+
+  ReadOutcome out;
+  f.cluster->read_block(locs.front(), block, [&](const ReadOutcome& o) { out = o; });
+  f.sim.run();
+  EXPECT_TRUE(out.ok) << "read must transparently retry a clean replica";
+  EXPECT_EQ(f.cluster->corruptions_detected(), 1u);
+  EXPECT_FALSE(f.cluster->node_has_block(locs.front(), block));
+  // Re-replication restores the factor with clean copies.
+  EXPECT_EQ(f.cluster->locations(block).size(), 3u);
+  for (const NodeId n : f.cluster->locations(block)) {
+    EXPECT_FALSE(f.cluster->is_corrupt(block, n));
+  }
+}
+
+TEST(Corruption, AllReplicasCorruptFailsRead) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 2);
+  const BlockId block = f.cluster->metadata().find(*file)->blocks[0];
+  for (const NodeId n : f.cluster->locations(block)) {
+    f.cluster->corrupt_replica(block, n);
+  }
+  ReadOutcome out;
+  f.cluster->read_block(NodeId{0}, block, [&](const ReadOutcome& o) { out = o; });
+  f.sim.run();
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(f.cluster->corruptions_detected(), 2u);
+  EXPECT_EQ(f.cluster->blocks_lost(), 0u);  // metadata gone, not "lost" blocks
+}
+
+TEST(Corruption, CopyFromCorruptSourceFailsAndHeals) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 1);
+  const BlockId block = f.cluster->metadata().find(*file)->blocks[0];
+  const NodeId holder = f.cluster->locations(block).front();
+  f.cluster->corrupt_replica(block, holder);
+  // Raising replication must discover the corruption; with no clean source
+  // the data is ultimately unreadable, and the corrupt copy must not spread.
+  f.cluster->change_replication(*file, 3, Cluster::IncreaseMode::kDirect, nullptr);
+  f.sim.run();
+  EXPECT_GE(f.cluster->corruptions_detected(), 1u);
+  for (const NodeId n : f.cluster->locations(block)) {
+    EXPECT_FALSE(f.cluster->is_corrupt(block, n));
+  }
+}
+
+TEST(BlockScanner, FindsCorruptionWithoutReads) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 256 * MiB, 3);
+  const BlockId block = f.cluster->metadata().find(*file)->blocks[2];
+  const NodeId holder = f.cluster->locations(block).front();
+  f.cluster->corrupt_replica(block, holder);
+
+  BlockScanner::Config cfg;
+  cfg.round_interval = sim::seconds(10.0);
+  cfg.blocks_per_round = 4;
+  BlockScanner scanner{*f.cluster, cfg};
+  scanner.start();
+  f.sim.run_until(sim::SimTime{sim::minutes(5.0).micros()});
+
+  EXPECT_GE(scanner.corruptions_found(), 1u);
+  EXPECT_GT(scanner.replicas_scanned(), 0u);
+  EXPECT_FALSE(f.cluster->is_corrupt(block, holder));
+  EXPECT_EQ(f.cluster->locations(block).size(), 3u);  // healed
+  for (const NodeId n : f.cluster->locations(block)) {
+    EXPECT_FALSE(f.cluster->is_corrupt(block, n));
+  }
+  scanner.stop();
+}
+
+TEST(BlockScanner, CleanClusterScansQuietly) {
+  Fixture f;
+  f.cluster->populate_file("/f", 256 * MiB, 3);
+  BlockScanner scanner{*f.cluster};
+  scanner.start();
+  f.sim.run_until(sim::SimTime{sim::minutes(3.0).micros()});
+  EXPECT_GT(scanner.replicas_scanned(), 0u);
+  EXPECT_EQ(scanner.corruptions_found(), 0u);
+  EXPECT_EQ(f.cluster->corruptions_detected(), 0u);
+  scanner.stop();
+}
+
+TEST(BlockScanner, StartStopIdempotent) {
+  Fixture f;
+  BlockScanner scanner{*f.cluster};
+  scanner.start();
+  scanner.start();
+  EXPECT_TRUE(scanner.running());
+  scanner.stop();
+  EXPECT_FALSE(scanner.running());
+  f.sim.run_until(sim::SimTime{sim::minutes(1.0).micros()});
+  EXPECT_EQ(scanner.replicas_scanned(), 0u);  // stopped before the first round
+}
+
+TEST(Corruption, OnNonexistentReplicaIgnored) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 1);
+  const BlockId block = f.cluster->metadata().find(*file)->blocks[0];
+  NodeId outsider{0};
+  for (const NodeId n : f.cluster->nodes()) {
+    if (!f.cluster->node_has_block(n, block)) {
+      outsider = n;
+      break;
+    }
+  }
+  f.cluster->corrupt_replica(block, outsider);
+  EXPECT_FALSE(f.cluster->is_corrupt(block, outsider));
+}
+
+// ---------- decommission ----------
+
+TEST(Decommission, DrainsAndPowersDown) {
+  Fixture f;
+  std::vector<FileId> files;
+  for (int i = 0; i < 4; ++i) {
+    files.push_back(*f.cluster->populate_file("/f" + std::to_string(i), 128 * MiB, 3));
+  }
+  // Pick a node that holds blocks.
+  NodeId victim{0};
+  for (const NodeId n : f.cluster->nodes()) {
+    if (!f.cluster->node(n).blocks.empty()) {
+      victim = n;
+      break;
+    }
+  }
+  bool ok = false;
+  f.cluster->decommission(victim, [&](bool r) { ok = r; });
+  f.sim.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(f.cluster->node(victim).state, NodeState::kStandby);
+  EXPECT_TRUE(f.cluster->node(victim).blocks.empty());
+  // Every block keeps its full replication on other nodes.
+  for (const FileId file : files) {
+    const FileInfo* info = f.cluster->metadata().find(file);
+    for (const BlockId b : info->blocks) {
+      EXPECT_EQ(f.cluster->locations(b).size(), 3u);
+      for (const NodeId n : f.cluster->locations(b)) {
+        EXPECT_NE(n, victim);
+      }
+    }
+  }
+}
+
+TEST(Decommission, EmptyNodeIsImmediate) {
+  Fixture f;
+  bool ok = false;
+  f.cluster->decommission(NodeId{4}, [&](bool r) { ok = r; });
+  f.sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(f.cluster->node(NodeId{4}).state, NodeState::kStandby);
+}
+
+TEST(Decommission, NonActiveNodeRejected) {
+  Fixture f;
+  f.cluster->set_standby(NodeId{7});
+  bool ok = true;
+  f.cluster->decommission(NodeId{7}, [&](bool r) { ok = r; });
+  f.sim.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST(Decommission, KeepsServingReadsWhileDraining) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 1);
+  const BlockId block = f.cluster->metadata().find(*file)->blocks[0];
+  const NodeId holder = f.cluster->locations(block).front();
+  f.cluster->decommission(holder, nullptr);
+  // Immediately read: the decommissioning node must still serve.
+  ReadOutcome out;
+  f.cluster->read_block(holder, block, [&](const ReadOutcome& o) { out = o; });
+  f.sim.run();
+  EXPECT_TRUE(out.ok);
+  // Afterwards the block lives elsewhere.
+  EXPECT_FALSE(f.cluster->node_has_block(holder, block));
+  EXPECT_EQ(f.cluster->locations(block).size(), 1u);
+}
+
+TEST(Decommission, FullClusterCannotDrain) {
+  // Single rack of 3 nodes at replication 3: nowhere to move the replicas.
+  Fixture f(1, 3);
+  f.cluster->populate_file("/f", 64 * MiB, 3);
+  bool ok = true;
+  f.cluster->decommission(NodeId{0}, [&](bool r) { ok = r; });
+  f.sim.run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(f.cluster->node(NodeId{0}).state, NodeState::kDecommissioning);
+  EXPECT_FALSE(f.cluster->node(NodeId{0}).blocks.empty());
+}
+
+// ---------- audit ----------
+
+TEST(Audit, EmitsOpenAndReadEvents) {
+  Fixture f;
+  std::vector<audit::AuditEvent> events;
+  f.cluster->set_audit_sink([&](const audit::AuditEvent& e) { events.push_back(e); });
+  const auto file = f.cluster->populate_file("/f", 128 * MiB, 3);
+  f.cluster->read_file(NodeId{4}, *file, [](const ReadOutcome&) {});
+  f.sim.run();
+  ASSERT_GE(events.size(), 4u);  // create + open + 2 reads
+  EXPECT_EQ(events[0].cmd, "create");
+  EXPECT_EQ(events[1].cmd, "open");
+  EXPECT_EQ(events[1].src, "/f");
+  int reads = 0;
+  for (const auto& e : events) {
+    if (e.cmd == "read") {
+      ++reads;
+      EXPECT_TRUE(e.block.has_value());
+      EXPECT_TRUE(e.datanode.has_value());
+    }
+  }
+  EXPECT_EQ(reads, 2);
+}
+
+TEST(Audit, RejectedReadMarkedDisallowed) {
+  ClusterConfig cfg;
+  Topology topo;
+  const RackId r = topo.add_rack();
+  DataNodeConfig dn;
+  dn.max_sessions = 1;
+  topo.add_node(r, dn);
+  topo.add_node(r, dn);
+  sim::Simulation sim;
+  Cluster cluster{sim, topo, cfg};
+  std::vector<audit::AuditEvent> events;
+  cluster.set_audit_sink([&](const audit::AuditEvent& e) { events.push_back(e); });
+  const auto file = cluster.populate_file("/f", MiB, 1);
+  const BlockId block = cluster.metadata().find(*file)->blocks[0];
+  cluster.read_block(NodeId{1}, block, [](const ReadOutcome&) {});
+  cluster.read_block(NodeId{1}, block, [](const ReadOutcome&) {});
+  sim.run();
+  int denied = 0;
+  for (const auto& e : events) {
+    denied += (e.cmd == "read" && !e.allowed) ? 1 : 0;
+  }
+  EXPECT_EQ(denied, 1);
+}
+
+}  // namespace
+}  // namespace erms::hdfs

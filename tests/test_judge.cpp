@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "audit/audit.h"
+#include "cep/engine.h"
+#include "judge/feed.h"
+#include "judge/judge.h"
+
+namespace erms::judge {
+namespace {
+
+Thresholds paper_thresholds() {
+  Thresholds t;
+  t.tau_M = 8.0;
+  t.tau_d = 2.0;
+  t.tau_m = 0.5;
+  t.tau_DN = 40.0;
+  t.M_M = 12.0;
+  t.M_m = 6.0;
+  t.epsilon = 0.5;
+  t.cold_age = sim::hours(24.0);
+  t.window = sim::seconds(60.0);
+  return t;
+}
+
+FileObservation obs(std::uint64_t accesses, std::uint32_t rep,
+                    std::vector<std::uint64_t> blocks = {}, std::size_t block_count = 4) {
+  FileObservation o;
+  o.path = "/f";
+  o.accesses = accesses;
+  o.replication = rep;
+  o.block_accesses = std::move(blocks);
+  o.block_count = block_count;
+  o.last_access = sim::SimTime{0};
+  return o;
+}
+
+const sim::SimTime kNow{sim::hours(1.0).micros()};
+
+TEST(Thresholds, ValidityInvariant) {
+  EXPECT_TRUE(paper_thresholds().valid());
+  Thresholds bad = paper_thresholds();
+  bad.tau_m = 3.0;  // violates tau_m < tau_d
+  EXPECT_FALSE(bad.valid());
+  bad = paper_thresholds();
+  bad.M_m = 20.0;  // violates M_m < M_M
+  EXPECT_FALSE(bad.valid());
+  bad = paper_thresholds();
+  bad.epsilon = 1.0;
+  EXPECT_FALSE(bad.valid());
+}
+
+// ---------- formula (1): per-replica file load ----------
+
+TEST(Classify, Formula1Hot) {
+  DataJudge judge{paper_thresholds()};
+  // N_d/r = 30/3 = 10 > τ_M = 8 → hot.
+  const auto c = judge.classify(obs(30, 3), kNow, 3, 10);
+  EXPECT_EQ(c.type, DataType::kHot);
+  EXPECT_EQ(c.rule, 1);
+  // Optimal: ceil(30/8) = 4.
+  EXPECT_EQ(c.optimal_replication, 4u);
+}
+
+TEST(Classify, Formula1BoundaryNotHot) {
+  DataJudge judge{paper_thresholds()};
+  // N_d/r = 24/3 = 8 is NOT > 8 → not hot by (1).
+  const auto c = judge.classify(obs(24, 3), kNow, 3, 10);
+  EXPECT_NE(c.rule, 1);
+}
+
+TEST(Classify, MoreReplicasAbsorbLoad) {
+  DataJudge judge{paper_thresholds()};
+  // Same 30 accesses but r=5: 30/5 = 6 ≤ 8 → normal.
+  const auto c = judge.classify(obs(30, 5), kNow, 3, 10);
+  EXPECT_EQ(c.type, DataType::kNormal);
+}
+
+// ---------- formula (2): single-block hotspot ----------
+
+TEST(Classify, Formula2BlockHotspot) {
+  DataJudge judge{paper_thresholds()};
+  // File-level: 20/3 ≈ 6.7 ≤ 8. But one block has 40/3 ≈ 13.3 > M_M = 12.
+  const auto c = judge.classify(obs(20, 3, {40, 1, 1}), kNow, 3, 10);
+  EXPECT_EQ(c.type, DataType::kHot);
+  EXPECT_EQ(c.rule, 2);
+  // Optimal must absorb the hot block: ceil(40/12) = 4.
+  EXPECT_EQ(c.optimal_replication, 4u);
+}
+
+// ---------- formula (3): many intensely-accessed blocks ----------
+
+TEST(Classify, Formula3SpreadHeat) {
+  DataJudge judge{paper_thresholds()};
+  // 4 blocks, 3 of them above M_m·r = 18 accesses: 3/4 > ε = 0.5 → hot.
+  const auto c = judge.classify(obs(20, 3, {19, 19, 19, 1}, 4), kNow, 3, 10);
+  EXPECT_EQ(c.type, DataType::kHot);
+  EXPECT_EQ(c.rule, 3);
+}
+
+TEST(Classify, Formula3NotEnoughBlocks) {
+  DataJudge judge{paper_thresholds()};
+  // Only 2 of 4 blocks intense: 0.5 is NOT > ε = 0.5.
+  const auto c = judge.classify(obs(20, 3, {19, 19, 1, 1}, 4), kNow, 3, 10);
+  EXPECT_NE(c.type, DataType::kHot);
+}
+
+// ---------- formula (5): cooled ----------
+
+TEST(Classify, CooledRequiresExtraReplicas) {
+  DataJudge judge{paper_thresholds()};
+  // 5 accesses at r=6: 5/6 < τ_d = 2 and r > r_D → cooled.
+  FileObservation o = obs(5, 6);
+  o.last_access = kNow;  // recently accessed, so not cold
+  const auto c = judge.classify(o, kNow, 3, 10);
+  EXPECT_EQ(c.type, DataType::kCooled);
+  EXPECT_EQ(c.rule, 5);
+  // Same load at the default factor is just normal.
+  FileObservation base = obs(5, 3);
+  base.last_access = kNow;
+  EXPECT_EQ(judge.classify(base, kNow, 3, 10).type, DataType::kNormal);
+}
+
+// ---------- formula (6): cold ----------
+
+TEST(Classify, ColdNeedsAgeAndSilence) {
+  DataJudge judge{paper_thresholds()};
+  FileObservation o = obs(0, 3);
+  o.last_access = sim::SimTime{0};
+  const sim::SimTime now{sim::hours(25.0).micros()};
+  const auto c = judge.classify(o, now, 3, 10);
+  EXPECT_EQ(c.type, DataType::kCold);
+  EXPECT_EQ(c.rule, 6);
+}
+
+TEST(Classify, RecentDataNotCold) {
+  DataJudge judge{paper_thresholds()};
+  FileObservation o = obs(0, 3);
+  o.last_access = sim::SimTime{sim::hours(20.0).micros()};
+  const sim::SimTime now{sim::hours(25.0).micros()};
+  EXPECT_EQ(judge.classify(o, now, 3, 10).type, DataType::kNormal);
+}
+
+TEST(Classify, QuietButNotSilentNotCold) {
+  DataJudge judge{paper_thresholds()};
+  // 3 accesses at r=3 → 1.0 per replica; τ_m = 0.5, so not below.
+  FileObservation o = obs(3, 3);
+  o.last_access = sim::SimTime{0};
+  const sim::SimTime now{sim::hours(25.0).micros()};
+  EXPECT_EQ(judge.classify(o, now, 3, 10).type, DataType::kNormal);
+}
+
+// ---------- optimal replication ----------
+
+TEST(Optimal, ClampedToBounds) {
+  DataJudge judge{paper_thresholds()};
+  // Enormous load: ceil(1000/8) = 125, clamped to max 10.
+  EXPECT_EQ(judge.optimal_replication(obs(1000, 3), 3, 10), 10u);
+  // Tiny load: at least the default factor.
+  EXPECT_EQ(judge.optimal_replication(obs(1, 3), 3, 10), 3u);
+}
+
+TEST(Optimal, BlockTermDominatesWhenHotter) {
+  DataJudge judge{paper_thresholds()};
+  // File: ceil(16/8) = 2; block: ceil(60/12) = 5 → 5.
+  EXPECT_EQ(judge.optimal_replication(obs(16, 3, {60}), 3, 10), 5u);
+}
+
+// ---------- formula (4) ----------
+
+TEST(NodeOverload, ThresholdComparison) {
+  DataJudge judge{paper_thresholds()};
+  EXPECT_FALSE(judge.node_overloaded(40.0));
+  EXPECT_TRUE(judge.node_overloaded(40.5));
+}
+
+// ---------- calibration ----------
+
+TEST(Calibrate, ScalesThresholdsProportionally) {
+  DataJudge judge{paper_thresholds()};
+  judge.calibrate(16.0);  // measured 16 sessions per replica
+  EXPECT_DOUBLE_EQ(judge.thresholds().tau_M, 16.0);
+  EXPECT_DOUBLE_EQ(judge.thresholds().tau_d, 4.0);
+  EXPECT_DOUBLE_EQ(judge.thresholds().M_M, 24.0);
+  EXPECT_TRUE(judge.thresholds().valid());
+}
+
+TEST(Calibrate, IgnoresNonPositive) {
+  DataJudge judge{paper_thresholds()};
+  judge.calibrate(0.0);
+  EXPECT_DOUBLE_EQ(judge.thresholds().tau_M, 8.0);
+}
+
+// ---------- the CEP feed ----------
+
+audit::AuditEvent audit_read(double t, const std::string& path, std::int64_t blk,
+                             std::int64_t dn) {
+  audit::AuditEvent e;
+  e.time = sim::SimTime{static_cast<std::int64_t>(t * 1e6)};
+  e.cmd = "read";
+  e.src = path;
+  e.block = blk;
+  e.datanode = dn;
+  return e;
+}
+
+audit::AuditEvent audit_open(double t, const std::string& path) {
+  audit::AuditEvent e;
+  e.time = sim::SimTime{static_cast<std::int64_t>(t * 1e6)};
+  e.cmd = "open";
+  e.src = path;
+  return e;
+}
+
+TEST(Feed, CountsFilesBlocksNodes) {
+  cep::Engine engine;
+  AccessStatsFeed feed{engine, sim::seconds(60.0)};
+  feed.on_audit(audit_open(1.0, "/a"));
+  feed.on_audit(audit_open(2.0, "/a"));
+  feed.on_audit(audit_open(3.0, "/b"));
+  feed.on_audit(audit_read(1.5, "/a", 11, 0));
+  feed.on_audit(audit_read(2.5, "/a", 11, 0));
+  feed.on_audit(audit_read(2.6, "/a", 12, 1));
+
+  EXPECT_EQ(feed.file_accesses("/a"), 2u);
+  EXPECT_EQ(feed.file_accesses("/b"), 1u);
+  EXPECT_EQ(feed.file_accesses("/none"), 0u);
+
+  const auto blocks = feed.block_accesses("/a");
+  EXPECT_EQ(blocks.at(11), 2u);
+  EXPECT_EQ(blocks.at(12), 1u);
+  EXPECT_TRUE(feed.block_accesses("/b").empty());
+
+  const auto nodes = feed.node_accesses();
+  EXPECT_EQ(nodes.at(0), 2u);
+  EXPECT_EQ(nodes.at(1), 1u);
+
+  const auto on0 = feed.file_accesses_on_node(0);
+  EXPECT_EQ(on0.at("/a"), 2u);
+
+  EXPECT_EQ(feed.events_ingested(), 6u);
+}
+
+TEST(Feed, WindowExpiryDropsCounts) {
+  cep::Engine engine;
+  AccessStatsFeed feed{engine, sim::seconds(10.0)};
+  feed.on_audit(audit_open(0.0, "/a"));
+  feed.on_audit(audit_open(5.0, "/a"));
+  EXPECT_EQ(feed.file_accesses("/a"), 2u);
+  feed.advance_to(sim::SimTime{sim::seconds(12.0).micros()});
+  EXPECT_EQ(feed.file_accesses("/a"), 1u);
+  feed.advance_to(sim::SimTime{sim::seconds(30.0).micros()});
+  EXPECT_EQ(feed.file_accesses("/a"), 0u);
+}
+
+TEST(Feed, LastAccessSurvivesWindow) {
+  cep::Engine engine;
+  AccessStatsFeed feed{engine, sim::seconds(10.0)};
+  feed.on_audit(audit_open(3.0, "/a"));
+  feed.advance_to(sim::SimTime{sim::minutes(10.0).micros()});
+  EXPECT_EQ(feed.last_access("/a"), sim::SimTime{3'000'000});
+  EXPECT_EQ(feed.last_access("/never"), sim::SimTime{0});
+}
+
+TEST(Feed, ActivePaths) {
+  cep::Engine engine;
+  AccessStatsFeed feed{engine, sim::seconds(60.0)};
+  feed.on_audit(audit_open(1.0, "/x"));
+  feed.on_audit(audit_open(2.0, "/y"));
+  const auto paths = feed.active_paths();
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+/// End-to-end: feed counts + judge formulas produce the expected verdict.
+TEST(FeedJudge, HotFileDetectedThroughCep) {
+  cep::Engine engine;
+  AccessStatsFeed feed{engine, sim::seconds(60.0)};
+  DataJudge judge{paper_thresholds()};
+  for (int i = 0; i < 30; ++i) {
+    feed.on_audit(audit_open(i * 0.1, "/hot"));
+  }
+  FileObservation o;
+  o.path = "/hot";
+  o.accesses = feed.file_accesses("/hot");
+  o.replication = 3;
+  o.block_count = 2;
+  o.last_access = feed.last_access("/hot");
+  const auto c = judge.classify(o, sim::SimTime{sim::seconds(10.0).micros()}, 3, 10);
+  EXPECT_EQ(c.type, DataType::kHot);
+  EXPECT_EQ(c.optimal_replication, 4u);
+}
+
+}  // namespace
+}  // namespace erms::judge

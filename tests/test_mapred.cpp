@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "hdfs/cluster.h"
+#include "mapred/jobrunner.h"
+#include "mapred/testdfsio.h"
+
+namespace erms::mapred {
+namespace {
+
+using hdfs::Cluster;
+using hdfs::ClusterConfig;
+using hdfs::NodeId;
+using hdfs::Topology;
+using util::MiB;
+
+struct Fixture {
+  sim::Simulation sim;
+  Topology topo = Topology::uniform(3, 6);
+  std::unique_ptr<Cluster> cluster;
+
+  explicit Fixture(ClusterConfig cfg = {}) {
+    cluster = std::make_unique<Cluster>(sim, topo, cfg);
+  }
+};
+
+TEST(JobRunner, RunsSingleJobToCompletion) {
+  Fixture f;
+  f.cluster->populate_file("/in", 256 * MiB, 3);
+  JobRunner runner{*f.cluster, MapRedConfig{}};
+  const auto id = runner.submit("/in");
+  ASSERT_TRUE(id.has_value());
+  f.sim.run();
+  ASSERT_EQ(runner.results().size(), 1u);
+  const JobResult& r = runner.results()[0];
+  EXPECT_EQ(r.tasks, 4u);
+  EXPECT_EQ(r.node_local + r.rack_local + r.remote, 4u);
+  EXPECT_EQ(r.failed_tasks, 0u);
+  EXPECT_EQ(r.bytes_read, 256 * MiB);
+  EXPECT_GT(r.duration_seconds(), 0.0);
+  EXPECT_TRUE(runner.idle());
+}
+
+TEST(JobRunner, UnknownInputRejected) {
+  Fixture f;
+  JobRunner runner{*f.cluster, MapRedConfig{}};
+  EXPECT_FALSE(runner.submit("/missing").has_value());
+}
+
+TEST(JobRunner, ManyJobsAllComplete) {
+  Fixture f;
+  for (int i = 0; i < 8; ++i) {
+    f.cluster->populate_file("/in" + std::to_string(i), 128 * MiB, 3);
+  }
+  JobRunner runner{*f.cluster, MapRedConfig{}};
+  for (int i = 0; i < 8; ++i) {
+    runner.submit("/in" + std::to_string(i));
+  }
+  f.sim.run();
+  EXPECT_EQ(runner.results().size(), 8u);
+  const WorkloadReport rep = runner.report();
+  EXPECT_EQ(rep.jobs, 8u);
+  EXPECT_GT(rep.mean_read_throughput_mbps, 0.0);
+  EXPECT_EQ(rep.failed_tasks, 0u);
+}
+
+TEST(JobRunner, TraceSubmission) {
+  Fixture f;
+  workload::Trace trace;
+  trace.files = {{"/a", 128 * MiB}, {"/b", 64 * MiB}};
+  for (const auto& file : trace.files) {
+    f.cluster->populate_file(file.path, file.bytes, 3);
+  }
+  trace.jobs = {{sim::SimTime{0}, "/a"},
+                {sim::SimTime{sim::seconds(10.0).micros()}, "/b"},
+                {sim::SimTime{sim::seconds(20.0).micros()}, "/a"}};
+  JobRunner runner{*f.cluster, MapRedConfig{}};
+  runner.submit_trace(trace);
+  f.sim.run();
+  EXPECT_EQ(runner.results().size(), 3u);
+}
+
+TEST(JobRunner, FairImprovesLocalityOverFifo) {
+  // Contended cluster, several concurrent jobs: delay scheduling should lift
+  // the node-local fraction (the Fig. 3(b) vanilla gap between schedulers).
+  auto run = [](SchedulerKind kind) {
+    Fixture f;
+    for (int i = 0; i < 6; ++i) {
+      f.cluster->populate_file("/in" + std::to_string(i), 512 * MiB, 3);
+    }
+    MapRedConfig cfg;
+    cfg.scheduler = kind;
+    JobRunner runner{*f.cluster, cfg};
+    for (int i = 0; i < 6; ++i) {
+      runner.submit("/in" + std::to_string(i));
+    }
+    f.sim.run();
+    return runner.report();
+  };
+  const WorkloadReport fifo = run(SchedulerKind::kFifo);
+  const WorkloadReport fair = run(SchedulerKind::kFair);
+  EXPECT_EQ(fifo.jobs, 6u);
+  EXPECT_EQ(fair.jobs, 6u);
+  EXPECT_GT(fair.mean_locality, fifo.mean_locality);
+}
+
+TEST(JobRunner, HigherReplicationImprovesLocality) {
+  auto run = [](std::uint32_t rep) {
+    Fixture f;
+    for (int i = 0; i < 4; ++i) {
+      f.cluster->populate_file("/in" + std::to_string(i), 512 * MiB, rep);
+    }
+    JobRunner runner{*f.cluster, MapRedConfig{}};
+    for (int i = 0; i < 4; ++i) {
+      runner.submit("/in" + std::to_string(i));
+    }
+    f.sim.run();
+    return runner.report().mean_locality;
+  };
+  EXPECT_GT(run(6), run(1));
+}
+
+TEST(JobRunner, OnJobDoneCallback) {
+  Fixture f;
+  f.cluster->populate_file("/in", 64 * MiB, 3);
+  JobRunner runner{*f.cluster, MapRedConfig{}};
+  int called = 0;
+  runner.set_on_job_done([&](const JobResult& r) {
+    ++called;
+    EXPECT_EQ(r.input_path, "/in");
+  });
+  runner.submit("/in");
+  f.sim.run();
+  EXPECT_EQ(called, 1);
+}
+
+TEST(JobRunner, SurvivesReplicaContention) {
+  // Single-replica hot file + many jobs: tasks must retry through kAllBusy
+  // and still finish.
+  Fixture f;
+  f.cluster->populate_file("/hot", 256 * MiB, 1);
+  JobRunner runner{*f.cluster, MapRedConfig{}};
+  for (int i = 0; i < 6; ++i) {
+    runner.submit("/hot");
+  }
+  f.sim.run();
+  EXPECT_EQ(runner.results().size(), 6u);
+  for (const JobResult& r : runner.results()) {
+    EXPECT_EQ(r.failed_tasks, 0u);
+  }
+}
+
+// ---------- TestDFSIO ----------
+
+TEST(TestDfsIo, SingleReaderBaseline) {
+  Fixture f;
+  f.cluster->populate_file("/bench", 1 * util::GiB, 3);
+  TestDfsIoOptions opts;
+  opts.readers = 1;
+  const TestDfsIoResult r = run_concurrent_read(*f.cluster, "/bench", opts);
+  EXPECT_EQ(r.succeeded, 1u);
+  EXPECT_GT(r.mean_execution_s, 0.0);
+  EXPECT_GT(r.mean_reader_throughput_mbps, 0.0);
+}
+
+TEST(TestDfsIo, MoreReadersSlower) {
+  auto exec_time = [](std::size_t readers) {
+    Fixture f;
+    f.cluster->populate_file("/bench", 1 * util::GiB, 3);
+    TestDfsIoOptions opts;
+    opts.readers = readers;
+    return run_concurrent_read(*f.cluster, "/bench", opts).mean_execution_s;
+  };
+  const double few = exec_time(4);
+  const double many = exec_time(24);
+  EXPECT_GT(many, few);  // Fig. 6: high concurrency decreases performance
+}
+
+TEST(TestDfsIo, MoreReplicasFaster) {
+  auto exec_time = [](std::uint32_t rep) {
+    Fixture f;
+    f.cluster->populate_file("/bench", 1 * util::GiB, rep);
+    TestDfsIoOptions opts;
+    opts.readers = 21;
+    return run_concurrent_read(*f.cluster, "/bench", opts).mean_execution_s;
+  };
+  const double rep1 = exec_time(1);
+  const double rep5 = exec_time(5);
+  EXPECT_GT(rep1, rep5);  // Fig. 6: replication increases performance
+}
+
+TEST(TestDfsIo, UnknownFile) {
+  Fixture f;
+  TestDfsIoOptions opts;
+  const TestDfsIoResult r = run_concurrent_read(*f.cluster, "/none", opts);
+  EXPECT_EQ(r.succeeded, 0u);
+}
+
+TEST(MaxConcurrent, ScalesWithReplicas) {
+  // Fig. 8's mechanism: each replica adds ~max_sessions of admission.
+  auto probe = [](std::uint32_t rep) {
+    Fixture f;
+    f.cluster->populate_file("/bench", 64 * MiB, rep);  // single block
+    return max_concurrent_readers(*f.cluster, "/bench", 60);
+  };
+  const std::size_t r1 = probe(1);
+  const std::size_t r2 = probe(2);
+  const std::size_t r4 = probe(4);
+  EXPECT_EQ(r1, 9u);  // one node × 9 sessions
+  EXPECT_EQ(r2, 18u);
+  EXPECT_EQ(r4, 36u);
+}
+
+TEST(TestDfsIo, ClientNodesOverride) {
+  Fixture f;
+  f.cluster->populate_file("/bench", 256 * MiB, 3);
+  TestDfsIoOptions opts;
+  opts.readers = 4;
+  opts.client_nodes = {hdfs::NodeId{0}};  // all readers on one client
+  const TestDfsIoResult r = run_concurrent_read(*f.cluster, "/bench", opts);
+  EXPECT_EQ(r.succeeded, 4u);
+}
+
+TEST(MaxConcurrent, CapsAtProbeLimit) {
+  Fixture f;
+  f.cluster->populate_file("/bench", 64 * MiB, 3);  // capacity 27
+  EXPECT_EQ(max_concurrent_readers(*f.cluster, "/bench", 10), 10u);
+}
+
+TEST(JobRunner, JobOverErasureCodedFileCompletes) {
+  Fixture f;
+  const auto file = f.cluster->populate_file("/cold", 256 * MiB, 3);
+  f.cluster->encode_file(*file, 4, nullptr);
+  f.sim.run();
+  JobRunner runner{*f.cluster, MapRedConfig{}};
+  runner.submit("/cold");
+  f.sim.run();
+  ASSERT_EQ(runner.results().size(), 1u);
+  EXPECT_EQ(runner.results()[0].failed_tasks, 0u);
+  EXPECT_EQ(runner.results()[0].bytes_read, 256 * MiB);
+}
+
+TEST(JobRunner, EmitsOpenAuditPerJob) {
+  Fixture f;
+  f.cluster->populate_file("/in", 64 * MiB, 3);
+  int opens = 0;
+  f.cluster->set_audit_sink([&](const audit::AuditEvent& e) {
+    opens += e.cmd == "open" ? 1 : 0;
+  });
+  JobRunner runner{*f.cluster, MapRedConfig{}};
+  runner.submit("/in");
+  runner.submit("/in");
+  f.sim.run();
+  EXPECT_EQ(opens, 2);
+}
+
+TEST(MaxConcurrent, ZeroWhenNoReplica) {
+  Fixture f;
+  EXPECT_EQ(max_concurrent_readers(*f.cluster, "/none", 10), 0u);
+}
+
+}  // namespace
+}  // namespace erms::mapred

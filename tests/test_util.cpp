@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/log.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace erms::util {
+namespace {
+
+struct AppleTag {};
+struct OrangeTag {};
+using AppleId = StrongId<AppleTag>;
+using OrangeId = StrongId<OrangeTag>;
+
+TEST(StrongId, DefaultIsZero) {
+  AppleId id;
+  EXPECT_EQ(id.value(), 0u);
+}
+
+TEST(StrongId, ComparesByValue) {
+  EXPECT_EQ(AppleId{3}, AppleId{3});
+  EXPECT_NE(AppleId{3}, AppleId{4});
+  EXPECT_LT(AppleId{3}, AppleId{4});
+  EXPECT_GE(AppleId{4}, AppleId{4});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<AppleId, OrangeId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<AppleId> set;
+  set.insert(AppleId{1});
+  set.insert(AppleId{1});
+  set.insert(AppleId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(IdGenerator, Monotonic) {
+  IdGenerator<AppleId> gen{10};
+  EXPECT_EQ(gen.next(), AppleId{10});
+  EXPECT_EQ(gen.next(), AppleId{11});
+  EXPECT_EQ(gen.next(), AppleId{12});
+}
+
+TEST(Bytes, Constants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(TiB, GiB * 1024u);
+}
+
+TEST(Bytes, FormatSmall) { EXPECT_EQ(format_bytes(512), "512 B"); }
+
+TEST(Bytes, FormatMiB) { EXPECT_EQ(format_bytes(64 * MiB), "64.00 MiB"); }
+
+TEST(Bytes, FormatFractionalGiB) { EXPECT_EQ(format_bytes(GiB + GiB / 2), "1.50 GiB"); }
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_TRUE(starts_with("hello", ""));
+  EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+TEST(Strings, SplitKeyValue) {
+  std::string_view k;
+  std::string_view v;
+  ASSERT_TRUE(split_key_value("cmd=open", k, v));
+  EXPECT_EQ(k, "cmd");
+  EXPECT_EQ(v, "open");
+  EXPECT_FALSE(split_key_value("noequals", k, v));
+}
+
+TEST(Strings, SplitKeyValueKeepsLaterEquals) {
+  std::string_view k;
+  std::string_view v;
+  ASSERT_TRUE(split_key_value("expr=a=b", k, v));
+  EXPECT_EQ(k, "expr");
+  EXPECT_EQ(v, "a=b");
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::cell(1)});
+  t.add_row({"b", Table::cell(2.5, 1)});
+  EXPECT_EQ(t.row_count(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nx,,\n");
+}
+
+TEST(Table, RejectsOverlongRows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(Table, CsvRoundShape) {
+  Table t({"h1", "h2"});
+  t.add_row({Table::cell(std::uint64_t{7}), Table::cell(-1)});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "h1,h2\n7,-1\n");
+}
+
+TEST(Logger, NullLoggerDisabled) {
+  Logger& null = Logger::null_logger();
+  EXPECT_FALSE(null.enabled(LogLevel::kError));
+}
+
+TEST(Logger, RespectsLevel) {
+  std::ostringstream os;
+  Logger logger{&os, LogLevel::kWarn};
+  logger.log(LogLevel::kInfo, "x", "hidden");
+  logger.log(LogLevel::kError, "x", "shown");
+  EXPECT_EQ(os.str().find("hidden"), std::string::npos);
+  EXPECT_NE(os.str().find("shown"), std::string::npos);
+}
+
+TEST(Logger, FormatsComponent) {
+  std::ostringstream os;
+  Logger logger{&os, LogLevel::kDebug};
+  logger.log(LogLevel::kInfo, "cluster", "hello");
+  EXPECT_EQ(os.str(), "[INFO] cluster: hello\n");
+}
+
+}  // namespace
+}  // namespace erms::util

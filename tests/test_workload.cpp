@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "workload/swim.h"
+#include "workload/swim_format.h"
+
+namespace erms::workload {
+namespace {
+
+SwimConfig small_config() {
+  SwimConfig cfg;
+  cfg.file_count = 50;
+  cfg.duration = sim::hours(2.0);
+  cfg.epoch = sim::minutes(30.0);
+  cfg.mean_interarrival_s = 5.0;
+  return cfg;
+}
+
+TEST(Swim, Deterministic) {
+  SwimTraceGenerator gen{small_config()};
+  const Trace a = gen.generate(7);
+  const Trace b = gen.generate(7);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].submit_time, b.jobs[i].submit_time);
+    EXPECT_EQ(a.jobs[i].input_path, b.jobs[i].input_path);
+  }
+}
+
+TEST(Swim, DifferentSeedsDiffer) {
+  SwimTraceGenerator gen{small_config()};
+  const Trace a = gen.generate(1);
+  const Trace b = gen.generate(2);
+  bool differs = a.jobs.size() != b.jobs.size();
+  for (std::size_t i = 0; !differs && i < a.jobs.size(); ++i) {
+    differs = a.jobs[i].input_path != b.jobs[i].input_path;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Swim, FileSizesWithinBounds) {
+  SwimTraceGenerator gen{small_config()};
+  const Trace t = gen.generate(3);
+  ASSERT_EQ(t.files.size(), 50u);
+  for (const FileSpec& f : t.files) {
+    EXPECT_GE(f.bytes, gen.config().min_file_bytes);
+    EXPECT_LE(f.bytes, gen.config().max_file_bytes);
+  }
+}
+
+TEST(Swim, JobsWithinDurationAndSorted) {
+  SwimTraceGenerator gen{small_config()};
+  const Trace t = gen.generate(4);
+  ASSERT_FALSE(t.jobs.empty());
+  for (std::size_t i = 0; i < t.jobs.size(); ++i) {
+    EXPECT_LT(t.jobs[i].submit_time.seconds(), gen.config().duration.seconds());
+    if (i > 0) {
+      EXPECT_GE(t.jobs[i].submit_time, t.jobs[i - 1].submit_time);
+    }
+  }
+}
+
+TEST(Swim, ArrivalRateRoughlyMatchesMean) {
+  SwimConfig cfg = small_config();
+  cfg.diurnal_amplitude = 0.0;  // flat rate for this check
+  cfg.duration = sim::hours(10.0);
+  SwimTraceGenerator gen{cfg};
+  const Trace t = gen.generate(5);
+  const double expected = cfg.duration.seconds() / cfg.mean_interarrival_s;
+  EXPECT_NEAR(static_cast<double>(t.jobs.size()), expected, expected * 0.1);
+}
+
+TEST(Swim, PopularityIsHeavyTailed) {
+  SwimConfig cfg = small_config();
+  cfg.duration = sim::hours(1.0);
+  cfg.epoch = sim::hours(1.0);  // single epoch: a stable hot set
+  cfg.mean_interarrival_s = 0.5;
+  SwimTraceGenerator gen{cfg};
+  const Trace t = gen.generate(6);
+  std::map<std::string, std::size_t> counts;
+  for (const JobSpec& j : t.jobs) {
+    ++counts[j.input_path];
+  }
+  std::vector<std::size_t> sorted;
+  for (const auto& [path, n] : counts) {
+    sorted.push_back(n);
+  }
+  std::sort(sorted.rbegin(), sorted.rend());
+  // Top file gets a large multiple of the median file's accesses.
+  ASSERT_GE(sorted.size(), 3u);
+  EXPECT_GT(sorted[0], 5 * sorted[sorted.size() / 2]);
+}
+
+TEST(Swim, EpochChurnRotatesHotSet) {
+  SwimConfig cfg = small_config();
+  cfg.duration = sim::hours(2.0);
+  cfg.epoch = sim::hours(1.0);
+  cfg.mean_interarrival_s = 0.5;
+  SwimTraceGenerator gen{cfg};
+  const Trace t = gen.generate(8);
+  // Most-accessed file per epoch.
+  std::map<std::string, std::size_t> first;
+  std::map<std::string, std::size_t> second;
+  for (const JobSpec& j : t.jobs) {
+    auto& counts = j.submit_time < sim::SimTime{sim::hours(1.0).micros()} ? first : second;
+    ++counts[j.input_path];
+  }
+  auto top = [](const std::map<std::string, std::size_t>& counts) {
+    std::string best;
+    std::size_t n = 0;
+    for (const auto& [path, c] : counts) {
+      if (c > n) {
+        n = c;
+        best = path;
+      }
+    }
+    return best;
+  };
+  // With 50 files the chance the same file tops both epochs is 1/50.
+  EXPECT_NE(top(first), top(second));
+}
+
+TEST(Swim, TotalInputBytes) {
+  Trace t;
+  t.files = {{"/a", 100}, {"/b", 50}};
+  t.jobs = {{sim::SimTime{0}, "/a"}, {sim::SimTime{1}, "/a"}, {sim::SimTime{2}, "/b"}};
+  EXPECT_EQ(t.total_input_bytes(), 250u);
+}
+
+TEST(Swim, SaveLoadRoundTrip) {
+  SwimTraceGenerator gen{small_config()};
+  const Trace t = gen.generate(9);
+  std::stringstream ss;
+  save_trace(t, ss);
+  const Trace back = load_trace(ss);
+  ASSERT_EQ(back.files.size(), t.files.size());
+  ASSERT_EQ(back.jobs.size(), t.jobs.size());
+  for (std::size_t i = 0; i < t.files.size(); ++i) {
+    EXPECT_EQ(back.files[i].path, t.files[i].path);
+    EXPECT_EQ(back.files[i].bytes, t.files[i].bytes);
+  }
+  for (std::size_t i = 0; i < t.jobs.size(); ++i) {
+    EXPECT_EQ(back.jobs[i].submit_time, t.jobs[i].submit_time);
+    EXPECT_EQ(back.jobs[i].input_path, t.jobs[i].input_path);
+  }
+}
+
+// ---------- SWIM trace-file format ----------
+
+constexpr const char* kSwimSample =
+    "job0\t0.0\t0.0\t134217728\t1000\t500\n"
+    "job1\t12.5\t12.5\t134217728\t2000\t100\n"
+    "job2\t30.0\t17.5\t536870912\t0\t0\n"
+    "garbage line without tabs\n"
+    "job3\t45.0\t15.0\t0\t0\t0\n"          // zero input -> skipped
+    "job4\t-3\t0\t1024\t0\t0\n"            // negative submit -> skipped
+    "job5\t60.0\t15.0\t68719476736\t0\t0\n";  // 64 GiB -> clamped
+
+TEST(SwimFormat, ParsesTabSeparatedRecords) {
+  const auto records = parse_swim_text(kSwimSample);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].job_id, "job0");
+  EXPECT_DOUBLE_EQ(records[1].submit_time_s, 12.5);
+  EXPECT_EQ(records[1].map_input_bytes, 134217728u);
+  EXPECT_EQ(records[1].shuffle_bytes, 2000u);
+  EXPECT_EQ(records[2].map_input_bytes, 536870912u);
+  EXPECT_EQ(records[3].job_id, "job5");
+}
+
+TEST(SwimFormat, ImportSharesFilesBySize) {
+  const auto records = parse_swim_text(kSwimSample);
+  const Trace trace = import_swim(records);
+  // 128 MiB (x2), 512 MiB, and the clamped 8 GiB: three distinct files.
+  EXPECT_EQ(trace.files.size(), 3u);
+  ASSERT_EQ(trace.jobs.size(), 4u);
+  EXPECT_EQ(trace.jobs[0].input_path, trace.jobs[1].input_path);
+  EXPECT_NE(trace.jobs[0].input_path, trace.jobs[2].input_path);
+}
+
+TEST(SwimFormat, ImportClampsAndBuckets) {
+  SwimImportOptions opts;
+  opts.min_file_bytes = 64 * util::MiB;
+  opts.max_file_bytes = 1 * util::GiB;
+  opts.size_bucket_bytes = 256 * util::MiB;
+  std::vector<SwimJobRecord> records(3);
+  records[0].job_id = "a";
+  records[0].map_input_bytes = 1;  // clamps up to 64 MiB, buckets to 256 MiB
+  records[1].job_id = "b";
+  records[1].map_input_bytes = 300 * util::MiB;  // buckets to 512 MiB
+  records[2].job_id = "c";
+  records[2].map_input_bytes = 100 * util::GiB;  // clamps to 1 GiB
+  const Trace trace = import_swim(records, opts);
+  ASSERT_EQ(trace.files.size(), 3u);
+  EXPECT_EQ(trace.files[0].bytes, 256 * util::MiB);
+  EXPECT_EQ(trace.files[1].bytes, 512 * util::MiB);
+  EXPECT_EQ(trace.files[2].bytes, 1 * util::GiB);
+}
+
+TEST(SwimFormat, TimeCompressionScalesSubmits) {
+  const auto records = parse_swim_text(kSwimSample);
+  SwimImportOptions opts;
+  opts.time_compression = 10.0;
+  const Trace trace = import_swim(records, opts);
+  EXPECT_DOUBLE_EQ(trace.jobs[1].submit_time.seconds(), 1.25);
+}
+
+TEST(SwimFormat, JobsSortedBySubmitTime) {
+  std::vector<SwimJobRecord> records(2);
+  records[0].job_id = "late";
+  records[0].submit_time_s = 100.0;
+  records[0].map_input_bytes = util::MiB;
+  records[1].job_id = "early";
+  records[1].submit_time_s = 1.0;
+  records[1].map_input_bytes = util::MiB;
+  const Trace trace = import_swim(records);
+  ASSERT_EQ(trace.jobs.size(), 2u);
+  EXPECT_LT(trace.jobs[0].submit_time, trace.jobs[1].submit_time);
+}
+
+TEST(SwimFormat, EmptyInput) {
+  EXPECT_TRUE(parse_swim_text("").empty());
+  EXPECT_TRUE(import_swim({}).jobs.empty());
+}
+
+}  // namespace
+}  // namespace erms::workload
