@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_energy"
+  "../bench/abl_energy.pdb"
+  "CMakeFiles/abl_energy.dir/abl_energy.cpp.o"
+  "CMakeFiles/abl_energy.dir/abl_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_predictive"
+  "../bench/abl_predictive.pdb"
+  "CMakeFiles/abl_predictive.dir/abl_predictive.cpp.o"
+  "CMakeFiles/abl_predictive.dir/abl_predictive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_predictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_rebalance"
+  "../bench/abl_rebalance.pdb"
+  "CMakeFiles/abl_rebalance.dir/abl_rebalance.cpp.o"
+  "CMakeFiles/abl_rebalance.dir/abl_rebalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

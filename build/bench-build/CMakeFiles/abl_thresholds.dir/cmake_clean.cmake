@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_thresholds"
+  "../bench/abl_thresholds.pdb"
+  "CMakeFiles/abl_thresholds.dir/abl_thresholds.cpp.o"
+  "CMakeFiles/abl_thresholds.dir/abl_thresholds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_throughput_locality"
+  "../bench/fig3_throughput_locality.pdb"
+  "CMakeFiles/fig3_throughput_locality.dir/fig3_throughput_locality.cpp.o"
+  "CMakeFiles/fig3_throughput_locality.dir/fig3_throughput_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_throughput_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

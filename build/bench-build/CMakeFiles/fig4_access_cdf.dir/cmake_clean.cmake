@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_access_cdf"
+  "../bench/fig4_access_cdf.pdb"
+  "CMakeFiles/fig4_access_cdf.dir/fig4_access_cdf.cpp.o"
+  "CMakeFiles/fig4_access_cdf.dir/fig4_access_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_access_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

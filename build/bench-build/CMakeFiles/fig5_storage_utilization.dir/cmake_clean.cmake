@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_storage_utilization"
+  "../bench/fig5_storage_utilization.pdb"
+  "CMakeFiles/fig5_storage_utilization.dir/fig5_storage_utilization.cpp.o"
+  "CMakeFiles/fig5_storage_utilization.dir/fig5_storage_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_storage_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_testdfsio"
+  "../bench/fig6_testdfsio.pdb"
+  "CMakeFiles/fig6_testdfsio.dir/fig6_testdfsio.cpp.o"
+  "CMakeFiles/fig6_testdfsio.dir/fig6_testdfsio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_testdfsio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

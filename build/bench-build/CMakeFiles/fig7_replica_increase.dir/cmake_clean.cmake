@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_replica_increase"
+  "../bench/fig7_replica_increase.pdb"
+  "CMakeFiles/fig7_replica_increase.dir/fig7_replica_increase.cpp.o"
+  "CMakeFiles/fig7_replica_increase.dir/fig7_replica_increase.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_replica_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_max_concurrent"
+  "../bench/fig8_max_concurrent.pdb"
+  "CMakeFiles/fig8_max_concurrent.dir/fig8_max_concurrent.cpp.o"
+  "CMakeFiles/fig8_max_concurrent.dir/fig8_max_concurrent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_max_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_active_standby"
+  "../bench/fig9_active_standby.pdb"
+  "CMakeFiles/fig9_active_standby.dir/fig9_active_standby.cpp.o"
+  "CMakeFiles/fig9_active_standby.dir/fig9_active_standby.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_active_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_cep"
+  "../bench/micro_cep.pdb"
+  "CMakeFiles/micro_cep.dir/micro_cep.cpp.o"
+  "CMakeFiles/micro_cep.dir/micro_cep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

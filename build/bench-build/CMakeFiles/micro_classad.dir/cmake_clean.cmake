@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_classad"
+  "../bench/micro_classad.pdb"
+  "CMakeFiles/micro_classad.dir/micro_classad.cpp.o"
+  "CMakeFiles/micro_classad.dir/micro_classad.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_classad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

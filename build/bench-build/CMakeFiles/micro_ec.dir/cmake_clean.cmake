@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_ec"
+  "../bench/micro_ec.pdb"
+  "CMakeFiles/micro_ec.dir/micro_ec.cpp.o"
+  "CMakeFiles/micro_ec.dir/micro_ec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_log_analysis.dir/audit_log_analysis.cpp.o"
+  "CMakeFiles/audit_log_analysis.dir/audit_log_analysis.cpp.o.d"
+  "audit_log_analysis"
+  "audit_log_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_log_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_storage_archive.dir/cold_storage_archive.cpp.o"
+  "CMakeFiles/cold_storage_archive.dir/cold_storage_archive.cpp.o.d"
+  "cold_storage_archive"
+  "cold_storage_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_storage_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

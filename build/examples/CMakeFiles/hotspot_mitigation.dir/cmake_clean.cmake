@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_mitigation.dir/hotspot_mitigation.cpp.o"
+  "CMakeFiles/hotspot_mitigation.dir/hotspot_mitigation.cpp.o.d"
+  "hotspot_mitigation"
+  "hotspot_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("metrics")
+subdirs("ec")
+subdirs("classad")
+subdirs("net")
+subdirs("cep")
+subdirs("audit")
+subdirs("hdfs")
+subdirs("condor")
+subdirs("judge")
+subdirs("core")
+subdirs("workload")
+subdirs("mapred")

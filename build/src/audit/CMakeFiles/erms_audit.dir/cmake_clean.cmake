@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_audit.dir/audit.cpp.o"
+  "CMakeFiles/erms_audit.dir/audit.cpp.o.d"
+  "liberms_audit.a"
+  "liberms_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cep/engine.cpp" "src/cep/CMakeFiles/erms_cep.dir/engine.cpp.o" "gcc" "src/cep/CMakeFiles/erms_cep.dir/engine.cpp.o.d"
+  "/root/repo/src/cep/epl_parser.cpp" "src/cep/CMakeFiles/erms_cep.dir/epl_parser.cpp.o" "gcc" "src/cep/CMakeFiles/erms_cep.dir/epl_parser.cpp.o.d"
+  "/root/repo/src/cep/pattern.cpp" "src/cep/CMakeFiles/erms_cep.dir/pattern.cpp.o" "gcc" "src/cep/CMakeFiles/erms_cep.dir/pattern.cpp.o.d"
+  "/root/repo/src/cep/window.cpp" "src/cep/CMakeFiles/erms_cep.dir/window.cpp.o" "gcc" "src/cep/CMakeFiles/erms_cep.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/erms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/erms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/erms_classad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_cep.dir/engine.cpp.o"
+  "CMakeFiles/erms_cep.dir/engine.cpp.o.d"
+  "CMakeFiles/erms_cep.dir/epl_parser.cpp.o"
+  "CMakeFiles/erms_cep.dir/epl_parser.cpp.o.d"
+  "CMakeFiles/erms_cep.dir/pattern.cpp.o"
+  "CMakeFiles/erms_cep.dir/pattern.cpp.o.d"
+  "CMakeFiles/erms_cep.dir/window.cpp.o"
+  "CMakeFiles/erms_cep.dir/window.cpp.o.d"
+  "liberms_cep.a"
+  "liberms_cep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_cep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

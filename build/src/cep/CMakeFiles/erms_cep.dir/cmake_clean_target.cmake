@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liberms_cep.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_classad.dir/classad.cpp.o"
+  "CMakeFiles/erms_classad.dir/classad.cpp.o.d"
+  "CMakeFiles/erms_classad.dir/expr.cpp.o"
+  "CMakeFiles/erms_classad.dir/expr.cpp.o.d"
+  "CMakeFiles/erms_classad.dir/lexer.cpp.o"
+  "CMakeFiles/erms_classad.dir/lexer.cpp.o.d"
+  "CMakeFiles/erms_classad.dir/matchmaker.cpp.o"
+  "CMakeFiles/erms_classad.dir/matchmaker.cpp.o.d"
+  "CMakeFiles/erms_classad.dir/parser.cpp.o"
+  "CMakeFiles/erms_classad.dir/parser.cpp.o.d"
+  "CMakeFiles/erms_classad.dir/value.cpp.o"
+  "CMakeFiles/erms_classad.dir/value.cpp.o.d"
+  "liberms_classad.a"
+  "liberms_classad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_classad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_condor.dir/scheduler.cpp.o"
+  "CMakeFiles/erms_condor.dir/scheduler.cpp.o.d"
+  "liberms_condor.a"
+  "liberms_condor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_condor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_ec.dir/gf256.cpp.o"
+  "CMakeFiles/erms_ec.dir/gf256.cpp.o.d"
+  "CMakeFiles/erms_ec.dir/matrix.cpp.o"
+  "CMakeFiles/erms_ec.dir/matrix.cpp.o.d"
+  "CMakeFiles/erms_ec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/erms_ec.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/erms_ec.dir/stripe_codec.cpp.o"
+  "CMakeFiles/erms_ec.dir/stripe_codec.cpp.o.d"
+  "liberms_ec.a"
+  "liberms_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdfs/balancer.cpp" "src/hdfs/CMakeFiles/erms_hdfs.dir/balancer.cpp.o" "gcc" "src/hdfs/CMakeFiles/erms_hdfs.dir/balancer.cpp.o.d"
+  "/root/repo/src/hdfs/block_scanner.cpp" "src/hdfs/CMakeFiles/erms_hdfs.dir/block_scanner.cpp.o" "gcc" "src/hdfs/CMakeFiles/erms_hdfs.dir/block_scanner.cpp.o.d"
+  "/root/repo/src/hdfs/cluster.cpp" "src/hdfs/CMakeFiles/erms_hdfs.dir/cluster.cpp.o" "gcc" "src/hdfs/CMakeFiles/erms_hdfs.dir/cluster.cpp.o.d"
+  "/root/repo/src/hdfs/default_placement.cpp" "src/hdfs/CMakeFiles/erms_hdfs.dir/default_placement.cpp.o" "gcc" "src/hdfs/CMakeFiles/erms_hdfs.dir/default_placement.cpp.o.d"
+  "/root/repo/src/hdfs/failure_detector.cpp" "src/hdfs/CMakeFiles/erms_hdfs.dir/failure_detector.cpp.o" "gcc" "src/hdfs/CMakeFiles/erms_hdfs.dir/failure_detector.cpp.o.d"
+  "/root/repo/src/hdfs/namespace.cpp" "src/hdfs/CMakeFiles/erms_hdfs.dir/namespace.cpp.o" "gcc" "src/hdfs/CMakeFiles/erms_hdfs.dir/namespace.cpp.o.d"
+  "/root/repo/src/hdfs/topology.cpp" "src/hdfs/CMakeFiles/erms_hdfs.dir/topology.cpp.o" "gcc" "src/hdfs/CMakeFiles/erms_hdfs.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/erms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/erms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/erms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/erms_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/erms_cep.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/erms_classad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

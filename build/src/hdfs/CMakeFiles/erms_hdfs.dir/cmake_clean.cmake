@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_hdfs.dir/balancer.cpp.o"
+  "CMakeFiles/erms_hdfs.dir/balancer.cpp.o.d"
+  "CMakeFiles/erms_hdfs.dir/block_scanner.cpp.o"
+  "CMakeFiles/erms_hdfs.dir/block_scanner.cpp.o.d"
+  "CMakeFiles/erms_hdfs.dir/cluster.cpp.o"
+  "CMakeFiles/erms_hdfs.dir/cluster.cpp.o.d"
+  "CMakeFiles/erms_hdfs.dir/default_placement.cpp.o"
+  "CMakeFiles/erms_hdfs.dir/default_placement.cpp.o.d"
+  "CMakeFiles/erms_hdfs.dir/failure_detector.cpp.o"
+  "CMakeFiles/erms_hdfs.dir/failure_detector.cpp.o.d"
+  "CMakeFiles/erms_hdfs.dir/namespace.cpp.o"
+  "CMakeFiles/erms_hdfs.dir/namespace.cpp.o.d"
+  "CMakeFiles/erms_hdfs.dir/topology.cpp.o"
+  "CMakeFiles/erms_hdfs.dir/topology.cpp.o.d"
+  "liberms_hdfs.a"
+  "liberms_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

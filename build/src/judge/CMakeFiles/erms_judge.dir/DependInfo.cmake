@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/judge/feed.cpp" "src/judge/CMakeFiles/erms_judge.dir/feed.cpp.o" "gcc" "src/judge/CMakeFiles/erms_judge.dir/feed.cpp.o.d"
+  "/root/repo/src/judge/judge.cpp" "src/judge/CMakeFiles/erms_judge.dir/judge.cpp.o" "gcc" "src/judge/CMakeFiles/erms_judge.dir/judge.cpp.o.d"
+  "/root/repo/src/judge/predictor.cpp" "src/judge/CMakeFiles/erms_judge.dir/predictor.cpp.o" "gcc" "src/judge/CMakeFiles/erms_judge.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/erms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/erms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/erms_cep.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/erms_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/erms_classad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_judge.dir/feed.cpp.o"
+  "CMakeFiles/erms_judge.dir/feed.cpp.o.d"
+  "CMakeFiles/erms_judge.dir/judge.cpp.o"
+  "CMakeFiles/erms_judge.dir/judge.cpp.o.d"
+  "CMakeFiles/erms_judge.dir/predictor.cpp.o"
+  "CMakeFiles/erms_judge.dir/predictor.cpp.o.d"
+  "liberms_judge.a"
+  "liberms_judge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_judge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_mapred.dir/jobrunner.cpp.o"
+  "CMakeFiles/erms_mapred.dir/jobrunner.cpp.o.d"
+  "CMakeFiles/erms_mapred.dir/testdfsio.cpp.o"
+  "CMakeFiles/erms_mapred.dir/testdfsio.cpp.o.d"
+  "liberms_mapred.a"
+  "liberms_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_metrics.dir/cdf.cpp.o"
+  "CMakeFiles/erms_metrics.dir/cdf.cpp.o.d"
+  "CMakeFiles/erms_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/erms_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/erms_metrics.dir/stats.cpp.o"
+  "CMakeFiles/erms_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/erms_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/erms_metrics.dir/timeseries.cpp.o.d"
+  "liberms_metrics.a"
+  "liberms_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_net.dir/network.cpp.o"
+  "CMakeFiles/erms_net.dir/network.cpp.o.d"
+  "liberms_net.a"
+  "liberms_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

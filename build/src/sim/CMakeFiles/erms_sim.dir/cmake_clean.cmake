@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/erms_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/erms_sim.dir/random.cpp.o"
+  "CMakeFiles/erms_sim.dir/random.cpp.o.d"
+  "CMakeFiles/erms_sim.dir/simulation.cpp.o"
+  "CMakeFiles/erms_sim.dir/simulation.cpp.o.d"
+  "liberms_sim.a"
+  "liberms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

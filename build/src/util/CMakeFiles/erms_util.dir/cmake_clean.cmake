@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_util.dir/bytes.cpp.o"
+  "CMakeFiles/erms_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/erms_util.dir/log.cpp.o"
+  "CMakeFiles/erms_util.dir/log.cpp.o.d"
+  "CMakeFiles/erms_util.dir/strings.cpp.o"
+  "CMakeFiles/erms_util.dir/strings.cpp.o.d"
+  "CMakeFiles/erms_util.dir/table.cpp.o"
+  "CMakeFiles/erms_util.dir/table.cpp.o.d"
+  "liberms_util.a"
+  "liberms_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/swim.cpp" "src/workload/CMakeFiles/erms_workload.dir/swim.cpp.o" "gcc" "src/workload/CMakeFiles/erms_workload.dir/swim.cpp.o.d"
+  "/root/repo/src/workload/swim_format.cpp" "src/workload/CMakeFiles/erms_workload.dir/swim_format.cpp.o" "gcc" "src/workload/CMakeFiles/erms_workload.dir/swim_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/erms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/erms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erms_workload.dir/swim.cpp.o"
+  "CMakeFiles/erms_workload.dir/swim.cpp.o.d"
+  "CMakeFiles/erms_workload.dir/swim_format.cpp.o"
+  "CMakeFiles/erms_workload.dir/swim_format.cpp.o.d"
+  "liberms_workload.a"
+  "liberms_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erms_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

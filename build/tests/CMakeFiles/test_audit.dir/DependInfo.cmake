@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_audit.cpp" "tests/CMakeFiles/test_audit.dir/test_audit.cpp.o" "gcc" "tests/CMakeFiles/test_audit.dir/test_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/audit/CMakeFiles/erms_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/erms_cep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/erms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/erms_classad.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/erms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cep.dir/test_cep.cpp.o"
+  "CMakeFiles/test_cep.dir/test_cep.cpp.o.d"
+  "test_cep"
+  "test_cep.pdb"
+  "test_cep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_condor.dir/test_condor.cpp.o"
+  "CMakeFiles/test_condor.dir/test_condor.cpp.o.d"
+  "test_condor"
+  "test_condor.pdb"
+  "test_condor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_condor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_judge.dir/test_judge.cpp.o"
+  "CMakeFiles/test_judge.dir/test_judge.cpp.o.d"
+  "test_judge"
+  "test_judge.pdb"
+  "test_judge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_judge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

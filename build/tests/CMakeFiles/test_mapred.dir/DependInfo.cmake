@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mapred.cpp" "tests/CMakeFiles/test_mapred.dir/test_mapred.cpp.o" "gcc" "tests/CMakeFiles/test_mapred.dir/test_mapred.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapred/CMakeFiles/erms_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/erms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/erms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/erms_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/erms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/judge/CMakeFiles/erms_judge.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/erms_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/erms_cep.dir/DependInfo.cmake"
+  "/root/repo/build/src/condor/CMakeFiles/erms_condor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/erms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/erms_classad.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/erms_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/erms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

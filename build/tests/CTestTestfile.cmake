@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_ec[1]_include.cmake")
+include("/root/repo/build/tests/test_classad[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_cep[1]_include.cmake")
+include("/root/repo/build/tests/test_audit[1]_include.cmake")
+include("/root/repo/build/tests/test_hdfs[1]_include.cmake")
+include("/root/repo/build/tests/test_condor[1]_include.cmake")
+include("/root/repo/build/tests/test_judge[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_balancer[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_mapred[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
