@@ -18,6 +18,16 @@ std::string render_key(const classad::Value& v) {
   return v.to_string();
 }
 
+/// Same rendering, appended in place — the hot path avoids a temporary
+/// string per attribute for the common string-valued case.
+void append_key(std::string& out, const classad::Value& v) {
+  if (v.is_string()) {
+    out += v.as_string();
+  } else if (!v.is_undefined()) {
+    out += v.to_string();
+  }
+}
+
 /// Numeric view of an attribute for sum/avg/min/max; nullopt if non-numeric.
 std::optional<double> numeric(const classad::ClassAd& attrs, const std::string& name) {
   const classad::Value v = attrs.evaluate(name);
@@ -70,9 +80,20 @@ bool Engine::event_matches(const Query& q, const Event& e) const {
   return true;
 }
 
+const std::string& Engine::build_group_key(const Query& q, const Event& e) {
+  group_key_buf_.clear();
+  group_key_buf_.reserve(16 * q.group_by.size());
+  for (std::size_t i = 0; i < q.group_by.size(); ++i) {
+    if (i != 0) {
+      group_key_buf_ += '\x1f';
+    }
+    append_key(group_key_buf_, e.attrs.evaluate(q.group_by[i]));
+  }
+  return group_key_buf_;
+}
+
 void Engine::accumulate(QueryState& qs, const Event& e, int direction) {
-  const std::vector<std::string> key_values = group_key_of(qs.query, e);
-  const std::string key = join_key(key_values);
+  const std::string& key = build_group_key(qs.query, e);
   auto it = qs.groups.find(key);
   if (it == qs.groups.end()) {
     if (direction < 0) {
@@ -80,7 +101,9 @@ void Engine::accumulate(QueryState& qs, const Event& e, int direction) {
       return;
     }
     GroupState g;
-    g.key_values = key_values;
+    // Cold path (first event of a group): materialize the key parts the
+    // result rows need.
+    g.key_values = group_key_of(qs.query, e);
     g.sums.assign(qs.query.select.size(), 0.0);
     g.non_null.assign(qs.query.select.size(), 0);
     g.ordered.resize(qs.query.select.size());
@@ -178,19 +201,22 @@ void Engine::push(const Event& event) {
   for (auto& [id, qs] : queries_) {
     if (!event_matches(qs.query, event)) {
       // Time still advances for this query's window.
-      qs.window.evict_until(event.time, [&qs](const Event& old) { accumulate(qs, old, -1); });
+      qs.window.evict_until(event.time,
+                            [this, &qs](const Event& old) { accumulate(qs, old, -1); });
       continue;
     }
     accumulate(qs, event, +1);
-    const std::string key = join_key(group_key_of(qs.query, event));
-    qs.window.push(event, [&qs](const Event& old) { accumulate(qs, old, -1); });
+    // Copy: eviction inside push() reuses the scratch buffer.
+    const std::string key = build_group_key(qs.query, event);
+    qs.window.push(event, [this, &qs](const Event& old) { accumulate(qs, old, -1); });
     notify(qs, key);
   }
 }
 
 void Engine::advance_to(sim::SimTime now) {
   for (auto& [id, qs] : queries_) {
-    qs.window.evict_until(now, [&qs](const Event& old) { accumulate(qs, old, -1); });
+    qs.window.evict_until(now,
+                          [this, &qs](const Event& old) { accumulate(qs, old, -1); });
   }
 }
 

@@ -70,7 +70,11 @@ class Engine {
 
   static std::string join_key(const std::vector<std::string>& parts);
   [[nodiscard]] static std::vector<std::string> group_key_of(const Query& q, const Event& e);
-  static void accumulate(QueryState& qs, const Event& e, int direction);
+  /// Render the joined group key of `e` into the reused scratch buffer and
+  /// return it — the hot path equivalent of join_key(group_key_of(...))
+  /// without the per-event vector<string>. Invalidated by the next call.
+  const std::string& build_group_key(const Query& q, const Event& e);
+  void accumulate(QueryState& qs, const Event& e, int direction);
   [[nodiscard]] static ResultRow make_row(const QueryState& qs, const GroupState& g);
   void notify(QueryState& qs, const std::string& key);
 
@@ -79,6 +83,7 @@ class Engine {
   std::map<QueryId, QueryState> queries_;
   util::IdGenerator<QueryId> ids_{1};
   std::uint64_t events_processed_{0};
+  std::string group_key_buf_;  // scratch for build_group_key
 };
 
 }  // namespace erms::cep

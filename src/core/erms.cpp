@@ -14,6 +14,9 @@ ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> stand
     : cluster_(cluster),
       config_(config),
       log_(logger),
+      codec_pool_(config.codec_threads),
+      codec_(std::max<std::size_t>(1, config.data_shards),
+             std::max<std::uint32_t>(1, config.parity_count)),
       engine_(),
       feed_(engine_, config.thresholds.window),
       judge_(config.thresholds),
@@ -23,6 +26,7 @@ ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> stand
       placement_(std::make_shared<ErmsPlacementPolicy>(
           std::set<hdfs::NodeId>(standby_pool.begin(), standby_pool.end()),
           cluster.config().default_replication)) {
+  codec_.set_thread_pool(&codec_pool_);
   if (config_.predictive) {
     predictor_.emplace(config_.predictor);
   }

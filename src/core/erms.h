@@ -12,11 +12,13 @@
 #include "condor/scheduler.h"
 #include "core/erms_placement.h"
 #include "core/standby.h"
+#include "ec/stripe_codec.h"
 #include "hdfs/cluster.h"
 #include "judge/feed.h"
 #include "judge/judge.h"
 #include "judge/predictor.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace erms::core {
 
@@ -26,6 +28,13 @@ struct ErmsConfig {
   /// Reed–Solomon parities for cold data (paper §IV.B: "a replication
   /// factor of one and four coding parities").
   std::uint32_t parity_count = 4;
+  /// Data shards per stripe for the byte-level codec backing cold
+  /// conversions (HDFS-RAID's customary k for RS).
+  std::size_t data_shards = 8;
+  /// Worker threads for the byte-level erasure codec; 0 means one per
+  /// hardware thread. The pool splits large shards into sub-ranges coded
+  /// concurrently so a cold-conversion backlog drains at disk speed.
+  std::size_t codec_threads = 0;
   /// How often the Data Judge evaluates the window and issues actions.
   sim::SimDuration evaluation_period = sim::seconds(30.0);
   /// Upper bound on any file's replication factor.
@@ -88,6 +97,13 @@ class ErmsManager {
   [[nodiscard]] judge::AccessStatsFeed& feed() { return feed_; }
   [[nodiscard]] const ErmsConfig& config() const { return config_; }
 
+  /// The byte-level Reed–Solomon codec the erasure actions run cold files
+  /// through, pre-wired to the manager's worker pool. Embedders that move
+  /// real bytes (archive tools, block servers) should use this instance so
+  /// conversions share one pool instead of spawning threads per file.
+  [[nodiscard]] ec::StripeCodec& stripe_codec() { return codec_; }
+  [[nodiscard]] util::ThreadPool& codec_pool() { return codec_pool_; }
+
   /// Latest classification per path (updated each evaluation).
   [[nodiscard]] const std::unordered_map<std::string, judge::DataType>& current_types()
       const {
@@ -110,6 +126,8 @@ class ErmsManager {
   hdfs::Cluster& cluster_;
   ErmsConfig config_;
   util::Logger& log_;
+  util::ThreadPool codec_pool_;
+  ec::StripeCodec codec_;
   cep::Engine engine_;
   judge::AccessStatsFeed feed_;
   judge::DataJudge judge_;

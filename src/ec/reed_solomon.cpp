@@ -4,10 +4,23 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace erms::ec {
 
+namespace {
+
+/// Sub-range size for pool-parallel region work: big enough to amortize
+/// dispatch, small enough that a shard's working set stays cache-friendly.
+constexpr std::size_t kChunkBytes = 64 * 1024;
+
+/// Below this per-shard length the fork/join overhead beats the win.
+constexpr std::size_t kParallelMinBytes = 2 * kChunkBytes;
+
+}  // namespace
+
 ReedSolomon::ReedSolomon(std::size_t data_shards, std::size_t parity_shards)
-    : k_(data_shards), m_(parity_shards), encode_matrix_(1, 1) {
+    : k_(data_shards), m_(parity_shards), encode_matrix_(1, 1), parity_matrix_(1, 1) {
   if (k_ == 0 || m_ == 0 || k_ + m_ > 255) {
     throw std::invalid_argument("ReedSolomon: need 1<=k, 1<=m, k+m<=255");
   }
@@ -22,6 +35,25 @@ ReedSolomon::ReedSolomon(std::size_t data_shards, std::size_t parity_shards)
   const auto top_inv = v.select_rows(top).inverted();
   assert(top_inv.has_value());  // Vandermonde rows with distinct points
   encode_matrix_ = v.multiply(*top_inv);
+
+  // Cache the parity rows and their product tables: encode() reuses them on
+  // every call instead of re-deriving matrix rows and log/exp products.
+  std::vector<std::size_t> parity_rows(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    parity_rows[i] = k_ + i;
+  }
+  parity_matrix_ = encode_matrix_.select_rows(parity_rows);
+  parity_tables_ = build_tables(parity_matrix_);
+}
+
+std::vector<MulTable> ReedSolomon::build_tables(const Matrix& m) {
+  std::vector<MulTable> tables(m.rows() * m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      tables[r * m.cols() + c].init(m.at(r, c));
+    }
+  }
+  return tables;
 }
 
 void ReedSolomon::check_shard_sizes(const std::vector<Shard>& shards,
@@ -36,42 +68,49 @@ void ReedSolomon::check_shard_sizes(const std::vector<Shard>& shards,
   }
 }
 
-void ReedSolomon::matrix_apply(const Matrix& m, const std::vector<const Shard*>& in,
-                               const std::vector<Shard*>& out) {
-  assert(m.rows() == out.size());
-  assert(m.cols() == in.size());
+void ReedSolomon::apply_tables(const std::vector<MulTable>& tables, std::size_t rows,
+                               std::size_t cols, const std::vector<const Shard*>& in,
+                               const std::vector<Shard*>& out) const {
+  assert(tables.size() == rows * cols);
+  assert(rows == out.size());
+  assert(cols == in.size());
   const std::size_t len = in.empty() ? 0 : in.front()->size();
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    Shard& dst = *out[r];
-    dst.assign(len, 0);
-    for (std::size_t c = 0; c < m.cols(); ++c) {
-      const GF256::Elem f = m.at(r, c);
-      if (f == 0) {
-        continue;
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r]->resize(len);
+  }
+  if (len == 0) {
+    return;
+  }
+
+  const KernelKind kind = active_kernel();
+  auto run_chunk = [&](std::size_t offset, std::size_t n) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::uint8_t* dst = out[r]->data() + offset;
+      // The first column overwrites dst (so stale bytes never survive), the
+      // rest accumulate.
+      mul_region(kind, tables[r * cols], dst, in[0]->data() + offset, n);
+      for (std::size_t c = 1; c < cols; ++c) {
+        muladd_region(kind, tables[r * cols + c], dst, in[c]->data() + offset, n);
       }
-      const Shard& src = *in[c];
-      if (f == 1) {
-        for (std::size_t i = 0; i < len; ++i) {
-          dst[i] ^= src[i];
-        }
-      } else {
-        for (std::size_t i = 0; i < len; ++i) {
-          dst[i] ^= GF256::mul(f, src[i]);
-        }
-      }
+    }
+  };
+
+  if (pool_ != nullptr && pool_->size() > 1 && len >= kParallelMinBytes) {
+    const std::size_t chunks = (len + kChunkBytes - 1) / kChunkBytes;
+    pool_->parallel_for(chunks, [&](std::size_t ci) {
+      const std::size_t offset = ci * kChunkBytes;
+      run_chunk(offset, std::min(kChunkBytes, len - offset));
+    });
+  } else {
+    // Serial, but still chunked so all rows of one sub-range stay in cache.
+    for (std::size_t offset = 0; offset < len; offset += kChunkBytes) {
+      run_chunk(offset, std::min(kChunkBytes, len - offset));
     }
   }
 }
 
 std::vector<ReedSolomon::Shard> ReedSolomon::encode(const std::vector<Shard>& data) const {
   check_shard_sizes(data, k_);
-  // The parity rows are rows k..k+m-1 of the encoding matrix.
-  std::vector<std::size_t> parity_rows(m_);
-  for (std::size_t i = 0; i < m_; ++i) {
-    parity_rows[i] = k_ + i;
-  }
-  const Matrix pm = encode_matrix_.select_rows(parity_rows);
-
   std::vector<Shard> parity(m_);
   std::vector<const Shard*> in(k_);
   std::vector<Shard*> out(m_);
@@ -81,7 +120,7 @@ std::vector<ReedSolomon::Shard> ReedSolomon::encode(const std::vector<Shard>& da
   for (std::size_t i = 0; i < m_; ++i) {
     out[i] = &parity[i];
   }
-  matrix_apply(pm, in, out);
+  apply_tables(parity_tables_, m_, k_, in, out);
   return parity;
 }
 
@@ -123,7 +162,7 @@ bool ReedSolomon::reconstruct(std::vector<Shard>& shards,
   for (std::size_t i = 0; i < k_; ++i) {
     out[i] = &data[i];
   }
-  matrix_apply(*inv, in, out);
+  apply_tables(build_tables(*inv), k_, k_, in, out);
 
   for (std::size_t i = 0; i < k_; ++i) {
     if (!present[i]) {

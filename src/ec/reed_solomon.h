@@ -3,7 +3,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "ec/gf_region.h"
 #include "ec/matrix.h"
+
+namespace erms::util {
+class ThreadPool;
+}  // namespace erms::util
 
 namespace erms::ec {
 
@@ -15,6 +20,12 @@ namespace erms::ec {
 /// The encoding matrix is a Vandermonde matrix row-reduced so its top k×k is
 /// the identity (systematic form). Every k-row submatrix remains invertible,
 /// which is the property decoding relies on.
+///
+/// The hot loops run through the gf_region kernels (table/SIMD dispatch; see
+/// gf_region.h). The constructor caches the parity submatrix and one
+/// MulTable per parity-matrix entry, so encode() does no per-call matrix or
+/// table work. An optional ThreadPool splits large shards into sub-ranges
+/// encoded/decoded concurrently.
 class ReedSolomon {
  public:
   using Shard = std::vector<std::uint8_t>;
@@ -25,6 +36,11 @@ class ReedSolomon {
   [[nodiscard]] std::size_t data_shards() const { return k_; }
   [[nodiscard]] std::size_t parity_shards() const { return m_; }
   [[nodiscard]] std::size_t total_shards() const { return k_ + m_; }
+
+  /// Borrow a pool for multi-threaded region work; nullptr reverts to
+  /// serial. The pool must outlive every encode/reconstruct/verify call.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] util::ThreadPool* thread_pool() const { return pool_; }
 
   /// Compute the m parity shards for k equal-length data shards.
   [[nodiscard]] std::vector<Shard> encode(const std::vector<Shard>& data) const;
@@ -45,13 +61,23 @@ class ReedSolomon {
  private:
   void check_shard_sizes(const std::vector<Shard>& shards, std::size_t expect_count) const;
 
-  /// out[r] += sum_c matrix[r][c] * in[c], for byte vectors.
-  static void matrix_apply(const Matrix& m, const std::vector<const Shard*>& in,
-                           const std::vector<Shard*>& out);
+  /// out[r] = sum_c tables[r*cols+c] * in[c], for byte vectors; `tables`
+  /// holds one MulTable per matrix entry, row-major. Output shards are
+  /// resized to the input length. Chunked across pool_ when set.
+  void apply_tables(const std::vector<MulTable>& tables, std::size_t rows,
+                    std::size_t cols, const std::vector<const Shard*>& in,
+                    const std::vector<Shard*>& out) const;
+
+  /// Build the per-entry table vector for an arbitrary matrix (decode path;
+  /// the encode path uses the cached parity_tables_).
+  static std::vector<MulTable> build_tables(const Matrix& m);
 
   std::size_t k_;
   std::size_t m_;
-  Matrix encode_matrix_;  // (k+m) x k, systematic
+  Matrix encode_matrix_;               // (k+m) x k, systematic
+  Matrix parity_matrix_;               // rows k..k+m-1 of encode_matrix_
+  std::vector<MulTable> parity_tables_;  // m*k tables, row-major
+  util::ThreadPool* pool_{nullptr};
 };
 
 }  // namespace erms::ec

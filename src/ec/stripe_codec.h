@@ -11,10 +11,18 @@ namespace erms::ec {
 /// equal shards (zero-padded), computes m parities, and can rebuild the file
 /// from any k surviving shards. This mirrors what HDFS-RAID does to a block
 /// group when ERMS demotes a cold file.
+///
+/// Attach a util::ThreadPool to encode/decode large stripes with the shards
+/// split into concurrently-coded sub-ranges (see ReedSolomon).
 class StripeCodec {
  public:
   StripeCodec(std::size_t data_shards, std::size_t parity_shards)
       : rs_(data_shards, parity_shards) {}
+
+  /// Borrow a pool for multi-threaded coding; nullptr reverts to serial.
+  /// The pool must outlive every encode/decode call.
+  void set_thread_pool(util::ThreadPool* pool) { rs_.set_thread_pool(pool); }
+  [[nodiscard]] util::ThreadPool* thread_pool() const { return rs_.thread_pool(); }
 
   struct Stripe {
     std::vector<ReedSolomon::Shard> shards;  // k data shards then m parity
@@ -31,6 +39,7 @@ class StripeCodec {
               std::vector<std::uint8_t>& out) const;
 
   [[nodiscard]] const ReedSolomon& code() const { return rs_; }
+  [[nodiscard]] ReedSolomon& code() { return rs_; }
 
   /// Storage used by the stripe (all shards) vs. by `r` full replicas — the
   /// overhead comparison the paper's Fig. 5 makes.

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace erms::util {
+
+/// Small fixed-size worker pool. Two uses inside ERMS: fire-and-forget
+/// background jobs via run(), and data-parallel loops via parallel_for(),
+/// which the erasure codec uses to split megabyte shards into cache-friendly
+/// sub-ranges encoded concurrently.
+///
+/// parallel_for() blocks until every index has run; the calling thread
+/// participates, so a pool of size 1 still makes progress even when workers
+/// are busy, and nested calls cannot deadlock.
+class ThreadPool {
+ public:
+  /// `threads == 0` means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task for any worker. Tasks must not throw.
+  void run(std::function<void()> fn);
+
+  /// Execute fn(i) for every i in [0, n), spread across the workers and the
+  /// calling thread. Returns when all n calls have finished. `fn` must be
+  /// safe to call concurrently and must not throw.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_{false};
+};
+
+}  // namespace erms::util

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <sstream>
 #include <unordered_set>
+#include <vector>
 
 #include "util/bytes.h"
 #include "util/ids.h"
 #include "util/log.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace erms::util {
 namespace {
@@ -156,6 +160,40 @@ TEST(Logger, FormatsComponent) {
   Logger logger{&os, LogLevel::kDebug};
   logger.log(LogLevel::kInfo, "cluster", "hello");
   EXPECT_EQ(os.str(), "[INFO] cluster: hello\n");
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForTrivialSizes) {
+  ThreadPool pool(2);
+  int zero_calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++zero_calls; });
+  EXPECT_EQ(zero_calls, 0);
+  std::atomic<int> one_calls{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++one_calls;
+  });
+  EXPECT_EQ(one_calls.load(), 1);
+}
+
+TEST(ThreadPool, RunExecutesEnqueuedTasks) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 1; i <= 10; ++i) {
+      pool.run([&sum, i] { sum.fetch_add(i); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(sum.load(), 55);
 }
 
 }  // namespace
