@@ -1,5 +1,7 @@
 #include "audit/audit.h"
 
+#include <algorithm>
+#include <charconv>
 #include <cinttypes>
 #include <cstdio>
 
@@ -27,7 +29,26 @@ std::string format_timestamp(sim::SimTime t) {
   return buf;
 }
 
-/// Invert format_timestamp back to SimTime (micros).
+/// Consume a decimal int from the front of `s`; false if none is there.
+bool eat_int(std::string_view& s, int& out) {
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (res.ec != std::errc()) {
+    return false;
+  }
+  s.remove_prefix(static_cast<std::size_t>(res.ptr - s.data()));
+  return true;
+}
+
+bool eat_char(std::string_view& s, char c) {
+  if (s.empty() || s.front() != c) {
+    return false;
+  }
+  s.remove_prefix(1);
+  return true;
+}
+
+/// Invert format_timestamp back to SimTime (micros). No intermediate
+/// std::string: the fields are consumed in place with from_chars.
 std::optional<sim::SimTime> parse_timestamp(std::string_view date, std::string_view clock) {
   int year = 0;
   int month = 0;
@@ -36,10 +57,13 @@ std::optional<sim::SimTime> parse_timestamp(std::string_view date, std::string_v
   int min = 0;
   int sec = 0;
   int ms = 0;
-  if (std::sscanf(std::string(date).c_str(), "%d-%d-%d", &year, &month, &day) != 3) {
+  if (!eat_int(date, year) || !eat_char(date, '-') || !eat_int(date, month) ||
+      !eat_char(date, '-') || !eat_int(date, day)) {
     return std::nullopt;
   }
-  if (std::sscanf(std::string(clock).c_str(), "%d:%d:%d,%d", &hour, &min, &sec, &ms) != 4) {
+  if (!eat_int(clock, hour) || !eat_char(clock, ':') || !eat_int(clock, min) ||
+      !eat_char(clock, ':') || !eat_int(clock, sec) || !eat_char(clock, ',') ||
+      !eat_int(clock, ms)) {
     return std::nullopt;
   }
   const std::int64_t days = day - 1;
@@ -48,7 +72,50 @@ std::optional<sim::SimTime> parse_timestamp(std::string_view date, std::string_v
   return sim::SimTime{total_ms * 1000};
 }
 
+/// strtoll-like prefix parse: garbage yields 0, trailing junk is ignored.
+std::int64_t parse_i64(std::string_view s) {
+  std::int64_t v = 0;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+/// Walks ' '-separated fields in place, with exactly util::split semantics
+/// (empty fields kept), but without materializing a vector per line.
+struct FieldCursor {
+  std::string_view rest;
+  bool done{false};
+
+  bool next(std::string_view& out) {
+    if (done) {
+      return false;
+    }
+    const std::size_t pos = rest.find(' ');
+    if (pos == std::string_view::npos) {
+      out = rest;
+      done = true;
+      return true;
+    }
+    out = rest.substr(0, pos);
+    rest.remove_prefix(pos + 1);
+    return true;
+  }
+};
+
 }  // namespace
+
+AuditSlots AuditSlots::resolve(cep::SymbolTable& attrs, cep::SymbolTable& streams) {
+  AuditSlots s;
+  s.stream = streams.intern(AuditEvent::kStream);
+  s.allowed = attrs.intern("allowed");
+  s.ugi = attrs.intern("ugi");
+  s.ip = attrs.intern("ip");
+  s.cmd = attrs.intern("cmd");
+  s.src = attrs.intern("src");
+  s.dst = attrs.intern("dst");
+  s.blk = attrs.intern("blk");
+  s.dn = attrs.intern("dn");
+  return s;
+}
 
 std::string AuditEvent::to_line() const {
   std::string line = format_timestamp(time);
@@ -88,48 +155,73 @@ cep::Event AuditEvent::to_cep_event() const {
   return event;
 }
 
+void AuditEvent::to_slotted(const AuditSlots& slots, cep::SlottedEvent& out) const {
+  out.reset(time, slots.stream);
+  out.set_bool(slots.allowed, allowed);
+  out.set_string(slots.ugi, ugi);
+  out.set_string(slots.ip, ip);
+  out.set_string(slots.cmd, cmd);
+  out.set_string(slots.src, src);
+  if (!dst.empty()) {
+    out.set_string(slots.dst, dst);
+  }
+  if (block) {
+    out.set_int(slots.blk, *block);
+  }
+  if (datanode) {
+    out.set_int(slots.dn, *datanode);
+  }
+}
+
 std::optional<AuditEvent> AuditLogParser::parse_line(std::string_view line) {
-  const std::vector<std::string_view> fields = util::split(util::trim(line), ' ');
+  FieldCursor cursor{util::trim(line)};
   // Minimum shape: date time INFO FSNamesystem.audit: k=v...
-  if (fields.size() < 5) {
+  std::string_view date;
+  std::string_view clock;
+  std::string_view level;
+  std::string_view tag;
+  if (!cursor.next(date) || !cursor.next(clock) || !cursor.next(level) || !cursor.next(tag)) {
     return std::nullopt;
   }
-  if (fields[3] != "FSNamesystem.audit:") {
+  if (tag != "FSNamesystem.audit:") {
     return std::nullopt;
   }
-  const auto time = parse_timestamp(fields[0], fields[1]);
+  const auto time = parse_timestamp(date, clock);
   if (!time) {
     return std::nullopt;
   }
   AuditEvent event;
   event.time = *time;
   bool saw_cmd = false;
-  for (std::size_t i = 4; i < fields.size(); ++i) {
+  bool saw_field = false;
+  std::string_view field;
+  while (cursor.next(field)) {
+    saw_field = true;
     std::string_view key;
     std::string_view value;
-    if (!util::split_key_value(fields[i], key, value)) {
+    if (!util::split_key_value(field, key, value)) {
       continue;
     }
     if (key == "allowed") {
       event.allowed = value == "true";
     } else if (key == "ugi") {
-      event.ugi = std::string(value);
+      event.ugi = value;
     } else if (key == "ip") {
-      event.ip = std::string(value);
+      event.ip = value;
     } else if (key == "cmd") {
-      event.cmd = std::string(value);
+      event.cmd = value;
       saw_cmd = true;
     } else if (key == "src") {
-      event.src = std::string(value);
+      event.src = value;
     } else if (key == "dst") {
-      event.dst = value == "null" ? std::string() : std::string(value);
+      event.dst = value == "null" ? std::string_view() : value;
     } else if (key == "blk") {
-      event.block = std::strtoll(std::string(value).c_str(), nullptr, 10);
+      event.block = parse_i64(value);
     } else if (key == "dn") {
-      event.datanode = std::strtoll(std::string(value).c_str(), nullptr, 10);
+      event.datanode = parse_i64(value);
     }
   }
-  if (!saw_cmd) {
+  if (!saw_cmd || !saw_field) {
     return std::nullopt;
   }
   return event;
@@ -137,10 +229,22 @@ std::optional<AuditEvent> AuditLogParser::parse_line(std::string_view line) {
 
 std::vector<AuditEvent> AuditLogParser::parse(std::string_view log_text) {
   std::vector<AuditEvent> events;
-  for (const std::string_view line : util::split(log_text, '\n')) {
+  events.reserve(static_cast<std::size_t>(
+                     std::count(log_text.begin(), log_text.end(), '\n')) +
+                 1);
+  std::size_t start = 0;
+  while (start <= log_text.size()) {
+    const std::size_t pos = log_text.find('\n', start);
+    const std::string_view line =
+        log_text.substr(start, pos == std::string_view::npos ? std::string_view::npos
+                                                             : pos - start);
     if (auto event = parse_line(line)) {
       events.push_back(std::move(*event));
     }
+    if (pos == std::string_view::npos) {
+      break;
+    }
+    start = pos + 1;
   }
   return events;
 }

@@ -6,9 +6,28 @@
 #include <vector>
 
 #include "cep/event.h"
+#include "cep/slotted_event.h"
 #include "sim/time.h"
 
 namespace erms::audit {
+
+/// The audit stream's attribute/stream slots, resolved once against a CEP
+/// engine's symbol tables. With these in hand, AuditEvent::to_slotted fills
+/// a reusable SlottedEvent with zero map inserts and (once warm) zero
+/// allocations — the hot half of the audit → Data Judge ingest path.
+struct AuditSlots {
+  cep::Slot stream{cep::kNoSlot};
+  cep::Slot allowed{cep::kNoSlot};
+  cep::Slot ugi{cep::kNoSlot};
+  cep::Slot ip{cep::kNoSlot};
+  cep::Slot cmd{cep::kNoSlot};
+  cep::Slot src{cep::kNoSlot};
+  cep::Slot dst{cep::kNoSlot};
+  cep::Slot blk{cep::kNoSlot};
+  cep::Slot dn{cep::kNoSlot};
+
+  static AuditSlots resolve(cep::SymbolTable& attrs, cep::SymbolTable& streams);
+};
 
 /// One HDFS namenode audit record. Mirrors the real FSNamesystem.audit line:
 ///
@@ -39,6 +58,10 @@ struct AuditEvent {
   /// Convert to a CEP event with attributes: allowed, ugi, ip, cmd, src,
   /// dst, and (when present) blk, dn.
   [[nodiscard]] cep::Event to_cep_event() const;
+
+  /// Fill `out` with the same attributes in slotted form (same attribute set
+  /// as to_cep_event, no ClassAd, no per-attribute allocations).
+  void to_slotted(const AuditSlots& slots, cep::SlottedEvent& out) const;
 };
 
 /// Parses audit-log lines back into events — the component the paper calls

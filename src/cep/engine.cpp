@@ -1,53 +1,92 @@
 #include "cep/engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "cep/event.h"
 
 namespace erms::cep {
 
 namespace {
 
-/// Attribute value rendered for group keys: strings unquoted, numbers in
-/// their natural form, missing attributes as the empty string.
-std::string render_key(const classad::Value& v) {
-  if (v.is_string()) {
-    return v.as_string();
+/// 64-bit FNV-1a over the joined group key.
+std::uint64_t hash_key(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
   }
-  if (v.is_undefined()) {
-    return "";
-  }
-  return v.to_string();
+  return h;
 }
 
-/// Same rendering, appended in place — the hot path avoids a temporary
-/// string per attribute for the common string-valued case.
-void append_key(std::string& out, const classad::Value& v) {
-  if (v.is_string()) {
-    out += v.as_string();
-  } else if (!v.is_undefined()) {
-    out += v.to_string();
+/// Append a slot value rendered exactly as the ClassAd path rendered group
+/// keys: strings unquoted, ints/reals/bools via Value::to_string, missing
+/// attributes as the empty string.
+void append_key_value(std::string& out, const SlotValue* v) {
+  if (v == nullptr) {
+    return;
+  }
+  switch (v->kind) {
+    case SlotValue::Kind::kString:
+      out.append(v->s);
+      break;
+    case SlotValue::Kind::kInt: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof(buf), v->i);
+      out.append(buf, res.ptr);
+      break;
+    }
+    case SlotValue::Kind::kReal: {
+      char buf[48];
+      const int n = std::snprintf(buf, sizeof(buf), "%g", v->r);
+      out.append(buf, static_cast<std::size_t>(n));
+      break;
+    }
+    case SlotValue::Kind::kBool:
+      out.append(v->b ? "true" : "false");
+      break;
+    case SlotValue::Kind::kNull:
+      break;
   }
 }
 
-/// Numeric view of an attribute for sum/avg/min/max; nullopt if non-numeric.
-std::optional<double> numeric(const classad::ClassAd& attrs, const std::string& name) {
-  const classad::Value v = attrs.evaluate(name);
-  if (v.is_number()) {
-    return v.as_number();
+/// Recover the per-attribute key values from the joined key (cold path: runs
+/// once per group creation).
+std::vector<std::string> split_key(const std::string& key, std::size_t parts) {
+  std::vector<std::string> out;
+  if (parts == 0) {
+    return out;
   }
-  return std::nullopt;
+  out.reserve(parts);
+  std::size_t start = 0;
+  for (std::size_t i = 0; i + 1 < parts; ++i) {
+    const std::size_t pos = key.find('\x1f', start);
+    if (pos == std::string::npos) {
+      out.emplace_back(key.substr(start));
+      start = key.size() + 1;  // remaining parts empty
+      while (out.size() + 1 < parts) {
+        out.emplace_back();
+      }
+      break;
+    }
+    out.emplace_back(key.substr(start, pos - start));
+    start = pos + 1;
+  }
+  out.emplace_back(start <= key.size() ? key.substr(start) : std::string());
+  return out;
 }
 
 }  // namespace
 
-QueryId Engine::register_query(Query query, Listener listener) {
-  const QueryId id = ids_.next();
-  SlidingWindow window{query.window};
-  QueryState qs{std::move(query), std::move(listener), std::move(window), {}};
-  queries_.emplace(id, std::move(qs));
-  return id;
-}
+Engine::Engine()
+    : Engine(std::make_shared<SymbolTable>(/*fold_case=*/true),
+             std::make_shared<SymbolTable>(/*fold_case=*/false)) {}
 
-bool Engine::remove_query(QueryId id) { return queries_.erase(id) > 0; }
+Engine::Engine(std::shared_ptr<SymbolTable> attrs, std::shared_ptr<SymbolTable> streams)
+    : attrs_(std::move(attrs)), streams_(std::move(streams)) {}
 
 std::string Engine::join_key(const std::vector<std::string>& parts) {
   std::string out;
@@ -60,133 +99,202 @@ std::string Engine::join_key(const std::vector<std::string>& parts) {
   return out;
 }
 
-std::vector<std::string> Engine::group_key_of(const Query& q, const Event& e) {
-  std::vector<std::string> key;
-  key.reserve(q.group_by.size());
-  for (const std::string& attr : q.group_by) {
-    key.push_back(render_key(e.attrs.evaluate(attr)));
-  }
-  return key;
+QueryId Engine::register_query(Query query, Listener listener) {
+  const QueryId id = ids_.next();
+  QueryState qs;
+  qs.id = id;
+  qs.plan = CompiledQuery::compile(query, *attrs_, *streams_);
+  qs.query = std::move(query);
+  qs.listener = std::move(listener);
+  queries_.push_back(std::move(qs));
+  return id;
 }
 
-bool Engine::event_matches(const Query& q, const Event& e) const {
-  if (!q.from.empty() && q.from != e.type) {
+bool Engine::remove_query(QueryId id) {
+  for (auto it = queries_.begin(); it != queries_.end(); ++it) {
+    if (it->id == id) {
+      queries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Engine::QueryState* Engine::find_query(QueryId id) {
+  for (QueryState& qs : queries_) {
+    if (qs.id == id) {
+      return &qs;
+    }
+  }
+  return nullptr;
+}
+
+const Engine::QueryState* Engine::find_query(QueryId id) const {
+  for (const QueryState& qs : queries_) {
+    if (qs.id == id) {
+      return &qs;
+    }
+  }
+  return nullptr;
+}
+
+const Query* Engine::query(QueryId id) const {
+  const QueryState* qs = find_query(id);
+  return qs == nullptr ? nullptr : &qs->query;
+}
+
+bool Engine::event_matches(QueryState& qs, const SlottedEvent& e) {
+  const CompiledQuery& plan = qs.plan;
+  if (plan.stream != kNoSlot && plan.stream != e.stream) {
     return false;
   }
-  if (q.where) {
-    const classad::Value v = e.attrs.evaluate_expr(*q.where);
-    return v.is_bool() && v.as_bool();
+  if (plan.where == CompiledQuery::WhereMode::kNone) {
+    return true;
   }
-  return true;
+  if (plan.where == CompiledQuery::WhereMode::kFast && use_fast_path_) {
+    for (const FastPred& p : plan.preds) {
+      if (!eval_fast_pred(p, e)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Compatibility adapter: rebuild a ClassAd view and run the expression.
+  classad::ClassAd ad;
+  to_classad(e, *attrs_, ad);
+  const classad::Value v = ad.evaluate_expr(*qs.query.where);
+  return v.is_bool() && v.as_bool();
 }
 
-const std::string& Engine::build_group_key(const Query& q, const Event& e) {
+void Engine::build_group_key(const CompiledQuery& plan, const SlottedEvent& e) {
   group_key_buf_.clear();
-  group_key_buf_.reserve(16 * q.group_by.size());
-  for (std::size_t i = 0; i < q.group_by.size(); ++i) {
+  for (std::size_t i = 0; i < plan.group_slots.size(); ++i) {
     if (i != 0) {
       group_key_buf_ += '\x1f';
     }
-    append_key(group_key_buf_, e.attrs.evaluate(q.group_by[i]));
+    append_key_value(group_key_buf_, e.get(plan.group_slots[i]));
   }
-  return group_key_buf_;
 }
 
-void Engine::accumulate(QueryState& qs, const Event& e, int direction) {
-  const std::string& key = build_group_key(qs.query, e);
-  auto it = qs.groups.find(key);
-  if (it == qs.groups.end()) {
-    if (direction < 0) {
-      assert(false && "evicting from a missing group");
-      return;
-    }
-    GroupState g;
-    // Cold path (first event of a group): materialize the key parts the
-    // result rows need.
-    g.key_values = group_key_of(qs.query, e);
-    g.sums.assign(qs.query.select.size(), 0.0);
-    g.non_null.assign(qs.query.select.size(), 0);
-    g.ordered.resize(qs.query.select.size());
-    it = qs.groups.emplace(key, std::move(g)).first;
-  }
-  GroupState& g = it->second;
-  g.count += static_cast<std::uint64_t>(static_cast<std::int64_t>(direction));
-
-  for (std::size_t i = 0; i < qs.query.select.size(); ++i) {
-    const Aggregate& agg = qs.query.select[i];
-    if (agg.kind == Aggregate::Kind::kCount) {
-      continue;  // uses g.count
-    }
-    const std::optional<double> v = numeric(e.attrs, agg.attr);
-    if (!v) {
-      continue;
-    }
-    if (direction > 0) {
-      g.sums[i] += *v;
-      ++g.non_null[i];
-      if (agg.kind == Aggregate::Kind::kMin || agg.kind == Aggregate::Kind::kMax) {
-        g.ordered[i].insert(*v);
+bool Engine::resolve_group(QueryState& qs, const std::string& key, bool create,
+                           std::uint64_t& out) {
+  std::uint64_t h = hash_key(key);
+  for (;;) {
+    const auto it = qs.groups.find(h);
+    if (it == qs.groups.end()) {
+      if (!create) {
+        return false;
       }
-    } else {
-      g.sums[i] -= *v;
-      --g.non_null[i];
-      if (agg.kind == Aggregate::Kind::kMin || agg.kind == Aggregate::Kind::kMax) {
-        const auto pos = g.ordered[i].find(*v);
-        if (pos != g.ordered[i].end()) {
-          g.ordered[i].erase(pos);
+      GroupState g;
+      g.key = key;
+      g.key_values = split_key(key, qs.query.group_by.size());
+      g.sums.assign(qs.plan.numeric_aggs, 0.0);
+      g.non_null.assign(qs.plan.numeric_aggs, 0);
+      g.mono.resize(qs.plan.numeric_aggs);
+      qs.groups.emplace(h, std::move(g));
+      out = h;
+      return true;
+    }
+    if (it->second.key == key) {
+      out = h;
+      return true;
+    }
+    ++h;  // 64-bit collision between distinct keys: probe forward
+  }
+}
+
+void Engine::insert_event(QueryState& qs, const SlottedEvent& e, std::uint64_t group_id) {
+  GroupState& g = qs.groups.find(group_id)->second;
+  ++g.count;
+  const std::uint64_t seq = g.next_seq++;
+  const CompiledQuery& plan = qs.plan;
+  if (plan.numeric_aggs > 0) {
+    for (std::size_t i = 0; i < qs.query.select.size(); ++i) {
+      const std::int32_t ni = plan.agg_numeric_index[i];
+      if (ni < 0) {
+        continue;
+      }
+      const SlotValue* v = e.get(plan.agg_slots[i]);
+      double val = std::nan("");
+      if (v != nullptr && v->is_number()) {
+        const double n = v->as_number();
+        if (!std::isnan(n)) {
+          val = n;
+          g.sums[ni] += n;
+          ++g.non_null[ni];
+          if (plan.agg_is_minmax[i]) {
+            std::deque<MonoEntry>& dq = g.mono[ni];
+            if (qs.query.select[i].kind == Aggregate::Kind::kMin) {
+              while (!dq.empty() && dq.back().value > n) {
+                dq.pop_back();
+              }
+            } else {
+              while (!dq.empty() && dq.back().value < n) {
+                dq.pop_back();
+              }
+            }
+            dq.push_back(MonoEntry{n, seq});
+          }
+        }
+      }
+      qs.ring_values.push_back(val);
+    }
+  }
+  qs.ring.push_back(WindowEntry{e.time.micros(), group_id, seq});
+}
+
+void Engine::evict_front(QueryState& qs) {
+  const WindowEntry ent = qs.ring.front();
+  qs.ring.pop_front();
+  const auto it = qs.groups.find(ent.group);
+  assert(it != qs.groups.end() && "evicting from a missing group");
+  GroupState& g = it->second;
+  --g.count;
+  const CompiledQuery& plan = qs.plan;
+  if (plan.numeric_aggs > 0) {
+    for (std::size_t i = 0; i < qs.query.select.size(); ++i) {
+      const std::int32_t ni = plan.agg_numeric_index[i];
+      if (ni < 0) {
+        continue;
+      }
+      const double val = qs.ring_values.front();
+      qs.ring_values.pop_front();
+      if (!std::isnan(val)) {
+        g.sums[ni] -= val;
+        --g.non_null[ni];
+        if (plan.agg_is_minmax[i]) {
+          std::deque<MonoEntry>& dq = g.mono[ni];
+          if (!dq.empty() && dq.front().seq == ent.seq) {
+            dq.pop_front();
+          }
         }
       }
     }
   }
-
   if (g.count == 0) {
     qs.groups.erase(it);
   }
 }
 
-ResultRow Engine::make_row(const QueryState& qs, const GroupState& g) {
-  ResultRow row;
-  for (std::size_t i = 0; i < qs.query.group_by.size(); ++i) {
-    row.values.insert_string(qs.query.group_by[i], g.key_values[i]);
+void Engine::evict_time(QueryState& qs, sim::SimTime now) {
+  if (qs.query.window.kind != WindowSpec::Kind::kTime) {
+    return;
   }
-  for (std::size_t i = 0; i < qs.query.select.size(); ++i) {
-    const Aggregate& agg = qs.query.select[i];
-    switch (agg.kind) {
-      case Aggregate::Kind::kCount:
-        row.values.insert_int(agg.alias, static_cast<std::int64_t>(g.count));
-        break;
-      case Aggregate::Kind::kSum:
-        row.values.insert_real(agg.alias, g.sums[i]);
-        break;
-      case Aggregate::Kind::kAvg:
-        if (g.non_null[i] > 0) {
-          row.values.insert_real(agg.alias, g.sums[i] / static_cast<double>(g.non_null[i]));
-        }
-        break;
-      case Aggregate::Kind::kMin:
-        if (!g.ordered[i].empty()) {
-          row.values.insert_real(agg.alias, *g.ordered[i].begin());
-        }
-        break;
-      case Aggregate::Kind::kMax:
-        if (!g.ordered[i].empty()) {
-          row.values.insert_real(agg.alias, *g.ordered[i].rbegin());
-        }
-        break;
-    }
+  const std::int64_t cutoff = (now - qs.query.window.duration).micros();
+  while (!qs.ring.empty() && qs.ring.front().time_us <= cutoff) {
+    evict_front(qs);
   }
-  return row;
 }
 
-void Engine::notify(QueryState& qs, const std::string& key) {
+void Engine::notify(QueryState& qs, std::uint64_t group_id) {
   if (!qs.listener) {
     return;
   }
-  const auto it = qs.groups.find(key);
+  const auto it = qs.groups.find(group_id);
   if (it == qs.groups.end()) {
     return;
   }
-  const ResultRow row = make_row(qs, it->second);
+  const ResultRow row = render_row(qs.query, export_group(qs, it->second));
   if (qs.query.having) {
     const classad::Value v = row.values.evaluate_expr(*qs.query.having);
     if (!v.is_bool() || !v.as_bool()) {
@@ -196,54 +304,168 @@ void Engine::notify(QueryState& qs, const std::string& key) {
   qs.listener(row);
 }
 
-void Engine::push(const Event& event) {
+void Engine::push_slotted(const SlottedEvent& event) {
   ++events_processed_;
-  for (auto& [id, qs] : queries_) {
-    if (!event_matches(qs.query, event)) {
-      // Time still advances for this query's window.
-      qs.window.evict_until(event.time,
-                            [this, &qs](const Event& old) { accumulate(qs, old, -1); });
+  for (QueryState& qs : queries_) {
+    // Time advances for every query's window, matching or not.
+    evict_time(qs, event.time);
+    if (!event_matches(qs, event)) {
       continue;
     }
-    accumulate(qs, event, +1);
-    // Copy: eviction inside push() reuses the scratch buffer.
-    const std::string key = build_group_key(qs.query, event);
-    qs.window.push(event, [this, &qs](const Event& old) { accumulate(qs, old, -1); });
-    notify(qs, key);
+    build_group_key(qs.plan, event);
+    std::uint64_t gid = 0;
+    resolve_group(qs, group_key_buf_, /*create=*/true, gid);
+    insert_event(qs, event, gid);
+    if (qs.query.window.kind == WindowSpec::Kind::kLength) {
+      while (qs.ring.size() > qs.query.window.count) {
+        evict_front(qs);
+      }
+    }
+    notify(qs, gid);
   }
+}
+
+void Engine::push(const Event& event) {
+  convert_scratch_.reset(event.time, streams_->intern(event.type));
+  for (const std::string& name : event.attrs.attribute_names()) {
+    const classad::Value v = event.attrs.evaluate(name);
+    const Slot slot = attrs_->intern(name);
+    switch (v.type()) {
+      case classad::Value::Type::kBool:
+        convert_scratch_.set_bool(slot, v.as_bool());
+        break;
+      case classad::Value::Type::kInt:
+        convert_scratch_.set_int(slot, v.as_int());
+        break;
+      case classad::Value::Type::kReal:
+        convert_scratch_.set_real(slot, v.as_real());
+        break;
+      case classad::Value::Type::kString:
+        convert_scratch_.set_string(slot, v.as_string());
+        break;
+      default:
+        break;  // UNDEFINED / ERROR attributes stay absent
+    }
+  }
+  push_slotted(convert_scratch_);
 }
 
 void Engine::advance_to(sim::SimTime now) {
-  for (auto& [id, qs] : queries_) {
-    qs.window.evict_until(now,
-                          [this, &qs](const Event& old) { accumulate(qs, old, -1); });
+  for (QueryState& qs : queries_) {
+    evict_time(qs, now);
   }
 }
 
-std::vector<ResultRow> Engine::snapshot(QueryId id) const {
-  std::vector<ResultRow> out;
-  const auto it = queries_.find(id);
-  if (it == queries_.end()) {
-    return out;
-  }
-  out.reserve(it->second.groups.size());
-  for (const auto& [key, group] : it->second.groups) {
-    out.push_back(make_row(it->second, group));
+Engine::RawGroup Engine::export_group(const QueryState& qs, const GroupState& g) const {
+  RawGroup out;
+  out.key = g.key;
+  out.key_values = g.key_values;
+  out.count = g.count;
+  out.aggs.resize(qs.query.select.size());
+  for (std::size_t i = 0; i < qs.query.select.size(); ++i) {
+    const std::int32_t ni = qs.plan.agg_numeric_index[i];
+    if (ni < 0) {
+      continue;
+    }
+    RawAggregate& agg = out.aggs[i];
+    agg.sum = g.sums[ni];
+    agg.non_null = g.non_null[ni];
+    if (qs.plan.agg_is_minmax[i] && !g.mono[ni].empty()) {
+      agg.extreme = g.mono[ni].front().value;
+      agg.has_extreme = true;
+    }
   }
   return out;
 }
 
-std::optional<ResultRow> Engine::group_row(QueryId id,
-                                           const std::vector<std::string>& key) const {
-  const auto it = queries_.find(id);
-  if (it == queries_.end()) {
+ResultRow Engine::render_row(const Query& q, const RawGroup& g) {
+  ResultRow row;
+  for (std::size_t i = 0; i < q.group_by.size(); ++i) {
+    row.values.insert_string(q.group_by[i], g.key_values[i]);
+  }
+  for (std::size_t i = 0; i < q.select.size(); ++i) {
+    const Aggregate& agg = q.select[i];
+    switch (agg.kind) {
+      case Aggregate::Kind::kCount:
+        row.values.insert_int(agg.alias, static_cast<std::int64_t>(g.count));
+        break;
+      case Aggregate::Kind::kSum:
+        row.values.insert_real(agg.alias, g.aggs[i].sum);
+        break;
+      case Aggregate::Kind::kAvg:
+        if (g.aggs[i].non_null > 0) {
+          row.values.insert_real(agg.alias,
+                                 g.aggs[i].sum / static_cast<double>(g.aggs[i].non_null));
+        }
+        break;
+      case Aggregate::Kind::kMin:
+      case Aggregate::Kind::kMax:
+        if (g.aggs[i].has_extreme) {
+          row.values.insert_real(agg.alias, g.aggs[i].extreme);
+        }
+        break;
+    }
+  }
+  return row;
+}
+
+std::vector<Engine::RawGroup> Engine::raw_snapshot(QueryId id) const {
+  std::vector<RawGroup> out;
+  const QueryState* qs = find_query(id);
+  if (qs == nullptr) {
+    return out;
+  }
+  out.reserve(qs->groups.size());
+  for (const auto& [h, g] : qs->groups) {
+    out.push_back(export_group(*qs, g));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RawGroup& a, const RawGroup& b) { return a.key < b.key; });
+  return out;
+}
+
+std::optional<Engine::RawGroup> Engine::raw_group(QueryId id, const std::string& key) const {
+  const QueryState* qs = find_query(id);
+  if (qs == nullptr) {
     return std::nullopt;
   }
-  const auto git = it->second.groups.find(join_key(key));
-  if (git == it->second.groups.end()) {
+  std::uint64_t h = hash_key(key);
+  for (;;) {
+    const auto it = qs->groups.find(h);
+    if (it == qs->groups.end()) {
+      return std::nullopt;
+    }
+    if (it->second.key == key) {
+      return export_group(*qs, it->second);
+    }
+    ++h;
+  }
+}
+
+std::vector<ResultRow> Engine::snapshot(QueryId id) {
+  std::vector<ResultRow> out;
+  const QueryState* qs = find_query(id);
+  if (qs == nullptr) {
+    return out;
+  }
+  std::vector<RawGroup> raw = raw_snapshot(id);
+  out.reserve(raw.size());
+  for (const RawGroup& g : raw) {
+    out.push_back(render_row(qs->query, g));
+  }
+  return out;
+}
+
+std::optional<ResultRow> Engine::group_row(QueryId id, const std::vector<std::string>& key) {
+  const QueryState* qs = find_query(id);
+  if (qs == nullptr) {
     return std::nullopt;
   }
-  return make_row(it->second, git->second);
+  const auto raw = raw_group(id, join_key(key));
+  if (!raw) {
+    return std::nullopt;
+  }
+  return render_row(qs->query, *raw);
 }
 
 }  // namespace erms::cep

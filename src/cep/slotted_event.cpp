@@ -1,0 +1,35 @@
+#include "cep/slotted_event.h"
+
+#include <cctype>
+
+namespace erms::cep {
+
+std::string SymbolTable::canonical(std::string_view name) const {
+  std::string out(name);
+  if (fold_case_) {
+    for (char& c : out) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+Slot SymbolTable::intern(std::string_view name) {
+  const std::string key = canonical(name);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const Slot slot = static_cast<Slot>(names_.size());
+  names_.push_back(key);
+  index_.emplace(std::move(key), slot);
+  return slot;
+}
+
+Slot SymbolTable::find(std::string_view name) const {
+  const std::string key = canonical(name);
+  const auto it = index_.find(key);
+  return it == index_.end() ? kNoSlot : it->second;
+}
+
+}  // namespace erms::cep

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace erms::cep {
+
+/// Index of an interned attribute (or stream) name. Slots are dense and
+/// engine-wide: every query and every event pushed through one engine agree
+/// on the slot of "src", so the hot path never touches an attribute string.
+using Slot = std::uint32_t;
+inline constexpr Slot kNoSlot = static_cast<Slot>(-1);
+
+/// Interns names once and hands out dense slots. Attribute tables fold case
+/// (ClassAd attribute names are case-insensitive); stream tables do not
+/// (stream matching has always been an exact string compare).
+class SymbolTable {
+ public:
+  explicit SymbolTable(bool fold_case = true) : fold_case_(fold_case) {}
+
+  /// Slot of `name`, interning it on first sight.
+  Slot intern(std::string_view name);
+
+  /// Slot of `name` if already interned, else kNoSlot. Never mutates — safe
+  /// to call concurrently with other readers.
+  [[nodiscard]] Slot find(std::string_view name) const;
+
+  /// Canonical (possibly case-folded) spelling of an interned slot.
+  [[nodiscard]] const std::string& name(Slot slot) const { return names_[slot]; }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  [[nodiscard]] std::string canonical(std::string_view name) const;
+
+  bool fold_case_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Slot> index_;
+};
+
+/// One attribute value of a slotted event. Mirrors the subset of
+/// classad::Value an event attribute can take; kNull marks an absent
+/// attribute (ClassAd UNDEFINED). The string payload is a member (not a
+/// variant) so reusing a SlotValue reuses its capacity.
+struct SlotValue {
+  enum class Kind : std::uint8_t { kNull, kBool, kInt, kReal, kString };
+
+  Kind kind{Kind::kNull};
+  bool b{false};
+  std::int64_t i{0};
+  double r{0.0};
+  std::string s;
+
+  [[nodiscard]] bool is_number() const { return kind == Kind::kInt || kind == Kind::kReal; }
+  [[nodiscard]] double as_number() const {
+    return kind == Kind::kInt ? static_cast<double>(i) : r;
+  }
+};
+
+/// A stream event in slotted form: a timestamp, an interned stream slot, and
+/// attribute values indexed by attribute slot. Filling one does no map
+/// inserts and — once the value vector and its strings have grown — no
+/// allocations, which is what lets the audit ingest path run millions of
+/// events per second.
+class SlottedEvent {
+ public:
+  sim::SimTime time;
+  Slot stream{kNoSlot};
+
+  /// Start a new event, clearing previously set attributes (only the ones
+  /// that were touched) while keeping all capacity.
+  void reset(sim::SimTime t, Slot stream_slot) {
+    for (const Slot s : touched_) {
+      values_[s].kind = SlotValue::Kind::kNull;
+    }
+    touched_.clear();
+    time = t;
+    stream = stream_slot;
+  }
+
+  void set_bool(Slot slot, bool v) {
+    SlotValue& sv = touch(slot);
+    sv.kind = SlotValue::Kind::kBool;
+    sv.b = v;
+  }
+  void set_int(Slot slot, std::int64_t v) {
+    SlotValue& sv = touch(slot);
+    sv.kind = SlotValue::Kind::kInt;
+    sv.i = v;
+  }
+  void set_real(Slot slot, double v) {
+    SlotValue& sv = touch(slot);
+    sv.kind = SlotValue::Kind::kReal;
+    sv.r = v;
+  }
+  void set_string(Slot slot, std::string_view v) {
+    SlotValue& sv = touch(slot);
+    sv.kind = SlotValue::Kind::kString;
+    sv.s.assign(v);
+  }
+
+  /// Value at `slot`, or nullptr when absent (never set or out of range).
+  [[nodiscard]] const SlotValue* get(Slot slot) const {
+    if (slot >= values_.size() || values_[slot].kind == SlotValue::Kind::kNull) {
+      return nullptr;
+    }
+    return &values_[slot];
+  }
+
+  /// Slots set on this event, in set order (for adapters that must iterate).
+  [[nodiscard]] const std::vector<Slot>& touched() const { return touched_; }
+
+ private:
+  SlotValue& touch(Slot slot) {
+    if (slot >= values_.size()) {
+      values_.resize(slot + 1);
+    }
+    SlotValue& sv = values_[slot];
+    if (sv.kind == SlotValue::Kind::kNull) {
+      touched_.push_back(slot);
+    }
+    return sv;
+  }
+
+  std::vector<SlotValue> values_;
+  std::vector<Slot> touched_;
+};
+
+/// A reusable batch of slotted events. clear() keeps the storage (and every
+/// string's capacity) so shard feed buffers stop allocating once warm.
+class EventBatch {
+ public:
+  /// Append a copy of `e`, reusing a previously cleared entry if available.
+  void append(const SlottedEvent& e) {
+    if (size_ < storage_.size()) {
+      storage_[size_] = e;
+    } else {
+      storage_.push_back(e);
+    }
+    ++size_;
+  }
+
+  void clear() { size_ = 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const SlottedEvent& operator[](std::size_t i) const { return storage_[i]; }
+
+ private:
+  std::vector<SlottedEvent> storage_;
+  std::size_t size_{0};
+};
+
+}  // namespace erms::cep

@@ -2,7 +2,7 @@
 
 namespace erms::cep {
 
-void SlidingWindow::push(Event event, const EvictFn& on_evict) {
+void SlidingWindow::push(Event&& event, const EvictFn& on_evict) {
   const sim::SimTime now = event.time;
   events_.push_back(std::move(event));
   if (spec_.kind == WindowSpec::Kind::kLength) {

@@ -42,7 +42,12 @@ class SlidingWindow {
   explicit SlidingWindow(WindowSpec spec) : spec_(spec) {}
 
   /// Append an event, then evict anything that falls out of the window.
-  void push(Event event, const EvictFn& on_evict);
+  /// The by-value overload moves; pass a const reference to copy exactly
+  /// once, or an rvalue to store with no copy at all.
+  void push(Event&& event, const EvictFn& on_evict);
+  void push(const Event& event, const EvictFn& on_evict) {
+    push(Event{event}, on_evict);
+  }
 
   /// Evict events older than `now - duration` (time windows only; length
   /// windows evict on push). Called when time advances without new events.

@@ -38,6 +38,8 @@ class LiteralExpr final : public Expr {
   [[nodiscard]] Value evaluate(EvalContext&) const override { return value_; }
   [[nodiscard]] std::string unparse() const override { return value_.to_string(); }
 
+  [[nodiscard]] const Value& value() const { return value_; }
+
  private:
   Value value_;
 };
@@ -96,6 +98,10 @@ class BinaryExpr final : public Expr {
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
   [[nodiscard]] Value evaluate(EvalContext& ctx) const override;
   [[nodiscard]] std::string unparse() const override;
+
+  [[nodiscard]] BinaryOp op() const { return op_; }
+  [[nodiscard]] const ExprPtr& lhs() const { return lhs_; }
+  [[nodiscard]] const ExprPtr& rhs() const { return rhs_; }
 
  private:
   BinaryOp op_;

@@ -7,6 +7,16 @@ namespace erms::core {
 namespace {
 constexpr int kPriorityUrgent = 10;
 constexpr int kPriorityBackground = 0;
+
+std::unique_ptr<cep::EngineBase> make_judge_engine(const ErmsConfig& config) {
+  if (config.judge_shards == 1) {
+    return std::make_unique<cep::Engine>();
+  }
+  cep::ShardedEngineOptions opts;
+  opts.shards = config.judge_shards;
+  opts.batch_events = config.judge_batch_events;
+  return std::make_unique<cep::ShardedEngine>(opts);
+}
 }  // namespace
 
 ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> standby_pool,
@@ -17,8 +27,8 @@ ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> stand
       codec_pool_(config.codec_threads),
       codec_(std::max<std::size_t>(1, config.data_shards),
              std::max<std::uint32_t>(1, config.parity_count)),
-      engine_(),
-      feed_(engine_, config.thresholds.window),
+      engine_(make_judge_engine(config)),
+      feed_(*engine_, config.thresholds.window),
       judge_(config.thresholds),
       standby_(cluster, standby_pool),
       scheduler_(cluster.simulation(),

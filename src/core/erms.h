@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cep/engine.h"
+#include "cep/sharded_engine.h"
 #include "condor/scheduler.h"
 #include "core/erms_placement.h"
 #include "core/standby.h"
@@ -55,6 +56,12 @@ struct ErmsConfig {
   /// always use observed counts.
   bool predictive = false;
   judge::AccessPredictor::Config predictor;
+  /// CEP engine shards behind the Data Judge's feed. 1 = the scalar engine;
+  /// >1 = a ShardedEngine routing audit events by src hash; 0 = one shard
+  /// per hardware thread.
+  std::size_t judge_shards = 1;
+  /// Events buffered per shard flush when judge_shards != 1.
+  std::size_t judge_batch_events = 256;
 };
 
 /// Counters describing what ERMS has done so far.
@@ -93,7 +100,7 @@ class ErmsManager {
   [[nodiscard]] judge::DataJudge& data_judge() { return judge_; }
   [[nodiscard]] StandbyManager& standby() { return standby_; }
   [[nodiscard]] condor::Scheduler& scheduler() { return scheduler_; }
-  [[nodiscard]] cep::Engine& cep_engine() { return engine_; }
+  [[nodiscard]] cep::EngineBase& cep_engine() { return *engine_; }
   [[nodiscard]] judge::AccessStatsFeed& feed() { return feed_; }
   [[nodiscard]] const ErmsConfig& config() const { return config_; }
 
@@ -128,7 +135,7 @@ class ErmsManager {
   util::Logger& log_;
   util::ThreadPool codec_pool_;
   ec::StripeCodec codec_;
-  cep::Engine engine_;
+  std::unique_ptr<cep::EngineBase> engine_;  // scalar or sharded per config
   judge::AccessStatsFeed feed_;
   judge::DataJudge judge_;
   std::optional<judge::AccessPredictor> predictor_;

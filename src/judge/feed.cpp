@@ -14,7 +14,7 @@ std::string window_clause(sim::SimDuration window) {
 
 }  // namespace
 
-AccessStatsFeed::AccessStatsFeed(cep::Engine& engine, sim::SimDuration window)
+AccessStatsFeed::AccessStatsFeed(cep::EngineBase& engine, sim::SimDuration window)
     : engine_(engine),
       // The judge's three standing queries, written in the engine's EPL.
       file_query_(engine.register_query(cep::parse_epl(
@@ -28,14 +28,16 @@ AccessStatsFeed::AccessStatsFeed(cep::Engine& engine, sim::SimDuration window)
           window_clause(window)))),
       file_node_query_(engine.register_query(cep::parse_epl(
           "SELECT count(*) AS n FROM audit WHERE cmd == \"read\" GROUP BY src, dn" +
-          window_clause(window)))) {}
+          window_clause(window)))),
+      slots_(audit::AuditSlots::resolve(engine.attr_symbols(), engine.stream_symbols())) {}
 
 void AccessStatsFeed::on_audit(const audit::AuditEvent& event) {
   ++events_ingested_;
   if (event.cmd == "open" || event.cmd == "read") {
     last_access_[event.src] = event.time;
   }
-  engine_.push(event.to_cep_event());
+  event.to_slotted(slots_, scratch_);
+  engine_.push_slotted(scratch_);
 }
 
 void AccessStatsFeed::advance_to(sim::SimTime now) { engine_.advance_to(now); }

@@ -18,7 +18,9 @@ namespace erms::judge {
 /// CEP engine" pipeline assembled (§III.C).
 class AccessStatsFeed {
  public:
-  AccessStatsFeed(cep::Engine& engine, sim::SimDuration window);
+  /// Works against any EngineBase — the scalar Engine or a ShardedEngine
+  /// (the manager picks based on ErmsConfig::judge_shards).
+  AccessStatsFeed(cep::EngineBase& engine, sim::SimDuration window);
 
   /// Consume one audit record (wire this to Cluster::set_audit_sink).
   void on_audit(const audit::AuditEvent& event);
@@ -52,11 +54,13 @@ class AccessStatsFeed {
   [[nodiscard]] std::uint64_t events_ingested() const { return events_ingested_; }
 
  private:
-  cep::Engine& engine_;
+  cep::EngineBase& engine_;
   cep::QueryId file_query_;
   cep::QueryId block_query_;
   cep::QueryId node_query_;
   cep::QueryId file_node_query_;
+  audit::AuditSlots slots_;      // audit attrs resolved once against engine_
+  cep::SlottedEvent scratch_;    // reused per on_audit: no steady-state allocs
   std::unordered_map<std::string, sim::SimTime> last_access_;
   std::uint64_t events_ingested_{0};
 };

@@ -118,6 +118,107 @@ TEST(AuditCep, OmitsAbsentExtensions) {
   EXPECT_FALSE(ce.attrs.contains("dst"));
 }
 
+TEST(AuditParse, MalformedAndTruncatedLines) {
+  // Empty / whitespace-only input.
+  EXPECT_FALSE(AuditLogParser::parse_line("").has_value());
+  EXPECT_FALSE(AuditLogParser::parse_line("   ").has_value());
+  // Truncated before the audit tag.
+  EXPECT_FALSE(AuditLogParser::parse_line("2012-05-01 01:02:05,123").has_value());
+  EXPECT_FALSE(AuditLogParser::parse_line("2012-05-01 01:02:05,123 INFO").has_value());
+  // Truncated timestamps.
+  EXPECT_FALSE(AuditLogParser::parse_line(
+                   "2012-05 01:02:05,123 INFO FSNamesystem.audit: cmd=open src=/a")
+                   .has_value());
+  EXPECT_FALSE(AuditLogParser::parse_line(
+                   "2012-05-01 01:02 INFO FSNamesystem.audit: cmd=open src=/a")
+                   .has_value());
+  EXPECT_FALSE(AuditLogParser::parse_line(
+                   "2012-05-01 01:02:05 INFO FSNamesystem.audit: cmd=open src=/a")
+                   .has_value());
+  // Non-numeric timestamp fields.
+  EXPECT_FALSE(AuditLogParser::parse_line(
+                   "yyyy-mm-dd 01:02:05,123 INFO FSNamesystem.audit: cmd=open src=/a")
+                   .has_value());
+  // Wrong tag.
+  EXPECT_FALSE(AuditLogParser::parse_line(
+                   "2012-05-01 01:02:05,123 INFO NameNode.audit: cmd=open src=/a")
+                   .has_value());
+  // A line cut off mid key=value list still parses what it has, as long as
+  // cmd= survived.
+  const std::string full = sample_event().to_line();
+  const std::string cut = full.substr(0, full.find(" src="));
+  const auto parsed = AuditLogParser::parse_line(cut);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cmd, "open");
+  EXPECT_TRUE(parsed->src.empty());
+  // Cut before cmd= → rejected.
+  EXPECT_FALSE(
+      AuditLogParser::parse_line(full.substr(0, full.find(" cmd="))).has_value());
+}
+
+TEST(AuditParse, FieldsWithoutEqualsAreSkipped) {
+  const auto parsed = AuditLogParser::parse_line(
+      "2012-05-01 01:02:05,123 INFO FSNamesystem.audit: noise cmd=open src=/a junk");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cmd, "open");
+  EXPECT_EQ(parsed->src, "/a");
+}
+
+TEST(AuditParse, NonNumericExtensionParsesAsZero) {
+  // strtoll-compatible behavior: garbage yields 0, not a reject.
+  const auto parsed = AuditLogParser::parse_line(
+      "2012-05-01 01:02:05,123 INFO FSNamesystem.audit: cmd=read src=/a blk=abc dn=9");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->block.has_value());
+  EXPECT_EQ(*parsed->block, 0);
+  EXPECT_EQ(parsed->datanode, 9);
+}
+
+TEST(AuditParse, ParseReservesAndHandlesTrailingNewline) {
+  std::string log;
+  for (int i = 0; i < 100; ++i) {
+    AuditEvent e = sample_event();
+    e.time = sim::SimTime{static_cast<std::int64_t>(i) * 1'000'000};
+    log += e.to_line();
+    log += '\n';
+  }
+  const auto events = AuditLogParser::parse(log);
+  ASSERT_EQ(events.size(), 100u);
+  EXPECT_EQ(events[99].time, sim::SimTime{99'000'000});
+  // No trailing newline on the last line.
+  const auto events2 = AuditLogParser::parse(log.substr(0, log.size() - 1));
+  EXPECT_EQ(events2.size(), 100u);
+}
+
+TEST(AuditSlotted, MatchesClassAdEventAttributes) {
+  cep::SymbolTable attrs(/*fold_case=*/true);
+  cep::SymbolTable streams(/*fold_case=*/false);
+  const AuditSlots slots = AuditSlots::resolve(attrs, streams);
+  AuditEvent e = sample_event();
+  e.block = 11;
+  e.datanode = 3;
+  e.dst = "/moved";
+  cep::SlottedEvent slotted;
+  e.to_slotted(slots, slotted);
+  EXPECT_EQ(slotted.time, e.time);
+  EXPECT_EQ(slotted.stream, streams.find(AuditEvent::kStream));
+  ASSERT_NE(slotted.get(slots.cmd), nullptr);
+  EXPECT_EQ(slotted.get(slots.cmd)->s, "open");
+  EXPECT_EQ(slotted.get(slots.src)->s, "/data/part-0001");
+  EXPECT_EQ(slotted.get(slots.blk)->i, 11);
+  EXPECT_EQ(slotted.get(slots.dn)->i, 3);
+  EXPECT_EQ(slotted.get(slots.dst)->s, "/moved");
+  EXPECT_TRUE(slotted.get(slots.allowed)->b);
+
+  // Reusing the event for a record without extensions clears them.
+  AuditEvent bare = sample_event();
+  bare.to_slotted(slots, slotted);
+  EXPECT_EQ(slotted.get(slots.blk), nullptr);
+  EXPECT_EQ(slotted.get(slots.dn), nullptr);
+  EXPECT_EQ(slotted.get(slots.dst), nullptr);
+  EXPECT_EQ(slotted.get(slots.cmd)->s, "open");
+}
+
 TEST(AuditTimestamp, MultiDayRollover) {
   AuditEvent e = sample_event();
   e.time = sim::SimTime{(48ll * 3600 + 61) * 1'000'000};  // day 3, 00:01:01
