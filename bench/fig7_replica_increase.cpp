@@ -5,14 +5,17 @@
 // ("By One"), and finds the direct increase is clearly better. ERMS
 // therefore computes the optimal factor and jumps straight to it.
 #include "bench_common.h"
+#include "obs/observability.h"
 
 using namespace erms;
 using bench::Testbed;
 
 namespace {
 
-double time_increase(std::uint64_t file_bytes, hdfs::Cluster::IncreaseMode mode) {
+double time_increase(std::uint64_t file_bytes, hdfs::Cluster::IncreaseMode mode,
+                     obs::Observability* bundle) {
   Testbed t;
+  t.cluster->set_observability(bundle);
   const auto file = t.cluster->populate_file("/bench/f", file_bytes, 3);
   bool done = false;
   t.cluster->change_replication(*file, 8, mode, [&](bool) { done = true; });
@@ -34,14 +37,41 @@ int main() {
       {"1GB", 1 * util::GiB},     {"2GB", 2 * util::GiB},
       {"4GB", 4 * util::GiB},     {"8GB", 8 * util::GiB}};
 
+  // ERMS_OBSERVE=1 attaches the observability layer to every run: each
+  // increase then leaves a set_replication trace event whose bytes_moved and
+  // target nodes explain the ramp (export with ERMS_TRACE_PATH).
+  const char* observe_env = std::getenv("ERMS_OBSERVE");
+  const bool observe = observe_env != nullptr && *observe_env != '\0';
+  std::unique_ptr<obs::Observability> bundle;
+  if (observe) {
+    bundle = std::make_unique<obs::Observability>();
+  }
+
   util::Table table({"file size", "Whole (s)", "By One (s)", "speedup"});
   for (const auto& [label, bytes] : sizes) {
-    const double whole = time_increase(bytes, hdfs::Cluster::IncreaseMode::kDirect);
-    const double by_one = time_increase(bytes, hdfs::Cluster::IncreaseMode::kOneByOne);
+    const double whole =
+        time_increase(bytes, hdfs::Cluster::IncreaseMode::kDirect, bundle.get());
+    const double by_one =
+        time_increase(bytes, hdfs::Cluster::IncreaseMode::kOneByOne, bundle.get());
     table.add_row({label, util::Table::cell(whole, 1), util::Table::cell(by_one, 1),
                    util::Table::cell(by_one / whole, 2)});
   }
   bench::emit_table("fig7", table);
   std::printf("\nExpected shape: 'Whole' below 'By One' at every size (speedup > 1).\n");
+
+  if (bundle) {
+    std::printf("\n--- observed (ERMS_OBSERVE) ---\n%s\n", bundle->text_report().c_str());
+    std::printf("Last replication trace events:\n");
+    const auto events = bundle->trace().snapshot();
+    const std::size_t start = events.size() > 4 ? events.size() - 4 : 0;
+    for (std::size_t i = start; i < events.size(); ++i) {
+      std::printf("  %s\n", events[i].to_json().c_str());
+    }
+    if (const char* path = obs::Observability::env_trace_path()) {
+      if (bundle->export_trace(path)) {
+        std::printf("Full trace exported to %s\n", path);
+      }
+    }
+  }
   return 0;
 }

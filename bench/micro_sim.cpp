@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "net/network.h"
+#include "obs/metrics_registry.h"
 #include "sim/simulation.h"
 
 namespace {
@@ -70,5 +71,28 @@ void BM_NetworkFlows(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_NetworkFlows)->Arg(16)->Arg(64)->Arg(256);
+
+// Same flow mix with a metrics registry attached: the delta against
+// BM_NetworkFlows is the observability overhead on the hottest sim path
+// (EXPERIMENTS.md A6 records the measured gap).
+void BM_NetworkFlowsObserved(benchmark::State& state) {
+  const auto concurrency = static_cast<std::size_t>(state.range(0));
+  erms::obs::MetricsRegistry registry;
+  for (auto _ : state) {
+    Simulation sim;
+    NetworkModel net{sim, testbed_fabric()};
+    net.set_metrics(&registry);
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < concurrency; ++i) {
+      net.start_flow(i % 18, (i + 7) % 18, 64 << 20, {},
+                     [&done](erms::net::FlowId) { ++done; });
+    }
+    sim.run();
+    net.set_metrics(nullptr);
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetworkFlowsObserved)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace

@@ -31,6 +31,9 @@ int main() {
   erms_cfg.thresholds.tau_M = 8.0;
   erms_cfg.thresholds.cold_age = sim::minutes(10.0);
   erms_cfg.evaluation_period = sim::seconds(20.0);
+  // Record every classification flip and elastic action (export the JSONL
+  // with ERMS_TRACE_PATH=/tmp/trace.jsonl — see docs/OPERATIONS.md).
+  erms_cfg.observe = true;
   core::ErmsManager erms{cluster, standby_pool, erms_cfg};
   erms.start();
 
@@ -77,6 +80,19 @@ int main() {
   std::printf("Cluster storage used: %s, energy: %.1f kWh-equivalent\n",
               util::format_bytes(cluster.used_bytes_total()).c_str(),
               cluster.energy_joules_total() / 3.6e6);
+
+  // 7. The action trace explains every decision above: who flipped to hot,
+  //    which rule fired, what each Condor job moved and where.
+  std::printf("\nFirst action-trace events (JSONL):\n");
+  const auto events = erms.observability()->trace().snapshot();
+  for (std::size_t i = 0; i < events.size() && i < 8; ++i) {
+    std::printf("  %s\n", events[i].to_json().c_str());
+  }
+  std::printf("  ... %zu events total", events.size());
+  if (const char* path = obs::Observability::env_trace_path()) {
+    std::printf(" (exported to %s on stop)", path);
+  }
+  std::printf("\n");
   erms.stop();
   return 0;
 }

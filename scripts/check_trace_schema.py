@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate an exported ERMS action trace against docs/trace_schema.json.
+
+Usage: check_trace_schema.py TRACE.jsonl [SCHEMA.json]
+
+Stdlib-only (no jsonschema dependency): implements exactly the subset of
+JSON Schema the checked-in schema uses — required, additionalProperties,
+type, enum, minimum/maximum, array items/minItems — plus one trace-level
+invariant the schema language can't express: seq strictly increases across
+the file. (t_us is NOT required to be monotone: one bundle may observe
+several consecutive simulations — fig7 does — and sim time restarts at 0
+for each.)
+"""
+import json
+import sys
+from pathlib import Path
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def check(value, schema, where, errors):
+    typ = schema.get("type")
+    if typ is not None:
+        expected = TYPES[typ]
+        ok = isinstance(value, expected) and not (
+            typ in ("integer", "number") and isinstance(value, bool)
+        )
+        if not ok:
+            errors.append(f"{where}: expected {typ}, got {value!r}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{where}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and value < schema["minimum"]:
+        errors.append(f"{where}: {value} < minimum {schema['minimum']}")
+    if "maximum" in schema and value > schema["maximum"]:
+        errors.append(f"{where}: {value} > maximum {schema['maximum']}")
+    if typ == "object":
+        props = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{where}: missing required field {name!r}")
+        if schema.get("additionalProperties") is False:
+            for name in value:
+                if name not in props:
+                    errors.append(f"{where}: unknown field {name!r}")
+        for name, sub in props.items():
+            if name in value:
+                check(value[name], sub, f"{where}.{name}", errors)
+    if typ == "array":
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{where}: fewer than {schema['minItems']} items")
+        items = schema.get("items")
+        if items:
+            for i, item in enumerate(value):
+                check(item, items, f"{where}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    trace_path = Path(argv[1])
+    schema_path = (
+        Path(argv[2])
+        if len(argv) == 3
+        else Path(__file__).resolve().parent.parent / "docs" / "trace_schema.json"
+    )
+    schema = json.loads(schema_path.read_text())
+
+    errors = []
+    events = 0
+    prev_seq = 0
+    for lineno, line in enumerate(trace_path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        where = f"{trace_path}:{lineno}"
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}: not valid JSON: {exc}")
+            continue
+        events += 1
+        check(event, schema, where, errors)
+        seq = event.get("seq")
+        if isinstance(seq, int):
+            if seq <= prev_seq:
+                errors.append(f"{where}: seq {seq} not greater than previous {prev_seq}")
+            prev_seq = seq
+
+    if events == 0:
+        errors.append(f"{trace_path}: no events")
+    for err in errors[:50]:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"FAIL: {len(errors)} error(s) across {events} event(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {events} trace event(s) conform to {schema_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

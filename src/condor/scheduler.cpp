@@ -68,6 +68,10 @@ JobId Scheduler::submit(classad::ClassAd ad, JobClass sched_class, int priority,
   entry.on_terminate = std::move(on_terminate);
   append_log(JobLogRecord::Kind::kSubmit, entry.job);
   entries_.emplace(id, std::move(entry));
+  if (metrics_ != nullptr) {
+    metrics_->add(obs_ids_.submitted);
+    metrics_->set(obs_ids_.queued, static_cast<double>(queued_count()));
+  }
   // Pump from a fresh event so submit() itself never re-enters callbacks.
   sim_.schedule_after(sim::micros(0), [this] { pump(); });
   return id;
@@ -81,6 +85,10 @@ bool Scheduler::cancel(JobId id) {
   it->second.job.status = JobStatus::kCancelled;
   it->second.job.finished = sim_.now();
   append_log(JobLogRecord::Kind::kCancel, it->second.job);
+  if (metrics_ != nullptr) {
+    metrics_->add(obs_ids_.cancelled);
+    metrics_->set(obs_ids_.queued, static_cast<double>(queued_count()));
+  }
   if (it->second.on_terminate) {
     const Job job = it->second.job;
     TerminateFn fn = std::move(it->second.on_terminate);
@@ -175,6 +183,11 @@ void Scheduler::start(Entry& entry) {
   job.started = sim_.now();
   append_log(JobLogRecord::Kind::kExecute, job);
   ++running_;
+  if (metrics_ != nullptr) {
+    metrics_->observe(obs_ids_.queue_wait_seconds, (job.started - job.submitted).seconds());
+    metrics_->set(obs_ids_.queued, static_cast<double>(queued_count()));
+    metrics_->set(obs_ids_.running, static_cast<double>(running_));
+  }
   if (log_sink_.enabled(util::LogLevel::kDebug)) {
     log_sink_.log(util::LogLevel::kDebug, "condor",
                   "start job " + std::to_string(job.id.value()) + " cmd=" +
@@ -229,10 +242,42 @@ void Scheduler::finish(JobId id, JobStatus status) {
   }
   assert(running_ > 0);
   --running_;
+  if (metrics_ != nullptr) {
+    switch (status) {
+      case JobStatus::kCompleted:
+        metrics_->add(obs_ids_.completed);
+        break;
+      case JobStatus::kRolledBack:
+        metrics_->add(obs_ids_.rolled_back);
+        break;
+      default:
+        metrics_->add(obs_ids_.failed);
+        break;
+    }
+    metrics_->observe(obs_ids_.exec_seconds, (job.finished - job.started).seconds());
+    metrics_->set(obs_ids_.running, static_cast<double>(running_));
+  }
   if (it->second.on_terminate) {
     it->second.on_terminate(job);
   }
   pump();
+}
+
+void Scheduler::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  obs_ids_ = {};
+  if (metrics == nullptr) {
+    return;
+  }
+  obs_ids_.submitted = metrics->counter("condor.jobs.submitted");
+  obs_ids_.completed = metrics->counter("condor.jobs.completed");
+  obs_ids_.failed = metrics->counter("condor.jobs.failed");
+  obs_ids_.rolled_back = metrics->counter("condor.jobs.rolled_back");
+  obs_ids_.cancelled = metrics->counter("condor.jobs.cancelled");
+  obs_ids_.queued = metrics->gauge("condor.jobs.queued");
+  obs_ids_.running = metrics->gauge("condor.jobs.running");
+  obs_ids_.queue_wait_seconds = metrics->histogram("condor.queue_wait.seconds", 0.0, 600.0, 60);
+  obs_ids_.exec_seconds = metrics->histogram("condor.exec.seconds", 0.0, 600.0, 60);
 }
 
 void Scheduler::advertise(const std::string& name, classad::ClassAd ad) {

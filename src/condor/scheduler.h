@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "classad/classad.h"
+#include "obs/metrics_registry.h"
 #include "sim/simulation.h"
 #include "util/ids.h"
 #include "util/log.h"
@@ -131,6 +132,12 @@ class Scheduler {
   [[nodiscard]] std::vector<std::string> query_machines(const std::string& constraint) const;
   [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
 
+  // ----- observability ---------------------------------------------------
+  /// Attach (nullptr detaches) a metrics registry: per-terminal-status job
+  /// counters, queue/running gauges, and queue-wait / execution-span
+  /// histograms. Ids resolve once; detached costs one null test per event.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct Entry {
     Job job;
@@ -158,6 +165,14 @@ class Scheduler {
   util::IdGenerator<JobId> ids_{1};
   std::uint32_t running_{0};
   bool idle_poll_scheduled_{false};
+
+  struct ObsIds {
+    obs::CounterId submitted, completed, failed, rolled_back, cancelled;
+    obs::GaugeId queued, running;
+    obs::HistogramId queue_wait_seconds, exec_seconds;
+  };
+  obs::MetricsRegistry* metrics_{nullptr};
+  ObsIds obs_ids_;
 };
 
 }  // namespace erms::condor

@@ -1,12 +1,28 @@
 #include "core/erms.h"
 
 #include <algorithm>
+#include <memory>
+#include <set>
+#include <unordered_map>
 
 namespace erms::core {
 
 namespace {
 constexpr int kPriorityUrgent = 10;
 constexpr int kPriorityBackground = 0;
+
+obs::ActionKind action_kind_for(const std::string& cmd) {
+  if (cmd == "increase_replication") {
+    return obs::ActionKind::kReplicaIncrease;
+  }
+  if (cmd == "decrease_replication") {
+    return obs::ActionKind::kReplicaDecrease;
+  }
+  if (cmd == "encode") {
+    return obs::ActionKind::kEncode;
+  }
+  return obs::ActionKind::kDecode;
+}
 
 std::unique_ptr<cep::EngineBase> make_judge_engine(const ErmsConfig& config) {
   if (config.judge_shards == 1) {
@@ -37,6 +53,25 @@ ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> stand
           std::set<hdfs::NodeId>(standby_pool.begin(), standby_pool.end()),
           cluster.config().default_replication)) {
   codec_.set_thread_pool(&codec_pool_);
+  if (config_.observe) {
+    obs_ = std::make_unique<obs::Observability>(config_.trace_capacity);
+    cluster_.set_observability(obs_.get());
+    cluster_.network().set_metrics(&obs_->registry());
+    scheduler_.set_metrics(&obs_->registry());
+    standby_.set_observability(obs_.get());
+    obs::MetricsRegistry& r = obs_->registry();
+    obs_ids_.evaluations = r.counter("erms.evaluations");
+    obs_ids_.classify_flips = r.counter("erms.classify.flips");
+    obs_ids_.hot_promotions = r.counter("erms.promotions.hot");
+    obs_ids_.overload_promotions = r.counter("erms.promotions.overload");
+    obs_ids_.predictive_promotions = r.counter("erms.promotions.predictive");
+    obs_ids_.cooldowns = r.counter("erms.cooldowns");
+    obs_ids_.encodes = r.counter("erms.encodes");
+    obs_ids_.decodes = r.counter("erms.decodes");
+    obs_ids_.jobs_failed = r.counter("erms.jobs.failed");
+    obs_ids_.in_flight = r.gauge("erms.actions.in_flight");
+    obs_ids_.tracked_files = r.gauge("erms.files.tracked");
+  }
   if (config_.predictive) {
     predictor_.emplace(config_.predictor);
   }
@@ -45,6 +80,17 @@ ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> stand
     return cluster_.background_idle() &&
            cluster_.network().active_flows() <= config_.idle_flow_threshold;
   });
+}
+
+ErmsManager::~ErmsManager() {
+  // The cluster (and its network) outlive this manager; everything they
+  // point at — the audit sink feeding the CEP engine, the observability
+  // bundle — dies with it, so detach before it does.
+  cluster_.set_audit_sink(nullptr);
+  if (obs_ != nullptr) {
+    cluster_.set_observability(nullptr);
+    cluster_.network().set_metrics(nullptr);
+  }
 }
 
 void ErmsManager::start() {
@@ -85,6 +131,11 @@ void ErmsManager::schedule_tick() {
 void ErmsManager::stop() {
   running_ = false;
   tick_.cancel();
+  if (obs_ != nullptr) {
+    if (const char* path = obs::Observability::env_trace_path()) {
+      obs_->export_trace(path);
+    }
+  }
 }
 
 void ErmsManager::advertise_nodes() {
@@ -204,7 +255,7 @@ void ErmsManager::register_executors() {
 
 void ErmsManager::submit_change(const std::string& path, const std::string& cmd,
                                 std::uint32_t target, condor::JobClass sched_class,
-                                int priority) {
+                                int priority, ActionContext ctx) {
   const hdfs::FileInfo* info = cluster_.metadata().find_path(path);
   if (info == nullptr) {
     return;
@@ -215,13 +266,97 @@ void ErmsManager::submit_change(const std::string& path, const std::string& cmd,
   ad.insert_int("Target", target);
   ad.insert_int("Previous", info->replication);
   in_flight_.insert(path);
-  scheduler_.submit(std::move(ad), sched_class, priority,
-                    [this, path](const condor::Job& job) {
-                      in_flight_.erase(path);
-                      if (job.status != condor::JobStatus::kCompleted) {
-                        ++stats_.jobs_failed;
-                      }
-                    });
+
+  // Snapshot the file's replica footprint so the terminate event can report
+  // the node-set delta and the bytes the action actually moved or deleted.
+  using Footprint = std::unordered_map<hdfs::BlockId, std::vector<hdfs::NodeId>>;
+  std::shared_ptr<Footprint> before;
+  const std::uint32_t rep_before = info->replication;
+  if (obs_ != nullptr) {
+    obs_->registry().set(obs_ids_.in_flight, static_cast<double>(in_flight_.size()));
+    before = std::make_shared<Footprint>();
+    for (const hdfs::BlockId b : info->blocks) {
+      (*before)[b] = cluster_.locations(b);
+    }
+    for (const hdfs::BlockId b : info->parity_blocks) {
+      (*before)[b] = cluster_.locations(b);
+    }
+  }
+
+  scheduler_.submit(
+      std::move(ad), sched_class, priority,
+      [this, path, cmd, ctx, rep_before, before](const condor::Job& job) {
+        in_flight_.erase(path);
+        if (job.status != condor::JobStatus::kCompleted) {
+          ++stats_.jobs_failed;
+          if (obs_ != nullptr) {
+            obs_->registry().add(obs_ids_.jobs_failed);
+          }
+        }
+        if (obs_ == nullptr) {
+          return;
+        }
+        obs_->registry().set(obs_ids_.in_flight, static_cast<double>(in_flight_.size()));
+
+        obs::TraceEvent ev;
+        ev.kind = action_kind_for(cmd);
+        ev.at = cluster_.simulation().now();
+        ev.path = path;
+        ev.rule = ctx.rule;
+        ev.trigger = ctx.trigger;
+        ev.threshold = ctx.threshold;
+        ev.rep_before = rep_before;
+        ev.job = static_cast<std::int64_t>(job.id.value());
+        ev.outcome = condor::to_string(job.status);
+        if (job.status != condor::JobStatus::kCancelled) {
+          ev.queue_wait = job.started - job.submitted;
+          ev.exec_span = job.finished - job.started;
+        }
+        // Diff the footprint per block: a node is a "gainer" if it received a
+        // replica or shard of some block, a "loser" if one was deleted from
+        // it — regardless of what other blocks of the file it still holds.
+        const hdfs::FileInfo* now_info = cluster_.metadata().find_path(path);
+        if (now_info != nullptr && before != nullptr) {
+          ev.rep_after = now_info->replication;
+          std::set<std::int64_t> gained;
+          std::set<std::int64_t> lost;
+          std::set<hdfs::BlockId> all_blocks;
+          for (const auto& [blk, nodes] : *before) {
+            all_blocks.insert(blk);
+          }
+          all_blocks.insert(now_info->blocks.begin(), now_info->blocks.end());
+          all_blocks.insert(now_info->parity_blocks.begin(),
+                            now_info->parity_blocks.end());
+          for (const hdfs::BlockId blk : all_blocks) {
+            const std::vector<hdfs::NodeId> now_nodes = cluster_.locations(blk);
+            const auto before_it = before->find(blk);
+            static const std::vector<hdfs::NodeId> kNone;
+            const std::vector<hdfs::NodeId>& before_nodes =
+                before_it == before->end() ? kNone : before_it->second;
+            const hdfs::BlockInfo* binfo = cluster_.metadata().find_block(blk);
+            if (binfo != nullptr && now_nodes.size() != before_nodes.size()) {
+              const std::size_t delta = now_nodes.size() > before_nodes.size()
+                                            ? now_nodes.size() - before_nodes.size()
+                                            : before_nodes.size() - now_nodes.size();
+              ev.bytes_moved += binfo->size * delta;
+            }
+            for (const hdfs::NodeId n : now_nodes) {
+              if (std::find(before_nodes.begin(), before_nodes.end(), n) ==
+                  before_nodes.end()) {
+                gained.insert(static_cast<std::int64_t>(n.value()));
+              }
+            }
+            for (const hdfs::NodeId n : before_nodes) {
+              if (std::find(now_nodes.begin(), now_nodes.end(), n) == now_nodes.end()) {
+                lost.insert(static_cast<std::int64_t>(n.value()));
+              }
+            }
+          }
+          const std::set<std::int64_t>& targets = gained.empty() ? lost : gained;
+          ev.targets.assign(targets.begin(), targets.end());
+        }
+        obs_->trace().record(std::move(ev));
+      });
 }
 
 void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
@@ -234,35 +369,35 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
     first_seen_[path] = now;
   }
 
-  judge::FileObservation obs;
-  obs.path = path;
-  obs.accesses = feed_.file_accesses(path);
-  obs.block_count = info.blocks.size();
-  obs.replication = info.replication;
+  judge::FileObservation fobs;
+  fobs.path = path;
+  fobs.accesses = feed_.file_accesses(path);
+  fobs.block_count = info.blocks.size();
+  fobs.replication = info.replication;
   const auto per_block = feed_.block_accesses(path);
-  obs.block_accesses.reserve(per_block.size());
+  fobs.block_accesses.reserve(per_block.size());
   for (const auto& [blk, n] : per_block) {
-    obs.block_accesses.push_back(n);
+    fobs.block_accesses.push_back(n);
   }
   const sim::SimTime last = feed_.last_access(path);
-  obs.last_access = std::max(last, first_seen_[path]);
+  fobs.last_access = std::max(last, first_seen_[path]);
 
   const std::uint32_t default_rep = cluster_.config().default_replication;
   judge::Classification verdict =
-      judge_.classify(obs, now, default_rep, config_.max_replication);
+      judge_.classify(fobs, now, default_rep, config_.max_replication);
 
   // Predictive upgrade (opt-in): a rising file may be promoted — or
   // promoted *further* — on the forecast before the observed counts get
   // there. Only the hot verdict (and its optimal factor) may come from a
   // forecast; cooling and encoding always wait for real counts.
   if (predictor_) {
-    predictor_->observe(path, static_cast<double>(obs.accesses));
+    predictor_->observe(path, static_cast<double>(fobs.accesses));
     const double predicted = predictor_->predict(path);
-    if (predicted > static_cast<double>(obs.accesses)) {
+    if (predicted > static_cast<double>(fobs.accesses)) {
       // Scale the whole observation by the forecast ratio so the
       // block-level rules (2) and (3) see the rise too.
-      const double ratio = predicted / std::max(1.0, static_cast<double>(obs.accesses));
-      judge::FileObservation boosted = obs;
+      const double ratio = predicted / std::max(1.0, static_cast<double>(fobs.accesses));
+      judge::FileObservation boosted = fobs;
       boosted.accesses = static_cast<std::uint64_t>(predicted);
       for (std::uint64_t& nb : boosted.block_accesses) {
         nb = static_cast<std::uint64_t>(static_cast<double>(nb) * ratio);
@@ -276,24 +411,54 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
       if (upgrades) {
         if (forecast.optimal_replication > info.replication) {
           ++stats_.predictive_promotions;
+          if (obs_ != nullptr) {
+            obs_->registry().add(obs_ids_.predictive_promotions);
+          }
         }
         verdict = forecast;
       }
     }
   }
+  const auto prev_it = types_.find(path);
+  const judge::DataType prev_type =
+      prev_it == types_.end() ? judge::DataType::kNormal : prev_it->second;
   types_[path] = verdict.type;
+  if (obs_ != nullptr && prev_type != verdict.type) {
+    // A classification flip is the decision record behind every elastic
+    // action — trace it with the rule that fired and the value it compared.
+    obs_->registry().add(obs_ids_.classify_flips);
+    obs::TraceEvent ev;
+    ev.kind = obs::ActionKind::kClassify;
+    ev.at = now;
+    ev.path = path;
+    ev.rule = verdict.rule;
+    ev.trigger = verdict.trigger;
+    ev.threshold = verdict.threshold;
+    ev.from = judge::to_string(prev_type);
+    ev.to = judge::to_string(verdict.type);
+    ev.rep_before = info.replication;
+    ev.count = fobs.accesses;
+    obs_->trace().record(std::move(ev));
+  }
 
+  const ActionContext ctx{verdict.rule, verdict.trigger, verdict.threshold};
   switch (verdict.type) {
     case judge::DataType::kHot: {
       if (info.erasure_coded) {
         // Re-warmed cold data: decode first (urgent, like increases).
         ++stats_.decodes;
+        if (obs_ != nullptr) {
+          obs_->registry().add(obs_ids_.decodes);
+        }
         submit_change(path, "decode", std::max(default_rep, verdict.optimal_replication),
-                      condor::JobClass::kImmediate, kPriorityUrgent);
+                      condor::JobClass::kImmediate, kPriorityUrgent, ctx);
         break;
       }
       if (verdict.optimal_replication > info.replication) {
         ++stats_.hot_promotions;
+        if (obs_ != nullptr) {
+          obs_->registry().add(obs_ids_.hot_promotions);
+        }
         if (log_.enabled(util::LogLevel::kInfo)) {
           log_.log(util::LogLevel::kInfo, "erms",
                    path + " hot (rule " + std::to_string(verdict.rule) + "), rep " +
@@ -301,22 +466,29 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
                        std::to_string(verdict.optimal_replication));
         }
         submit_change(path, "increase_replication", verdict.optimal_replication,
-                      condor::JobClass::kImmediate, kPriorityUrgent);
+                      condor::JobClass::kImmediate, kPriorityUrgent, ctx);
       }
       break;
     }
     case judge::DataType::kCooled: {
       if (info.replication > default_rep) {
         ++stats_.cooldowns;
+        if (obs_ != nullptr) {
+          obs_->registry().add(obs_ids_.cooldowns);
+        }
         submit_change(path, "decrease_replication", default_rep,
-                      condor::JobClass::kWhenIdle, kPriorityBackground);
+                      condor::JobClass::kWhenIdle, kPriorityBackground, ctx);
       }
       break;
     }
     case judge::DataType::kCold: {
       if (!info.erasure_coded) {
         ++stats_.encodes;
-        submit_change(path, "encode", 1, condor::JobClass::kWhenIdle, kPriorityBackground);
+        if (obs_ != nullptr) {
+          obs_->registry().add(obs_ids_.encodes);
+        }
+        submit_change(path, "encode", 1, condor::JobClass::kWhenIdle, kPriorityBackground,
+                      ctx);
       }
       break;
     }
@@ -350,8 +522,22 @@ void ErmsManager::check_node_overload() {
       continue;
     }
     ++stats_.overload_promotions;
+    if (obs_ != nullptr) {
+      obs_->registry().add(obs_ids_.overload_promotions);
+      obs::TraceEvent ev;
+      ev.kind = obs::ActionKind::kOverload;
+      ev.at = cluster_.simulation().now();
+      ev.path = worst_path;
+      ev.node = static_cast<std::int64_t>(dn);
+      ev.rule = 4;
+      ev.trigger = static_cast<double>(count);
+      ev.threshold = judge_.thresholds().tau_DN;
+      ev.rep_before = info->replication;
+      obs_->trace().record(std::move(ev));
+    }
     submit_change(worst_path, "increase_replication", info->replication + 1,
-                  condor::JobClass::kImmediate, kPriorityUrgent);
+                  condor::JobClass::kImmediate, kPriorityUrgent,
+                  ActionContext{4, static_cast<double>(count), judge_.thresholds().tau_DN});
   }
 }
 
@@ -368,6 +554,10 @@ void ErmsManager::evaluate() {
   }
   check_node_overload();
   advertise_nodes();
+  if (obs_ != nullptr) {
+    obs_->registry().add(obs_ids_.evaluations);
+    obs_->registry().set(obs_ids_.tracked_files, static_cast<double>(types_.size()));
+  }
 }
 
 }  // namespace erms::core

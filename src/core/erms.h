@@ -18,6 +18,7 @@
 #include "judge/feed.h"
 #include "judge/judge.h"
 #include "judge/predictor.h"
+#include "obs/observability.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 
@@ -62,6 +63,14 @@ struct ErmsConfig {
   std::size_t judge_shards = 1;
   /// Events buffered per shard flush when judge_shards != 1.
   std::size_t judge_batch_events = 256;
+  /// Attach an Observability bundle (metrics registry + action trace) to the
+  /// whole stack: cluster, network, Condor scheduler, standby manager, and
+  /// the control loop itself. Off by default — when false no registry exists
+  /// and every instrumentation site reduces to one null-pointer test.
+  bool observe = false;
+  /// Bounded capacity of the action-trace ring when observe is true; the
+  /// oldest events are evicted (and counted as dropped) past this.
+  std::size_t trace_capacity = 4096;
 };
 
 /// Counters describing what ERMS has done so far.
@@ -85,11 +94,15 @@ class ErmsManager {
   ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> standby_pool,
               ErmsConfig config = {},
               util::Logger& logger = util::Logger::null_logger());
+  /// Detaches the manager-owned observability bundle from the (externally
+  /// owned) cluster and network before it is destroyed.
+  ~ErmsManager();
 
   /// Install the audit sink + placement policy and start the periodic
   /// evaluation loop.
   void start();
-  /// Stop evaluating (the placement policy stays installed).
+  /// Stop evaluating (the placement policy stays installed). When observe is
+  /// on and ERMS_TRACE_PATH is set, exports the action trace as JSONL there.
   void stop();
 
   /// Run one Data Judge evaluation immediately (also called by the loop).
@@ -117,14 +130,25 @@ class ErmsManager {
     return types_;
   }
 
+  /// The manager-owned observability bundle — nullptr unless
+  /// ErmsConfig::observe was true at construction.
+  [[nodiscard]] obs::Observability* observability() { return obs_.get(); }
+
  private:
+  /// Why a Condor job was submitted — threaded into its trace event.
+  struct ActionContext {
+    int rule{0};
+    double trigger{0.0};
+    double threshold{0.0};
+  };
+
   void schedule_tick();
   void register_executors();
   void advertise_nodes();
   void evaluate_file(const hdfs::FileInfo& info);
   void check_node_overload();
   void submit_change(const std::string& path, const std::string& cmd, std::uint32_t target,
-                     condor::JobClass sched_class, int priority);
+                     condor::JobClass sched_class, int priority, ActionContext ctx);
 
   [[nodiscard]] bool action_in_flight(const std::string& path) const {
     return in_flight_.contains(path);
@@ -133,6 +157,9 @@ class ErmsManager {
   hdfs::Cluster& cluster_;
   ErmsConfig config_;
   util::Logger& log_;
+  // Declared before the instrumented members (standby_, scheduler_) so the
+  // bundle outlives them.
+  std::unique_ptr<obs::Observability> obs_;
   util::ThreadPool codec_pool_;
   ec::StripeCodec codec_;
   std::unique_ptr<cep::EngineBase> engine_;  // scalar or sharded per config
@@ -148,6 +175,13 @@ class ErmsManager {
   std::unordered_map<std::string, sim::SimTime> first_seen_;
   bool running_{false};
   sim::EventHandle tick_;
+
+  struct ObsIds {
+    obs::CounterId evaluations, classify_flips, hot_promotions, overload_promotions,
+        predictive_promotions, cooldowns, encodes, decodes, jobs_failed;
+    obs::GaugeId in_flight, tracked_files;
+  };
+  ObsIds obs_ids_;
 };
 
 }  // namespace erms::core

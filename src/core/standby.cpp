@@ -3,6 +3,8 @@
 #include <map>
 #include <memory>
 
+#include "obs/observability.h"
+
 namespace erms::core {
 
 StandbyManager::StandbyManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> standby_pool)
@@ -73,7 +75,19 @@ void StandbyManager::ensure_commissioned(std::size_t want, std::function<void()>
   auto remaining = std::make_shared<std::size_t>(to_start);
   for (std::size_t i = 0; i < to_start; ++i) {
     ++commissions_;
-    cluster_.commission(candidates[i], [remaining, ready] {
+    if (obs_ != nullptr) {
+      obs_->registry().add(obs_ids_.commissions);
+      obs::TraceEvent ev;
+      ev.kind = obs::ActionKind::kCommission;
+      ev.at = cluster_.simulation().now();
+      ev.node = static_cast<std::int64_t>(candidates[i].value());
+      obs_->trace().record(std::move(ev));
+    }
+    cluster_.commission(candidates[i], [this, remaining, ready] {
+      if (obs_ != nullptr) {
+        obs_->registry().set(obs_ids_.commissioned,
+                             static_cast<double>(commissioned_count()));
+      }
       if (--*remaining == 0 && ready) {
         ready();
       }
@@ -90,10 +104,33 @@ std::size_t StandbyManager::power_down_drained() {
       if (cluster_.return_to_standby(id)) {
         ++power_downs_;
         ++count;
+        if (obs_ != nullptr) {
+          obs_->registry().add(obs_ids_.power_downs);
+          obs::TraceEvent ev;
+          ev.kind = obs::ActionKind::kPowerDown;
+          ev.at = cluster_.simulation().now();
+          ev.node = static_cast<std::int64_t>(id.value());
+          obs_->trace().record(std::move(ev));
+        }
       }
     }
   }
+  if (obs_ != nullptr && count > 0) {
+    obs_->registry().set(obs_ids_.commissioned, static_cast<double>(commissioned_count()));
+  }
   return count;
+}
+
+void StandbyManager::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  obs_ids_ = {};
+  if (obs == nullptr) {
+    return;
+  }
+  obs::MetricsRegistry& r = obs->registry();
+  obs_ids_.commissions = r.counter("standby.commissions");
+  obs_ids_.power_downs = r.counter("standby.power_downs");
+  obs_ids_.commissioned = r.gauge("standby.commissioned");
 }
 
 }  // namespace erms::core

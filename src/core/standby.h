@@ -6,6 +6,11 @@
 #include <vector>
 
 #include "hdfs/cluster.h"
+#include "obs/metrics_registry.h"
+
+namespace erms::obs {
+class Observability;
+}
 
 namespace erms::core {
 
@@ -37,11 +42,23 @@ class StandbyManager {
   [[nodiscard]] std::uint64_t commissions() const { return commissions_; }
   [[nodiscard]] std::uint64_t power_downs() const { return power_downs_; }
 
+  /// Attach (nullptr detaches) an observability bundle: commission /
+  /// power-down counters and a commissioned-count gauge in the registry,
+  /// plus one TraceEvent per node powered up or down.
+  void set_observability(obs::Observability* obs);
+
  private:
   hdfs::Cluster& cluster_;
   std::set<hdfs::NodeId> pool_;
   std::uint64_t commissions_{0};
   std::uint64_t power_downs_{0};
+
+  struct ObsIds {
+    obs::CounterId commissions, power_downs;
+    obs::GaugeId commissioned;
+  };
+  obs::Observability* obs_{nullptr};
+  ObsIds obs_ids_;
 };
 
 }  // namespace erms::core

@@ -5,6 +5,8 @@
 #include <limits>
 #include <memory>
 
+#include "obs/observability.h"
+
 namespace erms::hdfs {
 
 namespace {
@@ -60,6 +62,31 @@ Cluster::Cluster(sim::Simulation& simulation, const Topology& topology, ClusterC
     node.last_energy_update = sim_.now();
     nodes_.push_back(std::move(node));
   }
+}
+
+// ----- observability --------------------------------------------------------
+
+void Cluster::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  obs_ids_ = {};
+  if (obs == nullptr) {
+    return;
+  }
+  obs::MetricsRegistry& r = obs->registry();
+  obs_ids_.reads_completed = r.counter("hdfs.reads.completed");
+  obs_ids_.reads_rejected = r.counter("hdfs.reads.rejected");
+  obs_ids_.reads_degraded = r.counter("hdfs.reads.degraded");
+  obs_ids_.read_bytes = r.counter("hdfs.read.bytes");
+  obs_ids_.corruptions = r.counter("hdfs.corruptions.detected");
+  obs_ids_.blocks_lost = r.counter("hdfs.blocks.lost");
+  obs_ids_.rereplications = r.counter("hdfs.rereplications.completed");
+  obs_ids_.replication_changes = r.counter("hdfs.replication.changes");
+  obs_ids_.encodes = r.counter("hdfs.encodes.completed");
+  obs_ids_.decodes = r.counter("hdfs.decodes.completed");
+  obs_ids_.audit_events = r.counter("hdfs.audit.events");
+  obs_ids_.bg_queue_depth = r.gauge("hdfs.background.queue_depth");
+  obs_ids_.bg_streams = r.gauge("hdfs.background.streams");
+  obs_ids_.read_seconds = r.histogram("hdfs.read.seconds", 0.0, 30.0, 60);
 }
 
 // ----- nodes ---------------------------------------------------------------
@@ -213,6 +240,14 @@ void Cluster::fail_node(NodeId id) {
   set_node_state(id, NodeState::kDead);
   node.active_sessions = 0;
   const std::vector<BlockId> lost(node.blocks.begin(), node.blocks.end());
+  if (obs_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::ActionKind::kNodeFailure;
+    ev.at = sim_.now();
+    ev.node = static_cast<std::int64_t>(id.value());
+    ev.count = lost.size();
+    obs_->trace().record(std::move(ev));
+  }
   for (const BlockId b : lost) {
     remove_replica(b, id);
   }
@@ -231,6 +266,9 @@ void Cluster::fail_node(NodeId id) {
         queue_reconstruction(b);
       } else {
         ++blocks_lost_;
+        if (obs_ != nullptr) {
+          obs_->registry().add(obs_ids_.blocks_lost);
+        }
         if (log_.enabled(util::LogLevel::kWarn)) {
           log_.log(util::LogLevel::kWarn, "cluster",
                    "block " + std::to_string(b.value()) + " lost (no replicas, no stripe)");
@@ -261,6 +299,9 @@ void Cluster::report_corrupt_replica(BlockId block, NodeId node) {
     return;
   }
   ++corruptions_detected_;
+  if (obs_ != nullptr) {
+    obs_->registry().add(obs_ids_.corruptions);
+  }
   remove_replica(block, node);
   queue_rereplication(block);
   if (log_.enabled(util::LogLevel::kWarn)) {
@@ -414,8 +455,14 @@ std::optional<FileId> Cluster::write_file(const std::string& path, std::uint64_t
   // block completes when every pipeline hop finishes.
   const FileInfo* info = namespace_.find(*file);
   auto blocks = std::make_shared<std::vector<BlockId>>(info->blocks);
+  // The stored function captures only a weak_ptr to itself (a strong capture
+  // would be a shared_ptr cycle — the recursion's continuations leak); each
+  // continuation keeps the function alive with the locked shared_ptr.
   auto write_next = std::make_shared<std::function<void(std::size_t)>>();
-  *write_next = [this, blocks, writer, done, write_next](std::size_t index) {
+  *write_next = [this, blocks, writer, done,
+                 weak_next = std::weak_ptr(write_next)](std::size_t index) {
+    const auto self = weak_next.lock();
+    assert(self != nullptr);
     if (index >= blocks->size()) {
       if (done) {
         done(true);
@@ -441,10 +488,10 @@ std::optional<FileId> Cluster::write_file(const std::string& path, std::uint64_t
       opts.src_disk = hop_src != writer;  // the writer streams from memory
       opts.dst_disk = true;
       network_.start_flow(hop_src.value(), t.value(), binfo->size, opts,
-                          [this, b, t, remaining, write_next, index](net::FlowId) {
+                          [this, b, t, remaining, self, index](net::FlowId) {
                             add_replica(b, t);
                             if (--*remaining == 0) {
-                              (*write_next)(index + 1);
+                              (*self)(index + 1);
                             }
                           });
       hop_src = t;
@@ -531,6 +578,9 @@ void Cluster::read_block(NodeId client, BlockId block, ReadCallback callback) {
     out.error = any_live ? ReadError::kAllBusy : ReadError::kNoReplica;
     if (any_live) {
       ++reads_rejected_;
+      if (obs_ != nullptr) {
+        obs_->registry().add(obs_ids_.reads_rejected);
+      }
     }
     sim_.schedule_after(sim::micros(0), [callback, out] { callback(out); });
     return;
@@ -565,6 +615,9 @@ void Cluster::read_block(NodeId client, BlockId block, ReadCallback callback) {
         // copy, and the read transparently retries elsewhere.
         if (is_corrupt(bid, src)) {
           ++corruptions_detected_;
+          if (obs_ != nullptr) {
+            obs_->registry().add(obs_ids_.corruptions);
+          }
           corrupt_replicas_.erase({bid, src});
           remove_replica(bid, src);
           queue_rereplication(bid);
@@ -582,6 +635,11 @@ void Cluster::read_block(NodeId client, BlockId block, ReadCallback callback) {
         out.locality = locality;
         out.duration = sim_.now() - start;
         out.bytes = bytes;
+        if (obs_ != nullptr) {
+          obs_->registry().add(obs_ids_.reads_completed);
+          obs_->registry().add(obs_ids_.read_bytes, bytes);
+          obs_->registry().observe(obs_ids_.read_seconds, out.duration.seconds());
+        }
         callback(out);
       });
 }
@@ -636,6 +694,13 @@ void Cluster::read_block_via_reconstruction(NodeId client, const BlockInfo& info
                           out.locality = ReadLocality::kRemote;
                           out.duration = sim_.now() - start;
                           out.bytes = bytes;
+                          if (obs_ != nullptr) {
+                            obs_->registry().add(obs_ids_.reads_completed);
+                            obs_->registry().add(obs_ids_.reads_degraded);
+                            obs_->registry().add(obs_ids_.read_bytes, bytes);
+                            obs_->registry().observe(obs_ids_.read_seconds,
+                                                     out.duration.seconds());
+                          }
                           callback(out);
                         });
   }
@@ -664,21 +729,28 @@ void Cluster::read_file(NodeId client, FileId file, ReadCallback callback) {
   aggregate->locality = ReadLocality::kNodeLocal;
   const sim::SimTime start = sim_.now();
 
+  // Weak self-capture: a strong capture would make the stored function own
+  // itself (shared_ptr cycle → leak); the per-block continuation holds the
+  // locked shared_ptr instead, keeping the chain alive exactly as long as a
+  // step is pending.
   auto read_next = std::make_shared<std::function<void(std::size_t)>>();
-  *read_next = [this, blocks, client, callback, aggregate, start, read_next](std::size_t i) {
+  *read_next = [this, blocks, client, callback, aggregate, start,
+                weak_next = std::weak_ptr(read_next)](std::size_t i) {
     if (i >= blocks->size() || !aggregate->ok) {
       aggregate->duration = sim_.now() - start;
       callback(*aggregate);
       return;
     }
+    const auto self = weak_next.lock();
+    assert(self != nullptr);
     read_block(client, (*blocks)[i],
-               [aggregate, read_next, i](const ReadOutcome& out) {
+               [aggregate, self, i](const ReadOutcome& out) {
                  aggregate->ok = aggregate->ok && out.ok;
                  aggregate->error = out.ok ? aggregate->error : out.error;
                  aggregate->locality = worse(aggregate->locality, out.locality);
                  aggregate->degraded = aggregate->degraded || out.degraded;
                  aggregate->bytes += out.bytes;
-                 (*read_next)(i + 1);
+                 (*self)(i + 1);
                });
   };
   (*read_next)(0);
@@ -702,6 +774,11 @@ void Cluster::pump_background_queue() {
       // Defer the pump so a synchronous chain of completions cannot recurse.
       sim_.schedule_after(sim::micros(0), [this] { pump_background_queue(); });
     });
+  }
+  if (obs_ != nullptr) {
+    obs_->registry().set(obs_ids_.bg_queue_depth,
+                         static_cast<double>(background_queue_.size()));
+    obs_->registry().set(obs_ids_.bg_streams, static_cast<double>(background_streams_));
   }
 }
 
@@ -761,6 +838,9 @@ void Cluster::copy_block(BlockId block, std::optional<NodeId> source, NodeId tar
                         // a clean replica).
                         if (is_corrupt(block, src)) {
                           ++corruptions_detected_;
+                          if (obs_ != nullptr) {
+                            obs_->registry().add(obs_ids_.corruptions);
+                          }
                           remove_replica(block, src);
                           queue_rereplication(block);
                           if (done) {
@@ -799,10 +879,28 @@ void Cluster::queue_rereplication(BlockId block) {
       finished();
       return;
     }
-    copy_block(block, std::nullopt, targets.front(),
-               [this, finished = std::move(finished)](bool ok) {
+    const NodeId target = targets.front();
+    copy_block(block, std::nullopt, target,
+               [this, block, target, finished = std::move(finished)](bool ok) {
                  if (ok) {
                    ++rereplications_completed_;
+                   if (obs_ != nullptr) {
+                     obs_->registry().add(obs_ids_.rereplications);
+                     obs::TraceEvent ev;
+                     ev.kind = obs::ActionKind::kRereplication;
+                     ev.at = sim_.now();
+                     ev.block = static_cast<std::int64_t>(block.value());
+                     ev.node = static_cast<std::int64_t>(target.value());
+                     const BlockInfo* info = namespace_.find_block(block);
+                     if (info != nullptr) {
+                       ev.bytes_moved = info->size;
+                       const FileInfo* file = namespace_.find(info->file);
+                       if (file != nullptr) {
+                         ev.path = file->path;
+                       }
+                     }
+                     obs_->trace().record(std::move(ev));
+                   }
                  }
                  finished();
                });
@@ -855,6 +953,9 @@ void Cluster::queue_reconstruction(BlockId block) {
     }
     if (shards.size() < k) {
       ++blocks_lost_;
+      if (obs_ != nullptr) {
+        obs_->registry().add(obs_ids_.blocks_lost);
+      }
       finished();
       return;
     }
@@ -874,6 +975,24 @@ void Cluster::queue_reconstruction(BlockId block) {
             if (is_serving(target)) {
               add_replica(block, target);
               ++rereplications_completed_;
+              if (obs_ != nullptr) {
+                obs_->registry().add(obs_ids_.rereplications);
+                obs::TraceEvent ev;
+                ev.kind = obs::ActionKind::kRereplication;
+                ev.at = sim_.now();
+                ev.block = static_cast<std::int64_t>(block.value());
+                ev.node = static_cast<std::int64_t>(target.value());
+                ev.outcome = "reconstructed";
+                const BlockInfo* info = namespace_.find_block(block);
+                if (info != nullptr) {
+                  ev.bytes_moved = info->size;
+                  const FileInfo* file = namespace_.find(info->file);
+                  if (file != nullptr) {
+                    ev.path = file->path;
+                  }
+                }
+                obs_->trace().record(std::move(ev));
+              }
             }
             finished();
           });
@@ -898,6 +1017,7 @@ void Cluster::change_replication(FileId file, std::uint32_t target, IncreaseMode
   if (target < current) {
     // Decrease: drop surplus replicas (policy decides which; ERMS prefers
     // standby nodes so no re-balancing is needed).
+    std::vector<std::int64_t> removed;
     for (const BlockId b : info->blocks) {
       while (locations(b).size() > target) {
         const auto victim = placement_->choose_replica_to_remove(*this, b, rng_);
@@ -905,7 +1025,24 @@ void Cluster::change_replication(FileId file, std::uint32_t target, IncreaseMode
           break;
         }
         remove_replica(b, *victim);
+        if (obs_ != nullptr) {
+          removed.push_back(static_cast<std::int64_t>(victim->value()));
+        }
       }
+    }
+    if (obs_ != nullptr) {
+      std::sort(removed.begin(), removed.end());
+      removed.erase(std::unique(removed.begin(), removed.end()), removed.end());
+      obs::TraceEvent ev;
+      ev.kind = obs::ActionKind::kSetReplication;
+      ev.at = sim_.now();
+      ev.path = info->path;
+      ev.rep_before = current;
+      ev.rep_after = target;
+      ev.targets = std::move(removed);  // nodes that lost replicas
+      ev.outcome = "ok";
+      obs_->registry().add(obs_ids_.replication_changes);
+      obs_->trace().record(std::move(ev));
     }
     if (done) {
       sim_.schedule_after(sim::micros(0), [done] { done(true); });
@@ -934,20 +1071,62 @@ void Cluster::change_replication(FileId file, std::uint32_t target, IncreaseMode
     }
     *remaining = copies.size();
     if (copies.empty()) {
+      if (obs_ != nullptr && target != current) {
+        // Metadata-only change (every block already has enough replicas).
+        obs::TraceEvent ev;
+        ev.kind = obs::ActionKind::kSetReplication;
+        ev.at = sim_.now();
+        ev.path = info->path;
+        ev.rep_before = current;
+        ev.rep_after = target;
+        ev.outcome = "ok";
+        obs_->registry().add(obs_ids_.replication_changes);
+        obs_->trace().record(std::move(ev));
+      }
       if (done) {
         sim_.schedule_after(sim::micros(0), [done] { done(true); });
       }
       return;
     }
+    // Proto trace event filled in up front (planned transfer volume and
+    // target nodes), recorded once when the last copy lands.
+    std::shared_ptr<obs::TraceEvent> ev;
+    if (obs_ != nullptr) {
+      ev = std::make_shared<obs::TraceEvent>();
+      ev->kind = obs::ActionKind::kSetReplication;
+      ev->path = info->path;
+      ev->rep_before = current;
+      ev->rep_after = target;
+      std::vector<std::int64_t> gaining;
+      for (const auto& [b, t] : copies) {
+        const BlockInfo* binfo = namespace_.find_block(b);
+        if (binfo != nullptr) {
+          ev->bytes_moved += binfo->size;
+        }
+        gaining.push_back(static_cast<std::int64_t>(t.value()));
+      }
+      std::sort(gaining.begin(), gaining.end());
+      gaining.erase(std::unique(gaining.begin(), gaining.end()), gaining.end());
+      ev->targets = std::move(gaining);
+    }
     for (const auto& [b, t] : copies) {
-      queue_background([this, b = b, t = t, remaining, all_ok,
+      queue_background([this, b = b, t = t, remaining, all_ok, ev,
                         done](std::function<void()> finished) {
         copy_block(b, std::nullopt, t,
-                   [remaining, all_ok, done, finished = std::move(finished)](bool ok) {
+                   [this, remaining, all_ok, ev, done,
+                    finished = std::move(finished)](bool ok) {
                      *all_ok = *all_ok && ok;
                      finished();
-                     if (--*remaining == 0 && done) {
-                       done(*all_ok);
+                     if (--*remaining == 0) {
+                       if (ev != nullptr && obs_ != nullptr) {
+                         ev->at = sim_.now();
+                         ev->outcome = *all_ok ? "ok" : "partial";
+                         obs_->registry().add(obs_ids_.replication_changes);
+                         obs_->trace().record(std::move(*ev));
+                       }
+                       if (done) {
+                         done(*all_ok);
+                       }
                      }
                    });
       });
@@ -956,11 +1135,14 @@ void Cluster::change_replication(FileId file, std::uint32_t target, IncreaseMode
   }
 
   // One by one: raise the factor a step, poll until the step is confirmed,
-  // then issue the next step.
+  // then issue the next step. Weak self-capture avoids the shared_ptr cycle
+  // a strong capture of `step` inside itself would create.
   auto step = std::make_shared<std::function<void(std::uint32_t)>>();
-  *step = [this, file, target, done, step](std::uint32_t next) {
+  *step = [this, file, target, done, weak_step = std::weak_ptr(step)](std::uint32_t next) {
+    const auto self = weak_step.lock();
+    assert(self != nullptr);
     change_replication(file, next, IncreaseMode::kDirect,
-                       [this, file, target, done, step, next](bool ok) {
+                       [this, file, target, done, self, next](bool ok) {
                          if (!ok || next >= target) {
                            if (done) {
                              done(ok);
@@ -968,7 +1150,7 @@ void Cluster::change_replication(FileId file, std::uint32_t target, IncreaseMode
                            return;
                          }
                          sim_.schedule_after(config_.replication_step_poll,
-                                             [step, next] { (*step)(next + 1); });
+                                             [self, next] { (*self)(next + 1); });
                        });
   };
   (*step)(current + 1);
@@ -1004,11 +1186,20 @@ void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback do
   const std::uint64_t parity_size = info->block_size;
   const std::vector<BlockId> data_blocks = info->blocks;
 
-  queue_background([this, fid, enc, parity_size, parity_count, data_blocks,
+  std::shared_ptr<obs::TraceEvent> ev;
+  if (obs_ != nullptr) {
+    ev = std::make_shared<obs::TraceEvent>();
+    ev->kind = obs::ActionKind::kClusterEncode;
+    ev->path = info->path;
+    ev->rep_before = info->replication;
+    ev->node = static_cast<std::int64_t>(enc.value());
+  }
+
+  queue_background([this, fid, enc, parity_size, parity_count, data_blocks, ev,
                     done](std::function<void()> finished) {
     // Stage 1: stream the k data blocks to the encoder.
     auto stage1 = std::make_shared<std::size_t>(data_blocks.size());
-    auto after_reads = [this, fid, enc, parity_size, parity_count, done,
+    auto after_reads = [this, fid, enc, parity_size, parity_count, ev, done,
                         finished]() {
       // Stage 2: write the m parity blocks to policy-chosen targets.
       const FileInfo* info = namespace_.find(fid);
@@ -1025,7 +1216,7 @@ void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback do
       }
       auto stage2 = std::make_shared<std::size_t>(parities.size());
       auto all_ok = std::make_shared<bool>(true);
-      auto finish_encode = [this, fid, done, finished, all_ok] {
+      auto finish_encode = [this, fid, ev, done, finished, all_ok] {
         // Stage 3: keep one replica per data block, drop the rest.
         const FileInfo* info = namespace_.find(fid);
         if (info != nullptr && *all_ok) {
@@ -1040,6 +1231,16 @@ void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback do
               remove_replica(b, *victim);
             }
           }
+        }
+        if (ev != nullptr && obs_ != nullptr) {
+          ev->at = sim_.now();
+          ev->rep_after = 1;
+          ev->outcome = *all_ok ? "ok" : "failed";
+          std::sort(ev->targets.begin(), ev->targets.end());
+          ev->targets.erase(std::unique(ev->targets.begin(), ev->targets.end()),
+                            ev->targets.end());
+          obs_->registry().add(obs_ids_.encodes);
+          obs_->trace().record(std::move(*ev));
         }
         finished();
         if (done) {
@@ -1061,6 +1262,10 @@ void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback do
         // "emptiest" node while the writes are still in flight).
         const NodeId t = targets.front();
         add_replica(p, t);
+        if (ev != nullptr) {
+          ev->bytes_moved += parity_size;
+          ev->targets.push_back(static_cast<std::int64_t>(t.value()));
+        }
         net::NetworkModel::FlowOptions opts;
         opts.src_disk = true;
         opts.dst_disk = true;
@@ -1088,6 +1293,9 @@ void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback do
         }
         continue;
       }
+      if (ev != nullptr) {
+        ev->bytes_moved += binfo->size;
+      }
       net::NetworkModel::FlowOptions opts;
       opts.src_disk = true;
       opts.dst_disk = src != enc;
@@ -1112,8 +1320,11 @@ void Cluster::decode_file(FileId file, std::uint32_t replication, DoneCallback d
   }
   emit_audit("decode", info->path, NodeId{0}, std::nullopt, std::nullopt);
   const FileId fid = file;
+  // The replica restore itself is recorded by change_replication as a
+  // set_replication event (with bytes and targets); this event marks the
+  // decode completing and the parities being dropped.
   change_replication(file, replication, IncreaseMode::kDirect,
-                     [this, fid, done](bool ok) {
+                     [this, fid, replication, done](bool ok) {
                        if (ok) {
                          const std::vector<BlockId> parities =
                              namespace_.clear_parity_blocks(fid);
@@ -1123,6 +1334,20 @@ void Cluster::decode_file(FileId file, std::uint32_t replication, DoneCallback d
                            }
                          }
                          namespace_.set_erasure_coded(fid, false);
+                       }
+                       if (obs_ != nullptr) {
+                         obs::TraceEvent ev;
+                         ev.kind = obs::ActionKind::kClusterDecode;
+                         ev.at = sim_.now();
+                         const FileInfo* info = namespace_.find(fid);
+                         if (info != nullptr) {
+                           ev.path = info->path;
+                         }
+                         ev.rep_before = 1;
+                         ev.rep_after = replication;
+                         ev.outcome = ok ? "ok" : "failed";
+                         obs_->registry().add(obs_ids_.decodes);
+                         obs_->trace().record(std::move(ev));
                        }
                        if (done) {
                          done(ok);
@@ -1187,6 +1412,9 @@ std::string Cluster::node_ip(NodeId id) const {
 void Cluster::emit_audit(const std::string& cmd, const std::string& src, NodeId client,
                          std::optional<BlockId> block, std::optional<NodeId> datanode,
                          bool allowed) {
+  if (obs_ != nullptr) {
+    obs_->registry().add(obs_ids_.audit_events);
+  }
   if (!audit_sink_) {
     return;
   }

@@ -12,6 +12,7 @@
 
 #include "audit/audit.h"
 #include "hdfs/namespace.h"
+#include "obs/metrics_registry.h"
 #include "hdfs/placement.h"
 #include "hdfs/topology.h"
 #include "hdfs/types.h"
@@ -19,6 +20,10 @@
 #include "sim/random.h"
 #include "sim/simulation.h"
 #include "util/log.h"
+
+namespace erms::obs {
+class Observability;
+}
 
 namespace erms::hdfs {
 
@@ -230,6 +235,14 @@ class Cluster {
   // ----- audit -------------------------------------------------------------
   void set_audit_sink(AuditSink sink) { audit_sink_ = std::move(sink); }
 
+  // ----- observability -----------------------------------------------------
+  /// Attach (nullptr detaches) an observability bundle. The cluster records
+  /// read/recovery counters and latency histograms into its registry and
+  /// ground-truth mutation TraceEvents (set_replication, encode, decode,
+  /// rereplication, node_failure) into its trace ring. Metric ids are
+  /// resolved here once, so the disabled path is a single null test.
+  void set_observability(obs::Observability* obs);
+
  private:
   /// A throttled background task (block copy, stripe reconstruction). The
   /// job must invoke `finished` exactly once when its transfers complete.
@@ -288,6 +301,16 @@ class Cluster {
   std::uint32_t background_streams_{0};
 
   std::set<std::pair<BlockId, NodeId>> corrupt_replicas_;
+
+  struct ObsIds {
+    obs::CounterId reads_completed, reads_rejected, reads_degraded, read_bytes;
+    obs::CounterId corruptions, blocks_lost, rereplications, replication_changes;
+    obs::CounterId encodes, decodes, audit_events;
+    obs::GaugeId bg_queue_depth, bg_streams;
+    obs::HistogramId read_seconds;
+  };
+  obs::Observability* obs_{nullptr};
+  ObsIds obs_ids_;
 
   std::uint64_t reads_rejected_{0};
   std::uint64_t reads_completed_{0};

@@ -41,6 +41,8 @@ Classification DataJudge::classify(const FileObservation& obs, sim::SimTime now,
   if (per_replica > thresholds_.tau_M) {
     result.type = DataType::kHot;
     result.rule = 1;
+    result.trigger = per_replica;
+    result.threshold = thresholds_.tau_M;
     result.optimal_replication = optimal_replication(obs, default_replication, max_replication);
     return result;
   }
@@ -51,6 +53,8 @@ Classification DataJudge::classify(const FileObservation& obs, sim::SimTime now,
     if (static_cast<double>(nb) / r > thresholds_.M_M) {
       result.type = DataType::kHot;
       result.rule = 2;
+      result.trigger = static_cast<double>(nb) / r;
+      result.threshold = thresholds_.M_M;
       result.optimal_replication =
           optimal_replication(obs, default_replication, max_replication);
       return result;
@@ -64,10 +68,13 @@ Classification DataJudge::classify(const FileObservation& obs, sim::SimTime now,
     for (const std::uint64_t nb : obs.block_accesses) {
       intense += (static_cast<double>(nb) / r > thresholds_.M_m) ? 1 : 0;
     }
-    if (static_cast<double>(intense) / static_cast<double>(obs.block_count) >
-        thresholds_.epsilon) {
+    const double fraction =
+        static_cast<double>(intense) / static_cast<double>(obs.block_count);
+    if (fraction > thresholds_.epsilon) {
       result.type = DataType::kHot;
       result.rule = 3;
+      result.trigger = fraction;
+      result.threshold = thresholds_.epsilon;
       result.optimal_replication =
           optimal_replication(obs, default_replication, max_replication);
       return result;
@@ -78,6 +85,8 @@ Classification DataJudge::classify(const FileObservation& obs, sim::SimTime now,
   if (per_replica < thresholds_.tau_m && (now - obs.last_access) > thresholds_.cold_age) {
     result.type = DataType::kCold;
     result.rule = 6;
+    result.trigger = per_replica;
+    result.threshold = thresholds_.tau_m;
     return result;
   }
 
@@ -86,6 +95,8 @@ Classification DataJudge::classify(const FileObservation& obs, sim::SimTime now,
   if (per_replica < thresholds_.tau_d && obs.replication > default_replication) {
     result.type = DataType::kCooled;
     result.rule = 5;
+    result.trigger = per_replica;
+    result.threshold = thresholds_.tau_d;
     return result;
   }
 

@@ -34,6 +34,12 @@ struct Classification {
   /// ("ERMS figures out optimal replica for hot data, and then increase the
   /// extra replicas directly" — §IV.C).
   std::uint32_t optimal_replication{0};
+  /// The measured value the firing rule compared (e.g. N_d/r for rules 1, 5,
+  /// 6; max N_bi/r for rule 2; the intense-block fraction for rule 3) and
+  /// the threshold it was compared against — recorded so an action trace can
+  /// show *why* a classification happened. Both 0 when no rule fired.
+  double trigger{0.0};
+  double threshold{0.0};
 };
 
 /// The Data Judge: applies formulas (1)-(6) to windowed access statistics.

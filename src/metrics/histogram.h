@@ -14,6 +14,23 @@ class Histogram {
 
   void add(double x);
 
+  /// Bulk accumulation, for folding pre-counted cells (e.g. the per-thread
+  /// shards of obs::MetricsRegistry) into one histogram.
+  void accumulate_bucket(std::size_t i, std::uint64_t n) {
+    counts_[i] += n;
+    total_ += n;
+  }
+  void accumulate_underflow(std::uint64_t n) {
+    underflow_ += n;
+    total_ += n;
+  }
+  void accumulate_overflow(std::uint64_t n) {
+    overflow_ += n;
+    total_ += n;
+  }
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
   [[nodiscard]] double bucket_lo(std::size_t i) const;

@@ -43,8 +43,12 @@ FlowId NetworkModel::start_flow(std::size_t src, std::size_t dst, std::uint64_t 
   flow.remaining = static_cast<double>(bytes);
   flow.total_bytes = bytes;
   flow.max_rate = options.max_rate;
+  flow.started = sim_.now();
   flow.last_update = sim_.now();
   flow.on_done = std::move(on_done);
+  if (metrics_ != nullptr) {
+    metrics_->add(obs_ids_.flows_started);
+  }
 
   if (options.src_disk) {
     flow.path.push_back(disk_link(src));
@@ -74,6 +78,9 @@ FlowId NetworkModel::start_flow(std::size_t src, std::size_t dst, std::uint64_t 
   advance_progress();
   flows_.emplace(id, std::move(flow));
   rebalance();
+  if (metrics_ != nullptr) {
+    metrics_->set(obs_ids_.active_flows, static_cast<double>(flows_.size()));
+  }
   return id;
 }
 
@@ -86,6 +93,10 @@ void NetworkModel::cancel_flow(FlowId id) {
   it->second.completion.cancel();
   flows_.erase(it);
   rebalance();
+  if (metrics_ != nullptr) {
+    metrics_->add(obs_ids_.flows_cancelled);
+    metrics_->set(obs_ids_.active_flows, static_cast<double>(flows_.size()));
+  }
 }
 
 double NetworkModel::flow_rate(FlowId id) const {
@@ -227,12 +238,38 @@ void NetworkModel::complete_flow(FlowId id) {
   if (it->second.inter_rack) {
     inter_rack_bytes_ += it->second.total_bytes;
   }
+  if (metrics_ != nullptr) {
+    metrics_->add(obs_ids_.flows_completed);
+    metrics_->add(obs_ids_.bytes_completed, it->second.total_bytes);
+    if (it->second.inter_rack) {
+      metrics_->add(obs_ids_.inter_rack_bytes, it->second.total_bytes);
+    }
+    metrics_->observe(obs_ids_.flow_seconds, (sim_.now() - it->second.started).seconds());
+  }
   CompletionFn on_done = std::move(it->second.on_done);
   flows_.erase(it);
   rebalance();
+  if (metrics_ != nullptr) {
+    metrics_->set(obs_ids_.active_flows, static_cast<double>(flows_.size()));
+  }
   if (on_done) {
     on_done(id);
   }
+}
+
+void NetworkModel::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  obs_ids_ = {};
+  if (metrics == nullptr) {
+    return;
+  }
+  obs_ids_.flows_started = metrics->counter("net.flows.started");
+  obs_ids_.flows_completed = metrics->counter("net.flows.completed");
+  obs_ids_.flows_cancelled = metrics->counter("net.flows.cancelled");
+  obs_ids_.bytes_completed = metrics->counter("net.bytes.completed");
+  obs_ids_.inter_rack_bytes = metrics->counter("net.bytes.inter_rack");
+  obs_ids_.active_flows = metrics->gauge("net.flows.active");
+  obs_ids_.flow_seconds = metrics->histogram("net.flow.seconds", 0.0, 120.0, 60);
 }
 
 }  // namespace erms::net

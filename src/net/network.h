@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "sim/simulation.h"
 #include "util/ids.h"
 
@@ -76,6 +77,12 @@ class NetworkModel {
   [[nodiscard]] std::uint64_t total_bytes_completed() const { return bytes_completed_; }
   [[nodiscard]] std::uint64_t inter_rack_bytes() const { return inter_rack_bytes_; }
 
+  /// Attach (nullptr detaches) a metrics registry: flow start/complete
+  /// counters, transferred bytes, an active-flow gauge and a flow-duration
+  /// histogram. Ids resolve once here; detached costs one null test per
+  /// flow event.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   // Link ids are indices into links_: per node disk / nic_out / nic_in, then
   // per rack uplink_out / uplink_in.
@@ -88,6 +95,7 @@ class NetworkModel {
     double remaining;               // bytes
     double max_rate{0.0};           // 0 = uncapped
     double rate{0.0};               // bytes/s
+    sim::SimTime started;
     sim::SimTime last_update;
     bool inter_rack{false};
     std::uint64_t total_bytes{0};
@@ -121,6 +129,15 @@ class NetworkModel {
   util::IdGenerator<FlowId> flow_ids_{1};
   std::uint64_t bytes_completed_{0};
   std::uint64_t inter_rack_bytes_{0};
+
+  struct ObsIds {
+    obs::CounterId flows_started, flows_completed, flows_cancelled;
+    obs::CounterId bytes_completed, inter_rack_bytes;
+    obs::GaugeId active_flows;
+    obs::HistogramId flow_seconds;
+  };
+  obs::MetricsRegistry* metrics_{nullptr};
+  ObsIds obs_ids_;
 };
 
 }  // namespace erms::net

@@ -1,0 +1,328 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace erms::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_next_serial{1};
+
+/// Estimate the q-quantile from folded fixed-width buckets (linear
+/// interpolation inside the bucket that crosses the target rank).
+double bucket_quantile(const metrics::Histogram& h, double q) {
+  const std::uint64_t total = h.total();
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = h.underflow();
+  if (static_cast<double>(seen) >= rank && seen > 0) return h.lo();
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    const std::uint64_t c = h.bucket(i);
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) >= rank) {
+      const double frac = (rank - static_cast<double>(seen)) / static_cast<double>(c);
+      return h.bucket_lo(i) + frac * (h.bucket_hi(i) - h.bucket_lo(i));
+    }
+    seen += c;
+  }
+  return h.hi();
+}
+
+}  // namespace
+
+MetricsRegistry::HistCell::HistCell(const HistSpec& spec) : counts(spec.buckets + 2) {}
+
+MetricsRegistry::Shard::Shard() {
+  for (auto& b : counter_blocks) b.store(nullptr, std::memory_order_relaxed);
+  for (auto& b : hist_blocks) b.store(nullptr, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Shard::~Shard() {
+  for (auto& b : counter_blocks) delete[] b.load(std::memory_order_acquire);
+  for (auto& b : hist_blocks) {
+    auto* block = b.load(std::memory_order_acquire);
+    if (block == nullptr) continue;
+    for (std::size_t i = 0; i < kBlockSlots; ++i) delete block[i].load(std::memory_order_acquire);
+    delete[] block;
+  }
+}
+
+MetricsRegistry::MetricsRegistry() : serial_(g_next_serial.fetch_add(1, std::memory_order_relaxed)) {
+  for (auto& b : gauge_blocks_) b.store(nullptr, std::memory_order_relaxed);
+  for (auto& b : spec_blocks_) b.store(nullptr, std::memory_order_relaxed);
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  for (auto& b : gauge_blocks_) delete[] b.load(std::memory_order_acquire);
+  for (auto& b : spec_blocks_) {
+    auto* block = b.load(std::memory_order_acquire);
+    if (block == nullptr) continue;
+    for (std::size_t i = 0; i < kBlockSlots; ++i) delete block[i].load(std::memory_order_acquire);
+    delete[] block;
+  }
+}
+
+namespace {
+
+/// Ensure `blocks[slot / kBlockSlots]` exists; first-touch allocation races
+/// are resolved with compare-exchange (the loser frees its block).
+template <typename T, std::size_t N>
+T* ensure_block(std::atomic<T*> (&blocks)[N], std::size_t block_index, std::size_t block_slots) {
+  if (block_index >= N) return nullptr;
+  T* block = blocks[block_index].load(std::memory_order_acquire);
+  if (block != nullptr) return block;
+  T* fresh = new T[block_slots]{};
+  if (blocks[block_index].compare_exchange_strong(block, fresh, std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete[] fresh;
+  return block;
+}
+
+}  // namespace
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // Cache keyed by registry serial (unique per registry ever constructed),
+  // so entries for destroyed registries can never alias a live one.
+  thread_local std::vector<std::pair<std::uint64_t, Shard*>> cache;
+  for (const auto& [serial, shard] : cache) {
+    if (serial == serial_) return *shard;
+  }
+  auto owned = std::make_unique<Shard>();
+  Shard* raw = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  cache.emplace_back(serial_, raw);
+  return *raw;
+}
+
+CounterId MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_ids_.find(name);
+  if (it != counter_ids_.end()) return CounterId{it->second};
+  const auto index = static_cast<std::uint32_t>(counter_names_.size());
+  if (index >= kBlockSlots * kMaxBlocks) return CounterId{};
+  counter_ids_.emplace(name, index);
+  counter_names_.push_back(name);
+  return CounterId{index};
+}
+
+GaugeId MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_ids_.find(name);
+  if (it != gauge_ids_.end()) return GaugeId{it->second};
+  const auto index = static_cast<std::uint32_t>(gauge_names_.size());
+  if (index >= kBlockSlots * kMaxBlocks) return GaugeId{};
+  gauge_ids_.emplace(name, index);
+  gauge_names_.push_back(name);
+  return GaugeId{index};
+}
+
+HistogramId MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                       std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hist_ids_.find(name);
+  if (it != hist_ids_.end()) return HistogramId{it->second};
+  const auto index = static_cast<std::uint32_t>(hist_names_.size());
+  if (index >= kBlockSlots * kMaxBlocks) return HistogramId{};
+  if (!(hi > lo) || buckets == 0) return HistogramId{};
+  auto* block = ensure_block(spec_blocks_, index / kBlockSlots, kBlockSlots);
+  if (block == nullptr) return HistogramId{};
+  block[index % kBlockSlots].store(new HistSpec{lo, hi, buckets}, std::memory_order_release);
+  hist_ids_.emplace(name, index);
+  hist_names_.push_back(name);
+  return HistogramId{index};
+}
+
+void MetricsRegistry::add(CounterId id, std::uint64_t delta) {
+  if (!id.valid()) return;
+  Shard& shard = local_shard();
+  auto* block = ensure_block(shard.counter_blocks, id.index / kBlockSlots, kBlockSlots);
+  if (block == nullptr) return;
+  block[id.index % kBlockSlots].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(GaugeId id, double value) {
+  if (!id.valid()) return;
+  auto* block = ensure_block(gauge_blocks_, id.index / kBlockSlots, kBlockSlots);
+  if (block == nullptr) return;
+  block[id.index % kBlockSlots].store(value, std::memory_order_relaxed);
+}
+
+const MetricsRegistry::HistSpec* MetricsRegistry::hist_spec(std::uint32_t index) const {
+  auto* block = spec_blocks_[index / kBlockSlots].load(std::memory_order_acquire);
+  if (block == nullptr) return nullptr;
+  return block[index % kBlockSlots].load(std::memory_order_acquire);
+}
+
+void MetricsRegistry::observe(HistogramId id, double x) {
+  if (!id.valid()) return;
+  const HistSpec* spec = hist_spec(id.index);
+  if (spec == nullptr) return;
+  Shard& shard = local_shard();
+  auto* block = ensure_block(shard.hist_blocks, id.index / kBlockSlots, kBlockSlots);
+  if (block == nullptr) return;
+  auto& slot = block[id.index % kBlockSlots];
+  HistCell* cell = slot.load(std::memory_order_acquire);
+  if (cell == nullptr) {
+    // The shard is thread-local, so only its owning thread allocates cells;
+    // scrapers only read, hence a plain store is race-free.
+    cell = new HistCell(*spec);
+    slot.store(cell, std::memory_order_release);
+  }
+  std::size_t bucket;
+  if (x < spec->lo) {
+    bucket = spec->buckets;  // underflow slot
+  } else if (x >= spec->hi) {
+    bucket = spec->buckets + 1;  // overflow slot
+  } else {
+    const double width = (spec->hi - spec->lo) / static_cast<double>(spec->buckets);
+    bucket = std::min(spec->buckets - 1,
+                      static_cast<std::size_t>((x - spec->lo) / width));
+  }
+  cell->counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  double sum = cell->sum.load(std::memory_order_relaxed);
+  while (!cell->sum.compare_exchange_weak(sum, sum + x, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t MetricsRegistry::counter_value(CounterId id) const {
+  if (!id.valid()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    auto* block = shard->counter_blocks[id.index / kBlockSlots].load(std::memory_order_acquire);
+    if (block == nullptr) continue;
+    total += block[id.index % kBlockSlots].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double MetricsRegistry::gauge_value(GaugeId id) const {
+  if (!id.valid()) return 0.0;
+  auto* block = gauge_blocks_[id.index / kBlockSlots].load(std::memory_order_acquire);
+  if (block == nullptr) return 0.0;
+  return block[id.index % kBlockSlots].load(std::memory_order_relaxed);
+}
+
+metrics::Histogram MetricsRegistry::histogram_value(HistogramId id) const {
+  const HistSpec* spec = id.valid() ? hist_spec(id.index) : nullptr;
+  if (spec == nullptr) return metrics::Histogram(0.0, 1.0, 1);
+  metrics::Histogram folded(spec->lo, spec->hi, spec->buckets);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    auto* block = shard->hist_blocks[id.index / kBlockSlots].load(std::memory_order_acquire);
+    if (block == nullptr) continue;
+    const HistCell* cell = block[id.index % kBlockSlots].load(std::memory_order_acquire);
+    if (cell == nullptr) continue;
+    for (std::size_t i = 0; i < spec->buckets; ++i) {
+      folded.accumulate_bucket(i, cell->counts[i].load(std::memory_order_relaxed));
+    }
+    folded.accumulate_underflow(cell->counts[spec->buckets].load(std::memory_order_relaxed));
+    folded.accumulate_overflow(cell->counts[spec->buckets + 1].load(std::memory_order_relaxed));
+  }
+  return folded;
+}
+
+double MetricsRegistry::histogram_sum(HistogramId id) const {
+  if (!id.valid()) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    auto* block = shard->hist_blocks[id.index / kBlockSlots].load(std::memory_order_acquire);
+    if (block == nullptr) continue;
+    const HistCell* cell = block[id.index % kBlockSlots].load(std::memory_order_acquire);
+    if (cell == nullptr) continue;
+    total += cell->sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  // Take the name lists under the lock, then fold each metric (the folds
+  // re-lock; ids are stable so this is just a little redundant locking on a
+  // cold path).
+  std::vector<std::string> counters, gauges, hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters = counter_names_;
+    gauges = gauge_names_;
+    hists = hist_names_;
+  }
+  Snapshot snap;
+  snap.counters.reserve(counters.size());
+  for (std::uint32_t i = 0; i < counters.size(); ++i) {
+    snap.counters.emplace_back(counters[i], counter_value(CounterId{i}));
+  }
+  snap.gauges.reserve(gauges.size());
+  for (std::uint32_t i = 0; i < gauges.size(); ++i) {
+    snap.gauges.emplace_back(gauges[i], gauge_value(GaugeId{i}));
+  }
+  snap.histograms.reserve(hists.size());
+  for (std::uint32_t i = 0; i < hists.size(); ++i) {
+    snap.histograms.push_back(
+        {hists[i], histogram_value(HistogramId{i}), histogram_sum(HistogramId{i})});
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::text_report() const {
+  const Snapshot snap = snapshot();
+  std::size_t width = 0;
+  for (const auto& [name, _] : snap.counters) width = std::max(width, name.size());
+  for (const auto& [name, _] : snap.gauges) width = std::max(width, name.size());
+  for (const auto& h : snap.histograms) width = std::max(width, h.name.size());
+
+  std::ostringstream os;
+  os << std::fixed;
+  for (const auto& [name, value] : snap.counters) {
+    os << "  " << std::left << std::setw(static_cast<int>(width)) << name << "  " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    os << "  " << std::left << std::setw(static_cast<int>(width)) << name << "  "
+       << std::setprecision(3) << value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::uint64_t n = h.histogram.total();
+    const double mean = n > 0 ? h.sum / static_cast<double>(n) : 0.0;
+    os << "  " << std::left << std::setw(static_cast<int>(width)) << h.name << "  count=" << n
+       << std::setprecision(4) << " mean=" << mean << " p50=" << bucket_quantile(h.histogram, 0.50)
+       << " p90=" << bucket_quantile(h.histogram, 0.90)
+       << " p99=" << bucket_quantile(h.histogram, 0.99) << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::to_jsonl(std::ostream& os) const {
+  const Snapshot snap = snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    os << R"({"metric":")" << name << R"(","type":"counter","value":)" << value << "}\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    os << R"({"metric":")" << name << R"(","type":"gauge","value":)" << value << "}\n";
+  }
+  for (const auto& h : snap.histograms) {
+    os << R"({"metric":")" << h.name << R"(","type":"histogram","lo":)" << h.histogram.lo()
+       << R"(,"hi":)" << h.histogram.hi() << R"(,"counts":[)";
+    for (std::size_t i = 0; i < h.histogram.bucket_count(); ++i) {
+      if (i != 0) os << ',';
+      os << h.histogram.bucket(i);
+    }
+    os << R"(],"underflow":)" << h.histogram.underflow() << R"(,"overflow":)"
+       << h.histogram.overflow() << R"(,"count":)" << h.histogram.total() << R"(,"sum":)"
+       << h.sum << "}\n";
+  }
+}
+
+std::size_t MetricsRegistry::shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+}  // namespace erms::obs

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/histogram.h"
+
+namespace erms::obs {
+
+/// Typed handles into a MetricsRegistry. Default-constructed ids are
+/// invalid; recording against an invalid id is a no-op, so instrumented
+/// components can keep an id struct around whether or not observability is
+/// attached.
+struct CounterId {
+  std::uint32_t index{UINT32_MAX};
+  [[nodiscard]] bool valid() const { return index != UINT32_MAX; }
+};
+struct GaugeId {
+  std::uint32_t index{UINT32_MAX};
+  [[nodiscard]] bool valid() const { return index != UINT32_MAX; }
+};
+struct HistogramId {
+  std::uint32_t index{UINT32_MAX};
+  [[nodiscard]] bool valid() const { return index != UINT32_MAX; }
+};
+
+/// Registry of named counters, gauges and histograms.
+///
+/// Registration (by name, idempotent) takes a mutex; the *recording* fast
+/// path is lock-free: counter and histogram cells live in per-thread shards
+/// (chunked arrays of relaxed atomics, allocated on first touch via CAS) and
+/// are folded only at scrape time, so concurrent `add`/`observe` from
+/// simulation callbacks, `util::ThreadPool` workers and CEP shard flushes
+/// never contend on a shared cache line. Gauges are registry-level atomics
+/// (last writer wins — sharding a "current value" would be meaningless).
+///
+/// Scrapes (`counter_value`, `histogram_value`, `snapshot`) fold every
+/// shard; a fold concurrent with increments sees a value that was true at
+/// some instant during the call, and once writers are quiescent the fold is
+/// exact — no increment is ever lost.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // ----- registration (mutex; idempotent by name) -------------------------
+  CounterId counter(const std::string& name);
+  GaugeId gauge(const std::string& name);
+  /// Fixed-width buckets over [lo, hi), like metrics::Histogram. If `name`
+  /// is already registered the existing id is returned and the new bounds
+  /// are ignored.
+  HistogramId histogram(const std::string& name, double lo, double hi, std::size_t buckets);
+
+  // ----- recording (lock-free fast path) ----------------------------------
+  void add(CounterId id, std::uint64_t delta = 1);
+  void set(GaugeId id, double value);
+  void observe(HistogramId id, double x);
+
+  // ----- scrape (folds the per-thread shards) -----------------------------
+  [[nodiscard]] std::uint64_t counter_value(CounterId id) const;
+  [[nodiscard]] double gauge_value(GaugeId id) const;
+  /// Folded into a plain metrics::Histogram (counts summed across shards).
+  [[nodiscard]] metrics::Histogram histogram_value(HistogramId id) const;
+  /// Sum of every value observed into the histogram (for means).
+  [[nodiscard]] double histogram_sum(HistogramId id) const;
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    struct Hist {
+      std::string name;
+      metrics::Histogram histogram;
+      double sum;
+    };
+    std::vector<Hist> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Human-readable dump: one aligned line per metric, histograms with
+  /// count/mean/p50/p90/p99 estimated from the folded buckets.
+  [[nodiscard]] std::string text_report() const;
+  /// One JSON object per line per metric (machine-readable scrape).
+  void to_jsonl(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t shard_count() const;
+
+ private:
+  // Chunked id space: slot i of kind K lives in block i/kBlockSlots. Block
+  // pointers are allocated on first touch with compare-exchange, so readers
+  // never see a partially initialised block and no lock is taken.
+  static constexpr std::size_t kBlockSlots = 256;
+  static constexpr std::size_t kMaxBlocks = 64;
+
+  struct HistSpec {
+    double lo;
+    double hi;
+    std::size_t buckets;
+  };
+
+  /// Per-(thread, histogram) cell: bucket counts plus underflow/overflow
+  /// and the running sum of observed values.
+  struct HistCell {
+    explicit HistCell(const HistSpec& spec);
+    std::vector<std::atomic<std::uint64_t>> counts;  // [b0..bn-1, under, over]
+    std::atomic<double> sum{0.0};
+  };
+
+  struct Shard {
+    Shard();
+    ~Shard();
+    std::atomic<std::atomic<std::uint64_t>*> counter_blocks[kMaxBlocks];
+    std::atomic<std::atomic<HistCell*>*> hist_blocks[kMaxBlocks];
+  };
+
+  Shard& local_shard();
+  [[nodiscard]] const HistSpec* hist_spec(std::uint32_t index) const;
+
+  const std::uint64_t serial_;
+
+  mutable std::mutex mu_;  // registration + shard list + scrape
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<std::string, std::uint32_t> counter_ids_;
+  std::unordered_map<std::string, std::uint32_t> gauge_ids_;
+  std::unordered_map<std::string, std::uint32_t> hist_ids_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
+
+  // Registry-level chunked storage: gauges and immutable histogram specs.
+  std::atomic<std::atomic<double>*> gauge_blocks_[kMaxBlocks];
+  std::atomic<std::atomic<HistSpec*>*> spec_blocks_[kMaxBlocks];
+};
+
+}  // namespace erms::obs

@@ -1,0 +1,32 @@
+#include "obs/observability.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace erms::obs {
+
+Observability::Observability(std::size_t trace_capacity) : trace_(trace_capacity) {}
+
+std::string Observability::text_report() const {
+  std::ostringstream os;
+  os << "metrics:\n" << registry_.text_report();
+  os << "trace: " << trace_.recorded() << " events recorded, " << trace_.size() << " retained, "
+     << trace_.dropped() << " dropped (capacity " << trace_.capacity() << ")\n";
+  return os.str();
+}
+
+bool Observability::export_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  trace_.to_jsonl(out);
+  return static_cast<bool>(out);
+}
+
+const char* Observability::env_trace_path() {
+  const char* path = std::getenv("ERMS_TRACE_PATH");
+  if (path == nullptr || path[0] == '\0') return nullptr;
+  return path;
+}
+
+}  // namespace erms::obs

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace erms::obs {
+
+/// The bundle instrumented components receive: one metrics registry plus one
+/// action-trace ring. Components hold a raw `Observability*` (null when
+/// observability is disabled) and pre-resolve their metric ids once in
+/// `set_observability`, so the disabled path costs a single pointer test.
+class Observability {
+ public:
+  explicit Observability(std::size_t trace_capacity = 4096);
+
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+  [[nodiscard]] TraceRing& trace() { return trace_; }
+  [[nodiscard]] const TraceRing& trace() const { return trace_; }
+
+  /// Metrics dump followed by trace tail statistics — for example programs.
+  [[nodiscard]] std::string text_report() const;
+
+  /// Write the whole trace ring as JSONL to `path`. Returns false if the
+  /// file could not be written.
+  bool export_trace(const std::string& path) const;
+
+  /// Value of the ERMS_TRACE_PATH env knob, or nullptr when unset/empty.
+  static const char* env_trace_path();
+
+ private:
+  MetricsRegistry registry_;
+  TraceRing trace_;
+};
+
+}  // namespace erms::obs

@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace erms::obs {
+
+const char* to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kClassify: return "classify";
+    case ActionKind::kReplicaIncrease: return "replica_increase";
+    case ActionKind::kReplicaDecrease: return "replica_decrease";
+    case ActionKind::kEncode: return "encode";
+    case ActionKind::kDecode: return "decode";
+    case ActionKind::kOverload: return "overload";
+    case ActionKind::kCommission: return "commission";
+    case ActionKind::kPowerDown: return "power_down";
+    case ActionKind::kSetReplication: return "set_replication";
+    case ActionKind::kClusterEncode: return "cluster_encode";
+    case ActionKind::kClusterDecode: return "cluster_decode";
+    case ActionKind::kRereplication: return "rereplication";
+    case ActionKind::kNodeFailure: return "node_failure";
+  }
+  return "unknown";
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceEvent::to_json() const {
+  std::string out;
+  out.reserve(192);
+  out += R"({"seq":)" + std::to_string(seq);
+  out += R"(,"t_us":)" + std::to_string(at.micros());
+  out += R"(,"kind":")";
+  out += to_string(kind);
+  out += '"';
+  if (!path.empty()) out += R"(,"path":")" + json_escape(path) + '"';
+  if (node >= 0) out += R"(,"node":)" + std::to_string(node);
+  if (block >= 0) out += R"(,"block":)" + std::to_string(block);
+  if (rule != 0) out += R"(,"rule":)" + std::to_string(rule);
+  if (trigger != 0.0 || threshold != 0.0) {
+    out += R"(,"trigger":)";
+    append_number(out, trigger);
+    out += R"(,"threshold":)";
+    append_number(out, threshold);
+  }
+  if (!from.empty()) out += R"(,"from":")" + json_escape(from) + '"';
+  if (!to.empty()) out += R"(,"to":")" + json_escape(to) + '"';
+  if (rep_before >= 0) out += R"(,"rep_before":)" + std::to_string(rep_before);
+  if (rep_after >= 0) out += R"(,"rep_after":)" + std::to_string(rep_after);
+  if (bytes_moved > 0) out += R"(,"bytes_moved":)" + std::to_string(bytes_moved);
+  if (count > 0) out += R"(,"count":)" + std::to_string(count);
+  if (queue_wait.micros() > 0) out += R"(,"queue_wait_us":)" + std::to_string(queue_wait.micros());
+  if (exec_span.micros() > 0) out += R"(,"exec_us":)" + std::to_string(exec_span.micros());
+  if (job >= 0) out += R"(,"job":)" + std::to_string(job);
+  if (!outcome.empty()) out += R"(,"outcome":")" + json_escape(outcome) + '"';
+  if (!targets.empty()) {
+    out += R"(,"targets":[)";
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(targets[i]);
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  if (size_ < capacity_) {
+    ring_.push_back(std::move(event));
+    ++size_;
+  } else {
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+std::uint64_t TraceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return (next_seq_ - 1) - size_;
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  return out;
+}
+
+void TraceRing::to_jsonl(std::ostream& os) const {
+  for (const auto& event : snapshot()) {
+    os << event.to_json() << '\n';
+  }
+}
+
+}  // namespace erms::obs

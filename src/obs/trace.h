@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace erms::obs {
+
+/// What an entry in the action trace describes. Two layers:
+///  - decision/job events recorded by the ERMS control loop
+///    (kClassify .. kPowerDown), carrying the judge rule, trigger value and
+///    threshold plus Condor queue-wait / execution spans, and
+///  - ground-truth cluster mutations recorded by hdfs::Cluster
+///    (kSetReplication .. kNodeFailure), carrying exact bytes moved and
+///    target nodes — so every replica-count change in the cluster is
+///    attributable even in runs that drive the cluster directly.
+enum class ActionKind : std::uint8_t {
+  kClassify,         // judge classification flip for a file
+  kReplicaIncrease,  // ERMS replica-increase job completed/terminated
+  kReplicaDecrease,  // ERMS replica-decrease job completed/terminated
+  kEncode,           // ERMS erasure-encode job completed/terminated
+  kDecode,           // ERMS erasure-decode job completed/terminated
+  kOverload,         // node exceeded tau_DN; hottest file promoted
+  kCommission,       // standby node commission requested
+  kPowerDown,        // idle active node powered down to standby
+  kSetReplication,   // cluster finished changing a file's replica count
+  kClusterEncode,    // cluster finished erasure-encoding a file
+  kClusterDecode,    // cluster finished decoding a file back to replicas
+  kRereplication,    // cluster restored a lost replica
+  kNodeFailure,      // node failed (count = replicas lost with it)
+};
+
+[[nodiscard]] const char* to_string(ActionKind kind);
+
+/// One sim-timestamped entry in the action trace. Only the fields that make
+/// sense for the `kind` are filled; numeric fields default to sentinel
+/// values that the JSONL export omits.
+struct TraceEvent {
+  std::uint64_t seq{0};          // assigned by the ring, monotonically increasing
+  ActionKind kind{ActionKind::kClassify};
+  sim::SimTime at{};             // sim time the event was recorded
+
+  std::string path;              // file the action concerns (empty if none)
+  std::int64_t node{-1};         // node the action concerns (failures, standby)
+  std::int64_t block{-1};        // block id (re-replications)
+
+  int rule{0};                   // judge rule (paper formulas 1-6) that fired
+  double trigger{0.0};           // measured value that tripped the rule
+  double threshold{0.0};         // threshold it was compared against
+  std::string from;              // previous classification (kClassify)
+  std::string to;                // new classification (kClassify)
+
+  std::int64_t rep_before{-1};   // replica count before the action
+  std::int64_t rep_after{-1};    // replica count after the action
+  std::uint64_t bytes_moved{0};  // bytes copied/written by the action
+  std::uint64_t count{0};        // generic count (replicas lost, nodes, ...)
+
+  sim::SimDuration queue_wait{}; // submit -> start (Condor jobs)
+  sim::SimDuration exec_span{};  // start -> finish (Condor jobs)
+  std::int64_t job{-1};          // Condor job id
+  std::string outcome;           // terminal job status / completion note
+
+  std::vector<std::int64_t> targets;  // nodes gaining (or losing) replicas
+
+  /// Single-line JSON object (no trailing newline).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Bounded ring of TraceEvents. Recording takes a mutex — action events are
+/// rare (a handful per evaluation period) so contention is irrelevant; the
+/// bound is what matters: memory stays O(capacity) however long the
+/// simulation runs, and `dropped()` reports how many old events were
+/// evicted. Sequence numbers are assigned on record and never reused, so an
+/// exported trace shows exactly which prefix was lost.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096);
+
+  void record(TraceEvent event);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  /// Total events ever recorded (== last seq).
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// Events evicted because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Oldest-to-newest copy of the current contents.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// One JSON object per line, oldest first.
+  void to_jsonl(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  const std::size_t capacity_;
+  std::size_t head_{0};  // index of the oldest event
+  std::size_t size_{0};
+  std::uint64_t next_seq_{1};
+};
+
+/// Escape a string for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace erms::obs

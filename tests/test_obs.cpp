@@ -1,0 +1,381 @@
+// Observability layer: metrics registry fold exactness, histogram bucket
+// bounds, trace-ring eviction, JSONL shape, and the full ERMS lifecycle
+// leaving an attributable action trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/erms.h"
+#include "hdfs/cluster.h"
+#include "obs/metrics_registry.h"
+#include "obs/observability.h"
+#include "obs/trace.h"
+
+namespace erms {
+namespace {
+
+using obs::ActionKind;
+using obs::MetricsRegistry;
+using obs::TraceEvent;
+using obs::TraceRing;
+
+// ---------- MetricsRegistry ----------
+
+TEST(Registry, RegistrationIsIdempotentByName) {
+  MetricsRegistry r;
+  const auto a = r.counter("x.count");
+  const auto b = r.counter("x.count");
+  EXPECT_EQ(a.index, b.index);
+  const auto h1 = r.histogram("x.hist", 0.0, 10.0, 10);
+  const auto h2 = r.histogram("x.hist", 5.0, 99.0, 3);  // bounds ignored
+  EXPECT_EQ(h1.index, h2.index);
+  r.observe(h2, 9.5);
+  EXPECT_EQ(r.histogram_value(h1).total(), 1u);
+  EXPECT_EQ(r.histogram_value(h1).overflow(), 0u);  // original [0,10) held
+}
+
+TEST(Registry, InvalidIdsAreNoOps) {
+  MetricsRegistry r;
+  r.add(obs::CounterId{}, 5);
+  r.set(obs::GaugeId{}, 1.0);
+  r.observe(obs::HistogramId{}, 1.0);
+  EXPECT_EQ(r.counter_value(obs::CounterId{}), 0u);
+  EXPECT_EQ(r.snapshot().counters.size(), 0u);
+}
+
+TEST(Registry, ConcurrentIncrementsFoldExactly) {
+  MetricsRegistry r;
+  const auto c = r.counter("hits");
+  const auto h = r.histogram("lat", 0.0, 1.0, 4);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&r, c, h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        r.add(c);
+        r.observe(h, 0.5);
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  // Once writers are quiescent the fold is exact — no increment lost.
+  EXPECT_EQ(r.counter_value(c), kThreads * kPerThread);
+  EXPECT_EQ(r.histogram_value(h).total(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(r.histogram_sum(h), 0.5 * kThreads * kPerThread);
+  EXPECT_GE(r.shard_count(), 1u);
+}
+
+TEST(Registry, HistogramBucketBounds) {
+  MetricsRegistry r;
+  // Four buckets of width 2.5 over [0, 10).
+  const auto h = r.histogram("lat", 0.0, 10.0, 4);
+  r.observe(h, -0.01);  // underflow
+  r.observe(h, 0.0);    // bucket 0 (inclusive lower bound)
+  r.observe(h, 2.49);   // bucket 0
+  r.observe(h, 2.5);    // bucket 1
+  r.observe(h, 9.99);   // bucket 3
+  r.observe(h, 10.0);   // overflow (exclusive upper bound)
+  r.observe(h, 1e9);    // overflow
+  const metrics::Histogram folded = r.histogram_value(h);
+  EXPECT_EQ(folded.underflow(), 1u);
+  EXPECT_EQ(folded.bucket(0), 2u);
+  EXPECT_EQ(folded.bucket(1), 1u);
+  EXPECT_EQ(folded.bucket(2), 0u);
+  EXPECT_EQ(folded.bucket(3), 1u);
+  EXPECT_EQ(folded.overflow(), 2u);
+  EXPECT_EQ(folded.total(), 7u);
+}
+
+TEST(Registry, GaugeIsLastWriterWins) {
+  MetricsRegistry r;
+  const auto g = r.gauge("depth");
+  r.set(g, 4.0);
+  r.set(g, 2.0);
+  EXPECT_DOUBLE_EQ(r.gauge_value(g), 2.0);
+}
+
+TEST(Registry, TwoRegistriesDoNotCrossTalk) {
+  // The thread-local shard cache is keyed by a unique registry serial, so a
+  // thread touching two registries (or a registry recreated at the same
+  // address) must not alias their cells.
+  auto first = std::make_unique<MetricsRegistry>();
+  const auto c1 = first->counter("n");
+  first->add(c1, 7);
+  EXPECT_EQ(first->counter_value(c1), 7u);
+  first.reset();
+  MetricsRegistry second;
+  const auto c2 = second.counter("n");
+  EXPECT_EQ(second.counter_value(c2), 0u);
+  second.add(c2, 1);
+  EXPECT_EQ(second.counter_value(c2), 1u);
+}
+
+TEST(Registry, SnapshotAndReportsCarryEveryMetric) {
+  MetricsRegistry r;
+  r.add(r.counter("a.count"), 3);
+  r.set(r.gauge("b.gauge"), 1.5);
+  r.observe(r.histogram("c.hist", 0.0, 1.0, 2), 0.25);
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "a.count");
+  EXPECT_EQ(snap.counters[0].second, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 1.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].histogram.total(), 1u);
+
+  const std::string text = r.text_report();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("b.gauge"), std::string::npos);
+  EXPECT_NE(text.find("c.hist"), std::string::npos);
+
+  std::ostringstream os;
+  r.to_jsonl(os);
+  const std::string jsonl = os.str();
+  EXPECT_NE(jsonl.find("\"a.count\""), std::string::npos);
+  // One JSON object per line.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
+}
+
+// ---------- TraceRing ----------
+
+TEST(Trace, RingEvictsOldestAndCountsDrops) {
+  TraceRing ring{4};
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent ev;
+    ev.kind = ActionKind::kClassify;
+    ev.path = "/f" + std::to_string(i);
+    ring.record(std::move(ev));
+  }
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest, with the original (never reused) sequence numbers.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 7u + i);
+    EXPECT_EQ(events[i].path, "/f" + std::to_string(6 + i));
+  }
+}
+
+TEST(Trace, JsonOmitsSentinelFieldsAndEscapes) {
+  TraceEvent ev;
+  ev.kind = ActionKind::kNodeFailure;
+  ev.node = 3;
+  ev.count = 2;
+  const std::string json = ev.to_json();
+  EXPECT_NE(json.find("\"kind\":\"node_failure\""), std::string::npos);
+  EXPECT_NE(json.find("\"node\":3"), std::string::npos);
+  // Unset fields stay out of the line.
+  EXPECT_EQ(json.find("\"path\""), std::string::npos);
+  EXPECT_EQ(json.find("\"rep_before\""), std::string::npos);
+  EXPECT_EQ(json.find("\"job\""), std::string::npos);
+
+  EXPECT_EQ(obs::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(Trace, ExportWritesOneLinePerEvent) {
+  obs::Observability bundle{8};
+  for (int i = 0; i < 3; ++i) {
+    TraceEvent ev;
+    ev.kind = ActionKind::kCommission;
+    ev.node = i;
+    bundle.trace().record(std::move(ev));
+  }
+  const std::string path = ::testing::TempDir() + "erms_trace_test.jsonl";
+  ASSERT_TRUE(bundle.export_trace(path));
+  std::ifstream in{path};
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+// ---------- the full control loop leaves an attributable trace ----------
+
+struct Testbed {
+  sim::Simulation sim;
+  hdfs::Topology topo = hdfs::Topology::uniform(3, 6);
+  std::unique_ptr<hdfs::Cluster> cluster;
+  std::vector<hdfs::NodeId> pool;
+
+  Testbed() {
+    cluster = std::make_unique<hdfs::Cluster>(sim, topo, hdfs::ClusterConfig{});
+    for (std::uint32_t n = 10; n < 18; ++n) {
+      pool.push_back(hdfs::NodeId{n});
+    }
+  }
+};
+
+core::ErmsConfig observed_erms() {
+  core::ErmsConfig cfg;
+  cfg.thresholds.window = sim::seconds(60.0);
+  cfg.thresholds.cold_age = sim::minutes(15.0);
+  cfg.evaluation_period = sim::seconds(20.0);
+  cfg.observe = true;
+  return cfg;
+}
+
+std::uint64_t first_seq(const std::vector<TraceEvent>& events, ActionKind kind,
+                        const std::string& to = "") {
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == kind && (to.empty() || ev.to == to)) {
+      return ev.seq;
+    }
+  }
+  return 0;  // seq numbers start at 1, so 0 means "absent"
+}
+
+TEST(Observed, LifecycleEmitsOrderedAttributableTrace) {
+  Testbed t;
+  core::ErmsManager erms{*t.cluster, t.pool, observed_erms()};
+  ASSERT_NE(erms.observability(), nullptr);
+  const auto file = t.cluster->populate_file("/life", 128 * util::MiB, 3);
+  erms.start();
+
+  // Hot phase: heavy concurrent access.
+  for (int i = 0; i < 300; ++i) {
+    t.sim.schedule_at(sim::SimTime{static_cast<std::int64_t>(i * 0.6e6)}, [&t, &file] {
+      t.cluster->read_file(hdfs::NodeId{static_cast<std::uint32_t>(rand() % 10)}, *file,
+                           [](const hdfs::ReadOutcome&) {});
+    });
+  }
+  // Then silence through cooled → cold, and a re-warm burst at 31 min.
+  for (int i = 0; i < 300; ++i) {
+    t.sim.schedule_at(
+        sim::SimTime{sim::minutes(31.0).micros() + static_cast<std::int64_t>(i * 0.6e6)},
+        [&t, &file] {
+          t.cluster->read_file(hdfs::NodeId{static_cast<std::uint32_t>(rand() % 10)}, *file,
+                               [](const hdfs::ReadOutcome&) {});
+        });
+  }
+  t.sim.run_until(sim::SimTime{sim::minutes(40.0).micros()});
+
+  const auto events = erms.observability()->trace().snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // The lifecycle appears as an ordered chain of decisions and actions:
+  // hot classify → increase, cooled classify → decrease, cold classify →
+  // encode, hot-again classify → decode.
+  const std::uint64_t hot = first_seq(events, ActionKind::kClassify, "hot");
+  const std::uint64_t increase = first_seq(events, ActionKind::kReplicaIncrease);
+  const std::uint64_t cooled = first_seq(events, ActionKind::kClassify, "cooled");
+  const std::uint64_t decrease = first_seq(events, ActionKind::kReplicaDecrease);
+  const std::uint64_t cold = first_seq(events, ActionKind::kClassify, "cold");
+  const std::uint64_t encode = first_seq(events, ActionKind::kEncode);
+  const std::uint64_t decode = first_seq(events, ActionKind::kDecode);
+  ASSERT_NE(hot, 0u);
+  ASSERT_NE(increase, 0u);
+  ASSERT_NE(cooled, 0u);
+  ASSERT_NE(decrease, 0u);
+  ASSERT_NE(cold, 0u);
+  ASSERT_NE(encode, 0u);
+  ASSERT_NE(decode, 0u);
+  EXPECT_LT(hot, increase);
+  EXPECT_LT(increase, cooled);
+  EXPECT_LT(cooled, decrease);
+  EXPECT_LT(decrease, cold);
+  EXPECT_LT(cold, encode);
+  EXPECT_LT(encode, decode);
+
+  // Every job event explains itself: rule, measured trigger vs threshold,
+  // spans, and the replica delta it produced.
+  for (const TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case ActionKind::kClassify:
+        EXPECT_FALSE(ev.from.empty());
+        EXPECT_FALSE(ev.to.empty());
+        EXPECT_NE(ev.from, ev.to);
+        break;
+      case ActionKind::kReplicaIncrease:
+        EXPECT_EQ(ev.outcome, "completed");
+        EXPECT_GT(ev.rule, 0);
+        EXPECT_GT(ev.trigger, ev.threshold);
+        EXPECT_GT(ev.rep_after, ev.rep_before);
+        EXPECT_GT(ev.bytes_moved, 0u);
+        EXPECT_FALSE(ev.targets.empty());
+        EXPECT_GT(ev.exec_span.micros(), 0);
+        EXPECT_GE(ev.queue_wait.micros(), 0);
+        break;
+      case ActionKind::kReplicaDecrease:
+        EXPECT_EQ(ev.outcome, "completed");
+        EXPECT_LT(ev.rep_after, ev.rep_before);
+        EXPECT_FALSE(ev.targets.empty());
+        break;
+      case ActionKind::kEncode:
+        EXPECT_EQ(ev.outcome, "completed");
+        EXPECT_EQ(ev.rep_after, 1);
+        break;
+      case ActionKind::kDecode:
+        EXPECT_EQ(ev.outcome, "completed");
+        EXPECT_GE(ev.rep_after, 3);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Ground-truth layer: every replica-count mutation the cluster performed
+  // is present, so the decision events are corroborated.
+  EXPECT_NE(first_seq(events, ActionKind::kSetReplication), 0u);
+  EXPECT_NE(first_seq(events, ActionKind::kClusterEncode), 0u);
+  EXPECT_NE(first_seq(events, ActionKind::kClusterDecode), 0u);
+  EXPECT_NE(first_seq(events, ActionKind::kCommission), 0u);
+
+  // The registry mirrors the manager's stats.
+  obs::MetricsRegistry& r = erms.observability()->registry();
+  const auto& stats = erms.stats();
+  EXPECT_EQ(r.counter_value(r.counter("erms.promotions.hot")), stats.hot_promotions);
+  EXPECT_EQ(r.counter_value(r.counter("erms.cooldowns")), stats.cooldowns);
+  EXPECT_EQ(r.counter_value(r.counter("erms.encodes")), stats.encodes);
+  EXPECT_EQ(r.counter_value(r.counter("erms.decodes")), stats.decodes);
+  EXPECT_EQ(r.counter_value(r.counter("erms.evaluations")), stats.evaluations);
+  EXPECT_GT(r.counter_value(r.counter("condor.jobs.completed")), 0u);
+  EXPECT_GT(r.counter_value(r.counter("hdfs.reads.completed")), 0u);
+  EXPECT_GT(r.counter_value(r.counter("net.flows.completed")), 0u);
+  EXPECT_GT(r.counter_value(r.counter("standby.commissions")), 0u);
+  EXPECT_GT(r.histogram_value(r.histogram("condor.exec.seconds", 0, 1, 1)).total(), 0u);
+
+  erms.stop();
+}
+
+TEST(Observed, DisabledByDefaultAndDetachesCleanly) {
+  Testbed t;
+  {
+    core::ErmsManager erms{*t.cluster, t.pool, core::ErmsConfig{}};
+    EXPECT_EQ(erms.observability(), nullptr);
+  }
+  {
+    core::ErmsConfig cfg = observed_erms();
+    core::ErmsManager erms{*t.cluster, t.pool, cfg};
+    erms.start();
+    erms.stop();
+  }
+  // The manager is gone; the cluster it observed must still be usable (the
+  // destructor detached the dangling registry pointers).
+  const auto file = t.cluster->populate_file("/after", 64 * util::MiB, 3);
+  bool read_ok = false;
+  t.cluster->read_file(hdfs::NodeId{1}, *file,
+                       [&read_ok](const hdfs::ReadOutcome& out) { read_ok = out.ok; });
+  t.sim.run_until(sim::SimTime{sim::minutes(5.0).micros()});
+  EXPECT_TRUE(read_ok);
+}
+
+}  // namespace
+}  // namespace erms
