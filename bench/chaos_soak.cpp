@@ -1,0 +1,113 @@
+// Chaos soak: the full ERMS lifecycle (hot -> cooled -> cold -> re-warm)
+// under a seeded fault schedule, swept by the invariant checker at the end.
+//
+// Knobs (environment):
+//   ERMS_CHAOS_SEED    seed for the fault plan (default 42)
+//   ERMS_CHAOS_REPORT  write the deterministic invariant report here — CI
+//                      runs the same seed twice and byte-compares the files
+//
+// Exit status is non-zero if any invariant is violated, so this binary
+// doubles as a replayable chaos gate.
+#include "bench_common.h"
+
+#include "fault/fault_plan.h"
+#include "fault/invariant_checker.h"
+
+namespace erms::bench {
+namespace {
+
+int run() {
+  std::uint64_t seed = 42;
+  if (const char* env = std::getenv("ERMS_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+
+  Testbed t;
+  core::ErmsConfig cfg;
+  cfg.thresholds.window = sim::seconds(60.0);
+  cfg.thresholds.cold_age = sim::minutes(12.0);
+  cfg.evaluation_period = sim::seconds(20.0);
+  cfg.observe = true;
+  cfg.trace_capacity = 1 << 17;
+  cfg.job_max_retries = 3;
+  cfg.job_retry_backoff = sim::seconds(5.0);
+  core::ErmsManager erms{*t.cluster, t.standby_pool(), cfg};
+
+  std::vector<hdfs::FileId> files;
+  for (int i = 0; i < 8; ++i) {
+    files.push_back(
+        *t.cluster->populate_file("/soak/f" + std::to_string(i), 128 * util::MiB, 3));
+  }
+  erms.start();
+
+  // Workload: /soak/f0 runs the whole lifecycle (hot phase, silence to cool
+  // and encode, then re-warm to decode); the rest serve a steady trickle so
+  // flows are always in the air when faults land.
+  for (int i = 0; i < 250; ++i) {
+    t.sim.schedule_at(sim::SimTime{static_cast<std::int64_t>(i * 0.6e6)}, [&t, &files, i] {
+      t.cluster->read_file(hdfs::NodeId{static_cast<std::uint32_t>(i % kNodes)}, files[0],
+                           [](const hdfs::ReadOutcome&) {});
+    });
+  }
+  for (int i = 0; i < 300; ++i) {
+    t.sim.schedule_at(sim::SimTime{static_cast<std::int64_t>(i * 8.0e6)}, [&t, &files, i] {
+      t.cluster->read_file(hdfs::NodeId{static_cast<std::uint32_t>(i % kNodes)},
+                           files[1 + static_cast<std::size_t>(i) % (files.size() - 1)],
+                           [](const hdfs::ReadOutcome&) {});
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    t.sim.schedule_at(
+        sim::SimTime{sim::minutes(32.0).micros() + static_cast<std::int64_t>(i * 0.6e6)},
+        [&t, &files, i] {
+          t.cluster->read_file(hdfs::NodeId{static_cast<std::uint32_t>(i % kNodes)},
+                               files[0], [](const hdfs::ReadOutcome&) {});
+        });
+  }
+
+  fault::ChaosOptions opt;
+  opt.start = sim::SimTime{sim::minutes(1.0).micros()};
+  opt.end = sim::SimTime{sim::minutes(35.0).micros()};
+  for (const hdfs::NodeId n : t.active_set()) {
+    opt.victims.push_back(n.value());
+  }
+  opt.racks = {0, 1, 2};
+  opt.max_concurrent_dead = 1;
+  opt.mean_gap = sim::seconds(50.0);
+  opt.min_downtime = sim::seconds(30.0);
+  opt.max_downtime = sim::minutes(2.0);
+  const fault::FaultPlan plan = fault::FaultPlan::randomized(opt, seed);
+  fault::FaultInjector injector{*t.cluster, &erms.observability()->trace()};
+  injector.arm(plan);
+
+  // 35 min of chaos, then a 10 min drain so recovery and revivals settle.
+  t.sim.run_until(sim::SimTime{sim::minutes(45.0).micros()});
+
+  const fault::InvariantChecker checker{*t.cluster, &erms.scheduler(),
+                                        &erms.observability()->trace()};
+  const fault::InvariantReport report = checker.check(/*converged=*/true);
+
+  std::printf("chaos_soak seed=%llu faults_planned=%zu injected=%llu skipped=%llu\n",
+              static_cast<unsigned long long>(seed), plan.size(),
+              static_cast<unsigned long long>(injector.injected()),
+              static_cast<unsigned long long>(injector.skipped()));
+  std::printf("%s", report.text.c_str());
+  const auto& stats = erms.stats();
+  std::printf("erms hot_promotions=%llu cooldowns=%llu encodes=%llu decodes=%llu\n",
+              static_cast<unsigned long long>(stats.hot_promotions),
+              static_cast<unsigned long long>(stats.cooldowns),
+              static_cast<unsigned long long>(stats.encodes),
+              static_cast<unsigned long long>(stats.decodes));
+
+  if (const char* path = std::getenv("ERMS_CHAOS_REPORT")) {
+    std::ofstream out{path};
+    out << "seed=" << seed << '\n' << plan.describe() << report.text;
+  }
+  erms.stop();
+  return report.ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace erms::bench
+
+int main() { return erms::bench::run(); }

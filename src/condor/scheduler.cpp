@@ -7,7 +7,7 @@
 
 namespace erms::condor {
 
-std::map<JobId, JobStatus> replay_log(const std::vector<JobLogRecord>& log) {
+std::map<JobId, JobStatus> recover_statuses(const std::vector<JobLogRecord>& log) {
   std::map<JobId, JobStatus> statuses;
   for (const JobLogRecord& rec : log) {
     switch (rec.kind) {
@@ -28,6 +28,9 @@ std::map<JobId, JobStatus> replay_log(const std::vector<JobLogRecord>& log) {
         break;
       case JobLogRecord::Kind::kCancel:
         statuses[rec.job] = JobStatus::kCancelled;
+        break;
+      case JobLogRecord::Kind::kRetry:
+        statuses[rec.job] = JobStatus::kQueued;
         break;
     }
   }
@@ -129,6 +132,9 @@ std::optional<JobId> Scheduler::next_startable() const {
     if (job.status != JobStatus::kQueued) {
       continue;
     }
+    if (entry.not_before > sim_.now()) {
+      continue;  // retry still in its backoff window
+    }
     if (job.sched_class == JobClass::kWhenIdle && !idle) {
       continue;
     }
@@ -181,6 +187,8 @@ void Scheduler::start(Entry& entry) {
   const auto exec_it = cmd ? executors_.find(*cmd) : executors_.end();
   job.status = JobStatus::kRunning;
   job.started = sim_.now();
+  ++job.attempts;
+  ++entry.epoch;
   append_log(JobLogRecord::Kind::kExecute, job);
   ++running_;
   if (metrics_ != nullptr) {
@@ -194,30 +202,104 @@ void Scheduler::start(Entry& entry) {
                       cmd.value_or("?"));
   }
   if (exec_it == executors_.end()) {
+    // No executor for the command: retrying cannot help, terminate directly.
     const JobId id = job.id;
     sim_.schedule_after(sim::micros(0), [this, id] { finish(id, JobStatus::kFailed); });
     return;
   }
   const JobId id = job.id;
-  exec_it->second(job.ad, [this, id](bool ok) {
+  const std::uint64_t epoch = entry.epoch;
+  if (config_.job_timeout > sim::SimDuration{}) {
+    entry.timeout = sim_.schedule_after(config_.job_timeout, [this, id, epoch] {
+      const auto it = entries_.find(id);
+      if (it == entries_.end() || it->second.epoch != epoch ||
+          it->second.job.status != JobStatus::kRunning) {
+        return;
+      }
+      ++timeouts_;
+      if (log_sink_.enabled(util::LogLevel::kWarn)) {
+        log_sink_.log(util::LogLevel::kWarn, "condor",
+                      "job " + std::to_string(id.value()) + " attempt timed out");
+      }
+      handle_failure(id);
+    });
+  }
+  exec_it->second(job.ad, [this, id, epoch](bool ok) {
     const auto it = entries_.find(id);
-    if (it == entries_.end()) {
-      return;
+    if (it == entries_.end() || it->second.epoch != epoch ||
+        it->second.job.status != JobStatus::kRunning) {
+      return;  // attempt was already retired (timeout watchdog won the race)
     }
     if (ok) {
       finish(id, JobStatus::kCompleted);
       return;
     }
-    // Failure: roll back if the command registered a rollback ("If these
-    // tasks failed, they could rollback automatically" — §III.A).
-    const auto cmd = it->second.job.ad.get_string("Cmd");
-    const auto rb_it = cmd ? rollbacks_.find(*cmd) : rollbacks_.end();
-    if (rb_it == rollbacks_.end()) {
-      finish(id, JobStatus::kFailed);
-      return;
-    }
-    rb_it->second(it->second.job.ad, [this, id] { finish(id, JobStatus::kRolledBack); });
+    handle_failure(id);
   });
+}
+
+void Scheduler::handle_failure(JobId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return;
+  }
+  Entry& entry = it->second;
+  Job& job = entry.job;
+  if (job.status != JobStatus::kRunning) {
+    return;
+  }
+  entry.timeout.cancel();
+  if (job.attempts <= config_.max_retries) {
+    // Requeue with capped exponential backoff; the next start() re-runs the
+    // executor, which re-targets through current cluster state.
+    ++entry.epoch;
+    ++retries_;
+    job.status = JobStatus::kQueued;
+    sim::SimDuration backoff = config_.retry_backoff;
+    for (std::uint32_t i = 1; i < job.attempts && backoff < config_.retry_backoff_cap; ++i) {
+      backoff = backoff * 2;
+    }
+    if (backoff > config_.retry_backoff_cap) {
+      backoff = config_.retry_backoff_cap;
+    }
+    entry.not_before = sim_.now() + backoff;
+    append_log(JobLogRecord::Kind::kRetry, job);
+    assert(running_ > 0);
+    --running_;
+    if (metrics_ != nullptr) {
+      metrics_->add(obs_ids_.retried);
+      metrics_->set(obs_ids_.queued, static_cast<double>(queued_count()));
+      metrics_->set(obs_ids_.running, static_cast<double>(running_));
+    }
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::ActionKind::kJobRetry;
+      ev.at = sim_.now();
+      ev.job = static_cast<std::int64_t>(job.id.value());
+      ev.count = job.attempts;
+      ev.queue_wait = backoff;
+      ev.outcome = job.ad.get_string("Cmd").value_or("?");
+      trace_->record(std::move(ev));
+    }
+    if (log_sink_.enabled(util::LogLevel::kWarn)) {
+      log_sink_.log(util::LogLevel::kWarn, "condor",
+                    "retry job " + std::to_string(job.id.value()) + " attempt " +
+                        std::to_string(job.attempts) + " backoff " +
+                        std::to_string(backoff.seconds()) + "s");
+    }
+    sim_.schedule_after(backoff, [this] { pump(); });
+    pump();  // the freed slot can run another job immediately
+    return;
+  }
+  // Out of retries: roll back if the command registered a rollback ("If
+  // these tasks failed, they could rollback automatically" — §III.A).
+  const auto cmd = job.ad.get_string("Cmd");
+  const auto rb_it = cmd ? rollbacks_.find(*cmd) : rollbacks_.end();
+  if (rb_it == rollbacks_.end()) {
+    finish(id, JobStatus::kFailed);
+    return;
+  }
+  rb_it->second(job.ad, [this, id] { finish(id, JobStatus::kRolledBack); });
 }
 
 void Scheduler::finish(JobId id, JobStatus status) {
@@ -227,6 +309,8 @@ void Scheduler::finish(JobId id, JobStatus status) {
   }
   Job& job = it->second.job;
   assert(job.status == JobStatus::kRunning);
+  it->second.timeout.cancel();
+  ++it->second.epoch;
   job.status = status;
   job.finished = sim_.now();
   switch (status) {
@@ -274,6 +358,7 @@ void Scheduler::set_metrics(obs::MetricsRegistry* metrics) {
   obs_ids_.failed = metrics->counter("condor.jobs.failed");
   obs_ids_.rolled_back = metrics->counter("condor.jobs.rolled_back");
   obs_ids_.cancelled = metrics->counter("condor.jobs.cancelled");
+  obs_ids_.retried = metrics->counter("condor.jobs.retried");
   obs_ids_.queued = metrics->gauge("condor.jobs.queued");
   obs_ids_.running = metrics->gauge("condor.jobs.running");
   obs_ids_.queue_wait_seconds = metrics->histogram("condor.queue_wait.seconds", 0.0, 600.0, 60);

@@ -10,6 +10,7 @@
 
 #include "classad/classad.h"
 #include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/simulation.h"
 #include "util/ids.h"
 #include "util/log.h"
@@ -59,6 +60,8 @@ struct Job {
   JobClass sched_class{JobClass::kImmediate};
   int priority{0};
   JobStatus status{JobStatus::kQueued};
+  /// Times the executor has been started (1 = first run, >1 = retries).
+  std::uint32_t attempts{0};
   sim::SimTime submitted;
   sim::SimTime started;
   sim::SimTime finished;
@@ -66,16 +69,33 @@ struct Job {
 
 /// Append-only user-log record ("the Condor log mechanism is used to record
 /// all replication manager tasks and erasure coding tasks" — §III.A).
+/// kRetry marks a failed execution that was requeued with backoff rather
+/// than terminated.
 struct JobLogRecord {
-  enum class Kind { kSubmit, kExecute, kTerminateOk, kTerminateFail, kRollback, kCancel };
+  enum class Kind {
+    kSubmit,
+    kExecute,
+    kTerminateOk,
+    kTerminateFail,
+    kRollback,
+    kCancel,
+    kRetry
+  };
   Kind kind;
   sim::SimTime time;
   JobId job;
   std::string cmd;
 };
 
-/// Final job statuses recovered by replaying a log (crash-recovery check).
-std::map<JobId, JobStatus> replay_log(const std::vector<JobLogRecord>& log);
+/// Job statuses recovered by replaying a log after a scheduler crash: the
+/// last record per job wins (kRetry maps back to kQueued). At any log
+/// prefix the result matches the live scheduler's statuses at that time.
+std::map<JobId, JobStatus> recover_statuses(const std::vector<JobLogRecord>& log);
+
+/// Historical name for recover_statuses().
+inline std::map<JobId, JobStatus> replay_log(const std::vector<JobLogRecord>& log) {
+  return recover_statuses(log);
+}
 
 /// Mini-Condor: a priority job queue with two scheduling classes, pluggable
 /// executors per command, rollback-on-failure, an append-only job log, and a
@@ -94,6 +114,16 @@ class Scheduler {
     std::uint32_t max_running = 4;
     /// How often to re-test the idle probe while deferred jobs wait.
     sim::SimDuration idle_poll = sim::seconds(5.0);
+    /// Failed executions are requeued up to this many times before the job
+    /// terminates (rollback/kFailed). 0 preserves fail-fast semantics.
+    std::uint32_t max_retries = 0;
+    /// Delay before a retried job becomes startable again; doubles per
+    /// attempt, capped at retry_backoff_cap.
+    sim::SimDuration retry_backoff = sim::seconds(2.0);
+    sim::SimDuration retry_backoff_cap = sim::minutes(2.0);
+    /// Wall-clock budget per execution attempt; an attempt still running
+    /// after this is treated as failed (retried or terminated). 0 disables.
+    sim::SimDuration job_timeout{};
   };
 
   explicit Scheduler(sim::Simulation& simulation);
@@ -137,17 +167,32 @@ class Scheduler {
   /// counters, queue/running gauges, and queue-wait / execution-span
   /// histograms. Ids resolve once; detached costs one null test per event.
   void set_metrics(obs::MetricsRegistry* metrics);
+  /// Attach (nullptr detaches) an action trace; records kJobRetry events.
+  void set_trace(obs::TraceRing* trace) { trace_ = trace; }
+
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
 
  private:
   struct Entry {
     Job job;
     TerminateFn on_terminate;
+    /// Bumped on every start/finish/retry; callbacks captured with an older
+    /// epoch (late executor completions, stale timeout watchdogs) are
+    /// ignored instead of tripping finish()'s kRunning invariant.
+    std::uint64_t epoch{0};
+    /// Retried jobs are not startable before this time (backoff gate).
+    sim::SimTime not_before;
+    sim::EventHandle timeout;
   };
 
   void append_log(JobLogRecord::Kind kind, const Job& job);
   void pump();
   void start(Entry& entry);
   void finish(JobId id, JobStatus status);
+  /// A running attempt failed (executor false or watchdog fired): retry
+  /// with backoff while attempts remain, otherwise rollback/terminate.
+  void handle_failure(JobId id);
   void schedule_idle_poll();
 
   /// Highest-priority startable queued job (FIFO within a priority).
@@ -165,13 +210,16 @@ class Scheduler {
   util::IdGenerator<JobId> ids_{1};
   std::uint32_t running_{0};
   bool idle_poll_scheduled_{false};
+  std::uint64_t retries_{0};
+  std::uint64_t timeouts_{0};
 
   struct ObsIds {
-    obs::CounterId submitted, completed, failed, rolled_back, cancelled;
+    obs::CounterId submitted, completed, failed, rolled_back, cancelled, retried;
     obs::GaugeId queued, running;
     obs::HistogramId queue_wait_seconds, exec_seconds;
   };
   obs::MetricsRegistry* metrics_{nullptr};
+  obs::TraceRing* trace_{nullptr};
   ObsIds obs_ids_;
 };
 

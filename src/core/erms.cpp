@@ -48,7 +48,10 @@ ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> stand
       judge_(config.thresholds),
       standby_(cluster, standby_pool),
       scheduler_(cluster.simulation(),
-                 condor::Scheduler::Config{/*max_running=*/8, sim::seconds(5.0)}, logger),
+                 condor::Scheduler::Config{/*max_running=*/8, /*idle_poll=*/sim::seconds(5.0),
+                                           config.job_max_retries, config.job_retry_backoff,
+                                           config.job_retry_backoff_cap, config.job_timeout},
+                 logger),
       placement_(std::make_shared<ErmsPlacementPolicy>(
           std::set<hdfs::NodeId>(standby_pool.begin(), standby_pool.end()),
           cluster.config().default_replication)) {
@@ -58,6 +61,7 @@ ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> stand
     cluster_.set_observability(obs_.get());
     cluster_.network().set_metrics(&obs_->registry());
     scheduler_.set_metrics(&obs_->registry());
+    scheduler_.set_trace(&obs_->trace());
     standby_.set_observability(obs_.get());
     obs::MetricsRegistry& r = obs_->registry();
     obs_ids_.evaluations = r.counter("erms.evaluations");
@@ -87,6 +91,7 @@ ErmsManager::~ErmsManager() {
   // point at — the audit sink feeding the CEP engine, the observability
   // bundle — dies with it, so detach before it does.
   cluster_.set_audit_sink(nullptr);
+  cluster_.set_failure_listener(nullptr);
   if (obs_ != nullptr) {
     cluster_.set_observability(nullptr);
     cluster_.network().set_metrics(nullptr);
@@ -96,6 +101,17 @@ ErmsManager::~ErmsManager() {
 void ErmsManager::start() {
   cluster_.set_placement_policy(placement_);
   cluster_.set_audit_sink([this](const audit::AuditEvent& e) { feed_.on_audit(e); });
+  cluster_.set_failure_listener([this](hdfs::NodeId n) {
+    // The dead datanode's machine ad is stale — drop it so matchmaking and
+    // operator queries stop seeing it.
+    scheduler_.invalidate("dn" + std::to_string(n.value()));
+    if (config_.heal_capacity) {
+      // Self-healing: bring a standby node online to replace the lost
+      // serving capacity (no-op when the pool is exhausted).
+      standby_.ensure_commissioned(standby_.commissioned_count() + 1,
+                                   [this] { advertise_nodes(); });
+    }
+  });
   if (config_.auto_calibrate) {
     // τ_M is "the largest access number one data replica could hold" —
     // bounded by the datanodes' serving-session capacity (what Fig. 8

@@ -71,6 +71,18 @@ struct ErmsConfig {
   /// Bounded capacity of the action-trace ring when observe is true; the
   /// oldest events are evicted (and counted as dropped) past this.
   std::size_t trace_capacity = 4096;
+  /// Failed Condor job attempts are requeued with capped exponential
+  /// backoff up to this many times before rollback/terminate fires.
+  std::uint32_t job_max_retries = 3;
+  /// First retry delay; doubles per attempt up to job_retry_backoff_cap.
+  sim::SimDuration job_retry_backoff = sim::seconds(5.0);
+  sim::SimDuration job_retry_backoff_cap = sim::minutes(2.0);
+  /// Per-attempt execution budget for Condor jobs (0 disables the
+  /// watchdog; attempts past it count as failures and follow retry rules).
+  sim::SimDuration job_timeout{};
+  /// When a datanode dies, commission a standby replacement so serving
+  /// capacity recovers (self-healing). Off leaves capacity degraded.
+  bool heal_capacity = true;
 };
 
 /// Counters describing what ERMS has done so far.

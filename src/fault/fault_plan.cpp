@@ -1,0 +1,209 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace erms::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kSlowNode:
+      return "slow_node";
+    case FaultKind::kRestoreNode:
+      return "restore_node";
+    case FaultKind::kDegradeRack:
+      return "degrade_rack";
+    case FaultKind::kRestoreRack:
+      return "restore_rack";
+    case FaultKind::kAbortFlows:
+      return "abort_flows";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::crash(sim::SimTime at, std::uint32_t node) {
+  events_.push_back({at, FaultKind::kCrash, node, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover(sim::SimTime at, std::uint32_t node) {
+  events_.push_back({at, FaultKind::kRecover, node, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow_node(sim::SimTime at, std::uint32_t node, double factor) {
+  events_.push_back({at, FaultKind::kSlowNode, node, factor});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restore_node(sim::SimTime at, std::uint32_t node) {
+  events_.push_back({at, FaultKind::kRestoreNode, node, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade_rack(sim::SimTime at, std::uint32_t rack, double factor) {
+  events_.push_back({at, FaultKind::kDegradeRack, rack, factor});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restore_rack(sim::SimTime at, std::uint32_t rack) {
+  events_.push_back({at, FaultKind::kRestoreRack, rack, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::abort_flows(sim::SimTime at, std::uint32_t node) {
+  events_.push_back({at, FaultKind::kAbortFlows, node, 1.0});
+  return *this;
+}
+
+void FaultPlan::sort() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : events_) {
+    os << e.at.micros() << "us " << to_string(e.kind) << " target=" << e.target;
+    if (e.kind == FaultKind::kSlowNode || e.kind == FaultKind::kDegradeRack) {
+      os << " factor=" << e.factor;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::randomized(const ChaosOptions& options, std::uint64_t seed) {
+  FaultPlan plan;
+  if (options.victims.empty() || options.end <= options.start) {
+    return plan;
+  }
+  sim::Rng rng{seed};
+  // Victims currently scheduled to be down at a given time: node -> planned
+  // recovery time. Bounds concurrent deaths below the tolerance line.
+  std::vector<std::pair<std::uint32_t, sim::SimTime>> down;
+
+  sim::SimTime t = options.start;
+  while (true) {
+    const double gap_s = rng.exponential(options.mean_gap.seconds());
+    t = t + sim::seconds(std::max(0.5, gap_s));
+    if (t >= options.end) {
+      break;
+    }
+    // Retire planned recoveries that have passed.
+    std::erase_if(down, [t](const auto& d) { return d.second <= t; });
+
+    const int roll = static_cast<int>(rng.uniform_int(0, 9));
+    if (roll < 5) {
+      // Crash + planned recovery, bounded by max_concurrent_dead.
+      if (down.size() >= options.max_concurrent_dead) {
+        continue;
+      }
+      std::vector<std::uint32_t> alive;
+      for (const std::uint32_t v : options.victims) {
+        const bool is_down = std::any_of(down.begin(), down.end(),
+                                         [v](const auto& d) { return d.first == v; });
+        if (!is_down) {
+          alive.push_back(v);
+        }
+      }
+      if (alive.empty()) {
+        continue;
+      }
+      const std::uint32_t victim =
+          alive[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(alive.size()) - 1))];
+      const double down_s = rng.uniform_real(options.min_downtime.seconds(),
+                                             options.max_downtime.seconds());
+      const sim::SimTime up = t + sim::seconds(down_s);
+      plan.crash(t, victim);
+      plan.recover(up, victim);
+      down.emplace_back(victim, up);
+    } else if (roll < 8) {
+      // Slow-node episode on any victim (dead nodes have no flows; harmless).
+      const std::uint32_t victim = options.victims[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(options.victims.size()) - 1))];
+      plan.slow_node(t, victim, options.degrade_factor);
+      plan.restore_node(t + options.degrade_span, victim);
+    } else if (roll == 8 && !options.racks.empty()) {
+      const std::uint32_t rack = options.racks[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(options.racks.size()) - 1))];
+      plan.degrade_rack(t, rack, options.degrade_factor);
+      plan.restore_rack(t + options.degrade_span, rack);
+    } else {
+      // Flow-abort storm: sudden teardown without the node dying.
+      const std::uint32_t victim = options.victims[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(options.victims.size()) - 1))];
+      plan.abort_flows(t, victim);
+    }
+  }
+  plan.sort();
+  return plan;
+}
+
+FaultInjector::FaultInjector(hdfs::Cluster& cluster, obs::TraceRing* trace,
+                             util::Logger& logger)
+    : cluster_(cluster), trace_(trace), log_(logger) {}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events()) {
+    cluster_.simulation().schedule_at(event.at, [this, event] { apply(event); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  const hdfs::NodeId node{event.target};
+  bool applied = true;
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      if (event.target < cluster_.node_count() &&
+          cluster_.node(node).state != hdfs::NodeState::kDead &&
+          cluster_.node(node).state != hdfs::NodeState::kStandby) {
+        cluster_.fail_node(node);
+      } else {
+        applied = false;
+      }
+      break;
+    case FaultKind::kRecover:
+      applied = event.target < cluster_.node_count() && cluster_.revive_node(node);
+      break;
+    case FaultKind::kSlowNode:
+      cluster_.network().set_node_degradation(event.target, event.factor);
+      break;
+    case FaultKind::kRestoreNode:
+      cluster_.network().set_node_degradation(event.target, 1.0);
+      break;
+    case FaultKind::kDegradeRack:
+      cluster_.network().set_rack_degradation(event.target, event.factor);
+      break;
+    case FaultKind::kRestoreRack:
+      cluster_.network().set_rack_degradation(event.target, 1.0);
+      break;
+    case FaultKind::kAbortFlows:
+      cluster_.network().abort_flows_touching(event.target);
+      break;
+  }
+  if (applied) {
+    ++injected_;
+  } else {
+    ++skipped_;
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::ActionKind::kFaultInjected;
+    ev.at = cluster_.simulation().now();
+    ev.node = static_cast<std::int64_t>(event.target);
+    ev.outcome = applied ? to_string(event.kind) : std::string(to_string(event.kind)) + "_skipped";
+    trace_->record(std::move(ev));
+  }
+  if (log_.enabled(util::LogLevel::kInfo)) {
+    log_.log(util::LogLevel::kInfo, "fault",
+             std::string("inject ") + to_string(event.kind) + " target=" +
+                 std::to_string(event.target) + (applied ? "" : " (skipped)"));
+  }
+}
+
+}  // namespace erms::fault

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdfs/cluster.h"
+#include "obs/trace.h"
+#include "sim/random.h"
+#include "sim/time.h"
+#include "util/log.h"
+
+namespace erms::fault {
+
+/// What a planned fault does when it fires.
+enum class FaultKind : std::uint8_t {
+  kCrash,        // fail a serving node (replicas lost, flows torn down)
+  kRecover,      // revive a dead node (datanode re-registration)
+  kSlowNode,     // degrade every link touching a node to factor × capacity
+  kRestoreNode,  // undo kSlowNode (factor back to 1.0)
+  kDegradeRack,  // degrade a rack uplink to factor × capacity
+  kRestoreRack,  // undo kDegradeRack
+  kAbortFlows,   // tear down every in-flight transfer touching a node
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One timed fault in a plan.
+struct FaultEvent {
+  sim::SimTime at;
+  FaultKind kind{FaultKind::kCrash};
+  std::uint32_t target{0};  // node id (or rack id for the rack kinds)
+  double factor{1.0};       // capacity multiplier for degradation kinds
+};
+
+/// Options for FaultPlan::randomized().
+struct ChaosOptions {
+  sim::SimTime start{sim::SimTime{0}};
+  sim::SimTime end{sim::SimTime{sim::minutes(30.0).micros()}};
+  /// Nodes eligible to be crashed / slowed. Must be non-empty.
+  std::vector<std::uint32_t> victims;
+  /// Racks eligible for uplink degradation (empty = no rack faults).
+  std::vector<std::uint32_t> racks;
+  /// Never have more than this many victims dead at once — keep it below
+  /// the data's failure tolerance and no block can lose every replica.
+  std::size_t max_concurrent_dead = 1;
+  /// Mean gap between injected faults.
+  sim::SimDuration mean_gap = sim::seconds(45.0);
+  /// How long a crashed node stays down before its planned recovery.
+  sim::SimDuration min_downtime = sim::seconds(30.0);
+  sim::SimDuration max_downtime = sim::minutes(3.0);
+  /// How long slow-node / rack-degradation episodes last.
+  sim::SimDuration degrade_span = sim::minutes(1.0);
+  /// Capacity multiplier applied during degradation episodes.
+  double degrade_factor = 0.25;
+};
+
+/// A deterministic, replayable schedule of faults. Build one explicitly with
+/// the fluent helpers, or generate one from a seed with randomized() — the
+/// same seed and options always produce the identical plan.
+class FaultPlan {
+ public:
+  FaultPlan& crash(sim::SimTime at, std::uint32_t node);
+  FaultPlan& recover(sim::SimTime at, std::uint32_t node);
+  FaultPlan& slow_node(sim::SimTime at, std::uint32_t node, double factor);
+  FaultPlan& restore_node(sim::SimTime at, std::uint32_t node);
+  FaultPlan& degrade_rack(sim::SimTime at, std::uint32_t rack, double factor);
+  FaultPlan& restore_rack(sim::SimTime at, std::uint32_t rack);
+  FaultPlan& abort_flows(sim::SimTime at, std::uint32_t node);
+
+  /// Seeded chaos schedule: crash/recover cycles (bounded by
+  /// max_concurrent_dead), slow-node and rack-degradation episodes, and
+  /// flow-abort storms, spread over [start, end).
+  [[nodiscard]] static FaultPlan randomized(const ChaosOptions& options, std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Events sorted by time (stable for equal times: insertion order).
+  void sort();
+
+  /// One line per event — a deterministic, diffable description.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Arms a FaultPlan on a cluster's simulation clock: every event is applied
+/// at its planned time, recorded as a kFaultInjected trace event (when a
+/// trace is attached), and counted. Events that no longer apply (crashing an
+/// already-dead node, recovering a live one) are skipped and counted too —
+/// the injector never fights the recovery machinery's own state changes.
+class FaultInjector {
+ public:
+  FaultInjector(hdfs::Cluster& cluster, obs::TraceRing* trace = nullptr,
+                util::Logger& logger = util::Logger::null_logger());
+
+  /// Schedule every event of `plan`. Call once before running the sim.
+  void arm(const FaultPlan& plan);
+
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
+
+ private:
+  void apply(const FaultEvent& event);
+
+  hdfs::Cluster& cluster_;
+  obs::TraceRing* trace_;
+  util::Logger& log_;
+  std::uint64_t injected_{0};
+  std::uint64_t skipped_{0};
+};
+
+}  // namespace erms::fault

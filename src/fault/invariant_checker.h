@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "condor/scheduler.h"
+#include "hdfs/cluster.h"
+#include "obs/trace.h"
+
+namespace erms::fault {
+
+/// Result of one invariant sweep. `text` is a fully deterministic report —
+/// byte-identical across runs with the same seed — so CI can diff two runs
+/// of the same chaos plan to prove determinism.
+struct InvariantReport {
+  bool ok{true};
+  std::vector<std::string> violations;
+  std::string text;
+};
+
+/// Checks the safety and convergence invariants of a cluster after (or
+/// during) a fault schedule:
+///  - no block was lost while failures stayed within tolerance,
+///  - every file is available (directly or via stripe reconstruction),
+///  - after faults stop and recovery drains, every non-EC block is back at
+///    its target replica count and every EC stripe keeps >= 1 copy of each
+///    surviving shard,
+///  - replica bookkeeping is consistent (node block sets == location map,
+///    no dead node listed as a location),
+///  - the trace ring accounts for every recovery mutation (re-replication
+///    and node-revival counters match their trace events, unless the ring
+///    overflowed), and
+///  - retries are bounded (no Condor job exceeded its attempt budget).
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(const hdfs::Cluster& cluster,
+                            const condor::Scheduler* scheduler = nullptr,
+                            const obs::TraceRing* trace = nullptr)
+      : cluster_(cluster), scheduler_(scheduler), trace_(trace) {}
+
+  /// `converged` asserts the post-recovery invariants too (replica counts
+  /// back at target); pass false for mid-chaos sweeps where deficits are
+  /// expected but safety (no loss, availability) must still hold.
+  [[nodiscard]] InvariantReport check(bool converged = true) const;
+
+ private:
+  const hdfs::Cluster& cluster_;
+  const condor::Scheduler* scheduler_;
+  const obs::TraceRing* trace_;
+};
+
+}  // namespace erms::fault

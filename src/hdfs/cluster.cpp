@@ -84,6 +84,10 @@ void Cluster::set_observability(obs::Observability* obs) {
   obs_ids_.encodes = r.counter("hdfs.encodes.completed");
   obs_ids_.decodes = r.counter("hdfs.decodes.completed");
   obs_ids_.audit_events = r.counter("hdfs.audit.events");
+  obs_ids_.recovery_retries = r.counter("hdfs.recovery.retries");
+  obs_ids_.recoveries_abandoned = r.counter("hdfs.recovery.abandoned");
+  obs_ids_.nodes_revived = r.counter("hdfs.nodes.revived");
+  obs_ids_.flow_aborts = r.counter("hdfs.flows.aborted");
   obs_ids_.bg_queue_depth = r.gauge("hdfs.background.queue_depth");
   obs_ids_.bg_streams = r.gauge("hdfs.background.streams");
   obs_ids_.read_seconds = r.histogram("hdfs.read.seconds", 0.0, 30.0, 60);
@@ -239,7 +243,12 @@ void Cluster::fail_node(NodeId id) {
   }
   set_node_state(id, NodeState::kDead);
   node.active_sessions = 0;
-  const std::vector<BlockId> lost(node.blocks.begin(), node.blocks.end());
+  node.background_reads = 0;
+  // The data is still on the dead node's disk; remember it so a revived
+  // node can reconcile instead of re-copying everything.
+  node.stale_blocks = node.blocks;
+  std::vector<BlockId> lost(node.blocks.begin(), node.blocks.end());
+  std::sort(lost.begin(), lost.end());
   if (obs_ != nullptr) {
     obs::TraceEvent ev;
     ev.kind = obs::ActionKind::kNodeFailure;
@@ -251,6 +260,10 @@ void Cluster::fail_node(NodeId id) {
   for (const BlockId b : lost) {
     remove_replica(b, id);
   }
+  // Tear down every transfer touching the dead node before queuing
+  // recovery: each flow's abort handler accounts partial bytes, and read /
+  // copy retries issued from those handlers already see the node as dead.
+  network_.abort_flows_touching(id.value());
   // Namenode re-replication monitor: queue recovery for every block that
   // dropped below its file's target replication.
   for (const BlockId b : lost) {
@@ -263,7 +276,7 @@ void Cluster::fail_node(NodeId id) {
       const FileInfo* file = namespace_.find(info->file);
       const bool reconstructible = file != nullptr && file->erasure_coded;
       if (reconstructible) {
-        queue_reconstruction(b);
+        enqueue_recovery(b);
       } else {
         ++blocks_lost_;
         if (obs_ != nullptr) {
@@ -279,9 +292,60 @@ void Cluster::fail_node(NodeId id) {
     const FileInfo* file = namespace_.find(info->file);
     const std::uint32_t target = info->is_parity ? 1 : (file != nullptr ? file->replication : 1);
     if (live < target) {
-      queue_rereplication(b);
+      enqueue_recovery(b);
     }
   }
+  if (failure_listener_) {
+    failure_listener_(id);
+  }
+}
+
+bool Cluster::revive_node(NodeId id) {
+  DataNode& node = node_mutable(id);
+  if (node.state != NodeState::kDead) {
+    return false;
+  }
+  set_node_state(id, NodeState::kActive);
+  std::vector<BlockId> stale(node.stale_blocks.begin(), node.stale_blocks.end());
+  std::sort(stale.begin(), stale.end());
+  node.stale_blocks.clear();
+  std::uint64_t reclaimed = 0;
+  std::uint64_t surplus = 0;
+  for (const BlockId b : stale) {
+    const BlockInfo* info = namespace_.find_block(b);
+    if (info == nullptr) {
+      continue;  // file removed while the node was down
+    }
+    const FileInfo* file = namespace_.find(info->file);
+    const std::uint32_t target = info->is_parity ? 1 : (file != nullptr ? file->replication : 1);
+    const std::vector<NodeId> locs = locations(b);
+    if (std::find(locs.begin(), locs.end(), id) != locs.end()) {
+      continue;
+    }
+    if (locs.size() >= target) {
+      ++surplus;  // target already met elsewhere: drop the stale copy
+      continue;
+    }
+    add_replica(b, id);
+    ++reclaimed;
+  }
+  ++nodes_revived_;
+  if (obs_ != nullptr) {
+    obs_->registry().add(obs_ids_.nodes_revived);
+    obs::TraceEvent ev;
+    ev.kind = obs::ActionKind::kNodeRecovered;
+    ev.at = sim_.now();
+    ev.node = static_cast<std::int64_t>(id.value());
+    ev.count = reclaimed;
+    ev.outcome = surplus > 0 ? "surplus_dropped" : "rejoined";
+    obs_->trace().record(std::move(ev));
+  }
+  if (log_.enabled(util::LogLevel::kInfo)) {
+    log_.log(util::LogLevel::kInfo, "cluster",
+             "node " + std::to_string(id.value()) + " revived, reclaimed " +
+                 std::to_string(reclaimed) + " replicas, dropped " + std::to_string(surplus));
+  }
+  return true;
 }
 
 void Cluster::corrupt_replica(BlockId block, NodeId node) {
@@ -303,7 +367,7 @@ void Cluster::report_corrupt_replica(BlockId block, NodeId node) {
     obs_->registry().add(obs_ids_.corruptions);
   }
   remove_replica(block, node);
-  queue_rereplication(block);
+  enqueue_recovery(block);
   if (log_.enabled(util::LogLevel::kWarn)) {
     log_.log(util::LogLevel::kWarn, "cluster",
              "corrupt replica reported: block " + std::to_string(block.value()) +
@@ -482,15 +546,30 @@ std::optional<FileId> Cluster::write_file(const std::string& path, std::uint64_t
     // Pipeline: writer -> t0 -> t1 -> ... Each hop is a flow; the block is
     // committed when the slowest hop drains.
     auto remaining = std::make_shared<std::size_t>(targets.size());
+    auto failed = std::make_shared<bool>(false);
     NodeId hop_src = writer;
     for (const NodeId t : targets) {
       net::NetworkModel::FlowOptions opts;
       opts.src_disk = hop_src != writer;  // the writer streams from memory
       opts.dst_disk = true;
+      // A pipeline node died: the write fails (HDFS would rebuild the
+      // pipeline; we surface the failure to the caller instead). Replicas
+      // from hops that already landed stay registered.
+      opts.on_abort = [this, b, t, failed, done](net::FlowId, std::uint64_t partial) {
+        record_flow_abort(b, static_cast<std::int64_t>(t.value()), partial, "write_failed");
+        if (!*failed) {
+          *failed = true;
+          if (done) {
+            done(false);
+          }
+        }
+      };
       network_.start_flow(hop_src.value(), t.value(), binfo->size, opts,
-                          [this, b, t, remaining, self, index](net::FlowId) {
-                            add_replica(b, t);
-                            if (--*remaining == 0) {
+                          [this, b, t, remaining, failed, self, index](net::FlowId) {
+                            if (is_serving(t)) {
+                              add_replica(b, t);
+                            }
+                            if (--*remaining == 0 && !*failed) {
                               (*self)(index + 1);
                             }
                           });
@@ -519,6 +598,31 @@ void Cluster::remove_file(FileId file) {
 }
 
 // ----- reads -------------------------------------------------------------------
+
+void Cluster::record_flow_abort(std::optional<BlockId> block, std::int64_t node,
+                                std::uint64_t partial_bytes, const char* what) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  obs_->registry().add(obs_ids_.flow_aborts);
+  obs::TraceEvent ev;
+  ev.kind = obs::ActionKind::kFlowAborted;
+  ev.at = sim_.now();
+  if (block) {
+    ev.block = static_cast<std::int64_t>(block->value());
+    const BlockInfo* info = namespace_.find_block(*block);
+    if (info != nullptr) {
+      const FileInfo* file = namespace_.find(info->file);
+      if (file != nullptr) {
+        ev.path = file->path;
+      }
+    }
+  }
+  ev.node = node;
+  ev.bytes_moved = partial_bytes;
+  ev.outcome = what;
+  obs_->trace().record(std::move(ev));
+}
 
 std::optional<NodeId> Cluster::pick_read_source(NodeId client, BlockId block) const {
   const std::vector<NodeId> locs = locations(block);
@@ -603,6 +707,17 @@ void Cluster::read_block(NodeId client, BlockId block, ReadCallback callback) {
   const NodeId src = *source;
   const std::uint64_t bytes = info->size;
   const BlockId bid = block;
+  // Server died (or the link was torn down) mid-read: release the session
+  // if the server survives and transparently retry another replica — or
+  // reconstruct, exactly as a fresh read would.
+  opts.on_abort = [this, src, client, bid, callback](net::FlowId, std::uint64_t partial) {
+    DataNode& server = node_mutable(src);
+    if (server.active_sessions > 0) {
+      --server.active_sessions;
+    }
+    record_flow_abort(bid, static_cast<std::int64_t>(src.value()), partial, "read_retry");
+    read_block(client, bid, callback);
+  };
   network_.start_flow(
       src.value(), client.value(), bytes, opts,
       [this, src, client, bid, callback, start, bytes, locality](net::FlowId) {
@@ -620,7 +735,7 @@ void Cluster::read_block(NodeId client, BlockId block, ReadCallback callback) {
           }
           corrupt_replicas_.erase({bid, src});
           remove_replica(bid, src);
-          queue_rereplication(bid);
+          enqueue_recovery(bid);
           if (log_.enabled(util::LogLevel::kWarn)) {
             log_.log(util::LogLevel::kWarn, "cluster",
                      "checksum failure: block " + std::to_string(bid.value()) +
@@ -677,14 +792,29 @@ void Cluster::read_block_via_reconstruction(NodeId client, const BlockInfo& info
   // Degraded read: pull k shards in parallel and reconstruct at the client.
   const sim::SimTime start = sim_.now();
   auto remaining = std::make_shared<std::size_t>(shards.size());
+  auto aborted = std::make_shared<bool>(false);
   const std::uint64_t bytes = info.size;
+  const BlockId bid = info.id;
   for (const auto& [shard_block, shard_node] : shards) {
     const BlockInfo* sinfo = namespace_.find_block(shard_block);
     net::NetworkModel::FlowOptions opts;
     opts.src_disk = true;
+    // A shard holder died mid-decode: the first abort retries the whole
+    // read (a fresh shard set is gathered); surviving shard flows drain
+    // harmlessly and are ignored via the shared flag.
+    opts.on_abort = [this, aborted, client, bid, callback,
+                     sn = shard_node](net::FlowId, std::uint64_t partial) {
+      record_flow_abort(bid, static_cast<std::int64_t>(sn.value()), partial,
+                        "degraded_read_retry");
+      if (*aborted) {
+        return;
+      }
+      *aborted = true;
+      read_block(client, bid, callback);
+    };
     network_.start_flow(shard_node.value(), client.value(), sinfo->size, opts,
-                        [this, remaining, callback, start, bytes](net::FlowId) {
-                          if (--*remaining > 0) {
+                        [this, remaining, aborted, callback, start, bytes](net::FlowId) {
+                          if (*aborted || --*remaining > 0) {
                             return;
                           }
                           ++reads_completed_;
@@ -764,20 +894,35 @@ void Cluster::queue_background(BackgroundJob job) {
 }
 
 void Cluster::pump_background_queue() {
-  while (background_streams_ < config_.max_background_streams && !background_queue_.empty()) {
-    BackgroundJob job = std::move(background_queue_.front());
-    background_queue_.pop_front();
-    ++background_streams_;
-    job([this] {
+  while (background_streams_ < config_.max_background_streams) {
+    // Recovery work first — an under-replicated block is one failure away
+    // from loss, while generic background jobs merely move data around.
+    const auto finished = [this] {
       assert(background_streams_ > 0);
       --background_streams_;
       // Defer the pump so a synchronous chain of completions cannot recurse.
       sim_.schedule_after(sim::micros(0), [this] { pump_background_queue(); });
-    });
+    };
+    if (auto task = pop_recovery()) {
+      ++background_streams_;
+      run_recovery(*task, finished);
+      continue;
+    }
+    if (background_queue_.empty()) {
+      break;
+    }
+    BackgroundJob job = std::move(background_queue_.front());
+    background_queue_.pop_front();
+    ++background_streams_;
+    job(finished);
   }
   if (obs_ != nullptr) {
+    std::size_t recovery_depth = 0;
+    for (const auto& [level, tasks] : recovery_queue_) {
+      recovery_depth += tasks.size();
+    }
     obs_->registry().set(obs_ids_.bg_queue_depth,
-                         static_cast<double>(background_queue_.size()));
+                         static_cast<double>(background_queue_.size() + recovery_depth));
     obs_->registry().set(obs_ids_.bg_streams, static_cast<double>(background_streams_));
   }
 }
@@ -826,6 +971,21 @@ void Cluster::copy_block(BlockId block, std::optional<NodeId> source, NodeId tar
   opts.src_disk = src != target;
   opts.dst_disk = true;
   opts.max_rate = config_.background_bandwidth_cap;
+  // Watchdog + endpoint-failure handling: a copy whose source or target
+  // died (or that outlived its deadline on a degraded path) fails to the
+  // caller, which retries through the recovery queue's backoff.
+  opts.timeout = config_.background_copy_timeout;
+  opts.on_abort = [this, block, src, target, done](net::FlowId, std::uint64_t partial) {
+    DataNode& source_node = node_mutable(src);
+    if (source_node.background_reads > 0) {
+      --source_node.background_reads;
+    }
+    record_flow_abort(block, static_cast<std::int64_t>(target.value()), partial,
+                      "copy_failed");
+    if (done) {
+      done(false);
+    }
+  };
   network_.start_flow(src.value(), target.value(), info->size, opts,
                       [this, block, src, target, done](net::FlowId) {
                         DataNode& source_node = node_mutable(src);
@@ -842,7 +1002,7 @@ void Cluster::copy_block(BlockId block, std::optional<NodeId> source, NodeId tar
                             obs_->registry().add(obs_ids_.corruptions);
                           }
                           remove_replica(block, src);
-                          queue_rereplication(block);
+                          enqueue_recovery(block);
                           if (done) {
                             done(false);
                           }
@@ -859,145 +1019,267 @@ void Cluster::copy_block(BlockId block, std::optional<NodeId> source, NodeId tar
                       });
 }
 
-void Cluster::queue_rereplication(BlockId block) {
-  queue_background([this, block](std::function<void()> finished) {
-    const BlockInfo* info = namespace_.find_block(block);
-    if (info == nullptr) {
-      finished();
-      return;
-    }
-    const FileInfo* file = namespace_.find(info->file);
-    const std::uint32_t target_rep =
-        info->is_parity ? 1 : (file != nullptr ? file->replication : 1);
-    if (locations(block).size() >= target_rep) {
-      finished();  // already recovered (e.g. the node came back)
-      return;
-    }
-    const std::vector<NodeId> targets =
-        placement_->choose_targets(*this, block, 1, std::nullopt, rng_);
-    if (targets.empty()) {
-      finished();
-      return;
-    }
-    const NodeId target = targets.front();
-    copy_block(block, std::nullopt, target,
-               [this, block, target, finished = std::move(finished)](bool ok) {
-                 if (ok) {
-                   ++rereplications_completed_;
-                   if (obs_ != nullptr) {
-                     obs_->registry().add(obs_ids_.rereplications);
-                     obs::TraceEvent ev;
-                     ev.kind = obs::ActionKind::kRereplication;
-                     ev.at = sim_.now();
-                     ev.block = static_cast<std::int64_t>(block.value());
-                     ev.node = static_cast<std::int64_t>(target.value());
-                     const BlockInfo* info = namespace_.find_block(block);
-                     if (info != nullptr) {
-                       ev.bytes_moved = info->size;
-                       const FileInfo* file = namespace_.find(info->file);
-                       if (file != nullptr) {
-                         ev.path = file->path;
-                       }
-                     }
-                     obs_->trace().record(std::move(ev));
-                   }
-                 }
-                 finished();
-               });
-  });
+std::uint32_t Cluster::recovery_priority(BlockId block) const {
+  std::size_t live = 0;
+  for (const NodeId n : locations(block)) {
+    live += is_serving(n) ? 1 : 0;
+  }
+  if (live == 0) {
+    return 0;
+  }
+  return live == 1 ? 1 : 2;
 }
 
-void Cluster::queue_reconstruction(BlockId block) {
-  queue_background([this, block](std::function<void()> finished) {
-    const BlockInfo* info = namespace_.find_block(block);
-    if (info == nullptr) {
-      finished();
-      return;
-    }
-    if (!locations(block).empty()) {
-      finished();
-      return;
-    }
-    const FileInfo* file = namespace_.find(info->file);
-    if (file == nullptr || !file->erasure_coded) {
-      finished();
-      return;
-    }
-    const std::vector<NodeId> targets =
-        placement_->choose_targets(*this, block, 1, std::nullopt, rng_);
-    if (targets.empty()) {
-      finished();
-      return;
-    }
-    const NodeId target = targets.front();
+void Cluster::enqueue_recovery(BlockId block) {
+  if (recovery_tracked_.contains(block)) {
+    return;  // a task for this block is already queued, running, or backing off
+  }
+  recovery_tracked_.insert(block);
+  recovery_queue_[recovery_priority(block)].push_back(RecoveryTask{block, 0});
+  pump_background_queue();
+}
 
-    // Pull k live shards to the target and rebuild there.
-    std::vector<std::pair<BlockId, NodeId>> shards;
-    const std::size_t k = file->blocks.size();
-    auto consider = [&](BlockId b) {
-      if (b == block || shards.size() >= k) {
-        return;
-      }
-      for (const NodeId n : locations(b)) {
-        if (is_serving(n)) {
-          shards.emplace_back(b, n);
-          return;
-        }
-      }
-    };
-    for (const BlockId b : file->blocks) {
-      consider(b);
+std::optional<Cluster::RecoveryTask> Cluster::pop_recovery() {
+  if (recovery_queue_.empty()) {
+    return std::nullopt;
+  }
+  const auto it = recovery_queue_.begin();
+  RecoveryTask task = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) {
+    recovery_queue_.erase(it);
+  }
+  return task;
+}
+
+void Cluster::retry_or_abandon(RecoveryTask task) {
+  ++task.attempts;
+  if (task.attempts > config_.recovery_max_retries) {
+    ++recoveries_abandoned_;
+    recovery_tracked_.erase(task.block);
+    bool any_live = false;
+    for (const NodeId n : locations(task.block)) {
+      any_live = any_live || is_serving(n);
     }
-    for (const BlockId b : file->parity_blocks) {
-      consider(b);
-    }
-    if (shards.size() < k) {
+    if (!any_live) {
+      // Out of retries with nothing left to copy from: the block is lost
+      // unless a holder revives.
       ++blocks_lost_;
       if (obs_ != nullptr) {
         obs_->registry().add(obs_ids_.blocks_lost);
       }
-      finished();
+    }
+    if (obs_ != nullptr) {
+      obs_->registry().add(obs_ids_.recoveries_abandoned);
+    }
+    if (log_.enabled(util::LogLevel::kWarn)) {
+      log_.log(util::LogLevel::kWarn, "cluster",
+               "recovery abandoned for block " + std::to_string(task.block.value()) +
+                   " after " + std::to_string(config_.recovery_max_retries) + " retries");
+    }
+    return;
+  }
+  ++recovery_retries_;
+  if (obs_ != nullptr) {
+    obs_->registry().add(obs_ids_.recovery_retries);
+  }
+  sim::SimDuration backoff = config_.recovery_backoff;
+  for (std::uint32_t i = 1; i < task.attempts && backoff < config_.recovery_backoff_cap;
+       ++i) {
+    backoff = backoff * 2;
+  }
+  backoff = std::min(backoff, config_.recovery_backoff_cap);
+  sim_.schedule_after(backoff, [this, task] {
+    recovery_queue_[recovery_priority(task.block)].push_back(task);
+    pump_background_queue();
+  });
+}
+
+void Cluster::run_recovery(RecoveryTask task, std::function<void()> finished) {
+  const BlockId block = task.block;
+  const BlockInfo* info = namespace_.find_block(block);
+  if (info == nullptr) {
+    recovery_tracked_.erase(block);
+    finished();
+    return;
+  }
+  const FileInfo* file = namespace_.find(info->file);
+  const std::uint32_t target_rep =
+      info->is_parity ? 1 : (file != nullptr ? file->replication : 1);
+  std::size_t live = 0;
+  for (const NodeId n : locations(block)) {
+    live += is_serving(n) ? 1 : 0;
+  }
+  if (live >= target_rep) {
+    recovery_tracked_.erase(block);  // recovered (e.g. a holder revived)
+    finished();
+    return;
+  }
+  if (live == 0) {
+    if (file != nullptr && file->erasure_coded) {
+      // Data shards and parities alike are rebuilt from the stripe.
+      run_reconstruction(std::move(task), std::move(finished));
       return;
     }
-    auto remaining = std::make_shared<std::size_t>(shards.size());
-    for (const auto& [shard_block, shard_node] : shards) {
-      const BlockInfo* sinfo = namespace_.find_block(shard_block);
-      net::NetworkModel::FlowOptions opts;
-      opts.src_disk = true;
-      opts.dst_disk = true;
-      opts.max_rate = config_.background_bandwidth_cap;
-      network_.start_flow(
-          shard_node.value(), target.value(), sinfo->size, opts,
-          [this, block, target, remaining, finished](net::FlowId) {
-            if (--*remaining > 0) {
-              return;
-            }
-            if (is_serving(target)) {
-              add_replica(block, target);
-              ++rereplications_completed_;
-              if (obs_ != nullptr) {
-                obs_->registry().add(obs_ids_.rereplications);
-                obs::TraceEvent ev;
-                ev.kind = obs::ActionKind::kRereplication;
-                ev.at = sim_.now();
-                ev.block = static_cast<std::int64_t>(block.value());
-                ev.node = static_cast<std::int64_t>(target.value());
-                ev.outcome = "reconstructed";
-                const BlockInfo* info = namespace_.find_block(block);
-                if (info != nullptr) {
-                  ev.bytes_moved = info->size;
-                  const FileInfo* file = namespace_.find(info->file);
-                  if (file != nullptr) {
-                    ev.path = file->path;
-                  }
-                }
-                obs_->trace().record(std::move(ev));
+    // Nothing to copy from; retry with backoff in case the holder revives.
+    finished();
+    retry_or_abandon(std::move(task));
+    return;
+  }
+  const std::vector<NodeId> targets =
+      placement_->choose_targets(*this, block, 1, std::nullopt, rng_);
+  if (targets.empty()) {
+    finished();
+    retry_or_abandon(std::move(task));
+    return;
+  }
+  const NodeId target = targets.front();
+  copy_block(block, std::nullopt, target,
+             [this, task = std::move(task), target,
+              finished = std::move(finished)](bool ok) mutable {
+               const BlockId block = task.block;
+               if (!ok) {
+                 finished();
+                 retry_or_abandon(std::move(task));
+                 return;
+               }
+               ++rereplications_completed_;
+               if (obs_ != nullptr) {
+                 obs_->registry().add(obs_ids_.rereplications);
+                 obs::TraceEvent ev;
+                 ev.kind = obs::ActionKind::kRereplication;
+                 ev.at = sim_.now();
+                 ev.block = static_cast<std::int64_t>(block.value());
+                 ev.node = static_cast<std::int64_t>(target.value());
+                 const BlockInfo* info = namespace_.find_block(block);
+                 if (info != nullptr) {
+                   ev.bytes_moved = info->size;
+                   const FileInfo* file = namespace_.find(info->file);
+                   if (file != nullptr) {
+                     ev.path = file->path;
+                   }
+                 }
+                 obs_->trace().record(std::move(ev));
+               }
+               // One replica restored; requeue (fresh attempt budget) until
+               // the deficit is gone — run_recovery clears the tracking set
+               // once the target count is met.
+               task.attempts = 0;
+               recovery_queue_[recovery_priority(block)].push_back(task);
+               finished();
+               pump_background_queue();
+             });
+}
+
+void Cluster::run_reconstruction(RecoveryTask task, std::function<void()> finished) {
+  const BlockId block = task.block;
+  const BlockInfo* info = namespace_.find_block(block);
+  const FileInfo* file = info != nullptr ? namespace_.find(info->file) : nullptr;
+  if (info == nullptr || file == nullptr || !file->erasure_coded) {
+    recovery_tracked_.erase(block);
+    finished();
+    return;
+  }
+  const std::vector<NodeId> targets =
+      placement_->choose_targets(*this, block, 1, std::nullopt, rng_);
+  if (targets.empty()) {
+    finished();
+    retry_or_abandon(std::move(task));
+    return;
+  }
+  const NodeId target = targets.front();
+
+  // Pull k live shards to the target and rebuild there.
+  std::vector<std::pair<BlockId, NodeId>> shards;
+  const std::size_t k = file->blocks.size();
+  auto consider = [&](BlockId b) {
+    if (b == block || shards.size() >= k) {
+      return;
+    }
+    for (const NodeId n : locations(b)) {
+      if (is_serving(n)) {
+        shards.emplace_back(b, n);
+        return;
+      }
+    }
+  };
+  for (const BlockId b : file->blocks) {
+    consider(b);
+  }
+  for (const BlockId b : file->parity_blocks) {
+    consider(b);
+  }
+  if (shards.size() < k) {
+    // Too many shards down right now; retry once some recover. The block is
+    // only counted lost if retries run out with nothing live.
+    finished();
+    retry_or_abandon(std::move(task));
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(shards.size());
+  auto aborted = std::make_shared<bool>(false);
+  auto shared_finished = std::make_shared<std::function<void()>>(std::move(finished));
+  for (const auto& [shard_block, shard_node] : shards) {
+    const BlockInfo* sinfo = namespace_.find_block(shard_block);
+    net::NetworkModel::FlowOptions opts;
+    opts.src_disk = true;
+    opts.dst_disk = true;
+    opts.max_rate = config_.background_bandwidth_cap;
+    opts.timeout = config_.background_copy_timeout;
+    // A shard source (or the rebuild target) died mid-reconstruction: fail
+    // this attempt once and go through the retry backoff; the other shard
+    // flows drain harmlessly.
+    opts.on_abort = [this, task, aborted, shared_finished,
+                     sn = shard_node](net::FlowId, std::uint64_t partial) {
+      record_flow_abort(task.block, static_cast<std::int64_t>(sn.value()), partial,
+                        "reconstruction_failed");
+      if (*aborted) {
+        return;
+      }
+      *aborted = true;
+      (*shared_finished)();
+      retry_or_abandon(task);
+    };
+    network_.start_flow(
+        shard_node.value(), target.value(), sinfo->size, opts,
+        [this, block, target, remaining, aborted, shared_finished, task](net::FlowId) {
+          if (*aborted || --*remaining > 0) {
+            return;
+          }
+          if (!is_serving(target)) {
+            (*shared_finished)();
+            retry_or_abandon(task);
+            return;
+          }
+          add_replica(block, target);
+          ++rereplications_completed_;
+          if (obs_ != nullptr) {
+            obs_->registry().add(obs_ids_.rereplications);
+            obs::TraceEvent ev;
+            ev.kind = obs::ActionKind::kRereplication;
+            ev.at = sim_.now();
+            ev.block = static_cast<std::int64_t>(block.value());
+            ev.node = static_cast<std::int64_t>(target.value());
+            ev.outcome = "reconstructed";
+            const BlockInfo* info = namespace_.find_block(block);
+            if (info != nullptr) {
+              ev.bytes_moved = info->size;
+              const FileInfo* file = namespace_.find(info->file);
+              if (file != nullptr) {
+                ev.path = file->path;
               }
             }
-            finished();
-          });
-    }
-  });
+            obs_->trace().record(std::move(ev));
+          }
+          // Parity target is 1, data target is the file's (post-decode)
+          // factor; requeue so run_recovery settles any remaining deficit
+          // and clears the tracking set.
+          recovery_queue_[recovery_priority(block)].push_back(
+              RecoveryTask{block, 0});
+          (*shared_finished)();
+          pump_background_queue();
+        });
+  }
 }
 
 void Cluster::change_replication(FileId file, std::uint32_t target, IncreaseMode mode,
@@ -1199,11 +1481,19 @@ void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback do
                     done](std::function<void()> finished) {
     // Stage 1: stream the k data blocks to the encoder.
     auto stage1 = std::make_shared<std::size_t>(data_blocks.size());
+    auto enc_failed = std::make_shared<bool>(false);
     auto after_reads = [this, fid, enc, parity_size, parity_count, ev, done,
-                        finished]() {
+                        finished, enc_failed]() {
       // Stage 2: write the m parity blocks to policy-chosen targets.
       const FileInfo* info = namespace_.find(fid);
-      if (info == nullptr) {
+      if (info == nullptr || *enc_failed || !is_serving(enc)) {
+        // A source or the encoder died while streaming: the encode fails
+        // (the control loop's job retry re-runs it against live nodes).
+        if (ev != nullptr && obs_ != nullptr) {
+          ev->at = sim_.now();
+          ev->outcome = "aborted";
+          obs_->trace().record(std::move(*ev));
+        }
         finished();
         if (done) {
           done(false);
@@ -1270,6 +1560,21 @@ void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback do
         opts.src_disk = true;
         opts.dst_disk = true;
         opts.max_rate = config_.background_bandwidth_cap;
+        // A dead parity target (or encoder) fails the encode; the
+        // provisional replica registration is rolled back by fail_node (if
+        // the target died) or here (if the encoder did).
+        opts.on_abort = [this, p, t, all_ok, stage2,
+                         finish_encode](net::FlowId, std::uint64_t partial) {
+          record_flow_abort(p, static_cast<std::int64_t>(t.value()), partial,
+                            "encode_failed");
+          if (node_has_block(t, p)) {
+            remove_replica(p, t);
+          }
+          *all_ok = false;
+          if (--*stage2 == 0) {
+            finish_encode();
+          }
+        };
         network_.start_flow(enc.value(), t.value(), parity_size, opts,
                             [stage2, finish_encode](net::FlowId) {
                               if (--*stage2 == 0) {
@@ -1300,6 +1605,15 @@ void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback do
       opts.src_disk = true;
       opts.dst_disk = src != enc;
       opts.max_rate = config_.background_bandwidth_cap;
+      opts.on_abort = [this, b, enc, stage1, after_reads,
+                       enc_failed](net::FlowId, std::uint64_t partial) {
+        record_flow_abort(b, static_cast<std::int64_t>(enc.value()), partial,
+                          "encode_failed");
+        *enc_failed = true;
+        if (--*stage1 == 0) {
+          after_reads();
+        }
+      };
       network_.start_flow(src->value(), enc.value(), binfo->size, opts,
                           [stage1, after_reads](net::FlowId) {
                             if (--*stage1 == 0) {

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <optional>
@@ -48,6 +49,17 @@ struct ClusterConfig {
   /// before issuing the next setReplication (ERMS "judges whether the
   /// replicas are added ... successfully" through Condor ClassAds).
   sim::SimDuration replication_step_poll = sim::seconds(3.0);
+  /// A failed recovery copy (aborted flow, corrupt source, no eligible
+  /// target) is retried with exponential backoff, doubling from
+  /// `recovery_backoff` up to `recovery_backoff_cap`, at most
+  /// `recovery_max_retries` times before the block is abandoned.
+  std::uint32_t recovery_max_retries = 8;
+  sim::SimDuration recovery_backoff = sim::seconds(2.0);
+  sim::SimDuration recovery_backoff_cap = sim::seconds(60.0);
+  /// Watchdog deadline for each background copy flow; a copy still in
+  /// flight after this long is aborted (and retried through the recovery
+  /// queue's backoff). 0 disables the watchdog.
+  sim::SimDuration background_copy_timeout = sim::minutes(10.0);
   std::uint64_t seed = 42;
 };
 
@@ -63,6 +75,9 @@ struct DataNode {
   /// load balancing for replication transfers).
   std::uint32_t background_reads{0};
   std::unordered_set<BlockId> blocks;
+  /// Replicas the node held when it died — still on its disk, reconciled
+  /// against current targets if the node revives.
+  std::unordered_set<BlockId> stale_blocks;
   double energy_joules{0.0};
   sim::SimTime last_energy_update;
 };
@@ -118,9 +133,23 @@ class Cluster {
   /// kDecommissioning with its remaining blocks, as real HDFS does.
   void decommission(NodeId id, DoneCallback done);
 
-  /// Fail a node: its replicas are lost and re-replication is queued for
-  /// every under-replicated block.
+  /// Fail a node: its replicas are lost, every in-flight transfer touching
+  /// it is aborted (partial bytes accounted, callers notified), and
+  /// recovery is queued for every under-replicated block.
   void fail_node(NodeId id);
+
+  /// Bring a dead node back (datanode re-registration). Its on-disk
+  /// replicas are reconciled against current targets: still-needed blocks
+  /// rejoin the block map instantly, surplus ones are dropped. Returns
+  /// false if the node was not dead.
+  bool revive_node(NodeId id);
+
+  /// Called (if set) after a node dies and its blocks/flows are torn down —
+  /// lets the control loop promote standby capacity. One listener.
+  using FailureListener = std::function<void(NodeId)>;
+  void set_failure_listener(FailureListener listener) {
+    failure_listener_ = std::move(listener);
+  }
 
   /// Silently corrupt one replica (bit rot / bad disk sector). The namenode
   /// learns about it the HDFS way: the next client read of that replica
@@ -221,15 +250,22 @@ class Cluster {
   [[nodiscard]] std::uint64_t rereplications_completed() const {
     return rereplications_completed_;
   }
+  [[nodiscard]] std::uint64_t recovery_retries() const { return recovery_retries_; }
+  [[nodiscard]] std::uint64_t recoveries_abandoned() const { return recoveries_abandoned_; }
+  [[nodiscard]] std::uint64_t nodes_revived() const { return nodes_revived_; }
   [[nodiscard]] net::NetworkModel& network() { return network_; }
+  [[nodiscard]] const net::NetworkModel& network() const { return network_; }
   [[nodiscard]] sim::Simulation& simulation() { return sim_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
 
   /// True when no background replication/encode traffic is in flight — the
-  /// Condor substrate's idleness test for deferred tasks.
+  /// Condor substrate's idleness test for deferred tasks. Blocks tracked by
+  /// the recovery queue (queued, running, or waiting out a retry backoff)
+  /// count as in-flight work.
   [[nodiscard]] bool background_idle() const {
-    return background_streams_ == 0 && background_queue_.empty();
+    return background_streams_ == 0 && background_queue_.empty() &&
+           recovery_tracked_.empty();
   }
 
   // ----- audit -------------------------------------------------------------
@@ -276,9 +312,32 @@ class Cluster {
   void copy_block(BlockId block, std::optional<NodeId> source, NodeId target,
                   DoneCallback done);
 
-  void queue_rereplication(BlockId block);
-  /// Rebuild a block with no surviving replica from its erasure stripe.
-  void queue_reconstruction(BlockId block);
+  /// One block's pending recovery work: restore it to its target replica
+  /// count (or rebuild it from its erasure stripe).
+  struct RecoveryTask {
+    BlockId block;
+    std::uint32_t attempts{0};
+  };
+
+  /// Track `block` as under-replicated and queue it at its priority level
+  /// (fewest live replicas first, like HDFS's UnderReplicatedBlocks).
+  /// Deduplicated: a block already tracked is not queued twice.
+  void enqueue_recovery(BlockId block);
+  /// Priority level for the queue: 0 = no live replica (reconstruction or
+  /// last-chance), 1 = one replica left, 2 = merely under target.
+  [[nodiscard]] std::uint32_t recovery_priority(BlockId block) const;
+  [[nodiscard]] std::optional<RecoveryTask> pop_recovery();
+  /// One recovery step: re-check the deficit, copy one replica (or rebuild
+  /// from the stripe); success requeues until the target is met, failure
+  /// goes through retry_or_abandon.
+  void run_recovery(RecoveryTask task, std::function<void()> finished);
+  void run_reconstruction(RecoveryTask task, std::function<void()> finished);
+  /// Exponential-backoff requeue; abandons (and counts the block lost if it
+  /// has no live replica) once recovery_max_retries is exceeded.
+  void retry_or_abandon(RecoveryTask task);
+  void record_flow_abort(std::optional<BlockId> block, std::int64_t node,
+                         std::uint64_t partial_bytes, const char* what);
+
   /// Power a fully drained decommissioning node down; returns true so the
   /// caller can chain the user callback.
   bool finalize_decommission(NodeId id, bool drained);
@@ -300,12 +359,21 @@ class Cluster {
   std::deque<BackgroundJob> background_queue_;
   std::uint32_t background_streams_{0};
 
+  /// Priority recovery queue: level -> FIFO of tasks. std::map iteration
+  /// serves the most-under-replicated level first.
+  std::map<std::uint32_t, std::deque<RecoveryTask>> recovery_queue_;
+  /// Blocks with recovery in flight anywhere (queued, running, or waiting
+  /// out a backoff) — the dedupe set and the idleness signal.
+  std::unordered_set<BlockId> recovery_tracked_;
+  FailureListener failure_listener_;
+
   std::set<std::pair<BlockId, NodeId>> corrupt_replicas_;
 
   struct ObsIds {
     obs::CounterId reads_completed, reads_rejected, reads_degraded, read_bytes;
     obs::CounterId corruptions, blocks_lost, rereplications, replication_changes;
     obs::CounterId encodes, decodes, audit_events;
+    obs::CounterId recovery_retries, recoveries_abandoned, nodes_revived, flow_aborts;
     obs::GaugeId bg_queue_depth, bg_streams;
     obs::HistogramId read_seconds;
   };
@@ -317,6 +385,9 @@ class Cluster {
   std::uint64_t blocks_lost_{0};
   std::uint64_t rereplications_completed_{0};
   std::uint64_t corruptions_detected_{0};
+  std::uint64_t recovery_retries_{0};
+  std::uint64_t recoveries_abandoned_{0};
+  std::uint64_t nodes_revived_{0};
 };
 
 }  // namespace erms::hdfs

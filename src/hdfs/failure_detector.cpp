@@ -23,6 +23,20 @@ void FailureDetector::stop() {
   tick_handle_.cancel();
 }
 
+void FailureDetector::unmute(NodeId node) {
+  muted_.erase(node);
+  const sim::SimTime now = cluster_.simulation().now();
+  if (cluster_.node(node).state == NodeState::kDead) {
+    // Re-registration: the silenced node was declared dead while it was in
+    // fact reachable again. Revive it and reset its heartbeat clock so the
+    // next tick does not instantly re-declare it.
+    if (cluster_.revive_node(node)) {
+      ++reregistrations_;
+    }
+  }
+  last_heartbeat_[node] = now;
+}
+
 sim::SimDuration FailureDetector::silence(NodeId node) const {
   const auto it = last_heartbeat_.find(node);
   if (it == last_heartbeat_.end()) {

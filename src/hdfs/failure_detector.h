@@ -34,10 +34,14 @@ class FailureDetector {
 
   /// Make a node fall silent (simulated crash, network partition, ...).
   void mute(NodeId node) { muted_.insert(node); }
-  /// The node resumes heartbeating — if it was not yet declared dead, it
-  /// escapes; once dead it stays dead (a real node would re-register).
-  void unmute(NodeId node) { muted_.erase(node); }
+  /// The node resumes heartbeating. If it was not yet declared dead, it
+  /// escapes. If it was already declared dead, this is a datanode
+  /// re-registration: the node revives, its heartbeat clock resets, and its
+  /// stale replicas are reconciled against current targets (surplus copies
+  /// dropped, still-needed ones reclaimed).
+  void unmute(NodeId node);
   [[nodiscard]] bool is_muted(NodeId node) const { return muted_.contains(node); }
+  [[nodiscard]] std::uint64_t reregistrations() const { return reregistrations_; }
 
   /// Time since the last heartbeat of a node.
   [[nodiscard]] sim::SimDuration silence(NodeId node) const;
@@ -53,6 +57,7 @@ class FailureDetector {
   std::unordered_map<NodeId, sim::SimTime> last_heartbeat_;
   std::unordered_set<NodeId> muted_;
   std::uint64_t failures_declared_{0};
+  std::uint64_t reregistrations_{0};
   bool running_{false};
   sim::EventHandle tick_handle_;
 };

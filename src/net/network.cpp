@@ -23,14 +23,15 @@ NetworkModel::NetworkModel(sim::Simulation& simulation, FabricSpec spec)
     if (node.rack >= spec_.rack_count) {
       throw std::invalid_argument("NetworkModel: node rack out of range");
     }
-    links_.push_back(Link{node.disk_bw});
-    links_.push_back(Link{node.nic_bw});
-    links_.push_back(Link{node.nic_bw});
+    links_.push_back(Link{node.disk_bw, node.disk_bw});
+    links_.push_back(Link{node.nic_bw, node.nic_bw});
+    links_.push_back(Link{node.nic_bw, node.nic_bw});
   }
   for (std::size_t r = 0; r < spec_.rack_count; ++r) {
-    links_.push_back(Link{spec_.rack_uplink_bw});
-    links_.push_back(Link{spec_.rack_uplink_bw});
+    links_.push_back(Link{spec_.rack_uplink_bw, spec_.rack_uplink_bw});
+    links_.push_back(Link{spec_.rack_uplink_bw, spec_.rack_uplink_bw});
   }
+  node_degradation_.assign(spec_.nodes.size(), 1.0);
 }
 
 FlowId NetworkModel::start_flow(std::size_t src, std::size_t dst, std::uint64_t bytes,
@@ -40,12 +41,18 @@ FlowId NetworkModel::start_flow(std::size_t src, std::size_t dst, std::uint64_t 
 
   Flow flow;
   flow.id = id;
+  flow.src = src;
+  flow.dst = dst;
   flow.remaining = static_cast<double>(bytes);
   flow.total_bytes = bytes;
   flow.max_rate = options.max_rate;
   flow.started = sim_.now();
   flow.last_update = sim_.now();
   flow.on_done = std::move(on_done);
+  flow.on_abort = std::move(options.on_abort);
+  if (options.timeout.micros() > 0) {
+    flow.deadline = sim_.schedule_after(options.timeout, [this, id] { abort_flow(id); });
+  }
   if (metrics_ != nullptr) {
     metrics_->add(obs_ids_.flows_started);
   }
@@ -91,12 +98,108 @@ void NetworkModel::cancel_flow(FlowId id) {
   }
   advance_progress();
   it->second.completion.cancel();
+  it->second.deadline.cancel();
   flows_.erase(it);
   rebalance();
   if (metrics_ != nullptr) {
     metrics_->add(obs_ids_.flows_cancelled);
     metrics_->set(obs_ids_.active_flows, static_cast<double>(flows_.size()));
   }
+}
+
+std::pair<NetworkModel::AbortedFlow, NetworkModel::AbortFn> NetworkModel::detach_aborted(
+    FlowId id) {
+  const auto it = flows_.find(id);
+  Flow& flow = it->second;
+  flow.completion.cancel();
+  flow.deadline.cancel();
+  const double done = static_cast<double>(flow.total_bytes) - std::max(0.0, flow.remaining);
+  AbortedFlow info;
+  info.id = id;
+  info.src = flow.src;
+  info.dst = flow.dst;
+  info.bytes_transferred = static_cast<std::uint64_t>(std::max(0.0, done));
+  info.total_bytes = flow.total_bytes;
+  AbortFn on_abort = std::move(flow.on_abort);
+  flows_.erase(it);
+  ++flows_aborted_;
+  bytes_aborted_ += info.bytes_transferred;
+  if (metrics_ != nullptr) {
+    metrics_->add(obs_ids_.flows_aborted);
+    metrics_->add(obs_ids_.bytes_aborted, info.bytes_transferred);
+  }
+  return {std::move(info), std::move(on_abort)};
+}
+
+void NetworkModel::abort_flow(FlowId id) {
+  if (flows_.find(id) == flows_.end()) {
+    return;
+  }
+  advance_progress();
+  auto [info, on_abort] = detach_aborted(id);
+  rebalance();
+  if (metrics_ != nullptr) {
+    metrics_->set(obs_ids_.active_flows, static_cast<double>(flows_.size()));
+  }
+  if (on_abort) {
+    on_abort(info.id, info.bytes_transferred);
+  }
+}
+
+std::vector<NetworkModel::AbortedFlow> NetworkModel::abort_flows_touching(std::size_t node) {
+  advance_progress();
+  std::vector<FlowId> victims;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.src == node || flow.dst == node) {
+      victims.push_back(id);
+    }
+  }
+  // FlowId order, not hash order: abort handlers and trace events fire in
+  // the order the flows were started, which keeps chaos runs replayable.
+  std::sort(victims.begin(), victims.end());
+  std::vector<AbortedFlow> aborted;
+  std::vector<AbortFn> handlers;
+  aborted.reserve(victims.size());
+  handlers.reserve(victims.size());
+  for (const FlowId id : victims) {
+    auto [info, on_abort] = detach_aborted(id);
+    aborted.push_back(info);
+    handlers.push_back(std::move(on_abort));
+  }
+  rebalance();
+  if (metrics_ != nullptr) {
+    metrics_->set(obs_ids_.active_flows, static_cast<double>(flows_.size()));
+  }
+  for (std::size_t i = 0; i < aborted.size(); ++i) {
+    if (handlers[i]) {
+      handlers[i](aborted[i].id, aborted[i].bytes_transferred);
+    }
+  }
+  return aborted;
+}
+
+void NetworkModel::set_node_degradation(std::size_t node, double factor) {
+  assert(node < spec_.nodes.size());
+  factor = std::clamp(factor, 0.0, 1.0);
+  node_degradation_[node] = factor;
+  advance_progress();
+  links_[disk_link(node)].capacity = links_[disk_link(node)].base * factor;
+  links_[nic_out_link(node)].capacity = links_[nic_out_link(node)].base * factor;
+  links_[nic_in_link(node)].capacity = links_[nic_in_link(node)].base * factor;
+  rebalance();
+}
+
+void NetworkModel::set_rack_degradation(std::size_t rack, double factor) {
+  assert(rack < spec_.rack_count);
+  factor = std::clamp(factor, 0.0, 1.0);
+  advance_progress();
+  links_[uplink_out_link(rack)].capacity = links_[uplink_out_link(rack)].base * factor;
+  links_[uplink_in_link(rack)].capacity = links_[uplink_in_link(rack)].base * factor;
+  rebalance();
+}
+
+double NetworkModel::node_degradation(std::size_t node) const {
+  return node < node_degradation_.size() ? node_degradation_[node] : 1.0;
 }
 
 double NetworkModel::flow_rate(FlowId id) const {
@@ -234,6 +337,7 @@ void NetworkModel::complete_flow(FlowId id) {
     rebalance();
     return;
   }
+  it->second.deadline.cancel();
   bytes_completed_ += it->second.total_bytes;
   if (it->second.inter_rack) {
     inter_rack_bytes_ += it->second.total_bytes;
@@ -266,6 +370,8 @@ void NetworkModel::set_metrics(obs::MetricsRegistry* metrics) {
   obs_ids_.flows_started = metrics->counter("net.flows.started");
   obs_ids_.flows_completed = metrics->counter("net.flows.completed");
   obs_ids_.flows_cancelled = metrics->counter("net.flows.cancelled");
+  obs_ids_.flows_aborted = metrics->counter("net.flows.aborted");
+  obs_ids_.bytes_aborted = metrics->counter("net.bytes.aborted");
   obs_ids_.bytes_completed = metrics->counter("net.bytes.completed");
   obs_ids_.inter_rack_bytes = metrics->counter("net.bytes.inter_rack");
   obs_ids_.active_flows = metrics->gauge("net.flows.active");

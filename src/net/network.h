@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics_registry.h"
@@ -41,6 +42,12 @@ struct FabricSpec {
 /// replicas on other nodes add capacity (paper Figs. 6, 8, 9).
 class NetworkModel {
  public:
+  using CompletionFn = std::function<void(FlowId)>;
+  /// Abort notification: the flow was torn down before the last byte arrived
+  /// (endpoint died, deadline expired, or an explicit abort). Receives the
+  /// bytes that did make it across so callers can account partial transfers.
+  using AbortFn = std::function<void(FlowId, std::uint64_t bytes_transferred)>;
+
   struct FlowOptions {
     bool src_disk = true;   // transfer reads from the source disk
     bool dst_disk = false;  // transfer writes to the destination disk
@@ -48,8 +55,23 @@ class NetworkModel {
     /// throttled balancer/re-replication streams
     /// (dfs.datanode.balance.bandwidthPerSec).
     double max_rate = 0.0;
+    /// Per-flow deadline watchdog; if the flow is still active this long
+    /// after starting it is aborted (on_abort fires). 0 = no deadline.
+    sim::SimDuration timeout{};
+    /// Fires instead of the completion callback when the flow is aborted.
+    /// Flows without an abort handler are torn down silently (legacy
+    /// cancel_flow semantics).
+    AbortFn on_abort;
   };
-  using CompletionFn = std::function<void(FlowId)>;
+
+  /// Everything a caller needs to account a flow that died mid-transfer.
+  struct AbortedFlow {
+    FlowId id;
+    std::size_t src{0};
+    std::size_t dst{0};
+    std::uint64_t bytes_transferred{0};
+    std::uint64_t total_bytes{0};
+  };
 
   NetworkModel(sim::Simulation& simulation, FabricSpec spec);
 
@@ -66,6 +88,27 @@ class NetworkModel {
   /// finished.
   void cancel_flow(FlowId id);
 
+  /// Abort a flow and fire its abort handler (if any) with the bytes that
+  /// made it across. No-op if already finished.
+  void abort_flow(FlowId id);
+
+  /// Tear down every flow whose source or destination is `node` — what a
+  /// node crash does to its in-flight transfers. Partial bytes are charged
+  /// to the abort counters and each flow's abort handler fires (after all
+  /// victims are removed, so handlers may start replacement flows). Returns
+  /// the aborted flows in FlowId order for deterministic accounting.
+  std::vector<AbortedFlow> abort_flows_touching(std::size_t node);
+
+  /// Scale a node's disk and NIC link capacities to `factor` × their spec
+  /// values (0 < factor ≤ 1 degrades; 1 restores; 0 partitions the node —
+  /// its flows stall until aborted or restored).
+  void set_node_degradation(std::size_t node, double factor);
+
+  /// Scale a rack's uplink capacities, both directions. factor as above.
+  void set_rack_degradation(std::size_t rack, double factor);
+
+  [[nodiscard]] double node_degradation(std::size_t node) const;
+
   /// Current rate (bytes/s) of an active flow; 0 if finished/unknown.
   [[nodiscard]] double flow_rate(FlowId id) const;
 
@@ -76,6 +119,8 @@ class NetworkModel {
   /// Aggregate counters for the experiment harnesses.
   [[nodiscard]] std::uint64_t total_bytes_completed() const { return bytes_completed_; }
   [[nodiscard]] std::uint64_t inter_rack_bytes() const { return inter_rack_bytes_; }
+  [[nodiscard]] std::uint64_t flows_aborted() const { return flows_aborted_; }
+  [[nodiscard]] std::uint64_t bytes_aborted() const { return bytes_aborted_; }
 
   /// Attach (nullptr detaches) a metrics registry: flow start/complete
   /// counters, transferred bytes, an active-flow gauge and a flow-duration
@@ -85,12 +130,16 @@ class NetworkModel {
 
  private:
   // Link ids are indices into links_: per node disk / nic_out / nic_in, then
-  // per rack uplink_out / uplink_in.
+  // per rack uplink_out / uplink_in. `capacity` is the effective (possibly
+  // degraded) value; `base` the spec value degradation factors scale.
   struct Link {
     double capacity;
+    double base;
   };
   struct Flow {
     FlowId id;
+    std::size_t src{0};
+    std::size_t dst{0};
     std::vector<std::size_t> path;  // link indices
     double remaining;               // bytes
     double max_rate{0.0};           // 0 = uncapped
@@ -100,7 +149,9 @@ class NetworkModel {
     bool inter_rack{false};
     std::uint64_t total_bytes{0};
     CompletionFn on_done;
+    AbortFn on_abort;
     sim::EventHandle completion;
+    sim::EventHandle deadline;
   };
 
   [[nodiscard]] std::size_t disk_link(std::size_t node) const { return node * 3; }
@@ -122,16 +173,25 @@ class NetworkModel {
 
   void complete_flow(FlowId id);
 
+  /// Remove one flow, charging partial bytes to the abort counters. Returns
+  /// the aborted-flow record and its (moved-out) abort handler; the caller
+  /// rebalances and invokes handlers once all victims are gone.
+  std::pair<AbortedFlow, AbortFn> detach_aborted(FlowId id);
+
   sim::Simulation& sim_;
   FabricSpec spec_;
   std::vector<Link> links_;
+  std::vector<double> node_degradation_;
   std::unordered_map<FlowId, Flow> flows_;
   util::IdGenerator<FlowId> flow_ids_{1};
   std::uint64_t bytes_completed_{0};
   std::uint64_t inter_rack_bytes_{0};
+  std::uint64_t flows_aborted_{0};
+  std::uint64_t bytes_aborted_{0};
 
   struct ObsIds {
     obs::CounterId flows_started, flows_completed, flows_cancelled;
+    obs::CounterId flows_aborted, bytes_aborted;
     obs::CounterId bytes_completed, inter_rack_bytes;
     obs::GaugeId active_flows;
     obs::HistogramId flow_seconds;

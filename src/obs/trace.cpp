@@ -21,6 +21,10 @@ const char* to_string(ActionKind kind) {
     case ActionKind::kClusterDecode: return "cluster_decode";
     case ActionKind::kRereplication: return "rereplication";
     case ActionKind::kNodeFailure: return "node_failure";
+    case ActionKind::kFlowAborted: return "flow_aborted";
+    case ActionKind::kNodeRecovered: return "node_recovered";
+    case ActionKind::kJobRetry: return "job_retry";
+    case ActionKind::kFaultInjected: return "fault_injected";
   }
   return "unknown";
 }

@@ -33,6 +33,10 @@ enum class ActionKind : std::uint8_t {
   kClusterDecode,    // cluster finished decoding a file back to replicas
   kRereplication,    // cluster restored a lost replica
   kNodeFailure,      // node failed (count = replicas lost with it)
+  kFlowAborted,      // in-flight transfer torn down (bytes_moved = partial)
+  kNodeRecovered,    // dead node rejoined (count = replicas reclaimed)
+  kJobRetry,         // Condor job failed and was requeued with backoff
+  kFaultInjected,    // fault injector fired a planned fault
 };
 
 [[nodiscard]] const char* to_string(ActionKind kind);

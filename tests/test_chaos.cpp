@@ -1,0 +1,254 @@
+// Chaos tests: seeded fault plans driven against the full stack, checked by
+// the invariant sweeper. Every run is deterministic — the same seed must
+// produce the same recovery story, byte for byte.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/erms.h"
+#include "fault/fault_plan.h"
+#include "fault/invariant_checker.h"
+#include "hdfs/cluster.h"
+#include "hdfs/failure_detector.h"
+
+namespace erms {
+namespace {
+
+using hdfs::Cluster;
+using hdfs::ClusterConfig;
+using hdfs::NodeId;
+using hdfs::Topology;
+using util::MiB;
+
+struct ChaosBed {
+  sim::Simulation sim;
+  Topology topo = Topology::uniform(3, 6);
+  std::unique_ptr<Cluster> cluster;
+  std::vector<NodeId> pool;
+
+  ChaosBed() {
+    cluster = std::make_unique<Cluster>(sim, topo, ClusterConfig{});
+    for (std::uint32_t n = 10; n < 18; ++n) {
+      pool.push_back(NodeId{n});
+    }
+  }
+};
+
+core::ErmsConfig chaos_erms() {
+  core::ErmsConfig cfg;
+  cfg.thresholds.window = sim::seconds(60.0);
+  cfg.thresholds.cold_age = sim::minutes(15.0);
+  cfg.evaluation_period = sim::seconds(20.0);
+  cfg.observe = true;
+  cfg.trace_capacity = 65536;
+  cfg.job_max_retries = 3;
+  cfg.job_retry_backoff = sim::seconds(5.0);
+  return cfg;
+}
+
+fault::ChaosOptions soak_options() {
+  fault::ChaosOptions opt;
+  opt.start = sim::SimTime{sim::minutes(1.0).micros()};
+  opt.end = sim::SimTime{sim::minutes(10.0).micros()};
+  // Only non-pool serving nodes are crash victims; replication 3 tolerates
+  // one concurrent death with room to spare.
+  for (std::uint32_t n = 0; n < 10; ++n) {
+    opt.victims.push_back(n);
+  }
+  opt.racks = {0, 1, 2};
+  opt.max_concurrent_dead = 1;
+  opt.mean_gap = sim::seconds(40.0);
+  opt.min_downtime = sim::seconds(30.0);
+  opt.max_downtime = sim::minutes(2.0);
+  return opt;
+}
+
+/// One full soak run: workload + ERMS + chaos plan, then drain and check.
+/// Returns the deterministic invariant report text.
+std::string run_soak(std::uint64_t seed, bool* ok_out = nullptr) {
+  ChaosBed t;
+  core::ErmsManager erms{*t.cluster, t.pool, chaos_erms()};
+  std::vector<hdfs::FileId> files;
+  for (int i = 0; i < 6; ++i) {
+    files.push_back(*t.cluster->populate_file("/chaos/f" + std::to_string(i), 128 * MiB, 3));
+  }
+  erms.start();
+
+  // Steady read workload so flows are in the air when faults land.
+  for (int i = 0; i < 240; ++i) {
+    t.sim.schedule_at(sim::SimTime{static_cast<std::int64_t>(i * 2.5e6)}, [&t, &files, i] {
+      t.cluster->read_file(NodeId{static_cast<std::uint32_t>(i % 10)},
+                           files[static_cast<std::size_t>(i) % files.size()],
+                           [](const hdfs::ReadOutcome&) {});
+    });
+  }
+
+  const fault::FaultPlan plan = fault::FaultPlan::randomized(soak_options(), seed);
+  fault::FaultInjector injector{*t.cluster, &erms.observability()->trace()};
+  injector.arm(plan);
+
+  // Chaos window, then a drain window with no new faults so recovery and
+  // planned revivals settle.
+  t.sim.run_until(sim::SimTime{sim::minutes(20.0).micros()});
+
+  const fault::InvariantChecker checker{*t.cluster, &erms.scheduler(),
+                                        &erms.observability()->trace()};
+  const fault::InvariantReport report = checker.check(/*converged=*/true);
+  if (ok_out != nullptr) {
+    *ok_out = report.ok;
+  }
+  EXPECT_TRUE(report.ok) << "seed " << seed << "\n" << report.text;
+  EXPECT_EQ(t.cluster->blocks_lost(), 0u) << "seed " << seed;
+  EXPECT_GT(injector.injected(), 0u) << "seed " << seed << ": plan injected nothing";
+  erms.stop();
+  return report.text;
+}
+
+TEST(Chaos, MultiSeedSoakConvergesWithZeroLoss) {
+  std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
+  if (const char* env = std::getenv("ERMS_CHAOS_SEED")) {
+    seeds.push_back(std::strtoull(env, nullptr, 10));
+  }
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_soak(seed);
+  }
+}
+
+TEST(Chaos, SameSeedIsByteIdentical) {
+  const std::uint64_t seed = 7;
+  // The plan itself must be replayable from the seed...
+  const fault::FaultPlan a = fault::FaultPlan::randomized(soak_options(), seed);
+  const fault::FaultPlan b = fault::FaultPlan::randomized(soak_options(), seed);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_FALSE(a.empty());
+  // ...and two full runs must tell the identical recovery story.
+  const std::string first = run_soak(seed);
+  const std::string second = run_soak(seed);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Chaos, DifferentSeedsDifferentPlans) {
+  const fault::FaultPlan a = fault::FaultPlan::randomized(soak_options(), 11);
+  const fault::FaultPlan b = fault::FaultPlan::randomized(soak_options(), 12);
+  EXPECT_NE(a.describe(), b.describe());
+}
+
+/// Flow-abort storms during recovery force the retry path: retries are
+/// observed, bounded, and the block still converges to its target count.
+TEST(Chaos, RecoveryRetriesAfterFlowAborts) {
+  ChaosBed t;
+  const auto file = *t.cluster->populate_file("/retry", 64 * MiB, 3);
+  const hdfs::BlockId block = t.cluster->metadata().find(file)->blocks[0];
+
+  t.sim.schedule_at(sim::SimTime{sim::seconds(1.0).micros()}, [&t, block] {
+    const auto locs = t.cluster->locations(block);
+    ASSERT_FALSE(locs.empty());
+    t.cluster->fail_node(locs.front());
+  });
+  // Repeated abort storms across every node while the recovery copy flies.
+  for (int i = 0; i < 6; ++i) {
+    t.sim.schedule_at(sim::SimTime{sim::seconds(2.0 + i * 1.5).micros()}, [&t] {
+      for (std::uint32_t n = 0; n < 18; ++n) {
+        t.cluster->network().abort_flows_touching(n);
+      }
+    });
+  }
+  t.sim.run_until(sim::SimTime{sim::minutes(10.0).micros()});
+
+  EXPECT_EQ(t.cluster->locations(block).size(), 3u);
+  EXPECT_GT(t.cluster->recovery_retries(), 0u);
+  EXPECT_EQ(t.cluster->recoveries_abandoned(), 0u);
+  EXPECT_EQ(t.cluster->blocks_lost(), 0u);
+  // Bounded: retries never exceed the per-block budget times blocks touched.
+  EXPECT_LE(t.cluster->recovery_retries(),
+            static_cast<std::uint64_t>(t.cluster->config().recovery_max_retries) *
+                (1 + t.cluster->metadata().find(file)->blocks.size()));
+}
+
+/// An erasure-coded file whose single data replica dies is still readable —
+/// the read reconstructs from surviving shards (degraded read) while the
+/// recovery queue rebuilds the lost replica in the background.
+TEST(Chaos, DegradedEcReadDuringOutage) {
+  ChaosBed t;
+  const auto file = *t.cluster->populate_file("/cold", 128 * MiB, 3);
+  bool encoded = false;
+  t.cluster->encode_file(file, 4, [&encoded](bool ok) { encoded = ok; });
+  t.sim.run();
+  ASSERT_TRUE(encoded);
+
+  const hdfs::FileInfo* info = t.cluster->metadata().find(file);
+  ASSERT_TRUE(info->erasure_coded);
+  const hdfs::BlockId data0 = info->blocks[0];
+  const auto locs = t.cluster->locations(data0);
+  ASSERT_EQ(locs.size(), 1u);
+  t.cluster->fail_node(locs.front());
+
+  bool read_ok = false;
+  bool degraded = false;
+  t.cluster->read_block(NodeId{(locs.front().value() + 1) % 10}, data0,
+                        [&](const hdfs::ReadOutcome& out) {
+                          read_ok = out.ok;
+                          degraded = out.degraded;
+                        });
+  t.sim.run_until(sim::SimTime{sim::minutes(5.0).micros()});
+  EXPECT_TRUE(read_ok);
+  EXPECT_TRUE(degraded);
+  // Background reconstruction restored the data replica.
+  EXPECT_FALSE(t.cluster->locations(data0).empty());
+  EXPECT_TRUE(t.cluster->file_available(file));
+  EXPECT_EQ(t.cluster->blocks_lost(), 0u);
+}
+
+/// The full lifecycle (hot -> cooled -> cold -> re-warm) survives continuous
+/// chaos: classifications still flip, encode/decode complete, nothing lost.
+TEST(Chaos, LifecycleSurvivesContinuousFaults) {
+  ChaosBed t;
+  core::ErmsConfig cfg = chaos_erms();
+  cfg.thresholds.cold_age = sim::minutes(8.0);
+  core::ErmsManager erms{*t.cluster, t.pool, cfg};
+  const auto file = *t.cluster->populate_file("/life", 128 * MiB, 3);
+  erms.start();
+
+  // Hot phase reads, then silence to cool and encode, then re-warm reads.
+  for (int i = 0; i < 200; ++i) {
+    t.sim.schedule_at(sim::SimTime{static_cast<std::int64_t>(i * 0.6e6)}, [&t, file, i] {
+      t.cluster->read_file(NodeId{static_cast<std::uint32_t>(i % 10)}, file,
+                           [](const hdfs::ReadOutcome&) {});
+    });
+  }
+  for (int i = 0; i < 150; ++i) {
+    t.sim.schedule_at(
+        sim::SimTime{sim::minutes(26.0).micros() + static_cast<std::int64_t>(i * 0.6e6)},
+        [&t, file, i] {
+          t.cluster->read_file(NodeId{static_cast<std::uint32_t>(i % 10)}, file,
+                               [](const hdfs::ReadOutcome&) {});
+        });
+  }
+
+  fault::ChaosOptions opt = soak_options();
+  opt.end = sim::SimTime{sim::minutes(30.0).micros()};
+  opt.mean_gap = sim::seconds(90.0);
+  const fault::FaultPlan plan = fault::FaultPlan::randomized(opt, 99);
+  fault::FaultInjector injector{*t.cluster, &erms.observability()->trace()};
+  injector.arm(plan);
+
+  t.sim.run_until(sim::SimTime{sim::minutes(40.0).micros()});
+
+  const auto& stats = erms.stats();
+  EXPECT_GT(stats.hot_promotions, 0u);
+  EXPECT_GT(stats.encodes, 0u);
+  EXPECT_TRUE(t.cluster->file_available(file));
+  EXPECT_EQ(t.cluster->blocks_lost(), 0u);
+  const fault::InvariantChecker checker{*t.cluster, &erms.scheduler(),
+                                        &erms.observability()->trace()};
+  const fault::InvariantReport report = checker.check(/*converged=*/true);
+  EXPECT_TRUE(report.ok) << report.text;
+  erms.stop();
+}
+
+}  // namespace
+}  // namespace erms

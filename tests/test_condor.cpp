@@ -232,6 +232,171 @@ TEST(JobLog, ReplayReconstructsStatuses) {
   }
 }
 
+// ---------- retry / backoff / timeout ----------
+
+TEST(Retry, FailedJobRetriesWithBackoffThenSucceeds) {
+  sim::Simulation sim;
+  Scheduler::Config cfg;
+  cfg.max_retries = 3;
+  cfg.retry_backoff = sim::seconds(2.0);
+  Scheduler sched{sim, cfg};
+  int calls = 0;
+  sched.register_command("flaky",
+                         [&](const classad::ClassAd&, std::function<void(bool)> done) {
+                           ++calls;
+                           done(calls >= 3);
+                         });
+  JobStatus final_status{};
+  const JobId id = sched.submit(job_ad("flaky"), JobClass::kImmediate, 0,
+                                [&](const Job& j) { final_status = j.status; });
+  sim.run();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(final_status, JobStatus::kCompleted);
+  EXPECT_EQ(sched.find(id)->attempts, 3u);
+  EXPECT_EQ(sched.retries(), 2u);
+
+  // The log shows the retries, and the backoff doubles: attempt 2 at
+  // +2 s, attempt 3 at +2+4 s.
+  std::vector<sim::SimTime> executes;
+  std::size_t retry_records = 0;
+  for (const JobLogRecord& rec : sched.log()) {
+    if (rec.kind == JobLogRecord::Kind::kExecute) {
+      executes.push_back(rec.time);
+    }
+    retry_records += rec.kind == JobLogRecord::Kind::kRetry ? 1 : 0;
+  }
+  ASSERT_EQ(executes.size(), 3u);
+  EXPECT_EQ(retry_records, 2u);
+  EXPECT_NEAR((executes[1] - executes[0]).seconds(), 2.0, 0.1);
+  EXPECT_NEAR((executes[2] - executes[1]).seconds(), 4.0, 0.1);
+}
+
+TEST(Retry, BackoffIsCapped) {
+  sim::Simulation sim;
+  Scheduler::Config cfg;
+  cfg.max_retries = 5;
+  cfg.retry_backoff = sim::seconds(2.0);
+  cfg.retry_backoff_cap = sim::seconds(5.0);
+  Scheduler sched{sim, cfg};
+  sched.register_command("fail", [](const classad::ClassAd&,
+                                    std::function<void(bool)> done) { done(false); });
+  sched.submit(job_ad("fail"), JobClass::kImmediate);
+  sim.run();
+  std::vector<sim::SimTime> executes;
+  for (const JobLogRecord& rec : sched.log()) {
+    if (rec.kind == JobLogRecord::Kind::kExecute) {
+      executes.push_back(rec.time);
+    }
+  }
+  ASSERT_EQ(executes.size(), 6u);  // 1 + 5 retries — bounded, no runaway
+  // Later gaps saturate at the cap instead of doubling forever.
+  EXPECT_NEAR((executes[5] - executes[4]).seconds(), 5.0, 0.1);
+  EXPECT_EQ(sched.retries(), 5u);
+}
+
+TEST(Retry, ExhaustedRetriesRollBack) {
+  sim::Simulation sim;
+  Scheduler::Config cfg;
+  cfg.max_retries = 2;
+  cfg.retry_backoff = sim::seconds(1.0);
+  Scheduler sched{sim, cfg};
+  int rollbacks = 0;
+  sched.register_command(
+      "fail",
+      [](const classad::ClassAd&, std::function<void(bool)> done) { done(false); },
+      [&](const classad::ClassAd&, std::function<void()> fin) {
+        ++rollbacks;
+        fin();
+      });
+  JobStatus final_status{};
+  const JobId id = sched.submit(job_ad("fail"), JobClass::kImmediate, 0,
+                                [&](const Job& j) { final_status = j.status; });
+  sim.run();
+  EXPECT_EQ(final_status, JobStatus::kRolledBack);
+  EXPECT_EQ(sched.find(id)->attempts, 3u);  // 1 + 2 retries
+  EXPECT_EQ(rollbacks, 1) << "rollback fires once, after the last attempt";
+}
+
+TEST(Retry, TimeoutWatchdogRetiresHungAttempts) {
+  sim::Simulation sim;
+  Scheduler::Config cfg;
+  cfg.max_retries = 1;
+  cfg.retry_backoff = sim::seconds(2.0);
+  cfg.job_timeout = sim::seconds(5.0);
+  Scheduler sched{sim, cfg};
+  // The executor hangs forever; completions are stashed to replay late.
+  std::vector<std::function<void(bool)>> stuck;
+  sched.register_command("hang",
+                         [&](const classad::ClassAd&, std::function<void(bool)> done) {
+                           stuck.push_back(std::move(done));
+                         });
+  JobStatus final_status{};
+  const JobId id = sched.submit(job_ad("hang"), JobClass::kImmediate, 0,
+                                [&](const Job& j) { final_status = j.status; });
+  sim.run();
+  // attempt 1 times out at 5 s, retries at 7 s, attempt 2 times out at 12 s.
+  EXPECT_EQ(final_status, JobStatus::kFailed);
+  EXPECT_EQ(sched.timeouts(), 2u);
+  EXPECT_EQ(sched.retries(), 1u);
+  EXPECT_NEAR(sim.now().seconds(), 12.0, 0.1);
+  // A late executor completion from a retired attempt must be ignored.
+  ASSERT_EQ(stuck.size(), 2u);
+  for (auto& done : stuck) {
+    done(true);
+  }
+  sim.run();
+  EXPECT_EQ(sched.find(id)->status, JobStatus::kFailed);
+}
+
+TEST(JobLog, RecoverStatusesMatchesLiveThroughRetries) {
+  // The crash-recovery differential: replaying the log at a mid-run cutoff
+  // and at the end must reproduce the live scheduler's statuses exactly,
+  // across completions, retries, rollbacks, plain failures, and cancels.
+  sim::Simulation sim;
+  Scheduler::Config cfg;
+  cfg.max_retries = 2;
+  cfg.retry_backoff = sim::seconds(1.0);
+  cfg.max_running = 8;
+  Scheduler sched{sim, cfg};
+  int flaky_calls = 0;
+  sched.register_command("ok", [](const classad::ClassAd&,
+                                  std::function<void(bool)> done) { done(true); });
+  sched.register_command("flaky",
+                         [&](const classad::ClassAd&, std::function<void(bool)> done) {
+                           ++flaky_calls;
+                           done(flaky_calls >= 3);
+                         });
+  sched.register_command(
+      "fail_rb",
+      [](const classad::ClassAd&, std::function<void(bool)> done) { done(false); },
+      [](const classad::ClassAd&, std::function<void()> fin) { fin(); });
+  sched.register_command("fail", [](const classad::ClassAd&,
+                                    std::function<void(bool)> done) { done(false); });
+  sched.submit(job_ad("ok"), JobClass::kImmediate);
+  sched.submit(job_ad("flaky"), JobClass::kImmediate);
+  sched.submit(job_ad("fail_rb"), JobClass::kImmediate);
+  sched.submit(job_ad("fail"), JobClass::kImmediate);
+  const JobId cancelled = sched.submit(job_ad("ok"), JobClass::kWhenIdle, -5);
+  sched.set_idle_probe([] { return false; });  // keep it queued
+  sched.cancel(cancelled);
+
+  // Mid-run cutoff: retries still in flight.
+  sim.run_until(sim::SimTime{sim::seconds(1.5).micros()});
+  for (const auto& [id, status] : recover_statuses(sched.log())) {
+    ASSERT_NE(sched.find(id), nullptr);
+    EXPECT_EQ(sched.find(id)->status, status) << "mid-run divergence, job " << id.value();
+  }
+
+  sim.run();
+  const auto statuses = recover_statuses(sched.log());
+  EXPECT_EQ(statuses.size(), 5u);
+  for (const auto& [id, status] : statuses) {
+    ASSERT_NE(sched.find(id), nullptr);
+    EXPECT_EQ(sched.find(id)->status, status) << "final divergence, job " << id.value();
+  }
+  EXPECT_EQ(statuses.at(cancelled), JobStatus::kCancelled);
+}
+
 // ---------- machine ads ----------
 
 TEST(Machines, AdvertiseAndQuery) {

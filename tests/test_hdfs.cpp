@@ -8,6 +8,7 @@
 #include "hdfs/failure_detector.h"
 #include "hdfs/namespace.h"
 #include "hdfs/topology.h"
+#include "obs/observability.h"
 
 namespace erms::hdfs {
 namespace {
@@ -369,6 +370,33 @@ TEST(ClusterWrite, PipelinePlacesAllReplicas) {
   // First replica lands on the writer (default policy).
   EXPECT_TRUE(f.cluster->node_has_block(NodeId{2}, info->blocks[0]));
   EXPECT_GT(f.sim.now().seconds(), 0.0);
+}
+
+TEST(ClusterWrite, NodeFailureMidWriteAbortsAndAccountsPartialBytes) {
+  Fixture f;
+  obs::Observability obs{1024};
+  f.cluster->set_observability(&obs);
+  bool done = true;
+  const auto file =
+      f.cluster->write_file("/w", 128 * MiB, NodeId{2}, [&](bool ok) { done = ok; });
+  ASSERT_TRUE(file.has_value());
+  // Kill the writer while the pipeline is mid-transfer.
+  f.sim.schedule_after(sim::seconds(0.2), [&f] { f.cluster->fail_node(NodeId{2}); });
+  f.sim.run();
+  EXPECT_FALSE(done) << "write must report failure when its pipeline is torn down";
+  EXPECT_GT(f.cluster->network().flows_aborted(), 0u);
+  EXPECT_GT(f.cluster->network().bytes_aborted(), 0u);
+  // The teardown is attributable: a kFlowAborted trace event carries the
+  // partial byte count.
+  bool saw_abort = false;
+  for (const obs::TraceEvent& ev : obs.trace().snapshot()) {
+    if (ev.kind == obs::ActionKind::kFlowAborted) {
+      saw_abort = true;
+      EXPECT_GT(ev.bytes_moved, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_abort);
+  f.cluster->set_observability(nullptr);
 }
 
 TEST(ClusterWrite, DuplicatePathFails) {
@@ -769,6 +797,89 @@ TEST(FailureDetection, SilenceTracksMutedNodes) {
   EXPECT_GE(detector.silence(NodeId{3}).seconds(), 9.0);
   EXPECT_LE(detector.silence(NodeId{0}).seconds(), 3.1);
   detector.stop();
+}
+
+TEST(FailureDetection, ToleranceBoundaryIsExclusive) {
+  // deadline = interval × tolerance = 15 s. Silence of exactly 15 s (the
+  // tick at t=15) must NOT declare the node dead — only silence strictly
+  // greater (the t=18 tick) does. Guards the > vs >= off-by-one.
+  Fixture f;
+  FailureDetector::Config cfg;
+  cfg.heartbeat_interval = sim::seconds(3.0);
+  cfg.tolerance = 5;
+  FailureDetector detector{*f.cluster, cfg};
+  detector.start();
+  detector.mute(NodeId{4});  // last heartbeat stays at t=0
+
+  f.sim.run_until(sim::SimTime{sim::seconds(15.5).micros()});
+  EXPECT_EQ(f.cluster->node(NodeId{4}).state, NodeState::kActive)
+      << "silence == deadline must not declare death";
+  EXPECT_EQ(detector.failures_declared(), 0u);
+
+  f.sim.run_until(sim::SimTime{sim::seconds(18.5).micros()});
+  EXPECT_EQ(f.cluster->node(NodeId{4}).state, NodeState::kDead);
+  EXPECT_EQ(detector.failures_declared(), 1u);
+  detector.stop();
+}
+
+TEST(FailureDetection, UnmuteAfterDeathReregistersAndDropsSurplus) {
+  // The node was declared dead, recovery restored its replicas elsewhere,
+  // then the node comes back (datanode re-registration): it revives, and
+  // its stale replicas — now surplus — are reconciled away.
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 128 * MiB, 3);
+  FailureDetector::Config cfg;
+  cfg.heartbeat_interval = sim::seconds(3.0);
+  cfg.tolerance = 5;
+  FailureDetector detector{*f.cluster, cfg};
+  detector.start();
+
+  const NodeId victim =
+      f.cluster->locations(f.cluster->metadata().find(*file)->blocks[0]).front();
+  const std::size_t held_before = f.cluster->node(victim).blocks.size();
+  ASSERT_GT(held_before, 0u);
+  f.sim.schedule_after(sim::seconds(5.0), [&] { detector.mute(victim); });
+  f.sim.run_until(sim::SimTime{sim::minutes(3.0).micros()});
+  ASSERT_EQ(f.cluster->node(victim).state, NodeState::kDead);
+  for (const BlockId b : f.cluster->metadata().find(*file)->blocks) {
+    ASSERT_EQ(f.cluster->locations(b).size(), 3u);  // recovery done
+  }
+
+  detector.unmute(victim);
+  EXPECT_EQ(f.cluster->node(victim).state, NodeState::kActive);
+  EXPECT_EQ(detector.reregistrations(), 1u);
+  EXPECT_EQ(f.cluster->nodes_revived(), 1u);
+  // Every stale replica was surplus; none rejoined the block map.
+  for (const BlockId b : f.cluster->metadata().find(*file)->blocks) {
+    EXPECT_EQ(f.cluster->locations(b).size(), 3u);
+    EXPECT_FALSE(f.cluster->node_has_block(victim, b));
+  }
+  // And the revived node is not instantly re-declared dead.
+  f.sim.run_until(sim::SimTime{sim::minutes(4.0).micros()});
+  EXPECT_EQ(f.cluster->node(victim).state, NodeState::kActive);
+  EXPECT_EQ(detector.failures_declared(), 1u);
+  detector.stop();
+}
+
+TEST(FailureDetection, EarlyRevivalReclaimsStaleReplicas) {
+  // The node revives before recovery replaced its replicas: still-needed
+  // stale replicas rejoin the block map instantly instead of being copied.
+  Fixture f;
+  const auto file = f.cluster->populate_file("/f", 64 * MiB, 3);
+  const BlockId block = f.cluster->metadata().find(*file)->blocks[0];
+  const NodeId victim = f.cluster->locations(block).front();
+
+  f.sim.schedule_after(sim::seconds(1.0), [&] { f.cluster->fail_node(victim); });
+  f.sim.schedule_after(sim::seconds(1.5), [&] {
+    ASSERT_EQ(f.cluster->locations(block).size(), 2u);
+    ASSERT_TRUE(f.cluster->revive_node(victim));
+    // Reconciliation is instant: the on-disk replica counts again.
+    EXPECT_TRUE(f.cluster->node_has_block(victim, block));
+    EXPECT_EQ(f.cluster->locations(block).size(), 3u);
+  });
+  f.sim.run_until(sim::SimTime{sim::minutes(2.0).micros()});
+  EXPECT_GE(f.cluster->locations(block).size(), 3u);
+  EXPECT_EQ(f.cluster->blocks_lost(), 0u);
 }
 
 // ---------- corruption & checksums ----------

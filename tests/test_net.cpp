@@ -254,5 +254,96 @@ TEST(Network, ManyFlowsAllComplete) {
   EXPECT_EQ(net.active_flows(), 0u);
 }
 
+TEST(NetworkFaults, AbortAccountsPartialBytes) {
+  sim::Simulation sim;
+  NetworkModel net{sim, small_fabric()};
+  // Disk-bound at 80 MB/s; abort at 0.5 s → exactly 40 MB made it across.
+  bool completed = false;
+  std::uint64_t partial = 0;
+  NetworkModel::FlowOptions opts;
+  opts.on_abort = [&](FlowId, std::uint64_t bytes) { partial = bytes; };
+  const FlowId id =
+      net.start_flow(0, 1, 80'000'000, opts, [&](FlowId) { completed = true; });
+  sim.schedule_at(sim::SimTime{sim::seconds(0.5).micros()}, [&] { net.abort_flow(id); });
+  sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_NEAR(static_cast<double>(partial), 40'000'000.0, 1e3);
+  EXPECT_EQ(net.flows_aborted(), 1u);
+  EXPECT_EQ(net.bytes_aborted(), partial);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(NetworkFaults, AbortFlowsTouchingNodeIsDeterministic) {
+  sim::Simulation sim;
+  NetworkModel net{sim, small_fabric()};
+  std::vector<std::uint64_t> aborted_order;
+  NetworkModel::FlowOptions opts;
+  opts.on_abort = [&](FlowId id, std::uint64_t) { aborted_order.push_back(id.value()); };
+  net.start_flow(0, 1, 50'000'000, opts, [](FlowId) {});
+  net.start_flow(2, 0, 50'000'000, opts, [](FlowId) {});
+  net.start_flow(2, 3, 50'000'000, opts, [](FlowId) {});  // does not touch node 0
+  sim.schedule_at(sim::SimTime{sim::seconds(0.1).micros()}, [&] {
+    const auto victims = net.abort_flows_touching(0);
+    EXPECT_EQ(victims.size(), 2u);
+    // FlowId order, for replayable accounting.
+    EXPECT_LT(victims[0].id.value(), victims[1].id.value());
+  });
+  sim.run();
+  ASSERT_EQ(aborted_order.size(), 2u);
+  EXPECT_LT(aborted_order[0], aborted_order[1]);
+  EXPECT_EQ(net.flows_aborted(), 2u);
+  EXPECT_EQ(net.active_flows(), 0u);  // third flow ran to completion
+}
+
+TEST(NetworkFaults, TimeoutAbortsSlowFlow) {
+  sim::Simulation sim;
+  NetworkModel net{sim, small_fabric()};
+  bool completed = false;
+  bool aborted = false;
+  NetworkModel::FlowOptions opts;
+  opts.timeout = sim::seconds(0.25);
+  opts.on_abort = [&](FlowId, std::uint64_t) { aborted = true; };
+  net.start_flow(0, 1, 80'000'000, opts, [&](FlowId) { completed = true; });
+  sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_TRUE(aborted);
+  EXPECT_NEAR(sim.now().seconds(), 0.25, 1e-5);
+}
+
+TEST(NetworkFaults, TimeoutCancelledOnCompletion) {
+  sim::Simulation sim;
+  NetworkModel net{sim, small_fabric()};
+  bool completed = false;
+  bool aborted = false;
+  NetworkModel::FlowOptions opts;
+  opts.timeout = sim::seconds(10.0);
+  opts.on_abort = [&](FlowId, std::uint64_t) { aborted = true; };
+  net.start_flow(0, 1, 8'000'000, opts, [&](FlowId) { completed = true; });
+  sim.run();
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(aborted);
+}
+
+TEST(NetworkFaults, NodeDegradationSlowsFlows) {
+  sim::Simulation sim;
+  NetworkModel net{sim, small_fabric()};
+  // Halve node 0's link capacities: the disk-bound 80 MB/s path drops to
+  // 40 MB/s, so 40 MB takes 1 s instead of 0.5 s.
+  net.set_node_degradation(0, 0.5);
+  bool done = false;
+  net.start_flow(0, 1, 40'000'000, {}, [&](FlowId) { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(sim.now().seconds(), 1.0, 1e-5);
+  // Restoring mid-run speeds the next flow back up.
+  net.set_node_degradation(0, 1.0);
+  done = false;
+  const sim::SimTime before = sim.now();
+  net.start_flow(0, 1, 40'000'000, {}, [&](FlowId) { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR((sim.now() - before).seconds(), 0.5, 1e-5);
+}
+
 }  // namespace
 }  // namespace erms::net
