@@ -6,19 +6,55 @@
 // the benches reproduce the *shapes* (who wins, by what factor, where the
 // crossovers fall) and EXPERIMENTS.md records paper-vs-measured.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "core/erms.h"
 #include "hdfs/cluster.h"
 #include "util/table.h"
 
 namespace erms::bench {
+
+/// Process peak resident set size in bytes — the scale benches' headline
+/// memory figure. Prefers /proc/self/status VmHWM (Linux, byte-exact high
+/// water mark); falls back to getrusage ru_maxrss. Returns 0 if neither
+/// source is available.
+inline std::uint64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::uint64_t kib = 0;
+      fields >> kib;
+      if (kib > 0) {
+        return kib * 1024;
+      }
+    }
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
 
 /// The paper's datanode count and rack layout.
 inline constexpr std::size_t kRacks = 3;

@@ -98,6 +98,9 @@ int run() {
               static_cast<unsigned long long>(stats.cooldowns),
               static_cast<unsigned long long>(stats.encodes),
               static_cast<unsigned long long>(stats.decodes));
+  // stdout only — never part of the byte-compared ERMS_CHAOS_REPORT file.
+  std::printf("peak_rss_bytes=%llu\n",
+              static_cast<unsigned long long>(peak_rss_bytes()));
 
   if (const char* path = std::getenv("ERMS_CHAOS_REPORT")) {
     std::ofstream out{path};

@@ -1,0 +1,245 @@
+// Macro-scale benchmark: how far past the paper's 19-node testbed the
+// simulator's hot state now stretches. Builds a large cluster, bulk-ingests
+// millions of files through the interned/sharded namespace, replays a long
+// synthetic audit stream through the real feed→CEP→judge pipeline, and runs
+// full Data Judge sweeps over every file — then reports ingest and replay
+// throughput, peak RSS, and the sim-time/wall-time ratio as BENCH_scale.json.
+//
+// Knobs (environment):
+//   ERMS_SCALE_NODES   datanode count                (default 10000)
+//   ERMS_SCALE_FILES   files to ingest               (default 5000000)
+//   ERMS_SCALE_EVENTS  audit events to replay        (default 100000000)
+//   ERMS_SCALE_OUT     where to write the JSON       (default BENCH_scale.json)
+//
+// The access pattern is uniform over all files so the judge's verdicts stay
+// "normal" — the bench measures metadata-plane capacity (ingest, windowed
+// counting, classification sweeps), not the action pipeline, which the
+// figure benches already cover at paper scale.
+#include "bench_common.h"
+
+#include <chrono>
+#include <random>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace erms::bench {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  return std::strtoull(v, nullptr, 10);
+}
+
+/// O(replicas) placement for bulk ingest: stride-probe from a hash of the
+/// block id instead of scanning every node per replica (the default policy's
+/// rack-aware scan is O(nodes) per pick — fine at 18 nodes, ruinous at 10k).
+class ScalePlacement final : public hdfs::PlacementPolicy {
+ public:
+  explicit ScalePlacement(std::uint32_t node_count) : node_count_(node_count) {}
+
+  [[nodiscard]] std::vector<hdfs::NodeId> choose_targets(
+      const hdfs::Cluster& cluster, hdfs::BlockId block, std::size_t count,
+      std::optional<hdfs::NodeId> /*writer*/, sim::Rng& /*rng*/) const override {
+    std::vector<hdfs::NodeId> chosen;
+    chosen.reserve(count);
+    std::uint64_t h = block.value() * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+    // A prime stride coprime to node_count_ visits every node eventually;
+    // in practice the first `count` probes land on distinct, writable nodes.
+    const std::uint64_t stride = 1 + (h >> 33) % 97;
+    std::uint64_t at = h % node_count_;
+    for (std::size_t probe = 0; probe < count * 8 + 16 && chosen.size() < count;
+         ++probe) {
+      const hdfs::NodeId cand{static_cast<std::uint32_t>(at)};
+      at = (at + stride) % node_count_;
+      const hdfs::DataNode& dn = cluster.node(cand);
+      if (dn.state != hdfs::NodeState::kActive) {
+        continue;
+      }
+      bool dup = false;
+      for (const hdfs::NodeId c : chosen) {
+        dup = dup || c == cand;
+      }
+      if (!dup) {
+        chosen.push_back(cand);
+      }
+    }
+    return chosen;
+  }
+
+  [[nodiscard]] std::optional<hdfs::NodeId> choose_replica_to_remove(
+      const hdfs::Cluster& cluster, hdfs::BlockId block,
+      sim::Rng& /*rng*/) const override {
+    const auto& locs = cluster.locations_view(block);
+    if (locs.empty()) {
+      return std::nullopt;
+    }
+    return locs[locs.size() - 1];
+  }
+
+  [[nodiscard]] std::string name() const override { return "scale-stride"; }
+
+ private:
+  std::uint32_t node_count_;
+};
+
+int run() {
+  const std::uint64_t want_nodes = env_u64("ERMS_SCALE_NODES", 10'000);
+  const std::uint64_t files = env_u64("ERMS_SCALE_FILES", 5'000'000);
+  const std::uint64_t events = env_u64("ERMS_SCALE_EVENTS", 100'000'000);
+  const char* out_path = std::getenv("ERMS_SCALE_OUT");
+  if (out_path == nullptr || *out_path == '\0') {
+    out_path = "BENCH_scale.json";
+  }
+
+  const std::size_t per_rack = want_nodes >= 40 ? 40 : want_nodes;
+  const std::size_t racks = std::max<std::size_t>(1, want_nodes / per_rack);
+  const std::uint32_t nodes = static_cast<std::uint32_t>(racks * per_rack);
+
+  sim::Simulation sim;
+  hdfs::Topology topo = hdfs::Topology::uniform(racks, per_rack);
+  hdfs::ClusterConfig ccfg;
+  ccfg.namespace_shards = std::max(1u, std::thread::hardware_concurrency());
+  hdfs::Cluster cluster{sim, topo, ccfg};
+  cluster.set_placement_policy(std::make_shared<ScalePlacement>(nodes));
+
+  core::ErmsConfig ecfg;
+  ecfg.thresholds.window = sim::seconds(60.0);
+  // Keep the action pipeline quiet: a uniform stream at 10k events/s would
+  // trip formula (4) on every node (τ_DN defaults to 19-node scale), turning
+  // the bench into an action storm. Metadata-plane capacity is the question
+  // here; the figure benches exercise the actions.
+  ecfg.thresholds.tau_M = 1e12;
+  ecfg.thresholds.M_M = 1e12;
+  ecfg.thresholds.M_m = 1e11;
+  ecfg.thresholds.tau_DN = 1e15;
+  ecfg.manage_standby_power = false;
+  ecfg.heal_capacity = false;
+  core::ErmsManager erms{cluster, /*standby_pool=*/{}, ecfg};
+
+  std::printf("macro_scale nodes=%u files=%llu events=%llu namespace_shards=%zu\n",
+              nodes, static_cast<unsigned long long>(files),
+              static_cast<unsigned long long>(events), ccfg.namespace_shards);
+
+  // ---- phase 1: bulk ingest ------------------------------------------------
+  const auto populate_start = std::chrono::steady_clock::now();
+  util::ThreadPool pool;
+  constexpr std::uint64_t kBatch = 250'000;
+  constexpr std::uint64_t kFileBytes = 8 * util::MiB;  // 1 block per file
+  std::uint64_t created = 0;
+  std::vector<hdfs::Namespace::FileSpec> specs;
+  for (std::uint64_t base = 0; base < files; base += kBatch) {
+    const std::uint64_t n = std::min(kBatch, files - base);
+    specs.clear();
+    specs.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      hdfs::Namespace::FileSpec spec;
+      spec.path = "/s/f" + std::to_string(base + i);
+      spec.size = kFileBytes;
+      spec.block_size = kFileBytes;
+      spec.replication = 3;
+      specs.push_back(std::move(spec));
+    }
+    for (const auto& id : cluster.populate_files(specs, &pool)) {
+      created += id ? 1 : 0;
+    }
+  }
+  const double populate_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - populate_start)
+          .count();
+  std::printf("ingest: %llu files in %.2fs (%.0f files/s)\n",
+              static_cast<unsigned long long>(created), populate_s,
+              static_cast<double>(created) / std::max(populate_s, 1e-9));
+
+  // ---- phase 2: audit replay + judge sweeps --------------------------------
+  // Every event advances sim time 100µs (10k events per sim-second), so the
+  // 60s window holds a bounded slice of the stream however long the replay.
+  const auto replay_start = std::chrono::steady_clock::now();
+  std::mt19937_64 rng{20120919};  // the paper's CloudCom 2012 vintage
+  audit::AuditEvent e;
+  e.allowed = true;
+  std::int64_t t_us = 0;
+  const std::uint64_t advance_every = 1'000'000;
+  const std::uint64_t evaluate_every = std::max<std::uint64_t>(1, events / 8);
+  std::uint64_t sweeps = 0;
+  judge::AccessStatsFeed& feed = erms.feed();
+  for (std::uint64_t i = 0; i < events; ++i) {
+    const auto fid = static_cast<std::uint32_t>(1 + rng() % created);
+    const hdfs::FileInfo* info = cluster.metadata().find(hdfs::FileId{fid});
+    t_us += 100;
+    e.time = sim::SimTime{t_us};
+    e.fid = fid;
+    e.src = info->path;
+    if ((rng() & 3) == 0) {
+      e.cmd = "open";
+      e.block = -1;
+      e.datanode = -1;
+    } else {
+      e.cmd = "read";
+      e.block = info->blocks.empty()
+                    ? -1
+                    : static_cast<std::int64_t>(info->blocks[0].value());
+      e.datanode = static_cast<std::int64_t>(fid % nodes);
+    }
+    feed.on_audit(e);
+    if ((i + 1) % advance_every == 0) {
+      feed.advance_to(sim::SimTime{t_us});
+    }
+    if ((i + 1) % evaluate_every == 0) {
+      sim.run_until(sim::SimTime{t_us});
+      erms.evaluate();
+      ++sweeps;
+    }
+  }
+  const double replay_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - replay_start)
+          .count();
+  const double sim_s = static_cast<double>(t_us) / 1e6;
+  const double events_per_s = static_cast<double>(events) / std::max(replay_s, 1e-9);
+  const std::uint64_t rss = peak_rss_bytes();
+
+  std::printf(
+      "replay: %llu events in %.2fs (%.0f events/s), %llu judge sweeps over %llu "
+      "files\n",
+      static_cast<unsigned long long>(events), replay_s, events_per_s,
+      static_cast<unsigned long long>(sweeps),
+      static_cast<unsigned long long>(created));
+  std::printf("sim %.1fs / wall %.2fs = %.2fx realtime, peak RSS %.2f GiB\n", sim_s,
+              replay_s, sim_s / std::max(replay_s, 1e-9),
+              static_cast<double>(rss) / static_cast<double>(util::GiB));
+
+  std::ofstream out{out_path};
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path);
+    return 1;
+  }
+  out << "{\n"
+      << "  \"nodes\": " << nodes << ",\n"
+      << "  \"files\": " << created << ",\n"
+      << "  \"events\": " << events << ",\n"
+      << "  \"namespace_shards\": " << ccfg.namespace_shards << ",\n"
+      << "  \"populate_seconds\": " << populate_s << ",\n"
+      << "  \"files_per_second\": "
+      << static_cast<double>(created) / std::max(populate_s, 1e-9) << ",\n"
+      << "  \"replay_seconds\": " << replay_s << ",\n"
+      << "  \"events_per_second\": " << events_per_s << ",\n"
+      << "  \"sim_seconds\": " << sim_s << ",\n"
+      << "  \"sim_over_wall\": " << sim_s / std::max(replay_s, 1e-9) << ",\n"
+      << "  \"judge_sweeps\": " << sweeps << ",\n"
+      << "  \"peak_rss_bytes\": " << rss << ",\n"
+      << "  \"peak_rss_per_file\": "
+      << (created > 0 ? static_cast<double>(rss) / static_cast<double>(created) : 0.0)
+      << "\n"
+      << "}\n";
+  std::printf("(json written to %s)\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace erms::bench
+
+int main() { return erms::bench::run(); }

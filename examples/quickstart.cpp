@@ -56,8 +56,7 @@ int main() {
       const hdfs::FileInfo* h = cluster.metadata().find(*hot);
       const hdfs::FileInfo* c = cluster.metadata().find(*cold);
       auto type_of = [&](const std::string& path) {
-        const auto it = erms.current_types().find(path);
-        return it == erms.current_types().end() ? "unseen" : judge::to_string(it->second);
+        return judge::to_string(erms.current_type(path));
       };
       std::printf(
           "t=%2d min  trending: rep=%u type=%-6s   archive: rep=%u coded=%d type=%-6s  "

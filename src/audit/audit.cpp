@@ -114,6 +114,7 @@ AuditSlots AuditSlots::resolve(cep::SymbolTable& attrs, cep::SymbolTable& stream
   s.dst = attrs.intern("dst");
   s.blk = attrs.intern("blk");
   s.dn = attrs.intern("dn");
+  s.fid = attrs.intern("fid");
   return s;
 }
 
@@ -132,6 +133,9 @@ std::string AuditEvent::to_line() const {
   }
   if (datanode) {
     line += " dn=" + std::to_string(*datanode);
+  }
+  if (fid != 0) {
+    line += " fid=" + std::to_string(fid);
   }
   return line;
 }
@@ -152,6 +156,9 @@ cep::Event AuditEvent::to_cep_event() const {
   if (datanode) {
     event.with_int("dn", *datanode);
   }
+  if (fid != 0) {
+    event.with_int("fid", fid);
+  }
   return event;
 }
 
@@ -170,6 +177,9 @@ void AuditEvent::to_slotted(const AuditSlots& slots, cep::SlottedEvent& out) con
   }
   if (datanode) {
     out.set_int(slots.dn, *datanode);
+  }
+  if (fid != 0) {
+    out.set_int(slots.fid, fid);
   }
 }
 
@@ -219,6 +229,8 @@ std::optional<AuditEvent> AuditLogParser::parse_line(std::string_view line) {
       event.block = parse_i64(value);
     } else if (key == "dn") {
       event.datanode = parse_i64(value);
+    } else if (key == "fid") {
+      event.fid = parse_i64(value);
     }
   }
   if (!saw_cmd || !saw_field) {

@@ -456,6 +456,24 @@ std::vector<ResultRow> Engine::snapshot(QueryId id) {
   return out;
 }
 
+void Engine::for_each_group_count(QueryId id, const GroupCountVisitor& fn) {
+  const QueryState* qs = find_query(id);
+  if (qs == nullptr) {
+    return;
+  }
+  // Sort by joined key so scalar and sharded iteration agree exactly.
+  std::vector<const GroupState*> groups;
+  groups.reserve(qs->groups.size());
+  for (const auto& [h, g] : qs->groups) {
+    groups.push_back(&g);
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const GroupState* a, const GroupState* b) { return a->key < b->key; });
+  for (const GroupState* g : groups) {
+    fn(g->key_values, g->count);
+  }
+}
+
 std::optional<ResultRow> Engine::group_row(QueryId id, const std::vector<std::string>& key) {
   const QueryState* qs = find_query(id);
   if (qs == nullptr) {

@@ -58,6 +58,14 @@ class EngineBase {
   [[nodiscard]] virtual std::optional<ResultRow> group_row(
       QueryId id, const std::vector<std::string>& key) = 0;
 
+  /// Visit every group of `id` as (group-by values, window event count),
+  /// sorted by joined group key — the same order in the scalar and sharded
+  /// engines, so consumers iterating groups behave identically under either.
+  /// Unlike snapshot(), this renders no rows and allocates no ClassAds.
+  using GroupCountVisitor =
+      std::function<void(const std::vector<std::string>& key_values, std::uint64_t count)>;
+  virtual void for_each_group_count(QueryId id, const GroupCountVisitor& fn) = 0;
+
   [[nodiscard]] virtual std::size_t query_count() const = 0;
   [[nodiscard]] virtual std::uint64_t events_processed() const = 0;
 
@@ -94,6 +102,7 @@ class Engine final : public EngineBase {
   [[nodiscard]] std::vector<ResultRow> snapshot(QueryId id) override;
   [[nodiscard]] std::optional<ResultRow> group_row(
       QueryId id, const std::vector<std::string>& key) override;
+  void for_each_group_count(QueryId id, const GroupCountVisitor& fn) override;
   [[nodiscard]] std::size_t query_count() const override { return queries_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const override { return events_processed_; }
   [[nodiscard]] SymbolTable& attr_symbols() override { return *attrs_; }

@@ -239,6 +239,14 @@ std::vector<ResultRow> ShardedEngine::snapshot(QueryId id) {
   return out;
 }
 
+void ShardedEngine::for_each_group_count(QueryId id, const GroupCountVisitor& fn) {
+  // merged_raw sums per-shard counts and sorts by joined key, so the visit
+  // order and counts are byte-identical to the scalar engine's.
+  for (const Engine::RawGroup& g : merged_raw(id)) {
+    fn(g.key_values, g.count);
+  }
+}
+
 std::optional<ResultRow> ShardedEngine::group_row(QueryId id,
                                                   const std::vector<std::string>& key) {
   flush();

@@ -52,6 +52,7 @@ class ShardedEngine final : public EngineBase {
   [[nodiscard]] std::vector<ResultRow> snapshot(QueryId id) override;
   [[nodiscard]] std::optional<ResultRow> group_row(
       QueryId id, const std::vector<std::string>& key) override;
+  void for_each_group_count(QueryId id, const GroupCountVisitor& fn) override;
   [[nodiscard]] std::size_t query_count() const override;
   [[nodiscard]] std::uint64_t events_processed() const override { return events_; }
   [[nodiscard]] SymbolTable& attr_symbols() override { return *attrs_; }

@@ -11,6 +11,19 @@ namespace {
 constexpr int kPriorityUrgent = 10;
 constexpr int kPriorityBackground = 0;
 
+/// Executor-side lookup: jobs carry the interned id (authoritative) plus the
+/// path string (for operators reading the queue). Returns nullptr when the
+/// file vanished between submit and execution.
+const hdfs::FileInfo* file_for_ad(const hdfs::Cluster& cluster,
+                                  const classad::ClassAd& ad) {
+  const auto fid = ad.get_int("Fid");
+  if (!fid || *fid <= 0) {
+    return nullptr;
+  }
+  return cluster.metadata().find(
+      hdfs::FileId{static_cast<hdfs::FileId::rep_type>(*fid)});
+}
+
 obs::ActionKind action_kind_for(const std::string& cmd) {
   if (cmd == "increase_replication") {
     return obs::ActionKind::kReplicaIncrease;
@@ -31,6 +44,10 @@ std::unique_ptr<cep::EngineBase> make_judge_engine(const ErmsConfig& config) {
   cep::ShardedEngineOptions opts;
   opts.shards = config.judge_shards;
   opts.batch_events = config.judge_batch_events;
+  // Route by the interned file id: all four standing queries group by fid
+  // (or by dn, which every shard can answer after the merge), so same-file
+  // events land on one shard and the merge stays cheap.
+  opts.route_by = "fid";
   return std::make_unique<cep::ShardedEngine>(opts);
 }
 }  // namespace
@@ -179,10 +196,8 @@ void ErmsManager::register_executors() {
   scheduler_.register_command(
       "increase_replication",
       [this](const classad::ClassAd& ad, std::function<void(bool)> done) {
-        const auto path = ad.get_string("File");
         const auto target = ad.get_int("Target");
-        const hdfs::FileInfo* info =
-            path ? cluster_.metadata().find_path(*path) : nullptr;
+        const hdfs::FileInfo* info = file_for_ad(cluster_, ad);
         if (info == nullptr || !target) {
           done(false);
           return;
@@ -199,10 +214,8 @@ void ErmsManager::register_executors() {
         });
       },
       [this](const classad::ClassAd& ad, std::function<void()> rolled_back) {
-        const auto path = ad.get_string("File");
         const auto previous = ad.get_int("Previous");
-        const hdfs::FileInfo* info =
-            path ? cluster_.metadata().find_path(*path) : nullptr;
+        const hdfs::FileInfo* info = file_for_ad(cluster_, ad);
         if (info == nullptr || !previous) {
           rolled_back();
           return;
@@ -217,10 +230,8 @@ void ErmsManager::register_executors() {
   scheduler_.register_command(
       "decrease_replication",
       [this](const classad::ClassAd& ad, std::function<void(bool)> done) {
-        const auto path = ad.get_string("File");
         const auto target = ad.get_int("Target");
-        const hdfs::FileInfo* info =
-            path ? cluster_.metadata().find_path(*path) : nullptr;
+        const hdfs::FileInfo* info = file_for_ad(cluster_, ad);
         if (info == nullptr || !target) {
           done(false);
           return;
@@ -239,9 +250,7 @@ void ErmsManager::register_executors() {
   // Erasure-encode cold data.
   scheduler_.register_command(
       "encode", [this](const classad::ClassAd& ad, std::function<void(bool)> done) {
-        const auto path = ad.get_string("File");
-        const hdfs::FileInfo* info =
-            path ? cluster_.metadata().find_path(*path) : nullptr;
+        const hdfs::FileInfo* info = file_for_ad(cluster_, ad);
         if (info == nullptr) {
           done(false);
           return;
@@ -257,10 +266,8 @@ void ErmsManager::register_executors() {
   // Decode re-warmed cold data back to replication.
   scheduler_.register_command(
       "decode", [this](const classad::ClassAd& ad, std::function<void(bool)> done) {
-        const auto path = ad.get_string("File");
         const auto target = ad.get_int("Target");
-        const hdfs::FileInfo* info =
-            path ? cluster_.metadata().find_path(*path) : nullptr;
+        const hdfs::FileInfo* info = file_for_ad(cluster_, ad);
         if (info == nullptr || !target) {
           done(false);
           return;
@@ -269,19 +276,41 @@ void ErmsManager::register_executors() {
       });
 }
 
-void ErmsManager::submit_change(const std::string& path, const std::string& cmd,
+void ErmsManager::set_in_flight(hdfs::FileId file) {
+  const std::size_t idx = file.value();
+  if (in_flight_.size() <= idx) {
+    in_flight_.resize(idx + 1, 0);
+  }
+  if (in_flight_[idx] == 0) {
+    in_flight_[idx] = 1;
+    ++in_flight_count_;
+  }
+}
+
+void ErmsManager::clear_in_flight(hdfs::FileId file) {
+  const std::size_t idx = file.value();
+  if (idx < in_flight_.size() && in_flight_[idx] != 0) {
+    in_flight_[idx] = 0;
+    --in_flight_count_;
+  }
+}
+
+void ErmsManager::submit_change(hdfs::FileId file, const std::string& cmd,
                                 std::uint32_t target, condor::JobClass sched_class,
                                 int priority, ActionContext ctx) {
-  const hdfs::FileInfo* info = cluster_.metadata().find_path(path);
+  const hdfs::FileInfo* info = cluster_.metadata().find(file);
   if (info == nullptr) {
     return;
   }
   classad::ClassAd ad;
   ad.insert_string("Cmd", cmd);
-  ad.insert_string("File", path);
+  // The id is what the executors act on; the path rides along so operators
+  // querying the Condor queue still see a readable name.
+  ad.insert_int("Fid", static_cast<std::int64_t>(file.value()));
+  ad.insert_string("File", std::string(info->path));
   ad.insert_int("Target", target);
   ad.insert_int("Previous", info->replication);
-  in_flight_.insert(path);
+  set_in_flight(file);
 
   // Snapshot the file's replica footprint so the terminate event can report
   // the node-set delta and the bytes the action actually moved or deleted.
@@ -289,7 +318,7 @@ void ErmsManager::submit_change(const std::string& path, const std::string& cmd,
   std::shared_ptr<Footprint> before;
   const std::uint32_t rep_before = info->replication;
   if (obs_ != nullptr) {
-    obs_->registry().set(obs_ids_.in_flight, static_cast<double>(in_flight_.size()));
+    obs_->registry().set(obs_ids_.in_flight, static_cast<double>(in_flight_count_));
     before = std::make_shared<Footprint>();
     for (const hdfs::BlockId b : info->blocks) {
       (*before)[b] = cluster_.locations(b);
@@ -299,10 +328,12 @@ void ErmsManager::submit_change(const std::string& path, const std::string& cmd,
     }
   }
 
+  std::string path(info->path);
   scheduler_.submit(
       std::move(ad), sched_class, priority,
-      [this, path, cmd, ctx, rep_before, before](const condor::Job& job) {
-        in_flight_.erase(path);
+      [this, file, path = std::move(path), cmd, ctx, rep_before,
+       before](const condor::Job& job) {
+        clear_in_flight(file);
         if (job.status != condor::JobStatus::kCompleted) {
           ++stats_.jobs_failed;
           if (obs_ != nullptr) {
@@ -312,7 +343,7 @@ void ErmsManager::submit_change(const std::string& path, const std::string& cmd,
         if (obs_ == nullptr) {
           return;
         }
-        obs_->registry().set(obs_ids_.in_flight, static_cast<double>(in_flight_.size()));
+        obs_->registry().set(obs_ids_.in_flight, static_cast<double>(in_flight_count_));
 
         obs::TraceEvent ev;
         ev.kind = action_kind_for(cmd);
@@ -331,7 +362,7 @@ void ErmsManager::submit_change(const std::string& path, const std::string& cmd,
         // Diff the footprint per block: a node is a "gainer" if it received a
         // replica or shard of some block, a "loser" if one was deleted from
         // it — regardless of what other blocks of the file it still holds.
-        const hdfs::FileInfo* now_info = cluster_.metadata().find_path(path);
+        const hdfs::FileInfo* now_info = cluster_.metadata().find(file);
         if (now_info != nullptr && before != nullptr) {
           ev.rep_after = now_info->replication;
           std::set<std::int64_t> gained;
@@ -375,28 +406,30 @@ void ErmsManager::submit_change(const std::string& path, const std::string& cmd,
       });
 }
 
-void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
-  const std::string& path = info.path;
-  if (action_in_flight(path)) {
+void ErmsManager::evaluate_file(const hdfs::FileInfo& info, std::uint64_t accesses,
+                                const std::vector<std::uint64_t>& block_accesses) {
+  const hdfs::FileId file = info.id;
+  if (action_in_flight(file)) {
     return;
   }
   const sim::SimTime now = cluster_.simulation().now();
-  if (!first_seen_.contains(path)) {
-    first_seen_[path] = now;
+  const std::size_t idx = file.value();
+  if (types_.size() <= idx) {
+    types_.resize(idx + 1, 0);
+    first_seen_.resize(idx + 1);
+  }
+  if (types_[idx] == 0) {
+    first_seen_[idx] = now;
   }
 
   judge::FileObservation fobs;
-  fobs.path = path;
-  fobs.accesses = feed_.file_accesses(path);
+  fobs.file = file;
+  fobs.accesses = accesses;
   fobs.block_count = info.blocks.size();
   fobs.replication = info.replication;
-  const auto per_block = feed_.block_accesses(path);
-  fobs.block_accesses.reserve(per_block.size());
-  for (const auto& [blk, n] : per_block) {
-    fobs.block_accesses.push_back(n);
-  }
-  const sim::SimTime last = feed_.last_access(path);
-  fobs.last_access = std::max(last, first_seen_[path]);
+  fobs.block_accesses = block_accesses;
+  const sim::SimTime last = feed_.last_access(file);
+  fobs.last_access = std::max(last, first_seen_[idx]);
 
   const std::uint32_t default_rep = cluster_.config().default_replication;
   judge::Classification verdict =
@@ -407,8 +440,8 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
   // there. Only the hot verdict (and its optimal factor) may come from a
   // forecast; cooling and encoding always wait for real counts.
   if (predictor_) {
-    predictor_->observe(path, static_cast<double>(fobs.accesses));
-    const double predicted = predictor_->predict(path);
+    predictor_->observe(file, static_cast<double>(fobs.accesses));
+    const double predicted = predictor_->predict(file);
     if (predicted > static_cast<double>(fobs.accesses)) {
       // Scale the whole observation by the forecast ratio so the
       // block-level rules (2) and (3) see the rise too.
@@ -435,10 +468,14 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
       }
     }
   }
-  const auto prev_it = types_.find(path);
+  const bool first_verdict = types_[idx] == 0;
   const judge::DataType prev_type =
-      prev_it == types_.end() ? judge::DataType::kNormal : prev_it->second;
-  types_[path] = verdict.type;
+      first_verdict ? judge::DataType::kNormal
+                    : static_cast<judge::DataType>(types_[idx] - 1);
+  types_[idx] = static_cast<std::uint8_t>(verdict.type) + 1;
+  if (first_verdict) {
+    ++tracked_files_;
+  }
   if (obs_ != nullptr && prev_type != verdict.type) {
     // A classification flip is the decision record behind every elastic
     // action — trace it with the rule that fired and the value it compared.
@@ -446,7 +483,7 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
     obs::TraceEvent ev;
     ev.kind = obs::ActionKind::kClassify;
     ev.at = now;
-    ev.path = path;
+    ev.path = info.path;
     ev.rule = verdict.rule;
     ev.trigger = verdict.trigger;
     ev.threshold = verdict.threshold;
@@ -466,7 +503,7 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
         if (obs_ != nullptr) {
           obs_->registry().add(obs_ids_.decodes);
         }
-        submit_change(path, "decode", std::max(default_rep, verdict.optimal_replication),
+        submit_change(file, "decode", std::max(default_rep, verdict.optimal_replication),
                       condor::JobClass::kImmediate, kPriorityUrgent, ctx);
         break;
       }
@@ -477,11 +514,12 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
         }
         if (log_.enabled(util::LogLevel::kInfo)) {
           log_.log(util::LogLevel::kInfo, "erms",
-                   path + " hot (rule " + std::to_string(verdict.rule) + "), rep " +
+                   std::string(info.path) + " hot (rule " +
+                       std::to_string(verdict.rule) + "), rep " +
                        std::to_string(info.replication) + " -> " +
                        std::to_string(verdict.optimal_replication));
         }
-        submit_change(path, "increase_replication", verdict.optimal_replication,
+        submit_change(file, "increase_replication", verdict.optimal_replication,
                       condor::JobClass::kImmediate, kPriorityUrgent, ctx);
       }
       break;
@@ -492,7 +530,7 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
         if (obs_ != nullptr) {
           obs_->registry().add(obs_ids_.cooldowns);
         }
-        submit_change(path, "decrease_replication", default_rep,
+        submit_change(file, "decrease_replication", default_rep,
                       condor::JobClass::kWhenIdle, kPriorityBackground, ctx);
       }
       break;
@@ -503,7 +541,7 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
         if (obs_ != nullptr) {
           obs_->registry().add(obs_ids_.encodes);
         }
-        submit_change(path, "encode", 1, condor::JobClass::kWhenIdle, kPriorityBackground,
+        submit_change(file, "encode", 1, condor::JobClass::kWhenIdle, kPriorityBackground,
                       ctx);
       }
       break;
@@ -515,24 +553,28 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info) {
 
 void ErmsManager::check_node_overload() {
   // Formula (4): Σ_i N_bi·r_bi > τ_DN on a node → raise the replication of
-  // the file contributing the most accesses to that node.
-  for (const auto& [dn, count] : feed_.node_accesses()) {
-    if (!judge_.node_overloaded(static_cast<double>(count))) {
-      continue;
+  // the file contributing the most accesses to that node. Both sweeps walk
+  // the engine's group state in key order, so the winner (first strictly
+  // greater) is deterministic for any shard count.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> overloaded;
+  feed_.for_each_node_access([&](std::int64_t dn, std::uint64_t count) {
+    if (judge_.node_overloaded(static_cast<double>(count))) {
+      overloaded.emplace_back(dn, count);
     }
-    const auto per_file = feed_.file_accesses_on_node(dn);
-    std::string worst_path;
+  });
+  for (const auto& [dn, count] : overloaded) {
+    hdfs::FileId worst_file{0};
     std::uint64_t worst = 0;
-    for (const auto& [path, n] : per_file) {
-      if (n > worst && !action_in_flight(path)) {
+    feed_.for_each_file_access_on_node(dn, [&](hdfs::FileId fid, std::uint64_t n) {
+      if (n > worst && !action_in_flight(fid)) {
         worst = n;
-        worst_path = path;
+        worst_file = fid;
       }
-    }
-    if (worst_path.empty()) {
+    });
+    if (worst_file.value() == 0) {
       continue;
     }
-    const hdfs::FileInfo* info = cluster_.metadata().find_path(worst_path);
+    const hdfs::FileInfo* info = cluster_.metadata().find(worst_file);
     if (info == nullptr || info->erasure_coded ||
         info->replication >= config_.max_replication) {
       continue;
@@ -543,7 +585,7 @@ void ErmsManager::check_node_overload() {
       obs::TraceEvent ev;
       ev.kind = obs::ActionKind::kOverload;
       ev.at = cluster_.simulation().now();
-      ev.path = worst_path;
+      ev.path = info->path;
       ev.node = static_cast<std::int64_t>(dn);
       ev.rule = 4;
       ev.trigger = static_cast<double>(count);
@@ -551,7 +593,7 @@ void ErmsManager::check_node_overload() {
       ev.rep_before = info->replication;
       obs_->trace().record(std::move(ev));
     }
-    submit_change(worst_path, "increase_replication", info->replication + 1,
+    submit_change(worst_file, "increase_replication", info->replication + 1,
                   condor::JobClass::kImmediate, kPriorityUrgent,
                   ActionContext{4, static_cast<double>(count), judge_.thresholds().tau_DN});
   }
@@ -562,17 +604,48 @@ void ErmsManager::evaluate() {
   const sim::SimTime now = cluster_.simulation().now();
   feed_.advance_to(now);
 
+  // One pass over the engine's group state up front — O(active groups) —
+  // instead of two group-row probes per file per sweep (which made each
+  // evaluation quadratic-ish in file count against the window state).
+  const std::size_t bound = cluster_.metadata().file_id_bound();
+  scratch_accesses_.assign(bound, 0);
+  feed_.for_each_file_access([&](hdfs::FileId fid, std::uint64_t n) {
+    if (fid.value() < bound) {
+      scratch_accesses_[fid.value()] = n;
+    }
+  });
+  scratch_blocks_.clear();
+  feed_.for_each_block_access(
+      [&](hdfs::FileId fid, std::int64_t /*blk*/, std::uint64_t n) {
+        if (fid.value() < bound) {
+          scratch_blocks_.emplace_back(fid.value(), n);
+        }
+      });
+  // Group keys sort as strings ("10" < "2"), so re-sort numerically for the
+  // merge walk below; stable keeps each file's per-block order fixed.
+  std::stable_sort(scratch_blocks_.begin(), scratch_blocks_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::size_t bi = 0;
   for (const hdfs::FileId file : cluster_.metadata().file_ids()) {
     const hdfs::FileInfo* info = cluster_.metadata().find(file);
+    scratch_file_blocks_.clear();
+    while (bi < scratch_blocks_.size() && scratch_blocks_[bi].first < file.value()) {
+      ++bi;  // entries for ids deleted since the window filled
+    }
+    while (bi < scratch_blocks_.size() && scratch_blocks_[bi].first == file.value()) {
+      scratch_file_blocks_.push_back(scratch_blocks_[bi].second);
+      ++bi;
+    }
     if (info != nullptr) {
-      evaluate_file(*info);
+      evaluate_file(*info, scratch_accesses_[file.value()], scratch_file_blocks_);
     }
   }
   check_node_overload();
   advertise_nodes();
   if (obs_ != nullptr) {
     obs_->registry().add(obs_ids_.evaluations);
-    obs_->registry().set(obs_ids_.tracked_files, static_cast<double>(types_.size()));
+    obs_->registry().set(obs_ids_.tracked_files, static_cast<double>(tracked_files_));
   }
 }
 

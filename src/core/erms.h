@@ -4,8 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cep/engine.h"
@@ -136,11 +135,21 @@ class ErmsManager {
   [[nodiscard]] ec::StripeCodec& stripe_codec() { return codec_; }
   [[nodiscard]] util::ThreadPool& codec_pool() { return codec_pool_; }
 
-  /// Latest classification per path (updated each evaluation).
-  [[nodiscard]] const std::unordered_map<std::string, judge::DataType>& current_types()
-      const {
-    return types_;
+  /// Latest classification for one file (updated each evaluation).
+  /// kNormal for files the judge has never evaluated.
+  [[nodiscard]] judge::DataType current_type(hdfs::FileId file) const {
+    const std::size_t idx = file.value();
+    if (idx >= types_.size() || types_[idx] == 0) {
+      return judge::DataType::kNormal;
+    }
+    return static_cast<judge::DataType>(types_[idx] - 1);
   }
+  [[nodiscard]] judge::DataType current_type(const std::string& path) const {
+    const hdfs::FileInfo* info = cluster_.metadata().find_path(path);
+    return info == nullptr ? judge::DataType::kNormal : current_type(info->id);
+  }
+  /// How many files the judge has classified at least once.
+  [[nodiscard]] std::size_t tracked_file_count() const { return tracked_files_; }
 
   /// The manager-owned observability bundle — nullptr unless
   /// ErmsConfig::observe was true at construction.
@@ -157,14 +166,18 @@ class ErmsManager {
   void schedule_tick();
   void register_executors();
   void advertise_nodes();
-  void evaluate_file(const hdfs::FileInfo& info);
+  void evaluate_file(const hdfs::FileInfo& info, std::uint64_t accesses,
+                     const std::vector<std::uint64_t>& block_accesses);
   void check_node_overload();
-  void submit_change(const std::string& path, const std::string& cmd, std::uint32_t target,
+  void submit_change(hdfs::FileId file, const std::string& cmd, std::uint32_t target,
                      condor::JobClass sched_class, int priority, ActionContext ctx);
 
-  [[nodiscard]] bool action_in_flight(const std::string& path) const {
-    return in_flight_.contains(path);
+  [[nodiscard]] bool action_in_flight(hdfs::FileId file) const {
+    const std::size_t idx = file.value();
+    return idx < in_flight_.size() && in_flight_[idx] != 0;
   }
+  void set_in_flight(hdfs::FileId file);
+  void clear_in_flight(hdfs::FileId file);
 
   hdfs::Cluster& cluster_;
   ErmsConfig config_;
@@ -182,9 +195,18 @@ class ErmsManager {
   condor::Scheduler scheduler_;
   std::shared_ptr<ErmsPlacementPolicy> placement_;
   ErmsStats stats_;
-  std::unordered_map<std::string, judge::DataType> types_;
-  std::unordered_set<std::string> in_flight_;
-  std::unordered_map<std::string, sim::SimTime> first_seen_;
+  // Hot per-file state is dense, indexed by the interned FileId (slot 0
+  // unused): no string keys, no node allocation, flat memory at 5M files.
+  std::vector<std::uint8_t> types_;        // 0 = never judged, else DataType+1
+  std::vector<std::uint8_t> in_flight_;    // 1 while a Condor action is pending
+  std::vector<sim::SimTime> first_seen_;   // valid iff types_[fid] != 0
+  std::size_t tracked_files_{0};           // nonzero entries in types_
+  std::size_t in_flight_count_{0};         // nonzero entries in in_flight_
+  // evaluate() scratch, reused across sweeps so the steady state allocates
+  // nothing: windowed open counts per fid, and (fid, reads) pairs per block.
+  std::vector<std::uint64_t> scratch_accesses_;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> scratch_blocks_;
+  std::vector<std::uint64_t> scratch_file_blocks_;
   bool running_{false};
   sim::EventHandle tick_;
 

@@ -44,7 +44,7 @@ InvariantReport InvariantChecker::check(bool converged) const {
     if (cluster_.file_available(f)) {
       ++available;
     } else {
-      add(v, "file_unavailable path=" + info->path);
+      add(v, "file_unavailable path=" + std::string(info->path));
     }
     bool file_converged = true;
     if (!info->erasure_coded) {
@@ -53,7 +53,7 @@ InvariantReport InvariantChecker::check(bool converged) const {
         if (live < info->replication) {
           file_converged = false;
           if (converged) {
-            add(v, "under_replicated path=" + info->path + " block=" +
+            add(v, "under_replicated path=" + std::string(info->path) + " block=" +
                        std::to_string(b.value()) + " live=" + std::to_string(live) +
                        " target=" + std::to_string(info->replication));
           }
@@ -72,7 +72,7 @@ InvariantReport InvariantChecker::check(bool converged) const {
       }
       if (converged && !info->parity_blocks.empty() && parities_live == 0) {
         file_converged = false;
-        add(v, "no_parity_survives path=" + info->path);
+        add(v, "no_parity_survives path=" + std::string(info->path));
       }
     }
     converged_files += file_converged ? 1 : 0;

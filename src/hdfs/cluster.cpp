@@ -53,6 +53,7 @@ Cluster::Cluster(sim::Simulation& simulation, const Topology& topology, ClusterC
                  return spec;
                }()),
       placement_(std::make_shared<DefaultPlacementPolicy>()) {
+  namespace_.set_shards(std::max<std::size_t>(config_.namespace_shards, 1));
   for (const NodeId n : topology.nodes()) {
     DataNode node;
     node.id = n;
@@ -385,8 +386,11 @@ void Cluster::set_placement_policy(std::shared_ptr<PlacementPolicy> policy) {
 // ----- replicas --------------------------------------------------------------
 
 void Cluster::add_replica(BlockId block, NodeId node_id) {
-  std::vector<NodeId>& locs = block_locations_[block];
-  if (std::find(locs.begin(), locs.end(), node_id) != locs.end()) {
+  if (block_locations_.size() <= block.value()) {
+    block_locations_.resize(block.value() + 1);
+  }
+  util::SmallVec<NodeId, 4>& locs = block_locations_[block.value()];
+  if (locs.contains(node_id)) {
     return;
   }
   locs.push_back(node_id);
@@ -399,13 +403,8 @@ void Cluster::add_replica(BlockId block, NodeId node_id) {
 }
 
 void Cluster::remove_replica(BlockId block, NodeId node_id) {
-  const auto it = block_locations_.find(block);
-  if (it != block_locations_.end()) {
-    auto& locs = it->second;
-    locs.erase(std::remove(locs.begin(), locs.end(), node_id), locs.end());
-    if (locs.empty()) {
-      block_locations_.erase(it);
-    }
+  if (block.value() < block_locations_.size()) {
+    block_locations_[block.value()].erase_value(node_id);
   }
   DataNode& node = node_mutable(node_id);
   if (node.blocks.erase(block) > 0) {
@@ -418,11 +417,8 @@ void Cluster::remove_replica(BlockId block, NodeId node_id) {
 }
 
 std::vector<NodeId> Cluster::locations(BlockId block) const {
-  const auto it = block_locations_.find(block);
-  if (it == block_locations_.end()) {
-    return {};
-  }
-  return it->second;
+  const auto& locs = locations_view(block);
+  return std::vector<NodeId>(locs.begin(), locs.end());
 }
 
 bool Cluster::node_has_block(NodeId node_id, BlockId block) const {
@@ -454,7 +450,7 @@ bool Cluster::file_available(FileId file) const {
   std::size_t missing_data = 0;
   for (const BlockId b : info->blocks) {
     bool alive = false;
-    for (const NodeId n : locations(b)) {
+    for (const NodeId n : locations_view(b)) {
       alive = alive || is_serving(n);
     }
     if (alive) {
@@ -470,7 +466,7 @@ bool Cluster::file_available(FileId file) const {
     return false;
   }
   for (const BlockId b : info->parity_blocks) {
-    for (const NodeId n : locations(b)) {
+    for (const NodeId n : locations_view(b)) {
       if (is_serving(n)) {
         ++live_shards;
         break;
@@ -498,8 +494,45 @@ std::optional<FileId> Cluster::populate_file(const std::string& path, std::uint6
       add_replica(b, t);
     }
   }
-  emit_audit("create", path, NodeId{0}, std::nullopt, std::nullopt);
+  emit_audit("create", *file, path, NodeId{0}, std::nullopt, std::nullopt);
   return file;
+}
+
+std::vector<std::optional<FileId>> Cluster::populate_files(
+    const std::vector<Namespace::FileSpec>& specs, util::ThreadPool* pool) {
+  // Reserve all dense tables from the spec so bulk ingest never rehashes
+  // or regrows mid-populate.
+  std::uint64_t total_blocks = 0;
+  for (const Namespace::FileSpec& spec : specs) {
+    if (spec.size == 0 || spec.block_size == 0) {
+      continue;
+    }
+    total_blocks += (spec.size + spec.block_size - 1) / spec.block_size;
+  }
+  namespace_.reserve(namespace_.file_count() + specs.size(),
+                     namespace_.block_id_bound() + total_blocks);
+  block_locations_.reserve(namespace_.block_id_bound() + total_blocks + 1);
+
+  std::vector<std::optional<FileId>> ids = namespace_.create_batch(specs, pool);
+
+  // Placement stays serial: it draws from the cluster RNG, so target choice
+  // is identical to a populate_file loop regardless of pool size.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (!ids[i]) {
+      continue;
+    }
+    const FileInfo* info = namespace_.find(*ids[i]);
+    const std::uint32_t rep = info->replication;
+    for (const BlockId b : info->blocks) {
+      const std::vector<NodeId> targets =
+          placement_->choose_targets(*this, b, rep, std::nullopt, rng_);
+      for (const NodeId t : targets) {
+        add_replica(b, t);
+      }
+    }
+    emit_audit("create", *ids[i], info->path, NodeId{0}, std::nullopt, std::nullopt);
+  }
+  return ids;
 }
 
 std::optional<FileId> Cluster::write_file(const std::string& path, std::uint64_t size,
@@ -513,7 +546,7 @@ std::optional<FileId> Cluster::write_file(const std::string& path, std::uint64_t
     }
     return std::nullopt;
   }
-  emit_audit("create", path, writer, std::nullopt, std::nullopt);
+  emit_audit("create", *file, path, writer, std::nullopt, std::nullopt);
 
   // Write blocks one after another (HDFS streams a file block by block); a
   // block completes when every pipeline hop finishes.
@@ -585,7 +618,7 @@ void Cluster::remove_file(FileId file) {
   if (info == nullptr) {
     return;
   }
-  emit_audit("delete", info->path, NodeId{0}, std::nullopt, std::nullopt);
+  emit_audit("delete", info->id, info->path, NodeId{0}, std::nullopt, std::nullopt);
   // Free replicas while block sizes are still known, then drop metadata.
   std::vector<BlockId> blocks = info->blocks;
   blocks.insert(blocks.end(), info->parity_blocks.begin(), info->parity_blocks.end());
@@ -625,7 +658,7 @@ void Cluster::record_flow_abort(std::optional<BlockId> block, std::int64_t node,
 }
 
 std::optional<NodeId> Cluster::pick_read_source(NodeId client, BlockId block) const {
-  const std::vector<NodeId> locs = locations(block);
+  const auto& locs = locations_view(block);
   std::optional<NodeId> best;
   int best_score = std::numeric_limits<int>::max();
   for (const NodeId n : locs) {
@@ -665,13 +698,14 @@ void Cluster::read_block(NodeId client, BlockId block, ReadCallback callback) {
   const FileInfo* file = namespace_.find(info->file);
   const std::optional<NodeId> source = pick_read_source(client, block);
 
-  emit_audit("read", file != nullptr ? file->path : "?", client,
-             block, source, source.has_value());
+  emit_audit("read", file != nullptr ? file->id : FileId{0},
+             file != nullptr ? file->path : std::string_view{"?"}, client, block,
+             source, source.has_value());
 
   if (!source) {
     // Distinguish "no live replica" from "all replica holders busy".
     bool any_live = false;
-    for (const NodeId n : locations(block)) {
+    for (const NodeId n : locations_view(block)) {
       any_live = any_live || is_serving(n);
     }
     if (!any_live && file != nullptr && file->erasure_coded && !info->is_parity) {
@@ -839,7 +873,7 @@ void Cluster::read_block_via_reconstruction(NodeId client, const BlockInfo& info
 void Cluster::record_open(NodeId client, FileId file) {
   const FileInfo* info = namespace_.find(file);
   if (info != nullptr) {
-    emit_audit("open", info->path, client, std::nullopt, std::nullopt);
+    emit_audit("open", info->id, info->path, client, std::nullopt, std::nullopt);
   }
 }
 
@@ -851,7 +885,7 @@ void Cluster::read_file(NodeId client, FileId file, ReadCallback callback) {
     sim_.schedule_after(sim::micros(0), [callback, out] { callback(out); });
     return;
   }
-  emit_audit("open", info->path, client, std::nullopt, std::nullopt);
+  emit_audit("open", info->id, info->path, client, std::nullopt, std::nullopt);
 
   auto blocks = std::make_shared<std::vector<BlockId>>(info->blocks);
   auto aggregate = std::make_shared<ReadOutcome>();
@@ -917,12 +951,8 @@ void Cluster::pump_background_queue() {
     job(finished);
   }
   if (obs_ != nullptr) {
-    std::size_t recovery_depth = 0;
-    for (const auto& [level, tasks] : recovery_queue_) {
-      recovery_depth += tasks.size();
-    }
     obs_->registry().set(obs_ids_.bg_queue_depth,
-                         static_cast<double>(background_queue_.size() + recovery_depth));
+                         static_cast<double>(background_queue_.size() + recovery_queued_));
     obs_->registry().set(obs_ids_.bg_streams, static_cast<double>(background_streams_));
   }
 }
@@ -946,7 +976,7 @@ void Cluster::copy_block(BlockId block, std::optional<NodeId> source, NodeId tar
     // makes "increase directly" beat "one by one" (paper Fig. 7).
     std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
     bool found = false;
-    for (const NodeId n : locations(block)) {
+    for (const NodeId n : locations_view(block)) {
       if (!is_serving(n)) {
         continue;
       }
@@ -1021,7 +1051,7 @@ void Cluster::copy_block(BlockId block, std::optional<NodeId> source, NodeId tar
 
 std::uint32_t Cluster::recovery_priority(BlockId block) const {
   std::size_t live = 0;
-  for (const NodeId n : locations(block)) {
+  for (const NodeId n : locations_view(block)) {
     live += is_serving(n) ? 1 : 0;
   }
   if (live == 0) {
@@ -1036,20 +1066,24 @@ void Cluster::enqueue_recovery(BlockId block) {
   }
   recovery_tracked_.insert(block);
   recovery_queue_[recovery_priority(block)].push_back(RecoveryTask{block, 0});
+  ++recovery_queued_;
   pump_background_queue();
 }
 
 std::optional<Cluster::RecoveryTask> Cluster::pop_recovery() {
-  if (recovery_queue_.empty()) {
+  if (recovery_queued_ == 0) {
     return std::nullopt;
   }
-  const auto it = recovery_queue_.begin();
-  RecoveryTask task = it->second.front();
-  it->second.pop_front();
-  if (it->second.empty()) {
-    recovery_queue_.erase(it);
+  for (auto& level : recovery_queue_) {
+    if (level.empty()) {
+      continue;
+    }
+    RecoveryTask task = level.front();
+    level.pop_front();
+    --recovery_queued_;
+    return task;
   }
-  return task;
+  return std::nullopt;
 }
 
 void Cluster::retry_or_abandon(RecoveryTask task) {
@@ -1058,7 +1092,7 @@ void Cluster::retry_or_abandon(RecoveryTask task) {
     ++recoveries_abandoned_;
     recovery_tracked_.erase(task.block);
     bool any_live = false;
-    for (const NodeId n : locations(task.block)) {
+    for (const NodeId n : locations_view(task.block)) {
       any_live = any_live || is_serving(n);
     }
     if (!any_live) {
@@ -1091,6 +1125,7 @@ void Cluster::retry_or_abandon(RecoveryTask task) {
   backoff = std::min(backoff, config_.recovery_backoff_cap);
   sim_.schedule_after(backoff, [this, task] {
     recovery_queue_[recovery_priority(task.block)].push_back(task);
+    ++recovery_queued_;
     pump_background_queue();
   });
 }
@@ -1166,6 +1201,7 @@ void Cluster::run_recovery(RecoveryTask task, std::function<void()> finished) {
                // once the target count is met.
                task.attempts = 0;
                recovery_queue_[recovery_priority(block)].push_back(task);
+               ++recovery_queued_;
                finished();
                pump_background_queue();
              });
@@ -1276,6 +1312,7 @@ void Cluster::run_reconstruction(RecoveryTask task, std::function<void()> finish
           // and clears the tracking set.
           recovery_queue_[recovery_priority(block)].push_back(
               RecoveryTask{block, 0});
+          ++recovery_queued_;
           (*shared_finished)();
           pump_background_queue();
         });
@@ -1291,7 +1328,8 @@ void Cluster::change_replication(FileId file, std::uint32_t target, IncreaseMode
     }
     return;
   }
-  emit_audit("setReplication", info->path, NodeId{0}, std::nullopt, std::nullopt);
+  emit_audit("setReplication", info->id, info->path, NodeId{0}, std::nullopt,
+             std::nullopt);
 
   const std::uint32_t current = info->replication;
   namespace_.set_replication(file, target);
@@ -1446,7 +1484,7 @@ void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback do
     }
     return;
   }
-  emit_audit("encode", info->path, NodeId{0}, std::nullopt, std::nullopt);
+  emit_audit("encode", info->id, info->path, NodeId{0}, std::nullopt, std::nullopt);
 
   // Pick the encoder: the least-used active node.
   std::optional<NodeId> encoder;
@@ -1632,7 +1670,7 @@ void Cluster::decode_file(FileId file, std::uint32_t replication, DoneCallback d
     }
     return;
   }
-  emit_audit("decode", info->path, NodeId{0}, std::nullopt, std::nullopt);
+  emit_audit("decode", info->id, info->path, NodeId{0}, std::nullopt, std::nullopt);
   const FileId fid = file;
   // The replica restore itself is recorded by change_replication as a
   // set_replication event (with bytes and targets); this event marks the
@@ -1723,9 +1761,9 @@ std::string Cluster::node_ip(NodeId id) const {
   return "/10.0." + std::to_string(n.rack.value()) + "." + std::to_string(id.value());
 }
 
-void Cluster::emit_audit(const std::string& cmd, const std::string& src, NodeId client,
-                         std::optional<BlockId> block, std::optional<NodeId> datanode,
-                         bool allowed) {
+void Cluster::emit_audit(const std::string& cmd, FileId file, std::string_view src,
+                         NodeId client, std::optional<BlockId> block,
+                         std::optional<NodeId> datanode, bool allowed) {
   if (obs_ != nullptr) {
     obs_->registry().add(obs_ids_.audit_events);
   }
@@ -1738,6 +1776,7 @@ void Cluster::emit_audit(const std::string& cmd, const std::string& src, NodeId 
   event.ip = node_ip(client);
   event.cmd = cmd;
   event.src = src;
+  event.fid = static_cast<std::int64_t>(file.value());
   if (block) {
     event.block = static_cast<std::int64_t>(block->value());
   }

@@ -1,8 +1,8 @@
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <set>
 #include <optional>
@@ -21,6 +21,7 @@
 #include "sim/random.h"
 #include "sim/simulation.h"
 #include "util/log.h"
+#include "util/small_vec.h"
 
 namespace erms::obs {
 class Observability;
@@ -60,6 +61,11 @@ struct ClusterConfig {
   /// flight after this long is aborted (and retried through the recovery
   /// queue's backoff). 0 disables the watchdog.
   sim::SimDuration background_copy_timeout = sim::minutes(10.0);
+  /// PathTable shard count for the namespace's path interner — lock
+  /// granularity for concurrent bulk ingest. Never changes observable
+  /// behaviour (ids are assigned serially regardless); raise it for
+  /// macro-scale populates. 0 is treated as 1.
+  std::size_t namespace_shards = 1;
   std::uint64_t seed = 42;
 };
 
@@ -177,6 +183,14 @@ class Cluster {
   std::optional<FileId> populate_file(const std::string& path, std::uint64_t size,
                                       std::optional<std::uint32_t> replication = std::nullopt);
 
+  /// Bulk populate: create many fully replicated files at once. Metadata
+  /// tables are reserved up front from the spec (no rehash/regrow storms),
+  /// namespace fill may run on `pool`, and placement stays serial so the
+  /// chosen targets are identical to calling populate_file in a loop.
+  /// Returns the per-spec ids (nullopt for invalid/duplicate entries).
+  std::vector<std::optional<FileId>> populate_files(
+      const std::vector<Namespace::FileSpec>& specs, util::ThreadPool* pool = nullptr);
+
   /// Create a file through the simulated write pipeline from `writer`;
   /// `done(true)` when the last replica of the last block lands.
   std::optional<FileId> write_file(const std::string& path, std::uint64_t size,
@@ -268,6 +282,14 @@ class Cluster {
            recovery_tracked_.empty();
   }
 
+  /// Zero-copy view of a block's replica locations (invalidated by any
+  /// replica mutation). locations() returns an owning copy of the same.
+  [[nodiscard]] const util::SmallVec<NodeId, 4>& locations_view(BlockId block) const {
+    static const util::SmallVec<NodeId, 4> kEmpty{};
+    const std::size_t v = block.value();
+    return v < block_locations_.size() ? block_locations_[v] : kEmpty;
+  }
+
   // ----- audit -------------------------------------------------------------
   void set_audit_sink(AuditSink sink) { audit_sink_ = std::move(sink); }
 
@@ -286,9 +308,9 @@ class Cluster {
 
   DataNode& node_mutable(NodeId id) { return nodes_[id.value()]; }
 
-  void emit_audit(const std::string& cmd, const std::string& src, NodeId client,
-                  std::optional<BlockId> block, std::optional<NodeId> datanode,
-                  bool allowed = true);
+  void emit_audit(const std::string& cmd, FileId file, std::string_view src,
+                  NodeId client, std::optional<BlockId> block,
+                  std::optional<NodeId> datanode, bool allowed = true);
   [[nodiscard]] std::string node_ip(NodeId id) const;
 
   /// Add/remove a replica in the block map + node state (metadata only).
@@ -352,16 +374,22 @@ class Cluster {
   net::NetworkModel network_;
   Namespace namespace_;
   std::vector<DataNode> nodes_;
-  std::unordered_map<BlockId, std::vector<NodeId>> block_locations_;
+  /// Replica locations, dense by block id (slot 0 unused). Inline capacity
+  /// covers the default replication factor, so the common case is a flat
+  /// array lookup with no hashing and no per-block heap node.
+  std::vector<util::SmallVec<NodeId, 4>> block_locations_;
   std::shared_ptr<PlacementPolicy> placement_;
   AuditSink audit_sink_;
 
   std::deque<BackgroundJob> background_queue_;
   std::uint32_t background_streams_{0};
 
-  /// Priority recovery queue: level -> FIFO of tasks. std::map iteration
-  /// serves the most-under-replicated level first.
-  std::map<std::uint32_t, std::deque<RecoveryTask>> recovery_queue_;
+  /// Priority recovery queue: one FIFO per priority level (0 = no live
+  /// replica, 1 = one left, 2 = under target — the only levels
+  /// recovery_priority produces). pop scans the fixed array lowest level
+  /// first, so the most-under-replicated blocks are always served first.
+  std::array<std::deque<RecoveryTask>, 3> recovery_queue_;
+  std::size_t recovery_queued_{0};
   /// Blocks with recovery in flight anywhere (queued, running, or waiting
   /// out a backoff) — the dedupe set and the idleness signal.
   std::unordered_set<BlockId> recovery_tracked_;

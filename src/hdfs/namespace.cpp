@@ -6,17 +6,44 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/thread_pool.h"
+
 namespace erms::hdfs {
+
+Namespace::Namespace() : paths_(std::make_unique<PathTable>(1)) {}
+
+void Namespace::set_shards(std::size_t shards) {
+  if (live_files_ != 0 || files_.size() > 1) return;  // only while empty
+  paths_ = std::make_unique<PathTable>(shards);
+}
+
+void Namespace::reserve(std::size_t files, std::size_t blocks) {
+  files_.reserve(files + 1);
+  blocks_.reserve(blocks + 1);
+  paths_->reserve(files);
+}
+
+FileInfo& Namespace::file_slot(FileId file) {
+  if (files_.size() <= file.value()) files_.resize(file.value() + 1);
+  return files_[file.value()];
+}
+
+BlockInfo& Namespace::block_slot(BlockId block) {
+  if (blocks_.size() <= block.value()) blocks_.resize(block.value() + 1);
+  return blocks_[block.value()];
+}
 
 std::optional<FileId> Namespace::create(const std::string& path, std::uint64_t size,
                                         std::uint64_t block_size, std::uint32_t replication) {
-  if (size == 0 || block_size == 0 || by_path_.contains(path)) {
+  if (size == 0 || block_size == 0 || paths_->find(path)) {
     return std::nullopt;
   }
   const FileId id = file_ids_.next();
+  const auto stored = paths_->intern(path, id);
+  assert(stored.has_value());
   FileInfo file;
   file.id = id;
-  file.path = path;
+  file.path = *stored;
   file.size = size;
   file.block_size = block_size;
   file.replication = replication;
@@ -31,28 +58,97 @@ std::optional<FileId> Namespace::create(const std::string& path, std::uint64_t s
     block.file = id;
     block.size = this_block;
     block.index = index++;
-    blocks_.emplace(bid, block);
+    block_slot(bid) = block;
     file.blocks.push_back(bid);
     remaining -= this_block;
   }
-  by_path_.emplace(path, id);
-  files_.emplace(id, std::move(file));
+  file_slot(id) = std::move(file);
+  ++live_files_;
   return id;
 }
 
+std::vector<std::optional<FileId>> Namespace::create_batch(
+    const std::vector<FileSpec>& specs, util::ThreadPool* pool) {
+  std::vector<std::optional<FileId>> results(specs.size());
+
+  // Serial pass: validate, intern (duplicate detection) and assign file and
+  // block id ranges in spec order — identical id assignment to a serial
+  // `create` loop, independent of shard count or pool size.
+  struct Plan {
+    std::size_t spec;
+    FileId id;
+    std::string_view stored;
+    BlockId::rep_type first_block;
+    std::uint32_t block_count;
+  };
+  std::vector<Plan> plans;
+  plans.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const FileSpec& spec = specs[i];
+    if (spec.size == 0 || spec.block_size == 0 || paths_->find(spec.path)) continue;
+    const FileId id = file_ids_.next();
+    const auto stored = paths_->intern(spec.path, id);
+    assert(stored.has_value());
+    const auto nblocks = static_cast<std::uint32_t>(
+        (spec.size + spec.block_size - 1) / spec.block_size);
+    const BlockId first = block_ids_.next();
+    for (std::uint32_t b = 1; b < nblocks; ++b) block_ids_.next();
+    plans.push_back(Plan{i, id, *stored, first.value(), nblocks});
+    results[i] = id;
+  }
+  if (plans.empty()) return results;
+
+  // Pre-size the dense tables once, then fill disjoint slots — safe to run
+  // on the pool because every plan touches only its own id range.
+  const Plan& last = plans.back();
+  file_slot(last.id);
+  block_slot(BlockId{last.first_block + last.block_count - 1});
+
+  const auto fill = [&](std::size_t p) {
+    const Plan& plan = plans[p];
+    const FileSpec& spec = specs[plan.spec];
+    FileInfo& file = files_[plan.id.value()];
+    file.id = plan.id;
+    file.path = plan.stored;
+    file.size = spec.size;
+    file.block_size = spec.block_size;
+    file.replication = spec.replication;
+    file.blocks.reserve(plan.block_count);
+    std::uint64_t remaining = spec.size;
+    for (std::uint32_t b = 0; b < plan.block_count; ++b) {
+      const BlockId bid{plan.first_block + b};
+      BlockInfo& block = blocks_[bid.value()];
+      block.id = bid;
+      block.file = plan.id;
+      block.size = remaining < spec.block_size ? remaining : spec.block_size;
+      block.index = b;
+      block.is_parity = false;
+      file.blocks.push_back(bid);
+      remaining -= block.size;
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(plans.size(), fill);
+  } else {
+    for (std::size_t p = 0; p < plans.size(); ++p) fill(p);
+  }
+  live_files_ += plans.size();
+  return results;
+}
+
 std::vector<BlockId> Namespace::remove(FileId file) {
-  const auto it = files_.find(file);
-  if (it == files_.end()) {
+  FileInfo* info = find_mutable(file);
+  if (info == nullptr) {
     return {};
   }
-  std::vector<BlockId> removed = it->second.blocks;
-  removed.insert(removed.end(), it->second.parity_blocks.begin(),
-                 it->second.parity_blocks.end());
+  std::vector<BlockId> removed = info->blocks;
+  removed.insert(removed.end(), info->parity_blocks.begin(), info->parity_blocks.end());
   for (const BlockId b : removed) {
-    blocks_.erase(b);
+    if (b.value() < blocks_.size()) blocks_[b.value()] = BlockInfo{};
   }
-  by_path_.erase(it->second.path);
-  files_.erase(it);
+  paths_->erase(info->path);
+  *info = FileInfo{};
+  --live_files_;
   return removed;
 }
 
@@ -66,7 +162,8 @@ BlockId Namespace::add_parity_block(FileId file, std::uint64_t size) {
   block.size = size;
   block.index = static_cast<std::uint32_t>(info->blocks.size() + info->parity_blocks.size());
   block.is_parity = true;
-  blocks_.emplace(bid, block);
+  block_slot(bid) = block;
+  // block_slot may reallocate blocks_ only; info stays valid (files_ table).
   info->parity_blocks.push_back(bid);
   return bid;
 }
@@ -79,7 +176,7 @@ std::vector<BlockId> Namespace::clear_parity_blocks(FileId file) {
   std::vector<BlockId> removed = std::move(info->parity_blocks);
   info->parity_blocks.clear();
   for (const BlockId b : removed) {
-    blocks_.erase(b);
+    if (b.value() < blocks_.size()) blocks_[b.value()] = BlockInfo{};
   }
   return removed;
 }
@@ -97,55 +194,50 @@ void Namespace::set_erasure_coded(FileId file, bool coded) {
 }
 
 const FileInfo* Namespace::find(FileId file) const {
-  const auto it = files_.find(file);
-  return it == files_.end() ? nullptr : &it->second;
+  if (file.value() == 0 || file.value() >= files_.size()) return nullptr;
+  const FileInfo& info = files_[file.value()];
+  return info.id.value() == 0 ? nullptr : &info;
 }
 
-const FileInfo* Namespace::find_path(const std::string& path) const {
-  const auto it = by_path_.find(path);
-  return it == by_path_.end() ? nullptr : find(it->second);
+const FileInfo* Namespace::find_path(std::string_view path) const {
+  const auto id = paths_->find(path);
+  return id ? find(*id) : nullptr;
 }
 
 const BlockInfo* Namespace::find_block(BlockId block) const {
-  const auto it = blocks_.find(block);
-  return it == blocks_.end() ? nullptr : &it->second;
+  if (block.value() == 0 || block.value() >= blocks_.size()) return nullptr;
+  const BlockInfo& info = blocks_[block.value()];
+  return info.id.value() == 0 ? nullptr : &info;
 }
 
 FileInfo* Namespace::find_mutable(FileId file) {
-  const auto it = files_.find(file);
-  return it == files_.end() ? nullptr : &it->second;
+  return const_cast<FileInfo*>(static_cast<const Namespace*>(this)->find(file));
 }
 
 std::vector<FileId> Namespace::file_ids() const {
   std::vector<FileId> out;
-  out.reserve(files_.size());
-  for (const auto& [id, info] : files_) {
-    out.push_back(id);
+  out.reserve(live_files_);
+  for (const FileInfo& info : files_) {
+    if (info.id.value() != 0) out.push_back(info.id);
   }
   return out;
 }
 
 void Namespace::save_image(std::ostream& os) const {
   os << "fsimage v1\n";
-  // Stable order: by file id.
-  std::vector<const FileInfo*> files;
-  files.reserve(files_.size());
-  for (const auto& [id, info] : files_) {
-    files.push_back(&info);
-  }
-  std::sort(files.begin(), files.end(),
-            [](const FileInfo* a, const FileInfo* b) { return a->id < b->id; });
-  for (const FileInfo* f : files) {
-    os << "file " << f->id.value() << ' ' << f->path << ' ' << f->size << ' '
-       << f->block_size << ' ' << f->replication << ' ' << (f->erasure_coded ? 1 : 0)
+  // Dense storage iterates in id order already — the image's stable order.
+  for (const FileInfo& f : files_) {
+    if (f.id.value() == 0) continue;
+    os << "file " << f.id.value() << ' ' << f.path << ' ' << f.size << ' '
+       << f.block_size << ' ' << f.replication << ' ' << (f.erasure_coded ? 1 : 0)
        << '\n';
-    for (const BlockId b : f->blocks) {
-      const BlockInfo& info = blocks_.at(b);
+    for (const BlockId b : f.blocks) {
+      const BlockInfo& info = blocks_[b.value()];
       os << "block " << info.id.value() << ' ' << info.size << ' ' << info.index
          << " 0\n";
     }
-    for (const BlockId b : f->parity_blocks) {
-      const BlockInfo& info = blocks_.at(b);
+    for (const BlockId b : f.parity_blocks) {
+      const BlockInfo& info = blocks_[b.value()];
       os << "block " << info.id.value() << ' ' << info.size << ' ' << info.index
          << " 1\n";
     }
@@ -154,12 +246,19 @@ void Namespace::save_image(std::ostream& os) const {
 }
 
 bool Namespace::load_image(std::istream& is) {
+  const std::size_t shards = paths_->shard_count();
   *this = Namespace{};
+  set_shards(shards);
   std::string line;
   if (!std::getline(is, line) || line != "fsimage v1") {
     return false;
   }
-  FileInfo* current = nullptr;
+  const auto fail = [&] {
+    *this = Namespace{};
+    set_shards(shards);
+    return false;
+  };
+  FileId current{0};
   std::uint64_t max_file_id = 0;
   std::uint64_t max_block_id = 0;
   bool ended = false;
@@ -174,54 +273,54 @@ bool Namespace::load_image(std::istream& is) {
     if (kind == "file") {
       FileInfo info;
       std::uint64_t id = 0;
+      std::string path;
       int coded = 0;
-      if (!(ss >> id >> info.path >> info.size >> info.block_size >> info.replication >>
-            coded)) {
-        *this = Namespace{};
-        return false;
+      if (!(ss >> id >> path >> info.size >> info.block_size >> info.replication >> coded)) {
+        return fail();
       }
-      info.id = FileId{id};
+      info.id = FileId{static_cast<FileId::rep_type>(id)};
       info.erasure_coded = coded != 0;
       max_file_id = std::max(max_file_id, id);
-      by_path_.emplace(info.path, info.id);
-      current = &files_.emplace(info.id, std::move(info)).first->second;
+      const auto stored = paths_->intern(path, info.id);
+      if (!stored) return fail();  // duplicate path in image
+      info.path = *stored;
+      current = info.id;
+      file_slot(info.id) = std::move(info);
+      ++live_files_;
     } else if (kind == "block") {
       std::uint64_t id = 0;
       BlockInfo info;
       int parity = 0;
-      if (current == nullptr ||
-          !(ss >> id >> info.size >> info.index >> parity)) {
-        *this = Namespace{};
-        return false;
+      if (current.value() == 0 || !(ss >> id >> info.size >> info.index >> parity)) {
+        return fail();
       }
       info.id = BlockId{id};
-      info.file = current->id;
+      info.file = current;
       info.is_parity = parity != 0;
       max_block_id = std::max(max_block_id, id);
-      (info.is_parity ? current->parity_blocks : current->blocks).push_back(info.id);
-      blocks_.emplace(info.id, info);
+      FileInfo& owner = files_[current.value()];
+      (info.is_parity ? owner.parity_blocks : owner.blocks).push_back(info.id);
+      block_slot(info.id) = info;
     } else {
-      *this = Namespace{};
-      return false;
+      return fail();
     }
   }
   if (!ended) {
-    *this = Namespace{};
-    return false;
+    return fail();
   }
-  file_ids_ = util::IdGenerator<FileId>{max_file_id + 1};
+  file_ids_ = util::IdGenerator<FileId>{static_cast<FileId::rep_type>(max_file_id + 1)};
   block_ids_ = util::IdGenerator<BlockId>{max_block_id + 1};
   return true;
 }
 
 std::uint64_t Namespace::logical_bytes() const {
   std::uint64_t total = 0;
-  for (const auto& [id, info] : files_) {
+  for (const FileInfo& info : files_) {
+    if (info.id.value() == 0) continue;
     total += info.size * info.replication;
     for (const BlockId b : info.parity_blocks) {
-      const auto it = blocks_.find(b);
-      if (it != blocks_.end()) {
-        total += it->second.size;
+      if (b.value() < blocks_.size()) {
+        total += blocks_[b.value()].size;
       }
     }
   }

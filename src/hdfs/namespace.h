@@ -2,18 +2,24 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "hdfs/path_table.h"
 #include "hdfs/types.h"
+
+namespace erms::util {
+class ThreadPool;
+}
 
 namespace erms::hdfs {
 
 /// Metadata of one block.
 struct BlockInfo {
-  BlockId id;
+  BlockId id;               // BlockId{0} marks an unused/removed slot
   FileId file;
   std::uint64_t size{0};
   std::uint32_t index{0};   // position within the file
@@ -24,8 +30,8 @@ struct BlockInfo {
 /// short), a target replication factor, and — once ERMS demotes it to cold —
 /// an erasure-coding stripe (parity block list).
 struct FileInfo {
-  FileId id;
-  std::string path;
+  FileId id;                // FileId{0} marks an unused/removed slot
+  std::string_view path;    // stable view into the namespace's PathTable arena
   std::uint64_t size{0};
   std::uint64_t block_size{0};
   std::uint32_t replication{3};
@@ -37,12 +43,46 @@ struct FileInfo {
 /// The namenode's namespace: file and block metadata (no locations — those
 /// live in the cluster's block map, as in HDFS where block locations are
 /// reported by datanodes rather than persisted).
+///
+/// Hot state is id-keyed and dense: `FileInfo`/`BlockInfo` live in plain
+/// vectors indexed by `id.value()` (slot 0 unused, zero id = tombstone), and
+/// the only string-keyed structure left is the sharded `PathTable` interner
+/// consulted once per path at ingest. Ids are always assigned by the serial
+/// generators, so metadata layout and every downstream trace are identical
+/// whatever the shard count.
 class Namespace {
  public:
+  Namespace();
+  Namespace(Namespace&&) = default;
+  Namespace& operator=(Namespace&&) = default;
+
+  /// One entry of a bulk-create request (see `create_batch`).
+  struct FileSpec {
+    std::string path;
+    std::uint64_t size{0};
+    std::uint64_t block_size{0};
+    std::uint32_t replication{3};
+  };
+
+  /// Set the PathTable shard count. Only effective while the namespace is
+  /// empty; shard count never changes observable behaviour, only the lock
+  /// granularity of concurrent path interning.
+  void set_shards(std::size_t shards);
+
+  /// Pre-size the dense tables and path index (bulk-ingest hint).
+  void reserve(std::size_t files, std::size_t blocks);
+
   /// Create a file of `size` bytes split into `block_size` blocks.
   /// Returns nullopt if the path already exists or size is 0.
   std::optional<FileId> create(const std::string& path, std::uint64_t size,
                                std::uint64_t block_size, std::uint32_t replication);
+
+  /// Bulk create: file and block ids are assigned serially in spec order
+  /// (identical to calling `create` in a loop); the metadata fill runs on
+  /// `pool` when given. Per-spec result is nullopt for invalid/duplicate
+  /// entries, exactly as `create` would return.
+  std::vector<std::optional<FileId>> create_batch(const std::vector<FileSpec>& specs,
+                                                  util::ThreadPool* pool = nullptr);
 
   /// Remove a file and all its block metadata. Returns the removed blocks
   /// (data + parity) so the caller can clear locations.
@@ -58,11 +98,18 @@ class Namespace {
   void set_erasure_coded(FileId file, bool coded);
 
   [[nodiscard]] const FileInfo* find(FileId file) const;
-  [[nodiscard]] const FileInfo* find_path(const std::string& path) const;
+  [[nodiscard]] const FileInfo* find_path(std::string_view path) const;
   [[nodiscard]] const BlockInfo* find_block(BlockId block) const;
 
-  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  [[nodiscard]] std::size_t file_count() const { return live_files_; }
   [[nodiscard]] std::vector<FileId> file_ids() const;
+
+  /// One past the largest file/block id ever assigned — the size dense
+  /// id-indexed side tables (feed, predictor, manager, block map) need.
+  [[nodiscard]] std::size_t file_id_bound() const { return files_.size(); }
+  [[nodiscard]] std::size_t block_id_bound() const { return blocks_.size(); }
+
+  [[nodiscard]] const PathTable& paths() const { return *paths_; }
 
   /// Sum over all files of size × replication, plus parity bytes — the
   /// logical storage the cluster must hold (Fig. 5's utilisation metric).
@@ -73,16 +120,23 @@ class Namespace {
   /// in HDFS, so they are not part of the image).
   void save_image(std::ostream& os) const;
 
-  /// Rebuild a namespace from an image; replaces `*this`. Returns false and
-  /// leaves the namespace empty on a malformed image.
+  /// Rebuild a namespace from an image; replaces `*this` (the PathTable
+  /// shard count is preserved). Returns false and leaves the namespace
+  /// empty on a malformed image.
   bool load_image(std::istream& is);
 
  private:
   FileInfo* find_mutable(FileId file);
+  FileInfo& file_slot(FileId file);
+  BlockInfo& block_slot(BlockId block);
 
-  std::unordered_map<FileId, FileInfo> files_;
-  std::unordered_map<BlockId, BlockInfo> blocks_;
-  std::unordered_map<std::string, FileId> by_path_;
+  // Dense, id-indexed. Slot 0 is never assigned; a zero `id` field marks a
+  // removed slot. Removal tombstones rather than compacts so ids stay
+  // stable for the cluster's dense block-location table.
+  std::vector<FileInfo> files_;
+  std::vector<BlockInfo> blocks_;
+  std::size_t live_files_{0};
+  std::unique_ptr<PathTable> paths_;
   util::IdGenerator<FileId> file_ids_{1};
   util::IdGenerator<BlockId> block_ids_{1};
 };

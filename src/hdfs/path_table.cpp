@@ -1,0 +1,98 @@
+#include "hdfs/path_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace erms::hdfs {
+
+namespace {
+
+constexpr std::size_t kMinChunk = 64 * 1024;
+
+// FNV-1a, same mixing the CEP engine uses for group keys.
+std::uint64_t hash_bytes(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+PathTable::PathTable(std::size_t shards) {
+  shards_.reserve(std::max<std::size_t>(shards, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(shards, 1); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string_view PathTable::Shard::store(std::string_view path) {
+  if (chunk_used + path.size() > chunk_size) {
+    chunk_size = std::max(kMinChunk, path.size());
+    chunks.push_back(std::make_unique<char[]>(chunk_size));
+    chunk_used = 0;
+  }
+  char* dst = chunks.back().get() + chunk_used;
+  std::memcpy(dst, path.data(), path.size());
+  chunk_used += path.size();
+  bytes += path.size();
+  return {dst, path.size()};
+}
+
+PathTable::Shard& PathTable::shard_for(std::string_view path) const {
+  const std::size_t n = shards_.size();
+  return *shards_[n == 1 ? 0 : hash_bytes(path) % n];
+}
+
+std::optional<std::string_view> PathTable::intern(std::string_view path, FileId id) {
+  Shard& s = shard_for(path);
+  std::lock_guard<std::mutex> lock{s.mu};
+  if (s.index.count(path) != 0) return std::nullopt;
+  const std::string_view stored = s.store(path);
+  s.index.emplace(stored, id);
+  return stored;
+}
+
+std::optional<FileId> PathTable::find(std::string_view path) const {
+  Shard& s = shard_for(path);
+  std::lock_guard<std::mutex> lock{s.mu};
+  const auto it = s.index.find(path);
+  if (it == s.index.end()) return std::nullopt;
+  return it->second;
+}
+
+bool PathTable::erase(std::string_view path) {
+  Shard& s = shard_for(path);
+  std::lock_guard<std::mutex> lock{s.mu};
+  return s.index.erase(path) != 0;
+}
+
+std::size_t PathTable::size() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock{s->mu};
+    total += s->index.size();
+  }
+  return total;
+}
+
+std::size_t PathTable::arena_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock{s->mu};
+    total += s->bytes;
+  }
+  return total;
+}
+
+void PathTable::reserve(std::size_t paths) {
+  const std::size_t per_shard = paths / shards_.size() + 1;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock{s->mu};
+    s->index.reserve(per_shard);
+  }
+}
+
+}  // namespace erms::hdfs

@@ -15,7 +15,10 @@ struct BlockTag {};
 
 using NodeId = util::StrongId<NodeTag, std::uint32_t>;
 using RackId = util::StrongId<RackTag, std::uint32_t>;
-using FileId = util::StrongId<FileTag>;
+// FileIds are dense 32-bit handles assigned by the Namespace's serial
+// generator and interned against paths in PathTable; downstream hot state
+// (feed, predictor, manager) indexes plain vectors by `id.value()`.
+using FileId = util::StrongId<FileTag, std::uint32_t>;
 using BlockId = util::StrongId<BlockTag>;
 
 /// Datanode lifecycle in the active/standby storage model (paper §III.B).

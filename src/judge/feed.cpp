@@ -1,6 +1,7 @@
 #include "judge/feed.h"
 
-#include <cstdlib>
+#include <charconv>
+#include <string>
 
 #include "cep/epl_parser.h"
 
@@ -12,29 +13,49 @@ std::string window_clause(sim::SimDuration window) {
   return " WINDOW TIME " + std::to_string(window.seconds()) + "s";
 }
 
+/// Group keys render ints as decimal strings; parse one back to a FileId.
+/// Returns FileId{0} (never a valid id) for empty/garbage keys.
+hdfs::FileId parse_fid(const std::string& key) {
+  hdfs::FileId::rep_type v = 0;
+  std::from_chars(key.data(), key.data() + key.size(), v);
+  return hdfs::FileId{v};
+}
+
+std::int64_t parse_i64(const std::string& key) {
+  std::int64_t v = 0;
+  std::from_chars(key.data(), key.data() + key.size(), v);
+  return v;
+}
+
 }  // namespace
 
 AccessStatsFeed::AccessStatsFeed(cep::EngineBase& engine, sim::SimDuration window)
     : engine_(engine),
-      // The judge's three standing queries, written in the engine's EPL.
+      // The judge's standing queries, written in the engine's EPL. All
+      // grouping is by the interned fid — a short decimal key — instead of
+      // the path string.
       file_query_(engine.register_query(cep::parse_epl(
-          "SELECT count(*) AS n FROM audit WHERE cmd == \"open\" GROUP BY src" +
+          "SELECT count(*) AS n FROM audit WHERE cmd == \"open\" GROUP BY fid" +
           window_clause(window)))),
       block_query_(engine.register_query(cep::parse_epl(
-          "SELECT count(*) AS n FROM audit WHERE cmd == \"read\" GROUP BY src, blk" +
+          "SELECT count(*) AS n FROM audit WHERE cmd == \"read\" GROUP BY fid, blk" +
           window_clause(window)))),
       node_query_(engine.register_query(cep::parse_epl(
           "SELECT count(*) AS n FROM audit WHERE cmd == \"read\" GROUP BY dn" +
           window_clause(window)))),
       file_node_query_(engine.register_query(cep::parse_epl(
-          "SELECT count(*) AS n FROM audit WHERE cmd == \"read\" GROUP BY src, dn" +
+          "SELECT count(*) AS n FROM audit WHERE cmd == \"read\" GROUP BY fid, dn" +
           window_clause(window)))),
       slots_(audit::AuditSlots::resolve(engine.attr_symbols(), engine.stream_symbols())) {}
 
 void AccessStatsFeed::on_audit(const audit::AuditEvent& event) {
   ++events_ingested_;
-  if (event.cmd == "open" || event.cmd == "read") {
-    last_access_[event.src] = event.time;
+  if (event.fid > 0 && (event.cmd == "open" || event.cmd == "read")) {
+    const auto idx = static_cast<std::size_t>(event.fid);
+    if (last_access_.size() <= idx) {
+      last_access_.resize(idx + 1);
+    }
+    last_access_[idx] = event.time;
   }
   event.to_slotted(slots_, scratch_);
   engine_.push_slotted(scratch_);
@@ -42,85 +63,72 @@ void AccessStatsFeed::on_audit(const audit::AuditEvent& event) {
 
 void AccessStatsFeed::advance_to(sim::SimTime now) { engine_.advance_to(now); }
 
-std::uint64_t AccessStatsFeed::file_accesses(const std::string& path) const {
-  const auto row = engine_.group_row(file_query_, {path});
+std::uint64_t AccessStatsFeed::file_accesses(hdfs::FileId file) const {
+  const auto row = engine_.group_row(file_query_, {std::to_string(file.value())});
   if (!row) {
     return 0;
   }
   return static_cast<std::uint64_t>(row->values.get_int("n").value_or(0));
 }
 
-std::unordered_map<std::string, std::uint64_t> AccessStatsFeed::all_file_accesses() const {
-  std::unordered_map<std::string, std::uint64_t> out;
-  for (const cep::ResultRow& row : engine_.snapshot(file_query_)) {
-    const auto path = row.values.get_string("src");
-    const auto n = row.values.get_int("n");
-    if (path && n) {
-      out[*path] = static_cast<std::uint64_t>(*n);
-    }
-  }
-  return out;
+void AccessStatsFeed::for_each_file_access(
+    const std::function<void(hdfs::FileId, std::uint64_t)>& fn) const {
+  engine_.for_each_group_count(
+      file_query_, [&](const std::vector<std::string>& key, std::uint64_t n) {
+        const hdfs::FileId fid = parse_fid(key[0]);
+        if (fid.value() != 0) {
+          fn(fid, n);
+        }
+      });
 }
 
-std::unordered_map<std::int64_t, std::uint64_t> AccessStatsFeed::block_accesses(
-    const std::string& path) const {
-  std::unordered_map<std::int64_t, std::uint64_t> out;
-  for (const cep::ResultRow& row : engine_.snapshot(block_query_)) {
-    const auto src = row.values.get_string("src");
-    if (!src || *src != path) {
-      continue;
-    }
-    const auto blk = row.values.get_string("blk");  // group keys render as strings
-    const auto n = row.values.get_int("n");
-    if (blk && n && !blk->empty()) {
-      out[std::strtoll(blk->c_str(), nullptr, 10)] = static_cast<std::uint64_t>(*n);
-    }
-  }
-  return out;
+void AccessStatsFeed::for_each_block_access(
+    const std::function<void(hdfs::FileId, std::int64_t, std::uint64_t)>& fn) const {
+  engine_.for_each_group_count(
+      block_query_, [&](const std::vector<std::string>& key, std::uint64_t n) {
+        const hdfs::FileId fid = parse_fid(key[0]);
+        if (fid.value() != 0 && !key[1].empty()) {
+          fn(fid, parse_i64(key[1]), n);
+        }
+      });
 }
 
-std::unordered_map<std::int64_t, std::uint64_t> AccessStatsFeed::node_accesses() const {
-  std::unordered_map<std::int64_t, std::uint64_t> out;
-  for (const cep::ResultRow& row : engine_.snapshot(node_query_)) {
-    const auto dn = row.values.get_string("dn");
-    const auto n = row.values.get_int("n");
-    if (dn && n && !dn->empty()) {
-      out[std::strtoll(dn->c_str(), nullptr, 10)] = static_cast<std::uint64_t>(*n);
-    }
-  }
-  return out;
+void AccessStatsFeed::for_each_node_access(
+    const std::function<void(std::int64_t, std::uint64_t)>& fn) const {
+  engine_.for_each_group_count(
+      node_query_, [&](const std::vector<std::string>& key, std::uint64_t n) {
+        if (!key[0].empty()) {
+          fn(parse_i64(key[0]), n);
+        }
+      });
 }
 
-std::unordered_map<std::string, std::uint64_t> AccessStatsFeed::file_accesses_on_node(
-    std::int64_t datanode) const {
-  std::unordered_map<std::string, std::uint64_t> out;
+void AccessStatsFeed::for_each_file_access_on_node(
+    std::int64_t datanode,
+    const std::function<void(hdfs::FileId, std::uint64_t)>& fn) const {
   const std::string want = std::to_string(datanode);
-  for (const cep::ResultRow& row : engine_.snapshot(file_node_query_)) {
-    const auto dn = row.values.get_string("dn");
-    if (!dn || *dn != want) {
-      continue;
-    }
-    const auto src = row.values.get_string("src");
-    const auto n = row.values.get_int("n");
-    if (src && n) {
-      out[*src] = static_cast<std::uint64_t>(*n);
-    }
-  }
-  return out;
+  engine_.for_each_group_count(
+      file_node_query_, [&](const std::vector<std::string>& key, std::uint64_t n) {
+        if (key[1] != want) {
+          return;
+        }
+        const hdfs::FileId fid = parse_fid(key[0]);
+        if (fid.value() != 0) {
+          fn(fid, n);
+        }
+      });
 }
 
-sim::SimTime AccessStatsFeed::last_access(const std::string& path) const {
-  const auto it = last_access_.find(path);
-  return it == last_access_.end() ? sim::SimTime{0} : it->second;
+sim::SimTime AccessStatsFeed::last_access(hdfs::FileId file) const {
+  if (file.value() >= last_access_.size()) {
+    return sim::SimTime{0};
+  }
+  return last_access_[file.value()];
 }
 
-std::vector<std::string> AccessStatsFeed::active_paths() const {
-  std::vector<std::string> out;
-  for (const cep::ResultRow& row : engine_.snapshot(file_query_)) {
-    if (const auto path = row.values.get_string("src")) {
-      out.push_back(*path);
-    }
-  }
+std::vector<hdfs::FileId> AccessStatsFeed::active_files() const {
+  std::vector<hdfs::FileId> out;
+  for_each_file_access([&](hdfs::FileId fid, std::uint64_t) { out.push_back(fid); });
   return out;
 }
 

@@ -1,21 +1,26 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
-#include <unordered_map>
+#include <functional>
 #include <vector>
 
 #include "audit/audit.h"
 #include "cep/engine.h"
+#include "hdfs/types.h"
 #include "judge/thresholds.h"
 
 namespace erms::judge {
 
 /// Bridges the audit stream to the Data Judge: converts audit records to CEP
-/// events, registers the three continuous queries ERMS needs (per-file,
-/// per-block and per-datanode access counts over the sliding time window
-/// t_w), and exposes the windowed counts. This is the paper's "log parser +
-/// CEP engine" pipeline assembled (§III.C).
+/// events, registers the continuous queries ERMS needs (per-file, per-block
+/// and per-datanode access counts over the sliding time window t_w), and
+/// exposes the windowed counts. This is the paper's "log parser + CEP
+/// engine" pipeline assembled (§III.C).
+///
+/// Grouping is by the audit records' interned `fid` (dense 32-bit FileId),
+/// not the path string, so group keys stay short whatever the path length,
+/// and readers iterate the engine's group state via callbacks instead of
+/// materialising a fresh map per judge sweep.
 class AccessStatsFeed {
  public:
   /// Works against any EngineBase — the scalar Engine or a ShardedEngine
@@ -23,33 +28,41 @@ class AccessStatsFeed {
   AccessStatsFeed(cep::EngineBase& engine, sim::SimDuration window);
 
   /// Consume one audit record (wire this to Cluster::set_audit_sink).
+  /// Records without a `fid` still flow to the engine but carry no
+  /// per-file state.
   void on_audit(const audit::AuditEvent& event);
 
   /// Evict expired window entries before reading counts.
   void advance_to(sim::SimTime now);
 
-  /// N_d — file-level accesses (cmd=open) in the window, by path.
-  [[nodiscard]] std::uint64_t file_accesses(const std::string& path) const;
-  [[nodiscard]] std::unordered_map<std::string, std::uint64_t> all_file_accesses() const;
+  /// N_d — file-level accesses (cmd=open) in the window, for one file.
+  [[nodiscard]] std::uint64_t file_accesses(hdfs::FileId file) const;
 
-  /// N_bi — block-level reads (cmd=read) in the window, for path's blocks.
-  [[nodiscard]] std::unordered_map<std::int64_t, std::uint64_t> block_accesses(
-      const std::string& path) const;
+  /// Visit every (file, N_d) with open activity in the window, in group-key
+  /// order. No per-sweep map is built.
+  void for_each_file_access(
+      const std::function<void(hdfs::FileId, std::uint64_t)>& fn) const;
 
-  /// Σ N_b per datanode in the window (input to formula 4).
-  [[nodiscard]] std::unordered_map<std::int64_t, std::uint64_t> node_accesses() const;
+  /// Visit every (file, block, N_bi) with read activity in the window.
+  void for_each_block_access(
+      const std::function<void(hdfs::FileId, std::int64_t, std::uint64_t)>& fn) const;
 
-  /// Per-file read counts served by one datanode in the window — used to
+  /// Visit every (datanode, Σ N_b) in the window (input to formula 4).
+  void for_each_node_access(
+      const std::function<void(std::int64_t, std::uint64_t)>& fn) const;
+
+  /// Visit every (file, reads served by `datanode`) in the window — used to
   /// find "the data D that contributes the largest access to DN" when
   /// formula (4) flags an overloaded node.
-  [[nodiscard]] std::unordered_map<std::string, std::uint64_t> file_accesses_on_node(
-      std::int64_t datanode) const;
+  void for_each_file_access_on_node(
+      std::int64_t datanode,
+      const std::function<void(hdfs::FileId, std::uint64_t)>& fn) const;
 
-  /// T_a — last access (open or read) per path, across all time.
-  [[nodiscard]] sim::SimTime last_access(const std::string& path) const;
+  /// T_a — last access (open or read) per file, across all time.
+  [[nodiscard]] sim::SimTime last_access(hdfs::FileId file) const;
 
-  /// Paths seen in the current window (union of open/read activity).
-  [[nodiscard]] std::vector<std::string> active_paths() const;
+  /// Files seen in the current window (open activity), in id-key order.
+  [[nodiscard]] std::vector<hdfs::FileId> active_files() const;
 
   [[nodiscard]] std::uint64_t events_ingested() const { return events_ingested_; }
 
@@ -61,7 +74,7 @@ class AccessStatsFeed {
   cep::QueryId file_node_query_;
   audit::AuditSlots slots_;      // audit attrs resolved once against engine_
   cep::SlottedEvent scratch_;    // reused per on_audit: no steady-state allocs
-  std::unordered_map<std::string, sim::SimTime> last_access_;
+  std::vector<sim::SimTime> last_access_;  // dense, indexed by FileId
   std::uint64_t events_ingested_{0};
 };
 

@@ -1,17 +1,18 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
+#include "hdfs/types.h"
 #include "judge/thresholds.h"
 #include "sim/time.h"
 
 namespace erms::judge {
 
 /// Windowed access statistics for one file, as gathered from the CEP engine.
+/// Keyed by the interned FileId — the judge never touches path strings.
 struct FileObservation {
-  std::string path;
+  hdfs::FileId file;
   /// N_d — accesses to the file within the window.
   std::uint64_t accesses{0};
   /// N_bi — accesses to each block within the window (index-aligned with

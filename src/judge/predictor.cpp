@@ -4,12 +4,16 @@
 
 namespace erms::judge {
 
-void AccessPredictor::observe(const std::string& path, double accesses) {
-  State& s = state_[path];
+void AccessPredictor::observe(hdfs::FileId file, double accesses) {
+  if (state_.size() <= file.value()) {
+    state_.resize(file.value() + 1);
+  }
+  State& s = state_[file.value()];
   if (!s.primed) {
     s.level = accesses;
     s.trend = 0.0;
     s.primed = true;
+    ++tracked_;
     return;
   }
   const double previous_level = s.level;
@@ -17,28 +21,42 @@ void AccessPredictor::observe(const std::string& path, double accesses) {
   s.trend = config_.beta * (s.level - previous_level) + (1.0 - config_.beta) * s.trend;
 }
 
-double AccessPredictor::predict(const std::string& path) const {
-  const auto it = state_.find(path);
-  if (it == state_.end() || !it->second.primed) {
+const AccessPredictor::State* AccessPredictor::state_for(hdfs::FileId file) const {
+  if (file.value() >= state_.size() || !state_[file.value()].primed) {
+    return nullptr;
+  }
+  return &state_[file.value()];
+}
+
+double AccessPredictor::predict(hdfs::FileId file) const {
+  const State* s = state_for(file);
+  if (s == nullptr) {
     return 0.0;
   }
-  return std::max(0.0, it->second.level + config_.horizon_periods * it->second.trend);
+  return std::max(0.0, s->level + config_.horizon_periods * s->trend);
 }
 
-double AccessPredictor::level(const std::string& path) const {
-  const auto it = state_.find(path);
-  return it == state_.end() ? 0.0 : it->second.level;
+double AccessPredictor::level(hdfs::FileId file) const {
+  const State* s = state_for(file);
+  return s == nullptr ? 0.0 : s->level;
 }
 
-double AccessPredictor::trend(const std::string& path) const {
-  const auto it = state_.find(path);
-  return it == state_.end() ? 0.0 : it->second.trend;
+double AccessPredictor::trend(hdfs::FileId file) const {
+  const State* s = state_for(file);
+  return s == nullptr ? 0.0 : s->trend;
+}
+
+void AccessPredictor::forget(hdfs::FileId file) {
+  if (file.value() < state_.size() && state_[file.value()].primed) {
+    state_[file.value()] = State{};
+    --tracked_;
+  }
 }
 
 Classification PredictiveJudge::classify(const FileObservation& obs, sim::SimTime now,
                                          std::uint32_t default_replication,
                                          std::uint32_t max_replication) {
-  predictor_.observe(obs.path, static_cast<double>(obs.accesses));
+  predictor_.observe(obs.file, static_cast<double>(obs.accesses));
 
   const Classification observed =
       judge_.classify(obs, now, default_replication, max_replication);
@@ -46,7 +64,7 @@ Classification PredictiveJudge::classify(const FileObservation& obs, sim::SimTim
   // Re-classify with the forecast count. Only the *hot* outcome (and a
   // higher optimal factor) may be taken from the forecast: cooling and
   // encoding always wait for real counts.
-  const double predicted = predictor_.predict(obs.path);
+  const double predicted = predictor_.predict(obs.file);
   if (predicted > static_cast<double>(obs.accesses)) {
     // Scale the whole observation by the forecast ratio so the block-level
     // rules (2) and (3) see the rise too.

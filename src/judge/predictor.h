@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "hdfs/types.h"
 #include "judge/judge.h"
 #include "sim/time.h"
 
@@ -16,6 +16,10 @@ namespace erms::judge {
 /// horizon ahead lets ERMS start commissioning standby nodes and copying
 /// replicas *before* formula (1) would fire, hiding the ~30 s node-startup
 /// plus transfer latency.
+///
+/// State is a dense vector indexed by FileId — three doubles per slot, no
+/// per-file hashing or node allocation, so tracking millions of files costs
+/// flat, contiguous memory.
 class AccessPredictor {
  public:
   struct Config {
@@ -30,21 +34,21 @@ class AccessPredictor {
   AccessPredictor() : AccessPredictor(Config{}) {}
   explicit AccessPredictor(Config config) : config_(config) {}
 
-  /// Record one observation period's access count for `path`.
-  void observe(const std::string& path, double accesses);
+  /// Record one observation period's access count for `file`.
+  void observe(hdfs::FileId file, double accesses);
 
-  /// Predicted access count `horizon_periods` ahead; 0 for unseen paths.
+  /// Predicted access count `horizon_periods` ahead; 0 for unseen files.
   /// Never negative.
-  [[nodiscard]] double predict(const std::string& path) const;
+  [[nodiscard]] double predict(hdfs::FileId file) const;
 
   /// Current smoothed level / trend (for introspection and tests).
-  [[nodiscard]] double level(const std::string& path) const;
-  [[nodiscard]] double trend(const std::string& path) const;
+  [[nodiscard]] double level(hdfs::FileId file) const;
+  [[nodiscard]] double trend(hdfs::FileId file) const;
 
   /// Forget a file (deleted).
-  void forget(const std::string& path) { state_.erase(path); }
+  void forget(hdfs::FileId file);
 
-  [[nodiscard]] std::size_t tracked_files() const { return state_.size(); }
+  [[nodiscard]] std::size_t tracked_files() const { return tracked_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
@@ -53,8 +57,11 @@ class AccessPredictor {
     double trend{0.0};
     bool primed{false};
   };
+  [[nodiscard]] const State* state_for(hdfs::FileId file) const;
+
   Config config_;
-  std::unordered_map<std::string, State> state_;
+  std::vector<State> state_;  // index = file.value(); slot 0 unused
+  std::size_t tracked_{0};
 };
 
 /// Wraps a DataJudge with prediction: classification uses the *larger* of

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace erms::util {
+
+/// Small vector with `N` inline slots for trivially copyable element types.
+/// Designed for the block→replica-locations table: almost every block has
+/// `replication` (3) locations, so the common case needs no heap allocation
+/// and the per-entry footprint stays constant. Spills to the heap past `N`.
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec only supports trivially copyable element types");
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { assign(other.data(), other.size_); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.data(), other.size_);
+    return *this;
+  }
+
+  SmallVec(SmallVec&& other) noexcept { steal(std::move(other)); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVec() { release(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] T* data() {
+    return capacity_ == N ? reinterpret_cast<T*>(inline_raw_) : heap_;
+  }
+  [[nodiscard]] const T* data() const {
+    return capacity_ == N ? reinterpret_cast<const T*>(inline_raw_) : heap_;
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data()[i]; }
+
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+
+  void push_back(T value) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    data()[size_++] = value;
+  }
+
+  void clear() { size_ = 0; }
+
+  /// Remove the first occurrence of `value`; preserves relative order of the
+  /// remaining elements. Returns true if an element was removed.
+  bool erase_value(T value) {
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (d[i] == value) {
+        for (std::size_t j = i + 1; j < size_; ++j) d[j - 1] = d[j];
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool contains(T value) const {
+    const T* d = data();
+    return std::find(d, d + size_, value) != d + size_;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+ private:
+  void grow(std::size_t n) {
+    n = std::max<std::size_t>(n, static_cast<std::size_t>(capacity_) * 2);
+    T* fresh = static_cast<T*>(::operator new(n * sizeof(T)));
+    std::memcpy(static_cast<void*>(fresh), static_cast<const void*>(data()),
+                size_ * sizeof(T));
+    if (capacity_ != N) ::operator delete(heap_);
+    heap_ = fresh;
+    capacity_ = n;
+  }
+
+  void assign(const T* src, std::size_t n) {
+    if (n > capacity_) grow(n);
+    std::memcpy(static_cast<void*>(data()), static_cast<const void*>(src), n * sizeof(T));
+    size_ = n;
+  }
+
+  void steal(SmallVec&& other) noexcept {
+    if (other.capacity_ == N) {
+      std::memcpy(static_cast<void*>(inline_raw_),
+                  static_cast<const void*>(other.inline_raw_), other.size_ * sizeof(T));
+      capacity_ = N;
+    } else {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  void release() {
+    if (capacity_ != N) {
+      ::operator delete(heap_);
+      capacity_ = N;
+    }
+    size_ = 0;
+  }
+
+  // Raw bytes rather than T[] so element types with default member
+  // initializers (e.g. StrongId) stay usable inside the union.
+  union {
+    alignas(T) unsigned char inline_raw_[N * sizeof(T)];
+    T* heap_;
+  };
+  std::uint32_t size_{0};
+  std::uint32_t capacity_{N};
+};
+
+}  // namespace erms::util

@@ -280,7 +280,7 @@ TEST(ErmsManager, HotFileGetsExtraReplicasOnStandby) {
   EXPECT_GT(erms.stats().hot_promotions, 0u);
   const FileInfo* info = f.cluster->metadata().find(*file);
   EXPECT_GT(info->replication, 3u);
-  EXPECT_EQ(erms.current_types().at("/hot"), judge::DataType::kHot);
+  EXPECT_EQ(erms.current_type("/hot"), judge::DataType::kHot);
   // Extra replicas are on commissioned pool nodes.
   std::size_t pool_replicas = 0;
   for (const hdfs::BlockId b : info->blocks) {

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "audit/audit.h"
 #include "cep/engine.h"
+#include "hdfs/types.h"
 #include "judge/feed.h"
 #include "judge/judge.h"
 
@@ -25,7 +28,7 @@ Thresholds paper_thresholds() {
 FileObservation obs(std::uint64_t accesses, std::uint32_t rep,
                     std::vector<std::uint64_t> blocks = {}, std::size_t block_count = 4) {
   FileObservation o;
-  o.path = "/f";
+  o.file = hdfs::FileId{1};
   o.accesses = accesses;
   o.replication = rep;
   o.block_accesses = std::move(blocks);
@@ -192,50 +195,65 @@ TEST(Calibrate, IgnoresNonPositive) {
 
 // ---------- the CEP feed ----------
 
-audit::AuditEvent audit_read(double t, const std::string& path, std::int64_t blk,
+audit::AuditEvent audit_read(double t, std::int64_t fid, std::int64_t blk,
                              std::int64_t dn) {
   audit::AuditEvent e;
   e.time = sim::SimTime{static_cast<std::int64_t>(t * 1e6)};
   e.cmd = "read";
-  e.src = path;
+  e.src = "/f" + std::to_string(fid);
+  e.fid = fid;
   e.block = blk;
   e.datanode = dn;
   return e;
 }
 
-audit::AuditEvent audit_open(double t, const std::string& path) {
+audit::AuditEvent audit_open(double t, std::int64_t fid) {
   audit::AuditEvent e;
   e.time = sim::SimTime{static_cast<std::int64_t>(t * 1e6)};
   e.cmd = "open";
-  e.src = path;
+  e.src = "/f" + std::to_string(fid);
+  e.fid = fid;
   return e;
 }
+
+constexpr hdfs::FileId kFileA{1};
+constexpr hdfs::FileId kFileB{2};
 
 TEST(Feed, CountsFilesBlocksNodes) {
   cep::Engine engine;
   AccessStatsFeed feed{engine, sim::seconds(60.0)};
-  feed.on_audit(audit_open(1.0, "/a"));
-  feed.on_audit(audit_open(2.0, "/a"));
-  feed.on_audit(audit_open(3.0, "/b"));
-  feed.on_audit(audit_read(1.5, "/a", 11, 0));
-  feed.on_audit(audit_read(2.5, "/a", 11, 0));
-  feed.on_audit(audit_read(2.6, "/a", 12, 1));
+  feed.on_audit(audit_open(1.0, 1));
+  feed.on_audit(audit_open(2.0, 1));
+  feed.on_audit(audit_open(3.0, 2));
+  feed.on_audit(audit_read(1.5, 1, 11, 0));
+  feed.on_audit(audit_read(2.5, 1, 11, 0));
+  feed.on_audit(audit_read(2.6, 1, 12, 1));
 
-  EXPECT_EQ(feed.file_accesses("/a"), 2u);
-  EXPECT_EQ(feed.file_accesses("/b"), 1u);
-  EXPECT_EQ(feed.file_accesses("/none"), 0u);
+  EXPECT_EQ(feed.file_accesses(kFileA), 2u);
+  EXPECT_EQ(feed.file_accesses(kFileB), 1u);
+  EXPECT_EQ(feed.file_accesses(hdfs::FileId{99}), 0u);
 
-  const auto blocks = feed.block_accesses("/a");
-  EXPECT_EQ(blocks.at(11), 2u);
-  EXPECT_EQ(blocks.at(12), 1u);
-  EXPECT_TRUE(feed.block_accesses("/b").empty());
+  std::map<std::int64_t, std::uint64_t> blocks_a;
+  feed.for_each_block_access([&](hdfs::FileId fid, std::int64_t blk, std::uint64_t n) {
+    if (fid == kFileA) {
+      blocks_a[blk] = n;
+    }
+    EXPECT_NE(fid, kFileB);  // /f2 was never read, only opened
+  });
+  EXPECT_EQ(blocks_a.at(11), 2u);
+  EXPECT_EQ(blocks_a.at(12), 1u);
 
-  const auto nodes = feed.node_accesses();
+  std::map<std::int64_t, std::uint64_t> nodes;
+  feed.for_each_node_access(
+      [&](std::int64_t dn, std::uint64_t n) { nodes[dn] = n; });
   EXPECT_EQ(nodes.at(0), 2u);
   EXPECT_EQ(nodes.at(1), 1u);
 
-  const auto on0 = feed.file_accesses_on_node(0);
-  EXPECT_EQ(on0.at("/a"), 2u);
+  std::map<hdfs::FileId, std::uint64_t> on0;
+  feed.for_each_file_access_on_node(
+      0, [&](hdfs::FileId fid, std::uint64_t n) { on0[fid] = n; });
+  EXPECT_EQ(on0.at(kFileA), 2u);
+  EXPECT_EQ(on0.size(), 1u);
 
   EXPECT_EQ(feed.events_ingested(), 6u);
 }
@@ -243,31 +261,42 @@ TEST(Feed, CountsFilesBlocksNodes) {
 TEST(Feed, WindowExpiryDropsCounts) {
   cep::Engine engine;
   AccessStatsFeed feed{engine, sim::seconds(10.0)};
-  feed.on_audit(audit_open(0.0, "/a"));
-  feed.on_audit(audit_open(5.0, "/a"));
-  EXPECT_EQ(feed.file_accesses("/a"), 2u);
+  feed.on_audit(audit_open(0.0, 1));
+  feed.on_audit(audit_open(5.0, 1));
+  EXPECT_EQ(feed.file_accesses(kFileA), 2u);
   feed.advance_to(sim::SimTime{sim::seconds(12.0).micros()});
-  EXPECT_EQ(feed.file_accesses("/a"), 1u);
+  EXPECT_EQ(feed.file_accesses(kFileA), 1u);
   feed.advance_to(sim::SimTime{sim::seconds(30.0).micros()});
-  EXPECT_EQ(feed.file_accesses("/a"), 0u);
+  EXPECT_EQ(feed.file_accesses(kFileA), 0u);
 }
 
 TEST(Feed, LastAccessSurvivesWindow) {
   cep::Engine engine;
   AccessStatsFeed feed{engine, sim::seconds(10.0)};
-  feed.on_audit(audit_open(3.0, "/a"));
+  feed.on_audit(audit_open(3.0, 1));
   feed.advance_to(sim::SimTime{sim::minutes(10.0).micros()});
-  EXPECT_EQ(feed.last_access("/a"), sim::SimTime{3'000'000});
-  EXPECT_EQ(feed.last_access("/never"), sim::SimTime{0});
+  EXPECT_EQ(feed.last_access(kFileA), sim::SimTime{3'000'000});
+  EXPECT_EQ(feed.last_access(hdfs::FileId{99}), sim::SimTime{0});
 }
 
-TEST(Feed, ActivePaths) {
+TEST(Feed, ActiveFiles) {
   cep::Engine engine;
   AccessStatsFeed feed{engine, sim::seconds(60.0)};
-  feed.on_audit(audit_open(1.0, "/x"));
-  feed.on_audit(audit_open(2.0, "/y"));
-  const auto paths = feed.active_paths();
-  EXPECT_EQ(paths.size(), 2u);
+  feed.on_audit(audit_open(1.0, 1));
+  feed.on_audit(audit_open(2.0, 2));
+  const auto files = feed.active_files();
+  EXPECT_EQ(files.size(), 2u);
+}
+
+TEST(Feed, EventsWithoutFidCarryNoPerFileState) {
+  cep::Engine engine;
+  AccessStatsFeed feed{engine, sim::seconds(60.0)};
+  audit::AuditEvent e = audit_open(1.0, 7);
+  e.fid = 0;  // e.g. a read of an unknown path
+  feed.on_audit(e);
+  EXPECT_EQ(feed.events_ingested(), 1u);
+  EXPECT_TRUE(feed.active_files().empty());
+  EXPECT_EQ(feed.last_access(hdfs::FileId{7}), sim::SimTime{0});
 }
 
 /// End-to-end: feed counts + judge formulas produce the expected verdict.
@@ -276,14 +305,14 @@ TEST(FeedJudge, HotFileDetectedThroughCep) {
   AccessStatsFeed feed{engine, sim::seconds(60.0)};
   DataJudge judge{paper_thresholds()};
   for (int i = 0; i < 30; ++i) {
-    feed.on_audit(audit_open(i * 0.1, "/hot"));
+    feed.on_audit(audit_open(i * 0.1, 1));
   }
   FileObservation o;
-  o.path = "/hot";
-  o.accesses = feed.file_accesses("/hot");
+  o.file = kFileA;
+  o.accesses = feed.file_accesses(kFileA);
   o.replication = 3;
   o.block_count = 2;
-  o.last_access = feed.last_access("/hot");
+  o.last_access = feed.last_access(kFileA);
   const auto c = judge.classify(o, sim::SimTime{sim::seconds(10.0).micros()}, 3, 10);
   EXPECT_EQ(c.type, DataType::kHot);
   EXPECT_EQ(c.optimal_replication, 4u);

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include "hdfs/types.h"
 #include "judge/predictor.h"
 
 namespace erms::judge {
 namespace {
+
+constexpr hdfs::FileId kX{1};
+constexpr hdfs::FileId kA{1};
+constexpr hdfs::FileId kB{2};
 
 Thresholds thresholds() {
   Thresholds t;
@@ -11,70 +16,70 @@ Thresholds thresholds() {
   return t;
 }
 
-TEST(Predictor, UnseenPathPredictsZero) {
+TEST(Predictor, UnseenFilePredictsZero) {
   AccessPredictor p;
-  EXPECT_EQ(p.predict("/x"), 0.0);
+  EXPECT_EQ(p.predict(kX), 0.0);
   EXPECT_EQ(p.tracked_files(), 0u);
 }
 
 TEST(Predictor, FirstObservationPrimesLevel) {
   AccessPredictor p;
-  p.observe("/x", 10.0);
-  EXPECT_DOUBLE_EQ(p.level("/x"), 10.0);
-  EXPECT_DOUBLE_EQ(p.trend("/x"), 0.0);
-  EXPECT_DOUBLE_EQ(p.predict("/x"), 10.0);
+  p.observe(kX, 10.0);
+  EXPECT_DOUBLE_EQ(p.level(kX), 10.0);
+  EXPECT_DOUBLE_EQ(p.trend(kX), 0.0);
+  EXPECT_DOUBLE_EQ(p.predict(kX), 10.0);
 }
 
 TEST(Predictor, RisingSeriesPredictsAboveLast) {
   AccessPredictor p;
   for (const double v : {10.0, 20.0, 30.0, 40.0, 50.0}) {
-    p.observe("/x", v);
+    p.observe(kX, v);
   }
-  EXPECT_GT(p.trend("/x"), 0.0);
-  EXPECT_GT(p.predict("/x"), 50.0);
+  EXPECT_GT(p.trend(kX), 0.0);
+  EXPECT_GT(p.predict(kX), 50.0);
 }
 
 TEST(Predictor, FallingSeriesPredictsBelowLast) {
   AccessPredictor p;
   for (const double v : {50.0, 40.0, 30.0, 20.0, 10.0}) {
-    p.observe("/x", v);
+    p.observe(kX, v);
   }
-  EXPECT_LT(p.trend("/x"), 0.0);
-  EXPECT_LT(p.predict("/x"), 10.0);
+  EXPECT_LT(p.trend(kX), 0.0);
+  EXPECT_LT(p.predict(kX), 10.0);
 }
 
 TEST(Predictor, PredictionNeverNegative) {
   AccessPredictor p;
   for (const double v : {100.0, 50.0, 10.0, 1.0, 0.0, 0.0}) {
-    p.observe("/x", v);
+    p.observe(kX, v);
   }
-  EXPECT_GE(p.predict("/x"), 0.0);
+  EXPECT_GE(p.predict(kX), 0.0);
 }
 
 TEST(Predictor, FlatSeriesConverges) {
   AccessPredictor p;
   for (int i = 0; i < 50; ++i) {
-    p.observe("/x", 7.0);
+    p.observe(kX, 7.0);
   }
-  EXPECT_NEAR(p.level("/x"), 7.0, 0.01);
-  EXPECT_NEAR(p.trend("/x"), 0.0, 0.01);
-  EXPECT_NEAR(p.predict("/x"), 7.0, 0.05);
+  EXPECT_NEAR(p.level(kX), 7.0, 0.01);
+  EXPECT_NEAR(p.trend(kX), 0.0, 0.01);
+  EXPECT_NEAR(p.predict(kX), 7.0, 0.05);
 }
 
-TEST(Predictor, IndependentPaths) {
+TEST(Predictor, IndependentFiles) {
   AccessPredictor p;
-  p.observe("/a", 5.0);
-  p.observe("/b", 100.0);
-  EXPECT_DOUBLE_EQ(p.predict("/a"), 5.0);
-  EXPECT_DOUBLE_EQ(p.predict("/b"), 100.0);
+  p.observe(kA, 5.0);
+  p.observe(kB, 100.0);
+  EXPECT_DOUBLE_EQ(p.predict(kA), 5.0);
+  EXPECT_DOUBLE_EQ(p.predict(kB), 100.0);
   EXPECT_EQ(p.tracked_files(), 2u);
 }
 
 TEST(Predictor, Forget) {
   AccessPredictor p;
-  p.observe("/a", 5.0);
-  p.forget("/a");
-  EXPECT_EQ(p.predict("/a"), 0.0);
+  p.observe(kA, 5.0);
+  p.forget(kA);
+  EXPECT_EQ(p.predict(kA), 0.0);
   EXPECT_EQ(p.tracked_files(), 0u);
 }
 
@@ -86,10 +91,10 @@ TEST(Predictor, LongerHorizonExtrapolatesFurther) {
   AccessPredictor pn{near};
   AccessPredictor pf{far};
   for (const double v : {10.0, 20.0, 30.0}) {
-    pn.observe("/x", v);
-    pf.observe("/x", v);
+    pn.observe(kX, v);
+    pf.observe(kX, v);
   }
-  EXPECT_GT(pf.predict("/x"), pn.predict("/x"));
+  EXPECT_GT(pf.predict(kX), pn.predict(kX));
 }
 
 /// Property sweep: for any smoothing configuration, a strictly rising
@@ -105,11 +110,11 @@ TEST_P(PredictorConfigSweep, RisingSeriesForecastsUpward) {
   cfg.horizon_periods = horizon;
   AccessPredictor p{cfg};
   for (int i = 1; i <= 20; ++i) {
-    p.observe("/x", i * 10.0);
+    p.observe(kX, i * 10.0);
   }
-  EXPECT_GT(p.trend("/x"), 0.0);
-  EXPECT_GT(p.predict("/x"), p.level("/x"));
-  EXPECT_GT(p.predict("/x"), 0.0);
+  EXPECT_GT(p.trend(kX), 0.0);
+  EXPECT_GT(p.predict(kX), p.level(kX));
+  EXPECT_GT(p.predict(kX), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -121,7 +126,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 FileObservation obs(std::uint64_t accesses) {
   FileObservation o;
-  o.path = "/f";
+  o.file = kX;
   o.accesses = accesses;
   o.replication = 3;
   o.block_count = 4;
