@@ -53,30 +53,34 @@ void append_key_value(std::string& out, const SlotValue* v) {
   }
 }
 
-/// Recover the per-attribute key values from the joined key (cold path: runs
-/// once per group creation).
-std::vector<std::string> split_key(const std::string& key, std::size_t parts) {
-  std::vector<std::string> out;
+/// Recover the per-attribute key values from the joined key, assigning into
+/// a reused vector so a recycled group slot keeps its string capacity.
+void split_key_into(const std::string& key, std::size_t parts,
+                    std::vector<std::string>& out) {
+  out.resize(parts);
   if (parts == 0) {
-    return out;
+    return;
   }
-  out.reserve(parts);
   std::size_t start = 0;
-  for (std::size_t i = 0; i + 1 < parts; ++i) {
+  std::size_t i = 0;
+  for (; i + 1 < parts; ++i) {
     const std::size_t pos = key.find('\x1f', start);
     if (pos == std::string::npos) {
-      out.emplace_back(key.substr(start));
-      start = key.size() + 1;  // remaining parts empty
-      while (out.size() + 1 < parts) {
-        out.emplace_back();
+      out[i].assign(key, start, key.size() - start);
+      for (++i; i + 1 < parts; ++i) {
+        out[i].clear();
       }
+      start = key.size() + 1;  // remaining parts empty
       break;
     }
-    out.emplace_back(key.substr(start, pos - start));
+    out[i].assign(key, start, pos - start);
     start = pos + 1;
   }
-  out.emplace_back(start <= key.size() ? key.substr(start) : std::string());
-  return out;
+  if (start <= key.size()) {
+    out[parts - 1].assign(key, start, key.size() - start);
+  } else {
+    out[parts - 1].clear();
+  }
 }
 
 }  // namespace
@@ -166,45 +170,154 @@ bool Engine::event_matches(QueryState& qs, const SlottedEvent& e) {
   return v.is_bool() && v.as_bool();
 }
 
-void Engine::build_group_key(const CompiledQuery& plan, const SlottedEvent& e) {
-  group_key_buf_.clear();
+void Engine::build_group_key(const CompiledQuery& plan, const SlottedEvent& e,
+                             std::string& out) {
+  out.clear();
   for (std::size_t i = 0; i < plan.group_slots.size(); ++i) {
     if (i != 0) {
-      group_key_buf_ += '\x1f';
+      out += '\x1f';
     }
-    append_key_value(group_key_buf_, e.get(plan.group_slots[i]));
+    append_key_value(out, e.get(plan.group_slots[i]));
   }
 }
 
-bool Engine::resolve_group(QueryState& qs, const std::string& key, bool create,
-                           std::uint64_t& out) {
-  std::uint64_t h = hash_key(key);
+void Engine::rehash(QueryState& qs, std::size_t min_buckets) {
+  std::size_t cap = 16;
+  while (cap < min_buckets) {
+    cap <<= 1;
+  }
+  qs.buckets.assign(cap, kEmptyBucket);
+  const std::size_t mask = cap - 1;
+  for (std::size_t s = 0; s < qs.slots.size(); ++s) {
+    GroupState& g = qs.slots[s];
+    if (g.count == 0) {
+      continue;  // freelisted slot
+    }
+    std::size_t i = g.hash & mask;
+    while (qs.buckets[i] != kEmptyBucket) {
+      i = (i + 1) & mask;
+    }
+    qs.buckets[i] = static_cast<std::uint32_t>(s);
+    g.bucket = static_cast<std::uint32_t>(i);
+  }
+  qs.bucket_used = qs.live_groups;
+}
+
+std::uint32_t Engine::find_slot(const QueryState& qs, const std::string& key) const {
+  if (qs.buckets.empty()) {
+    return kEmptyBucket;
+  }
+  const std::uint64_t h = hash_key(key);
+  const std::size_t mask = qs.buckets.size() - 1;
+  std::size_t i = h & mask;
   for (;;) {
-    const auto it = qs.groups.find(h);
-    if (it == qs.groups.end()) {
-      if (!create) {
-        return false;
+    const std::uint32_t b = qs.buckets[i];
+    if (b == kEmptyBucket) {
+      return kEmptyBucket;
+    }
+    if (b != kTombBucket) {
+      const GroupState& g = qs.slots[b];
+      if (g.hash == h && g.key == key) {
+        return b;
       }
-      GroupState g;
-      g.key = key;
-      g.key_values = split_key(key, qs.query.group_by.size());
-      g.sums.assign(qs.plan.numeric_aggs, 0.0);
-      g.non_null.assign(qs.plan.numeric_aggs, 0);
-      g.mono.resize(qs.plan.numeric_aggs);
-      qs.groups.emplace(h, std::move(g));
-      out = h;
-      return true;
     }
-    if (it->second.key == key) {
-      out = h;
-      return true;
-    }
-    ++h;  // 64-bit collision between distinct keys: probe forward
+    i = (i + 1) & mask;
   }
 }
 
-void Engine::insert_event(QueryState& qs, const SlottedEvent& e, std::uint64_t group_id) {
-  GroupState& g = qs.groups.find(group_id)->second;
+std::uint32_t Engine::resolve_group(QueryState& qs, const std::string& key, bool create) {
+  return resolve_group(qs, key, hash_key(key), create);
+}
+
+std::uint32_t Engine::resolve_group(QueryState& qs, const std::string& key,
+                                    const std::uint64_t h, bool create) {
+  if (qs.buckets.empty()) {
+    if (!create) {
+      return kEmptyBucket;
+    }
+    rehash(qs, 16);
+  }
+  std::size_t mask = qs.buckets.size() - 1;
+  std::size_t i = h & mask;
+  std::size_t insert_at = static_cast<std::size_t>(-1);  // first tombstone seen
+  for (;;) {
+    const std::uint32_t b = qs.buckets[i];
+    if (b == kEmptyBucket) {
+      break;
+    }
+    if (b == kTombBucket) {
+      if (insert_at == static_cast<std::size_t>(-1)) {
+        insert_at = i;
+      }
+    } else {
+      const GroupState& g = qs.slots[b];
+      if (g.hash == h && g.key == key) {
+        return b;
+      }
+    }
+    i = (i + 1) & mask;
+  }
+  if (!create) {
+    return kEmptyBucket;
+  }
+  const bool fills_empty = insert_at == static_cast<std::size_t>(-1);
+  if (fills_empty && (qs.bucket_used + 1) * 2 > qs.buckets.size()) {
+    // Keep the table at most half full of live+tombstone buckets. Sizing off
+    // the live count alone sheds accumulated tombstones, so a churn-heavy
+    // steady state rehashes the same-sized table every ~live/2 erases —
+    // amortized O(1) per operation.
+    rehash(qs, (qs.live_groups + 1) * 4);
+    mask = qs.buckets.size() - 1;
+    i = h & mask;
+    while (qs.buckets[i] != kEmptyBucket) {
+      i = (i + 1) & mask;
+    }
+    insert_at = i;   // rehash reset bucket_used to the live count
+    ++qs.bucket_used;
+  } else if (fills_empty) {
+    insert_at = i;
+    ++qs.bucket_used;
+  }
+  // Take a recycled slot if one is free; its strings keep their capacity.
+  std::uint32_t slot;
+  if (!qs.free_slots.empty()) {
+    slot = qs.free_slots.back();
+    qs.free_slots.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(qs.slots.size());
+    qs.slots.emplace_back();
+  }
+  GroupState& g = qs.slots[slot];
+  g.hash = h;
+  g.bucket = static_cast<std::uint32_t>(insert_at);
+  g.key.assign(key);
+  split_key_into(key, qs.query.group_by.size(), g.key_values);
+  g.count = 0;
+  g.next_seq = 0;
+  g.sums.assign(qs.plan.numeric_aggs, 0.0);
+  g.non_null.assign(qs.plan.numeric_aggs, 0);
+  if (g.mono.size() != qs.plan.numeric_aggs) {
+    g.mono.resize(qs.plan.numeric_aggs);
+  } else {
+    for (auto& dq : g.mono) {
+      dq.clear();
+    }
+  }
+  ++qs.live_groups;
+  qs.buckets[insert_at] = slot;
+  return slot;
+}
+
+void Engine::erase_group(QueryState& qs, std::uint32_t slot) {
+  const GroupState& g = qs.slots[slot];
+  assert(qs.buckets[g.bucket] == slot && "group's cached bucket index is stale");
+  qs.buckets[g.bucket] = kTombBucket;
+  --qs.live_groups;
+  qs.free_slots.push_back(slot);
+}
+
+void Engine::insert_event(QueryState& qs, const SlottedEvent& e, std::uint32_t slot) {
+  GroupState& g = qs.slots[slot];
   ++g.count;
   const std::uint64_t seq = g.next_seq++;
   const CompiledQuery& plan = qs.plan;
@@ -240,15 +353,14 @@ void Engine::insert_event(QueryState& qs, const SlottedEvent& e, std::uint64_t g
       qs.ring_values.push_back(val);
     }
   }
-  qs.ring.push_back(WindowEntry{e.time.micros(), group_id, seq});
+  qs.ring.push_back(WindowEntry{e.time.micros(), slot, seq});
 }
 
 void Engine::evict_front(QueryState& qs) {
   const WindowEntry ent = qs.ring.front();
   qs.ring.pop_front();
-  const auto it = qs.groups.find(ent.group);
-  assert(it != qs.groups.end() && "evicting from a missing group");
-  GroupState& g = it->second;
+  GroupState& g = qs.slots[ent.slot];
+  assert(g.count > 0 && "evicting from a missing group");
   --g.count;
   const CompiledQuery& plan = qs.plan;
   if (plan.numeric_aggs > 0) {
@@ -272,7 +384,7 @@ void Engine::evict_front(QueryState& qs) {
     }
   }
   if (g.count == 0) {
-    qs.groups.erase(it);
+    erase_group(qs, ent.slot);
   }
 }
 
@@ -281,20 +393,33 @@ void Engine::evict_time(QueryState& qs, sim::SimTime now) {
     return;
   }
   const std::int64_t cutoff = (now - qs.query.window.duration).micros();
+  // Eviction's cache miss is the victim's GroupState line (the ring entries
+  // themselves are contiguous). Keep the next few victims' lines in flight
+  // so a burst of expiries doesn't stall once per entry.
+  constexpr std::size_t kAhead = 4;
+  std::size_t primed = 0;  // entries [0, primed) of the ring are prefetched
   while (!qs.ring.empty() && qs.ring.front().time_us <= cutoff) {
+    while (primed < kAhead && primed < qs.ring.size() &&
+           qs.ring[primed].time_us <= cutoff) {
+      __builtin_prefetch(&qs.slots[qs.ring[primed].slot]);
+      ++primed;
+    }
     evict_front(qs);
+    if (primed > 0) {
+      --primed;
+    }
   }
 }
 
-void Engine::notify(QueryState& qs, std::uint64_t group_id) {
+void Engine::notify(QueryState& qs, std::uint32_t slot) {
   if (!qs.listener) {
     return;
   }
-  const auto it = qs.groups.find(group_id);
-  if (it == qs.groups.end()) {
-    return;
+  const GroupState& g = qs.slots[slot];
+  if (g.count == 0) {
+    return;  // the group was fully evicted by a LENGTH window before notify
   }
-  const ResultRow row = render_row(qs.query, export_group(qs, it->second));
+  const ResultRow row = render_row(qs.query, export_group(qs, g));
   if (qs.query.having) {
     const classad::Value v = row.values.evaluate_expr(*qs.query.having);
     if (!v.is_bool() || !v.as_bool()) {
@@ -304,24 +429,126 @@ void Engine::notify(QueryState& qs, std::uint64_t group_id) {
   qs.listener(row);
 }
 
+void Engine::push_one(QueryState& qs, const SlottedEvent& event) {
+  // Time advances for every query's window, matching or not.
+  evict_time(qs, event.time);
+  if (!event_matches(qs, event)) {
+    return;
+  }
+  build_group_key(qs.plan, event, group_key_buf_);
+  const std::uint32_t slot = resolve_group(qs, group_key_buf_, /*create=*/true);
+  insert_event(qs, event, slot);
+  if (qs.query.window.kind == WindowSpec::Kind::kLength) {
+    while (qs.ring.size() > qs.query.window.count) {
+      evict_front(qs);
+    }
+  }
+  notify(qs, slot);
+}
+
 void Engine::push_slotted(const SlottedEvent& event) {
   ++events_processed_;
   for (QueryState& qs : queries_) {
-    // Time advances for every query's window, matching or not.
-    evict_time(qs, event.time);
-    if (!event_matches(qs, event)) {
-      continue;
+    push_one(qs, event);
+  }
+}
+
+void Engine::push_batch(const EventBatch& batch) {
+  events_processed_ += batch.size();
+  // Query-major: queries share no state, so running the whole batch through
+  // one query before the next gives byte-identical per-query results to the
+  // per-event path while keeping each query's plan, buckets and ring hot in
+  // cache. Only listener firing order differs within a batch.
+  for (QueryState& qs : queries_) {
+    push_batch_query(qs, batch);
+  }
+}
+
+void Engine::push_batch_query(QueryState& qs, const EventBatch& batch) {
+  const std::size_t n = batch.size();
+  if (n < kPipeDepth * 2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      push_one(qs, batch[i]);
     }
-    build_group_key(qs.plan, event);
-    std::uint64_t gid = 0;
-    resolve_group(qs, group_key_buf_, /*create=*/true, gid);
-    insert_event(qs, event, gid);
+    return;
+  }
+  // A matched event costs two dependent cache misses in resolve_group: the
+  // bucket line (h & mask into a multi-MB array), then the GroupState line
+  // it points at. This pipeline hides both behind later events' pure work.
+  //
+  //   fetch(i):  match test, key render, FNV hash — all functions of the
+  //              event and the immutable plan only — then prefetch the
+  //              bucket line for the hash.
+  //   probe(i):  peek the head bucket (its line is arriving by now) and
+  //              prefetch the GroupState it names. The peek is only a hint:
+  //              retire() may rehash or erase between probe and retirement,
+  //              so retirement re-probes from scratch — a stale prefetch
+  //              wastes a line, never correctness.
+  //   retire(i): every mutation, in event order — evict_time, full
+  //              resolve_group on the precomputed (key, hash), insert_event,
+  //              LENGTH eviction, notify. Identical call sequence to
+  //              push_one, so query state stays byte-identical.
+  constexpr std::size_t kMask = kPipeDepth - 1;
+  constexpr std::size_t kProbeLag = kPipeDepth / 2;
+  const auto fetch = [&](std::size_t i) {
+    const SlottedEvent& e = batch[i];
+    PipeSlot& p = pipe_[i & kMask];
+    p.matched = event_matches(qs, e);
+    if (!p.matched) {
+      return;
+    }
+    build_group_key(qs.plan, e, p.key);
+    p.hash = hash_key(p.key);
+    if (!qs.buckets.empty()) {
+      __builtin_prefetch(&qs.buckets[p.hash & (qs.buckets.size() - 1)]);
+    }
+    // Warm the likely eviction victims too: by the time this event retires,
+    // retirement will have consumed a few ring entries, so prefetch a little
+    // way in. (Bursts are short — often one victim per event — so the
+    // in-loop lookahead in evict_time alone starts every burst cold.)
+    const std::size_t live = qs.ring.size();
+    if (live > kPipeDepth) {
+      __builtin_prefetch(&qs.slots[qs.ring[kPipeDepth - 2].slot]);
+    }
+  };
+  const auto probe = [&](std::size_t i) {
+    const PipeSlot& p = pipe_[i & kMask];
+    if (!p.matched || qs.buckets.empty()) {
+      return;
+    }
+    const std::uint32_t b = qs.buckets[p.hash & (qs.buckets.size() - 1)];
+    if (b < qs.slots.size()) {  // excludes the empty/tombstone sentinels
+      __builtin_prefetch(&qs.slots[b]);
+    }
+  };
+  const auto retire = [&](std::size_t i) {
+    const SlottedEvent& e = batch[i];
+    evict_time(qs, e.time);
+    const PipeSlot& p = pipe_[i & kMask];
+    if (!p.matched) {
+      return;
+    }
+    const std::uint32_t slot = resolve_group(qs, p.key, p.hash, /*create=*/true);
+    insert_event(qs, e, slot);
     if (qs.query.window.kind == WindowSpec::Kind::kLength) {
       while (qs.ring.size() > qs.query.window.count) {
         evict_front(qs);
       }
     }
-    notify(qs, gid);
+    notify(qs, slot);
+  };
+  // retire() runs first each step so slot (t & kMask) is free before
+  // fetch(t) overwrites it.
+  for (std::size_t t = 0; t < n + kPipeDepth; ++t) {
+    if (t >= kPipeDepth) {
+      retire(t - kPipeDepth);
+    }
+    if (t < n) {
+      fetch(t);
+    }
+    if (t >= kProbeLag && t - kProbeLag < n) {
+      probe(t - kProbeLag);
+    }
   }
 }
 
@@ -415,9 +642,11 @@ std::vector<Engine::RawGroup> Engine::raw_snapshot(QueryId id) const {
   if (qs == nullptr) {
     return out;
   }
-  out.reserve(qs->groups.size());
-  for (const auto& [h, g] : qs->groups) {
-    out.push_back(export_group(*qs, g));
+  out.reserve(qs->live_groups);
+  for (const GroupState& g : qs->slots) {
+    if (g.count > 0) {
+      out.push_back(export_group(*qs, g));
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const RawGroup& a, const RawGroup& b) { return a.key < b.key; });
@@ -429,17 +658,11 @@ std::optional<Engine::RawGroup> Engine::raw_group(QueryId id, const std::string&
   if (qs == nullptr) {
     return std::nullopt;
   }
-  std::uint64_t h = hash_key(key);
-  for (;;) {
-    const auto it = qs->groups.find(h);
-    if (it == qs->groups.end()) {
-      return std::nullopt;
-    }
-    if (it->second.key == key) {
-      return export_group(*qs, it->second);
-    }
-    ++h;
+  const std::uint32_t slot = find_slot(*qs, key);
+  if (slot == kEmptyBucket) {
+    return std::nullopt;
   }
+  return export_group(*qs, qs->slots[slot]);
 }
 
 std::vector<ResultRow> Engine::snapshot(QueryId id) {
@@ -456,20 +679,33 @@ std::vector<ResultRow> Engine::snapshot(QueryId id) {
   return out;
 }
 
-void Engine::for_each_group_count(QueryId id, const GroupCountVisitor& fn) {
+void Engine::for_each_group_count(QueryId id, const GroupCountVisitor& fn,
+                                  GroupOrder order) {
   const QueryState* qs = find_query(id);
   if (qs == nullptr) {
     return;
   }
-  // Sort by joined key so scalar and sharded iteration agree exactly.
-  std::vector<const GroupState*> groups;
-  groups.reserve(qs->groups.size());
-  for (const auto& [h, g] : qs->groups) {
-    groups.push_back(&g);
+  if (order == GroupOrder::kUnordered) {
+    // Pool order: deterministic for a given event history, no sort, no
+    // allocation — for consumers that scatter into dense arrays.
+    for (const GroupState& g : qs->slots) {
+      if (g.count > 0) {
+        fn(g.key_values, g.count);
+      }
+    }
+    return;
   }
-  std::sort(groups.begin(), groups.end(),
+  // Sort by joined key so scalar and sharded iteration agree exactly.
+  visit_scratch_.clear();
+  visit_scratch_.reserve(qs->live_groups);
+  for (const GroupState& g : qs->slots) {
+    if (g.count > 0) {
+      visit_scratch_.push_back(&g);
+    }
+  }
+  std::sort(visit_scratch_.begin(), visit_scratch_.end(),
             [](const GroupState* a, const GroupState* b) { return a->key < b->key; });
-  for (const GroupState* g : groups) {
+  for (const GroupState* g : visit_scratch_) {
     fn(g->key_values, g->count);
   }
 }

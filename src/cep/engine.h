@@ -1,23 +1,32 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cep/compiled_query.h"
 #include "cep/query.h"
 #include "cep/slotted_event.h"
 #include "util/ids.h"
+#include "util/ring_buffer.h"
 
 namespace erms::cep {
 
 struct QueryTag {};
 using QueryId = util::StrongId<QueryTag>;
+
+/// Iteration order for group visitation. kSorted visits groups in joined-key
+/// order — identical between the scalar and sharded engines, for consumers
+/// whose behaviour depends on visit order. kUnordered visits in whatever
+/// order the engine stores groups (deterministic for a given event history,
+/// but engine-specific), skipping the per-visit sort — the right choice for
+/// consumers that scatter counts into dense arrays.
+enum class GroupOrder : std::uint8_t { kSorted, kUnordered };
 
 /// Interface shared by the scalar Engine and the ShardedEngine so consumers
 /// (the Data Judge's feed, ErmsManager) can be wired to either. Methods are
@@ -46,6 +55,12 @@ class EngineBase {
   /// into a pending batch); callers may reuse it immediately.
   virtual void push_slotted(const SlottedEvent& event) = 0;
 
+  /// Push a whole batch of slotted events, equivalent to push_slotted on
+  /// each in order. Engines may reorder work internally (e.g. processing the
+  /// batch query-major) as long as every query's resulting state matches the
+  /// per-event path; only listener firing order may differ within a batch.
+  virtual void push_batch(const EventBatch& batch) = 0;
+
   /// Advance time without an event: evict expired window entries (time
   /// windows only). Judges call this before reading snapshots.
   virtual void advance_to(sim::SimTime now) = 0;
@@ -58,13 +73,15 @@ class EngineBase {
   [[nodiscard]] virtual std::optional<ResultRow> group_row(
       QueryId id, const std::vector<std::string>& key) = 0;
 
-  /// Visit every group of `id` as (group-by values, window event count),
-  /// sorted by joined group key — the same order in the scalar and sharded
-  /// engines, so consumers iterating groups behave identically under either.
+  /// Visit every group of `id` as (group-by values, window event count).
   /// Unlike snapshot(), this renders no rows and allocates no ClassAds.
   using GroupCountVisitor =
       std::function<void(const std::vector<std::string>& key_values, std::uint64_t count)>;
-  virtual void for_each_group_count(QueryId id, const GroupCountVisitor& fn) = 0;
+  virtual void for_each_group_count(QueryId id, const GroupCountVisitor& fn,
+                                    GroupOrder order) = 0;
+  void for_each_group_count(QueryId id, const GroupCountVisitor& fn) {
+    for_each_group_count(id, fn, GroupOrder::kSorted);
+  }
 
   [[nodiscard]] virtual std::size_t query_count() const = 0;
   [[nodiscard]] virtual std::uint64_t events_processed() const = 0;
@@ -81,11 +98,16 @@ class EngineBase {
 /// it parsed HDFS audit-log events and reads back per-file / per-block /
 /// per-datanode access counts (paper §III.C).
 ///
-/// Internally each query runs a compiled plan over slotted events: group
-/// state is keyed by a precomputed 64-bit hash (full key kept for collision
-/// checks), windows hold only the per-entry aggregate inputs (not event
-/// copies), and min/max use monotonic deques instead of multisets — the
-/// steady-state ingest path performs no allocations.
+/// Internally each query runs a compiled plan over slotted events. Group
+/// state lives in a slot pool behind an open-addressing bucket table (4-byte
+/// buckets, linear probing on the 64-bit key hash, tombstones on erase):
+/// window entries carry their group's pool slot, so eviction touches the
+/// group directly with no hash lookup, and erased slots go on a freelist
+/// whose strings and vectors are reused by the next group — high-churn
+/// workloads (a uniform stream over millions of files) stop allocating once
+/// the pool reaches the window's working-set size. Windows hold only the
+/// per-entry aggregate inputs in flat ring buffers (not event copies), and
+/// min/max use monotonic deques instead of multisets.
 class Engine final : public EngineBase {
  public:
   Engine();
@@ -94,15 +116,18 @@ class Engine final : public EngineBase {
   Engine(std::shared_ptr<SymbolTable> attrs, std::shared_ptr<SymbolTable> streams);
 
   using EngineBase::register_query;
+  using EngineBase::for_each_group_count;
   QueryId register_query(Query query, Listener listener) override;
   bool remove_query(QueryId id) override;
   void push(const Event& event) override;
   void push_slotted(const SlottedEvent& event) override;
+  void push_batch(const EventBatch& batch) override;
   void advance_to(sim::SimTime now) override;
   [[nodiscard]] std::vector<ResultRow> snapshot(QueryId id) override;
   [[nodiscard]] std::optional<ResultRow> group_row(
       QueryId id, const std::vector<std::string>& key) override;
-  void for_each_group_count(QueryId id, const GroupCountVisitor& fn) override;
+  void for_each_group_count(QueryId id, const GroupCountVisitor& fn,
+                            GroupOrder order) override;
   [[nodiscard]] std::size_t query_count() const override { return queries_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const override { return events_processed_; }
   [[nodiscard]] SymbolTable& attr_symbols() override { return *attrs_; }
@@ -146,7 +171,13 @@ class Engine final : public EngineBase {
     double value;
     std::uint64_t seq;
   };
+  /// A group's aggregate state, held in the query's slot pool. A slot is
+  /// live iff count > 0 (groups are created together with their first window
+  /// entry and erased when the last one evicts); freed slots keep their
+  /// string/vector capacity for the next group that reuses them.
   struct GroupState {
+    std::uint64_t hash{0};      // FNV of key, cached for rehash
+    std::uint32_t bucket{0};    // index of the bucket pointing at this slot
     std::string key;
     std::vector<std::string> key_values;
     std::uint64_t count{0};
@@ -159,33 +190,55 @@ class Engine final : public EngineBase {
   /// One window entry: everything eviction needs, instead of an event copy.
   struct WindowEntry {
     std::int64_t time_us;
-    std::uint64_t group;  // resolved key of the entry's group in `groups`
-    std::uint64_t seq;    // the group-local sequence number of this entry
+    std::uint32_t slot;  // the entry's group in the query's slot pool
+    std::uint64_t seq;   // the group-local sequence number of this entry
   };
+  static constexpr std::uint32_t kEmptyBucket = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kTombBucket = 0xFFFFFFFEu;
   struct QueryState {
     QueryId id;
     Query query;
     CompiledQuery plan;
     Listener listener;
-    std::deque<WindowEntry> ring;
-    std::deque<double> ring_values;  // plan.numeric_aggs doubles per entry
-    std::unordered_map<std::uint64_t, GroupState> groups;
+    util::RingBuffer<WindowEntry> ring;
+    util::RingBuffer<double> ring_values;  // plan.numeric_aggs doubles per entry
+    // Open-addressing group table: buckets hold pool-slot indices (or the
+    // empty/tombstone sentinels); the pool owns the GroupStates.
+    std::vector<std::uint32_t> buckets;  // capacity always a power of two
+    std::vector<GroupState> slots;
+    std::vector<std::uint32_t> free_slots;
+    std::size_t live_groups{0};
+    std::size_t bucket_used{0};  // live + tombstones
   };
 
   [[nodiscard]] QueryState* find_query(QueryId id);
   [[nodiscard]] const QueryState* find_query(QueryId id) const;
 
   [[nodiscard]] bool event_matches(QueryState& qs, const SlottedEvent& e);
-  /// Render the joined group key into the reused scratch buffer.
-  void build_group_key(const CompiledQuery& plan, const SlottedEvent& e);
-  /// Map the scratch key to its group id, probing past 64-bit collisions;
-  /// creates the group when `create`. Returns false on miss (create=false).
-  bool resolve_group(QueryState& qs, const std::string& key, bool create,
-                     std::uint64_t& out);
-  void insert_event(QueryState& qs, const SlottedEvent& e, std::uint64_t group_id);
+  /// Render the joined group key into `out` (a reused scratch buffer).
+  static void build_group_key(const CompiledQuery& plan, const SlottedEvent& e,
+                              std::string& out);
+  /// Pool slot of `key`, creating the group when `create`; kEmptyBucket on
+  /// miss (create=false). Grows/rehashes the bucket table as needed.
+  std::uint32_t resolve_group(QueryState& qs, const std::string& key, bool create);
+  /// Same, with the key's FNV hash already computed by the caller.
+  std::uint32_t resolve_group(QueryState& qs, const std::string& key,
+                              std::uint64_t hash, bool create);
+  /// Pool slot of `key` without mutating (kEmptyBucket on miss).
+  [[nodiscard]] std::uint32_t find_slot(const QueryState& qs, const std::string& key) const;
+  void rehash(QueryState& qs, std::size_t min_buckets);
+  /// Tombstone `slot`'s bucket and return the GroupState to the freelist.
+  void erase_group(QueryState& qs, std::uint32_t slot);
+  void insert_event(QueryState& qs, const SlottedEvent& e, std::uint32_t slot);
   void evict_front(QueryState& qs);
   void evict_time(QueryState& qs, sim::SimTime now);
-  void notify(QueryState& qs, std::uint64_t group_id);
+  void push_one(QueryState& qs, const SlottedEvent& event);
+  /// Run a whole batch through one query with a bounded software pipeline:
+  /// the pure per-event work (match test, key render, hash) runs ahead and
+  /// prefetches the bucket and group-state cache lines, while every mutation
+  /// is applied in event order — byte-identical state to push_one per event.
+  void push_batch_query(QueryState& qs, const EventBatch& batch);
+  void notify(QueryState& qs, std::uint32_t slot);
   [[nodiscard]] RawGroup export_group(const QueryState& qs, const GroupState& g) const;
 
   std::shared_ptr<SymbolTable> attrs_;
@@ -194,8 +247,20 @@ class Engine final : public EngineBase {
   util::IdGenerator<QueryId> ids_{1};
   std::uint64_t events_processed_{0};
   bool use_fast_path_{true};
-  std::string group_key_buf_;    // scratch for build_group_key
+  /// In-flight pipeline state for push_batch_query: one slot per event still
+  /// between the fetch stage and retirement. Strings keep their capacity
+  /// across batches, so a warm pipeline renders keys with no allocation.
+  static constexpr std::size_t kPipeDepth = 8;  // power of two
+  struct PipeSlot {
+    std::string key;
+    std::uint64_t hash{0};
+    bool matched{false};
+  };
+
+  std::string group_key_buf_;     // scratch for build_group_key
   SlottedEvent convert_scratch_;  // scratch for push(const Event&)
+  std::vector<const GroupState*> visit_scratch_;  // sorted visitation scratch
+  std::array<PipeSlot, kPipeDepth> pipe_;         // push_batch_query scratch
 };
 
 }  // namespace erms::cep

@@ -131,6 +131,26 @@ void ShardedEngine::push_slotted(const SlottedEvent& event) {
   }
 }
 
+void ShardedEngine::push_batch(const EventBatch& batch) {
+  // Same semantics as push_slotted per event — including the mid-batch
+  // flush whenever a shard's pending batch fills — but the whole span is
+  // routed in one call, so the feed pays one virtual dispatch per batch.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const SlottedEvent& event = batch[i];
+    ++events_;
+    const std::size_t s = route(event);
+    pending_[s].append(event);
+    ++pending_count_;
+    if (!has_pending_ || event.time > pending_max_time_) {
+      pending_max_time_ = event.time;
+      has_pending_ = true;
+    }
+    if (pending_[s].size() >= batch_events_) {
+      flush();
+    }
+  }
+}
+
 void ShardedEngine::push(const Event& event) {
   convert_scratch_.reset(event.time, streams_->intern(event.type));
   for (const std::string& name : event.attrs.attribute_names()) {
@@ -163,10 +183,7 @@ void ShardedEngine::flush() {
   const sim::SimTime max_time = pending_max_time_;
   pool_->parallel_for(shards_.size(), [this, max_time](std::size_t s) {
     Engine& eng = *shards_[s];
-    const EventBatch& batch = pending_[s];
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      eng.push_slotted(batch[i]);
-    }
+    eng.push_batch(pending_[s]);
     // Mirror the scalar engine: every query's time window has seen the
     // batch's high-water time, whether or not this shard got an event.
     eng.advance_to(max_time);
@@ -185,7 +202,7 @@ void ShardedEngine::advance_to(sim::SimTime now) {
   }
 }
 
-std::vector<Engine::RawGroup> ShardedEngine::merged_raw(QueryId id) {
+std::vector<Engine::RawGroup> ShardedEngine::merged_raw(QueryId id, GroupOrder order) {
   flush();
   std::vector<Engine::RawGroup> merged;
   const Query* q = shards_.front()->query(id);
@@ -220,8 +237,12 @@ std::vector<Engine::RawGroup> ShardedEngine::merged_raw(QueryId id) {
       }
     }
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const Engine::RawGroup& a, const Engine::RawGroup& b) { return a.key < b.key; });
+  if (order == GroupOrder::kSorted) {
+    std::sort(merged.begin(), merged.end(), [](const Engine::RawGroup& a,
+                                               const Engine::RawGroup& b) {
+      return a.key < b.key;
+    });
+  }
   return merged;
 }
 
@@ -239,10 +260,12 @@ std::vector<ResultRow> ShardedEngine::snapshot(QueryId id) {
   return out;
 }
 
-void ShardedEngine::for_each_group_count(QueryId id, const GroupCountVisitor& fn) {
-  // merged_raw sums per-shard counts and sorts by joined key, so the visit
-  // order and counts are byte-identical to the scalar engine's.
-  for (const Engine::RawGroup& g : merged_raw(id)) {
+void ShardedEngine::for_each_group_count(QueryId id, const GroupCountVisitor& fn,
+                                         GroupOrder order) {
+  // With kSorted, merged_raw sums per-shard counts and sorts by joined key,
+  // so the visit order and counts are byte-identical to the scalar
+  // engine's. kUnordered skips the sort and visits in merge order.
+  for (const Engine::RawGroup& g : merged_raw(id, order)) {
     fn(g.key_values, g.count);
   }
 }

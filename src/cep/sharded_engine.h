@@ -44,15 +44,18 @@ class ShardedEngine final : public EngineBase {
   ~ShardedEngine() override;
 
   using EngineBase::register_query;
+  using EngineBase::for_each_group_count;
   QueryId register_query(Query query, Listener listener) override;
   bool remove_query(QueryId id) override;
   void push(const Event& event) override;
   void push_slotted(const SlottedEvent& event) override;
+  void push_batch(const EventBatch& batch) override;
   void advance_to(sim::SimTime now) override;
   [[nodiscard]] std::vector<ResultRow> snapshot(QueryId id) override;
   [[nodiscard]] std::optional<ResultRow> group_row(
       QueryId id, const std::vector<std::string>& key) override;
-  void for_each_group_count(QueryId id, const GroupCountVisitor& fn) override;
+  void for_each_group_count(QueryId id, const GroupCountVisitor& fn,
+                            GroupOrder order) override;
   [[nodiscard]] std::size_t query_count() const override;
   [[nodiscard]] std::uint64_t events_processed() const override { return events_; }
   [[nodiscard]] SymbolTable& attr_symbols() override { return *attrs_; }
@@ -70,8 +73,10 @@ class ShardedEngine final : public EngineBase {
 
  private:
   [[nodiscard]] std::size_t route(const SlottedEvent& e) const;
-  /// All shards' groups for `id`, merged by key, sorted by key.
-  [[nodiscard]] std::vector<Engine::RawGroup> merged_raw(QueryId id);
+  /// All shards' groups for `id`, merged by key; sorted by key when
+  /// `order` is kSorted, else left in merge order.
+  [[nodiscard]] std::vector<Engine::RawGroup> merged_raw(
+      QueryId id, GroupOrder order = GroupOrder::kSorted);
 
   std::shared_ptr<SymbolTable> attrs_;
   std::shared_ptr<SymbolTable> streams_;

@@ -145,6 +145,16 @@ class EventBatch {
     ++size_;
   }
 
+  /// Hand out the next entry for in-place filling (callers reset() it via
+  /// AuditEvent::to_slotted or SlottedEvent::reset). Skips the copy append()
+  /// makes, so producers can build events directly inside the batch.
+  [[nodiscard]] SlottedEvent& emplace_back() {
+    if (size_ == storage_.size()) {
+      storage_.emplace_back();
+    }
+    return storage_[size_++];
+  }
+
   void clear() { size_ = 0; }
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }

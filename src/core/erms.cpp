@@ -96,6 +96,10 @@ ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> stand
   if (config_.predictive) {
     predictor_.emplace(config_.predictor);
   }
+  if (config_.sweep_threads != 1) {
+    sweep_pool_ = std::make_unique<util::ThreadPool>(config_.sweep_threads);
+  }
+  sweep_shards_.resize(sweep_pool_ == nullptr ? 1 : sweep_pool_->size());
   register_executors();
   scheduler_.set_idle_probe([this] {
     return cluster_.background_idle() &&
@@ -106,7 +110,9 @@ ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> stand
 ErmsManager::~ErmsManager() {
   // The cluster (and its network) outlive this manager; everything they
   // point at — the audit sink feeding the CEP engine, the observability
-  // bundle — dies with it, so detach before it does.
+  // bundle — dies with it, so detach before it does. Detaching the batch
+  // sink first flushes any buffered records into the feed while it lives.
+  cluster_.set_audit_batch_sink(nullptr, 1);
   cluster_.set_audit_sink(nullptr);
   cluster_.set_failure_listener(nullptr);
   if (obs_ != nullptr) {
@@ -117,7 +123,15 @@ ErmsManager::~ErmsManager() {
 
 void ErmsManager::start() {
   cluster_.set_placement_policy(placement_);
-  cluster_.set_audit_sink([this](const audit::AuditEvent& e) { feed_.on_audit(e); });
+  if (config_.judge_batch_flush_events > 0) {
+    cluster_.set_audit_batch_sink(
+        [this](const audit::AuditEvent* events, std::size_t n) {
+          feed_.on_audit_batch(events, n);
+        },
+        config_.judge_batch_flush_events);
+  } else {
+    cluster_.set_audit_sink([this](const audit::AuditEvent& e) { feed_.on_audit(e); });
+  }
   cluster_.set_failure_listener([this](hdfs::NodeId n) {
     // The dead datanode's machine ad is stale — drop it so matchmaking and
     // operator queries stop seeing it.
@@ -406,28 +420,47 @@ void ErmsManager::submit_change(hdfs::FileId file, const std::string& cmd,
       });
 }
 
-void ErmsManager::evaluate_file(const hdfs::FileInfo& info, std::uint64_t accesses,
-                                const std::vector<std::uint64_t>& block_accesses) {
+void ErmsManager::classify_range(SweepShard& shard, std::size_t begin, std::size_t end,
+                                 sim::SimTime now) {
+  shard.decisions.clear();
+  shard.tracked_delta = 0;
+  // Merge-walk: scratch_blocks_ is sorted by fid, so position once at the
+  // range's first entry and advance monotonically.
+  std::size_t bi = static_cast<std::size_t>(
+      std::lower_bound(scratch_blocks_.begin(), scratch_blocks_.end(), begin,
+                       [](const std::pair<std::uint32_t, std::uint64_t>& a,
+                          std::size_t v) { return a.first < v; }) -
+      scratch_blocks_.begin());
+  for (std::size_t id = begin; id < end; ++id) {
+    shard.fobs.block_accesses.clear();
+    while (bi < scratch_blocks_.size() && scratch_blocks_[bi].first == id) {
+      shard.fobs.block_accesses.push_back(scratch_blocks_[bi].second);
+      ++bi;
+    }
+    const hdfs::FileInfo* info =
+        cluster_.metadata().find(hdfs::FileId{static_cast<hdfs::FileId::rep_type>(id)});
+    if (info != nullptr) {
+      classify_file(shard, *info, scratch_accesses_[id], now);
+    }
+  }
+}
+
+void ErmsManager::classify_file(SweepShard& shard, const hdfs::FileInfo& info,
+                                std::uint64_t accesses, sim::SimTime now) {
   const hdfs::FileId file = info.id;
   if (action_in_flight(file)) {
     return;
   }
-  const sim::SimTime now = cluster_.simulation().now();
   const std::size_t idx = file.value();
-  if (types_.size() <= idx) {
-    types_.resize(idx + 1, 0);
-    first_seen_.resize(idx + 1);
-  }
   if (types_[idx] == 0) {
     first_seen_[idx] = now;
   }
 
-  judge::FileObservation fobs;
+  judge::FileObservation& fobs = shard.fobs;
   fobs.file = file;
   fobs.accesses = accesses;
   fobs.block_count = info.blocks.size();
   fobs.replication = info.replication;
-  fobs.block_accesses = block_accesses;
   const sim::SimTime last = feed_.last_access(file);
   fobs.last_access = std::max(last, first_seen_[idx]);
 
@@ -439,6 +472,7 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info, std::uint64_t access
   // promoted *further* — on the forecast before the observed counts get
   // there. Only the hot verdict (and its optimal factor) may come from a
   // forecast; cooling and encoding always wait for real counts.
+  bool predictive = false;
   if (predictor_) {
     predictor_->observe(file, static_cast<double>(fobs.accesses));
     const double predicted = predictor_->predict(file);
@@ -446,8 +480,14 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info, std::uint64_t access
       // Scale the whole observation by the forecast ratio so the
       // block-level rules (2) and (3) see the rise too.
       const double ratio = predicted / std::max(1.0, static_cast<double>(fobs.accesses));
-      judge::FileObservation boosted = fobs;
+      judge::FileObservation& boosted = shard.boosted;
+      boosted.file = fobs.file;
+      boosted.block_count = fobs.block_count;
+      boosted.replication = fobs.replication;
+      boosted.last_access = fobs.last_access;
       boosted.accesses = static_cast<std::uint64_t>(predicted);
+      boosted.block_accesses.assign(fobs.block_accesses.begin(),
+                                    fobs.block_accesses.end());
       for (std::uint64_t& nb : boosted.block_accesses) {
         nb = static_cast<std::uint64_t>(static_cast<double>(nb) * ratio);
       }
@@ -458,12 +498,7 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info, std::uint64_t access
           (verdict.type != judge::DataType::kHot ||
            forecast.optimal_replication > verdict.optimal_replication);
       if (upgrades) {
-        if (forecast.optimal_replication > info.replication) {
-          ++stats_.predictive_promotions;
-          if (obs_ != nullptr) {
-            obs_->registry().add(obs_ids_.predictive_promotions);
-          }
-        }
+        predictive = forecast.optimal_replication > info.replication;
         verdict = forecast;
       }
     }
@@ -474,30 +509,69 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info, std::uint64_t access
                     : static_cast<judge::DataType>(types_[idx] - 1);
   types_[idx] = static_cast<std::uint8_t>(verdict.type) + 1;
   if (first_verdict) {
-    ++tracked_files_;
+    ++shard.tracked_delta;
   }
-  if (obs_ != nullptr && prev_type != verdict.type) {
+
+  // Record a decision only when the apply phase has something to do: a flip
+  // to trace, an action to submit, or a predictive promotion to count. In
+  // steady state (stable classifications, no actions) nothing is recorded.
+  const bool flip = prev_type != verdict.type;
+  bool acts = false;
+  switch (verdict.type) {
+    case judge::DataType::kHot:
+      acts = info.erasure_coded || verdict.optimal_replication > info.replication;
+      break;
+    case judge::DataType::kCooled:
+      acts = info.replication > default_rep;
+      break;
+    case judge::DataType::kCold:
+      acts = !info.erasure_coded;
+      break;
+    case judge::DataType::kNormal:
+      break;
+  }
+  if (flip || acts || predictive) {
+    shard.decisions.push_back(
+        Decision{file, verdict, prev_type, accesses, flip, predictive});
+  }
+}
+
+void ErmsManager::apply_decision(const Decision& d) {
+  const hdfs::FileInfo* info = cluster_.metadata().find(d.file);
+  if (info == nullptr) {
+    return;
+  }
+  const judge::Classification& verdict = d.verdict;
+  if (d.predictive) {
+    ++stats_.predictive_promotions;
+    if (obs_ != nullptr) {
+      obs_->registry().add(obs_ids_.predictive_promotions);
+    }
+  }
+  if (obs_ != nullptr && d.flip) {
     // A classification flip is the decision record behind every elastic
     // action — trace it with the rule that fired and the value it compared.
     obs_->registry().add(obs_ids_.classify_flips);
     obs::TraceEvent ev;
     ev.kind = obs::ActionKind::kClassify;
-    ev.at = now;
-    ev.path = info.path;
+    ev.at = cluster_.simulation().now();
+    ev.path = info->path;
     ev.rule = verdict.rule;
     ev.trigger = verdict.trigger;
     ev.threshold = verdict.threshold;
-    ev.from = judge::to_string(prev_type);
+    ev.from = judge::to_string(d.prev_type);
     ev.to = judge::to_string(verdict.type);
-    ev.rep_before = info.replication;
-    ev.count = fobs.accesses;
+    ev.rep_before = info->replication;
+    ev.count = d.accesses;
     obs_->trace().record(std::move(ev));
   }
 
+  const std::uint32_t default_rep = cluster_.config().default_replication;
+  const hdfs::FileId file = d.file;
   const ActionContext ctx{verdict.rule, verdict.trigger, verdict.threshold};
   switch (verdict.type) {
     case judge::DataType::kHot: {
-      if (info.erasure_coded) {
+      if (info->erasure_coded) {
         // Re-warmed cold data: decode first (urgent, like increases).
         ++stats_.decodes;
         if (obs_ != nullptr) {
@@ -507,16 +581,16 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info, std::uint64_t access
                       condor::JobClass::kImmediate, kPriorityUrgent, ctx);
         break;
       }
-      if (verdict.optimal_replication > info.replication) {
+      if (verdict.optimal_replication > info->replication) {
         ++stats_.hot_promotions;
         if (obs_ != nullptr) {
           obs_->registry().add(obs_ids_.hot_promotions);
         }
         if (log_.enabled(util::LogLevel::kInfo)) {
           log_.log(util::LogLevel::kInfo, "erms",
-                   std::string(info.path) + " hot (rule " +
+                   std::string(info->path) + " hot (rule " +
                        std::to_string(verdict.rule) + "), rep " +
-                       std::to_string(info.replication) + " -> " +
+                       std::to_string(info->replication) + " -> " +
                        std::to_string(verdict.optimal_replication));
         }
         submit_change(file, "increase_replication", verdict.optimal_replication,
@@ -525,7 +599,7 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info, std::uint64_t access
       break;
     }
     case judge::DataType::kCooled: {
-      if (info.replication > default_rep) {
+      if (info->replication > default_rep) {
         ++stats_.cooldowns;
         if (obs_ != nullptr) {
           obs_->registry().add(obs_ids_.cooldowns);
@@ -536,7 +610,7 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info, std::uint64_t access
       break;
     }
     case judge::DataType::kCold: {
-      if (!info.erasure_coded) {
+      if (!info->erasure_coded) {
         ++stats_.encodes;
         if (obs_ != nullptr) {
           obs_->registry().add(obs_ids_.encodes);
@@ -551,26 +625,68 @@ void ErmsManager::evaluate_file(const hdfs::FileInfo& info, std::uint64_t access
   }
 }
 
+hdfs::FileId ErmsManager::overload_winner(
+    std::int64_t node, const std::function<bool(hdfs::FileId)>& in_flight) const {
+  hdfs::FileId worst_file{0};
+  std::uint64_t worst = 0;
+  for (const FileNodeAccess& a : scratch_file_nodes_) {
+    if (a.node == node && a.reads > worst && !in_flight(a.file)) {
+      worst = a.reads;
+      worst_file = a.file;
+    }
+  }
+  return worst_file;
+}
+
 void ErmsManager::check_node_overload() {
   // Formula (4): Σ_i N_bi·r_bi > τ_DN on a node → raise the replication of
-  // the file contributing the most accesses to that node. Both sweeps walk
-  // the engine's group state in key order, so the winner (first strictly
-  // greater) is deterministic for any shard count.
+  // the file contributing the most accesses to that node. The candidate walk
+  // is in group-key order, so the winner (first strictly greater) is
+  // deterministic for any shard count.
   std::vector<std::pair<std::int64_t, std::uint64_t>> overloaded;
   feed_.for_each_node_access([&](std::int64_t dn, std::uint64_t count) {
     if (judge_.node_overloaded(static_cast<double>(count))) {
       overloaded.emplace_back(dn, count);
     }
   });
-  for (const auto& [dn, count] : overloaded) {
-    hdfs::FileId worst_file{0};
-    std::uint64_t worst = 0;
-    feed_.for_each_file_access_on_node(dn, [&](hdfs::FileId fid, std::uint64_t n) {
-      if (n > worst && !action_in_flight(fid)) {
-        worst = n;
-        worst_file = fid;
-      }
+  if (overloaded.empty()) {
+    return;
+  }
+
+  // One key-ordered snapshot of the (file, datanode, reads) relation covers
+  // every overloaded node, instead of re-walking the engine's group state
+  // per node. Winners are computed against a frozen in_flight view — in
+  // parallel when a sweep pool exists — then applied serially in node
+  // order. A frozen winner can only be invalidated by an *earlier* node's
+  // submission in this same loop; re-checking it live (and rescanning
+  // serially on a hit) restores exactly the serial walk's answer, because
+  // dropping a non-winner candidate never changes the earliest maximum.
+  scratch_file_nodes_.clear();
+  feed_.for_each_file_node_access(
+      [&](hdfs::FileId fid, std::int64_t dn, std::uint64_t n) {
+        scratch_file_nodes_.push_back(FileNodeAccess{fid, dn, n});
+      });
+  // in_flight_ is mutated only by the apply loop below, so during the scan
+  // phase this predicate reads the frozen pre-sweep view; called again from
+  // the apply loop it reads the live one.
+  const auto in_flight_now = [this](hdfs::FileId fid) { return action_in_flight(fid); };
+  scratch_winners_.assign(overloaded.size(), hdfs::FileId{0});
+  if (sweep_pool_ != nullptr && overloaded.size() > 1) {
+    sweep_pool_->parallel_for(overloaded.size(), [&](std::size_t k) {
+      scratch_winners_[k] = overload_winner(overloaded[k].first, in_flight_now);
     });
+  } else {
+    for (std::size_t k = 0; k < overloaded.size(); ++k) {
+      scratch_winners_[k] = overload_winner(overloaded[k].first, in_flight_now);
+    }
+  }
+
+  for (std::size_t k = 0; k < overloaded.size(); ++k) {
+    const auto& [dn, count] = overloaded[k];
+    hdfs::FileId worst_file = scratch_winners_[k];
+    if (worst_file.value() != 0 && action_in_flight(worst_file)) {
+      worst_file = overload_winner(dn, in_flight_now);
+    }
     if (worst_file.value() == 0) {
       continue;
     }
@@ -601,44 +717,81 @@ void ErmsManager::check_node_overload() {
 
 void ErmsManager::evaluate() {
   ++stats_.evaluations;
+  cluster_.flush_audit();  // deliver any batched audit records to the feed
   const sim::SimTime now = cluster_.simulation().now();
   feed_.advance_to(now);
 
   // One pass over the engine's group state up front — O(active groups) —
   // instead of two group-row probes per file per sweep (which made each
-  // evaluation quadratic-ish in file count against the window state).
+  // evaluation quadratic-ish in file count against the window state). The
+  // gathers scatter into dense fid-indexed scratch, so visit order doesn't
+  // matter and the unordered walk skips the per-visit key sort.
   const std::size_t bound = cluster_.metadata().file_id_bound();
   scratch_accesses_.assign(bound, 0);
-  feed_.for_each_file_access([&](hdfs::FileId fid, std::uint64_t n) {
-    if (fid.value() < bound) {
-      scratch_accesses_[fid.value()] = n;
-    }
-  });
+  feed_.for_each_file_access(
+      [&](hdfs::FileId fid, std::uint64_t n) {
+        if (fid.value() < bound) {
+          scratch_accesses_[fid.value()] = n;
+        }
+      },
+      cep::GroupOrder::kUnordered);
   scratch_blocks_.clear();
   feed_.for_each_block_access(
       [&](hdfs::FileId fid, std::int64_t /*blk*/, std::uint64_t n) {
         if (fid.value() < bound) {
           scratch_blocks_.emplace_back(fid.value(), n);
         }
-      });
-  // Group keys sort as strings ("10" < "2"), so re-sort numerically for the
-  // merge walk below; stable keeps each file's per-block order fixed.
+      },
+      cep::GroupOrder::kUnordered);
+  // Sort by fid for the classify sweep's merge walk. A file's per-block
+  // order is visitation order, which only feeds the judge's order-
+  // insensitive block rules (max and intense-block fraction).
   std::stable_sort(scratch_blocks_.begin(), scratch_blocks_.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  std::size_t bi = 0;
-  for (const hdfs::FileId file : cluster_.metadata().file_ids()) {
-    const hdfs::FileInfo* info = cluster_.metadata().find(file);
-    scratch_file_blocks_.clear();
-    while (bi < scratch_blocks_.size() && scratch_blocks_[bi].first < file.value()) {
-      ++bi;  // entries for ids deleted since the window filled
+  // Classify phase: disjoint id ranges, each writing only own-range dense
+  // state and its shard's decision list, against a frozen in_flight view.
+  // Apply phase: decisions merged in id order, run serially — so stats,
+  // trace events and submissions are byte-identical whatever the thread
+  // count (a submission only flips the submitting file's own in_flight bit,
+  // and each file is classified exactly once per sweep).
+  if (types_.size() < bound) {
+    types_.resize(bound, 0);
+    first_seen_.resize(bound);
+  }
+  if (predictor_) {
+    predictor_->reserve(bound);
+  }
+  const std::size_t shards = sweep_shards_.size();
+  if (sweep_pool_ != nullptr && shards > 1 && bound > 2) {
+    const std::size_t ids = bound - 1;  // ids 1..bound-1; slot 0 unused
+    const std::size_t chunk = (ids + shards - 1) / shards;
+    sweep_pool_->parallel_for(shards, [&](std::size_t s) {
+      const std::size_t begin = 1 + s * chunk;
+      const std::size_t end = std::min(bound, begin + chunk);
+      if (begin < end) {
+        classify_range(sweep_shards_[s], begin, end, now);
+      } else {
+        sweep_shards_[s].decisions.clear();
+        sweep_shards_[s].tracked_delta = 0;
+      }
+    });
+  } else if (bound > 1) {
+    classify_range(sweep_shards_[0], 1, bound, now);
+    for (std::size_t s = 1; s < shards; ++s) {
+      sweep_shards_[s].decisions.clear();
+      sweep_shards_[s].tracked_delta = 0;
     }
-    while (bi < scratch_blocks_.size() && scratch_blocks_[bi].first == file.value()) {
-      scratch_file_blocks_.push_back(scratch_blocks_[bi].second);
-      ++bi;
+  } else {
+    for (SweepShard& shard : sweep_shards_) {
+      shard.decisions.clear();
+      shard.tracked_delta = 0;
     }
-    if (info != nullptr) {
-      evaluate_file(*info, scratch_accesses_[file.value()], scratch_file_blocks_);
+  }
+  for (SweepShard& shard : sweep_shards_) {
+    tracked_files_ += shard.tracked_delta;
+    for (const Decision& d : shard.decisions) {
+      apply_decision(d);
     }
   }
   check_node_overload();

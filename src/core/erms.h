@@ -62,6 +62,19 @@ struct ErmsConfig {
   std::size_t judge_shards = 1;
   /// Events buffered per shard flush when judge_shards != 1.
   std::size_t judge_batch_events = 256;
+  /// When nonzero, the manager installs the cluster's *batched* audit sink:
+  /// emitted records accumulate in a reused buffer and reach the judge's
+  /// feed as spans of this many events (one engine dispatch per span)
+  /// instead of one call each. Every evaluation flushes the buffer first,
+  /// so windowed reads never miss buffered events. 0 keeps the per-event
+  /// sink.
+  std::size_t judge_batch_flush_events = 0;
+  /// Worker threads for the judge's per-file classify sweep and the node
+  /// overload sweep. 1 (default) runs them serially; 0 means one per
+  /// hardware thread. Any value produces byte-identical action traces: the
+  /// sweeps classify disjoint id ranges in parallel against a frozen view
+  /// and apply the merged decisions serially in id order.
+  std::size_t sweep_threads = 1;
   /// Attach an Observability bundle (metrics registry + action trace) to the
   /// whole stack: cluster, network, Condor scheduler, standby manager, and
   /// the control loop itself. Off by default — when false no registry exists
@@ -163,12 +176,52 @@ class ErmsManager {
     double threshold{0.0};
   };
 
+  /// One file's sweep outcome, recorded during the (possibly parallel)
+  /// classify phase and applied serially in id order. Only files with a
+  /// visible consequence — a classification flip, an action to submit, or a
+  /// predictive promotion to count — get a record.
+  struct Decision {
+    hdfs::FileId file;
+    judge::Classification verdict;
+    judge::DataType prev_type{judge::DataType::kNormal};
+    std::uint64_t accesses{0};
+    bool flip{false};
+    bool predictive{false};
+  };
+  /// Per-worker scratch for the classify sweep; reused across evaluations.
+  struct SweepShard {
+    std::vector<Decision> decisions;
+    judge::FileObservation fobs;     // reused per file
+    judge::FileObservation boosted;  // reused predictive scratch
+    std::size_t tracked_delta{0};    // files first classified this sweep
+  };
+  /// One (file, datanode, reads) group from the window, snapshotted in
+  /// group-key order for the overload sweep.
+  struct FileNodeAccess {
+    hdfs::FileId file;
+    std::int64_t node{0};
+    std::uint64_t reads{0};
+  };
+
   void schedule_tick();
   void register_executors();
   void advertise_nodes();
-  void evaluate_file(const hdfs::FileInfo& info, std::uint64_t accesses,
-                     const std::vector<std::uint64_t>& block_accesses);
+  /// Classify every existing file with id in [begin, end), writing only
+  /// own-range dense state (types_, first_seen_, predictor slots) and
+  /// appending decisions to `shard`. Reads a frozen in_flight view; submits
+  /// nothing.
+  void classify_range(SweepShard& shard, std::size_t begin, std::size_t end,
+                      sim::SimTime now);
+  void classify_file(SweepShard& shard, const hdfs::FileInfo& info,
+                     std::uint64_t accesses, sim::SimTime now);
+  /// Serial phase: stats, trace events, log lines, Condor submissions.
+  void apply_decision(const Decision& d);
   void check_node_overload();
+  /// Earliest (in group-key order) maximally-read file on `node` per the
+  /// scratch_file_nodes_ snapshot, skipping files for which `in_flight`
+  /// returns true; FileId{0} when no candidate.
+  [[nodiscard]] hdfs::FileId overload_winner(
+      std::int64_t node, const std::function<bool(hdfs::FileId)>& in_flight) const;
   void submit_change(hdfs::FileId file, const std::string& cmd, std::uint32_t target,
                      condor::JobClass sched_class, int priority, ActionContext ctx);
 
@@ -206,7 +259,10 @@ class ErmsManager {
   // nothing: windowed open counts per fid, and (fid, reads) pairs per block.
   std::vector<std::uint64_t> scratch_accesses_;
   std::vector<std::pair<std::uint32_t, std::uint64_t>> scratch_blocks_;
-  std::vector<std::uint64_t> scratch_file_blocks_;
+  std::vector<FileNodeAccess> scratch_file_nodes_;
+  std::vector<hdfs::FileId> scratch_winners_;
+  std::vector<SweepShard> sweep_shards_;
+  std::unique_ptr<util::ThreadPool> sweep_pool_;  // null when sweep_threads == 1
   bool running_{false};
   sim::EventHandle tick_;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
 #include <limits>
 #include <memory>
 
@@ -1757,8 +1758,38 @@ double Cluster::energy_joules_total() {
 // ----- audit ----------------------------------------------------------------------
 
 std::string Cluster::node_ip(NodeId id) const {
+  std::string out;
+  format_node_ip(id, out);
+  return out;
+}
+
+void Cluster::format_node_ip(NodeId id, std::string& out) const {
   const DataNode& n = nodes_[id.value()];
-  return "/10.0." + std::to_string(n.rack.value()) + "." + std::to_string(id.value());
+  char digits[24];
+  out.clear();
+  out += "/10.0.";
+  auto r = std::to_chars(digits, digits + sizeof(digits), n.rack.value());
+  out.append(digits, r.ptr);
+  out += '.';
+  r = std::to_chars(digits, digits + sizeof(digits), id.value());
+  out.append(digits, r.ptr);
+}
+
+void Cluster::set_audit_batch_sink(BatchAuditSink sink, std::size_t flush_events) {
+  flush_audit();
+  batch_audit_sink_ = std::move(sink);
+  audit_flush_events_ = std::max<std::size_t>(1, flush_events);
+}
+
+void Cluster::flush_audit() {
+  if (audit_buf_used_ == 0) {
+    return;
+  }
+  const std::size_t n = audit_buf_used_;
+  audit_buf_used_ = 0;
+  if (batch_audit_sink_) {
+    batch_audit_sink_(audit_buf_.data(), n);
+  }
 }
 
 void Cluster::emit_audit(const std::string& cmd, FileId file, std::string_view src,
@@ -1766,6 +1797,33 @@ void Cluster::emit_audit(const std::string& cmd, FileId file, std::string_view s
                          std::optional<NodeId> datanode, bool allowed) {
   if (obs_ != nullptr) {
     obs_->registry().add(obs_ids_.audit_events);
+  }
+  if (batch_audit_sink_) {
+    // Fill a buffered event in place — its strings keep their capacity from
+    // previous flushes, so the steady state allocates nothing per record.
+    if (audit_buf_used_ == audit_buf_.size()) {
+      audit_buf_.emplace_back();
+    }
+    audit::AuditEvent& event = audit_buf_[audit_buf_used_++];
+    event.time = sim_.now();
+    event.allowed = allowed;
+    format_node_ip(client, event.ip);
+    event.cmd.assign(cmd);
+    event.src.assign(src);
+    event.dst.clear();
+    event.fid = static_cast<std::int64_t>(file.value());
+    event.block.reset();
+    event.datanode.reset();
+    if (block) {
+      event.block = static_cast<std::int64_t>(block->value());
+    }
+    if (datanode) {
+      event.datanode = static_cast<std::int64_t>(datanode->value());
+    }
+    if (audit_buf_used_ >= audit_flush_events_) {
+      flush_audit();
+    }
+    return;
   }
   if (!audit_sink_) {
     return;

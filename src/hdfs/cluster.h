@@ -104,6 +104,7 @@ struct ReadOutcome {
 class Cluster {
  public:
   using AuditSink = std::function<void(const audit::AuditEvent&)>;
+  using BatchAuditSink = std::function<void(const audit::AuditEvent*, std::size_t)>;
   using ReadCallback = std::function<void(const ReadOutcome&)>;
   using DoneCallback = std::function<void(bool)>;
 
@@ -291,7 +292,21 @@ class Cluster {
   }
 
   // ----- audit -------------------------------------------------------------
-  void set_audit_sink(AuditSink sink) { audit_sink_ = std::move(sink); }
+  void set_audit_sink(AuditSink sink) {
+    flush_audit();
+    audit_sink_ = std::move(sink);
+  }
+
+  /// Install a batched audit sink: emitted records accumulate in a reused
+  /// buffer and are delivered as one span whenever `flush_events` have
+  /// gathered (or on flush_audit() / sink change). Takes precedence over the
+  /// per-event sink. Buffered AuditEvents are reused in place, so the steady
+  /// state allocates nothing per event.
+  void set_audit_batch_sink(BatchAuditSink sink, std::size_t flush_events);
+
+  /// Deliver any buffered audit records to the batch sink now. Consumers
+  /// must call this before reading windowed state derived from the stream.
+  void flush_audit();
 
   // ----- observability -----------------------------------------------------
   /// Attach (nullptr detaches) an observability bundle. The cluster records
@@ -312,6 +327,8 @@ class Cluster {
                   NodeId client, std::optional<BlockId> block,
                   std::optional<NodeId> datanode, bool allowed = true);
   [[nodiscard]] std::string node_ip(NodeId id) const;
+  /// Render node_ip(id) into `out`, reusing its capacity.
+  void format_node_ip(NodeId id, std::string& out) const;
 
   /// Add/remove a replica in the block map + node state (metadata only).
   void add_replica(BlockId block, NodeId node);
@@ -380,6 +397,10 @@ class Cluster {
   std::vector<util::SmallVec<NodeId, 4>> block_locations_;
   std::shared_ptr<PlacementPolicy> placement_;
   AuditSink audit_sink_;
+  BatchAuditSink batch_audit_sink_;
+  std::vector<audit::AuditEvent> audit_buf_;  // events reused across flushes
+  std::size_t audit_buf_used_{0};
+  std::size_t audit_flush_events_{256};
 
   std::deque<BackgroundJob> background_queue_;
   std::uint32_t background_streams_{0};

@@ -1,5 +1,6 @@
 #include "judge/feed.h"
 
+#include <algorithm>
 #include <charconv>
 #include <string>
 
@@ -61,6 +62,32 @@ void AccessStatsFeed::on_audit(const audit::AuditEvent& event) {
   engine_.push_slotted(scratch_);
 }
 
+void AccessStatsFeed::on_audit_batch(const audit::AuditEvent* events, std::size_t count) {
+  // Feed the engine in bounded chunks: the engine runs each chunk through
+  // every query, so a chunk that fits in cache is read hot on every pass
+  // where an unbounded batch would stream from memory each time. Chunk
+  // boundaries are unobservable — push_batch(a+b) ≡ push_batch(a),
+  // push_batch(b) — so any caller batch size yields identical state.
+  constexpr std::size_t kEngineChunk = 4096;
+  for (std::size_t base = 0; base < count; base += kEngineChunk) {
+    const std::size_t n = std::min(kEngineChunk, count - base);
+    batch_.clear();  // keeps the slotted events' capacity for reuse
+    for (std::size_t i = 0; i < n; ++i) {
+      const audit::AuditEvent& event = events[base + i];
+      ++events_ingested_;
+      if (event.fid > 0 && (event.cmd == "open" || event.cmd == "read")) {
+        const auto idx = static_cast<std::size_t>(event.fid);
+        if (last_access_.size() <= idx) {
+          last_access_.resize(idx + 1);
+        }
+        last_access_[idx] = event.time;
+      }
+      event.to_slotted(slots_, batch_.emplace_back());
+    }
+    engine_.push_batch(batch_);
+  }
+}
+
 void AccessStatsFeed::advance_to(sim::SimTime now) { engine_.advance_to(now); }
 
 std::uint64_t AccessStatsFeed::file_accesses(hdfs::FileId file) const {
@@ -72,25 +99,31 @@ std::uint64_t AccessStatsFeed::file_accesses(hdfs::FileId file) const {
 }
 
 void AccessStatsFeed::for_each_file_access(
-    const std::function<void(hdfs::FileId, std::uint64_t)>& fn) const {
+    const std::function<void(hdfs::FileId, std::uint64_t)>& fn,
+    cep::GroupOrder order) const {
   engine_.for_each_group_count(
-      file_query_, [&](const std::vector<std::string>& key, std::uint64_t n) {
+      file_query_,
+      [&](const std::vector<std::string>& key, std::uint64_t n) {
         const hdfs::FileId fid = parse_fid(key[0]);
         if (fid.value() != 0) {
           fn(fid, n);
         }
-      });
+      },
+      order);
 }
 
 void AccessStatsFeed::for_each_block_access(
-    const std::function<void(hdfs::FileId, std::int64_t, std::uint64_t)>& fn) const {
+    const std::function<void(hdfs::FileId, std::int64_t, std::uint64_t)>& fn,
+    cep::GroupOrder order) const {
   engine_.for_each_group_count(
-      block_query_, [&](const std::vector<std::string>& key, std::uint64_t n) {
+      block_query_,
+      [&](const std::vector<std::string>& key, std::uint64_t n) {
         const hdfs::FileId fid = parse_fid(key[0]);
         if (fid.value() != 0 && !key[1].empty()) {
           fn(fid, parse_i64(key[1]), n);
         }
-      });
+      },
+      order);
 }
 
 void AccessStatsFeed::for_each_node_access(
@@ -99,6 +132,17 @@ void AccessStatsFeed::for_each_node_access(
       node_query_, [&](const std::vector<std::string>& key, std::uint64_t n) {
         if (!key[0].empty()) {
           fn(parse_i64(key[0]), n);
+        }
+      });
+}
+
+void AccessStatsFeed::for_each_file_node_access(
+    const std::function<void(hdfs::FileId, std::int64_t, std::uint64_t)>& fn) const {
+  engine_.for_each_group_count(
+      file_node_query_, [&](const std::vector<std::string>& key, std::uint64_t n) {
+        const hdfs::FileId fid = parse_fid(key[0]);
+        if (fid.value() != 0 && !key[1].empty()) {
+          fn(fid, parse_i64(key[1]), n);
         }
       });
 }

@@ -32,24 +32,41 @@ class AccessStatsFeed {
   /// per-file state.
   void on_audit(const audit::AuditEvent& event);
 
+  /// Consume a span of audit records, equivalent to on_audit on each in
+  /// order. The span is converted into a reusable cep::EventBatch and handed
+  /// to the engine whole — one virtual dispatch per batch, and a sharded
+  /// engine splits it straight into per-shard batches (wire this to
+  /// Cluster::set_audit_batch_sink).
+  void on_audit_batch(const audit::AuditEvent* events, std::size_t count);
+
   /// Evict expired window entries before reading counts.
   void advance_to(sim::SimTime now);
 
   /// N_d — file-level accesses (cmd=open) in the window, for one file.
   [[nodiscard]] std::uint64_t file_accesses(hdfs::FileId file) const;
 
-  /// Visit every (file, N_d) with open activity in the window, in group-key
-  /// order. No per-sweep map is built.
+  /// Visit every (file, N_d) with open activity in the window. kSorted
+  /// visits in group-key order (identical for scalar and sharded engines);
+  /// kUnordered skips the per-visit sort for consumers that scatter into
+  /// dense arrays. No per-sweep map is built either way.
   void for_each_file_access(
-      const std::function<void(hdfs::FileId, std::uint64_t)>& fn) const;
+      const std::function<void(hdfs::FileId, std::uint64_t)>& fn,
+      cep::GroupOrder order = cep::GroupOrder::kSorted) const;
 
   /// Visit every (file, block, N_bi) with read activity in the window.
   void for_each_block_access(
-      const std::function<void(hdfs::FileId, std::int64_t, std::uint64_t)>& fn) const;
+      const std::function<void(hdfs::FileId, std::int64_t, std::uint64_t)>& fn,
+      cep::GroupOrder order = cep::GroupOrder::kSorted) const;
 
   /// Visit every (datanode, Σ N_b) in the window (input to formula 4).
   void for_each_node_access(
       const std::function<void(std::int64_t, std::uint64_t)>& fn) const;
+
+  /// Visit every (file, datanode, reads) group in the window, in group-key
+  /// order — one walk covering every datanode, for overload sweeps that
+  /// snapshot the whole relation instead of re-walking it per node.
+  void for_each_file_node_access(
+      const std::function<void(hdfs::FileId, std::int64_t, std::uint64_t)>& fn) const;
 
   /// Visit every (file, reads served by `datanode`) in the window — used to
   /// find "the data D that contributes the largest access to DN" when
@@ -74,6 +91,7 @@ class AccessStatsFeed {
   cep::QueryId file_node_query_;
   audit::AuditSlots slots_;      // audit attrs resolved once against engine_
   cep::SlottedEvent scratch_;    // reused per on_audit: no steady-state allocs
+  cep::EventBatch batch_;        // reused per on_audit_batch: ditto
   std::vector<sim::SimTime> last_access_;  // dense, indexed by FileId
   std::uint64_t events_ingested_{0};
 };

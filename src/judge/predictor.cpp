@@ -13,12 +13,18 @@ void AccessPredictor::observe(hdfs::FileId file, double accesses) {
     s.level = accesses;
     s.trend = 0.0;
     s.primed = true;
-    ++tracked_;
+    tracked_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const double previous_level = s.level;
   s.level = config_.alpha * accesses + (1.0 - config_.alpha) * (s.level + s.trend);
   s.trend = config_.beta * (s.level - previous_level) + (1.0 - config_.beta) * s.trend;
+}
+
+void AccessPredictor::reserve(std::size_t bound) {
+  if (state_.size() < bound) {
+    state_.resize(bound);
+  }
 }
 
 const AccessPredictor::State* AccessPredictor::state_for(hdfs::FileId file) const {
@@ -49,7 +55,7 @@ double AccessPredictor::trend(hdfs::FileId file) const {
 void AccessPredictor::forget(hdfs::FileId file) {
   if (file.value() < state_.size() && state_[file.value()].primed) {
     state_[file.value()] = State{};
-    --tracked_;
+    tracked_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +38,12 @@ class AccessPredictor {
   /// Record one observation period's access count for `file`.
   void observe(hdfs::FileId file, double accesses);
 
+  /// Pre-size the state vector for ids below `bound`. After this, observe()
+  /// calls for distinct files below the bound touch only their own slot (plus
+  /// the atomic tracked counter), so a parallel sweep may call them
+  /// concurrently from different ranges.
+  void reserve(std::size_t bound);
+
   /// Predicted access count `horizon_periods` ahead; 0 for unseen files.
   /// Never negative.
   [[nodiscard]] double predict(hdfs::FileId file) const;
@@ -48,7 +55,9 @@ class AccessPredictor {
   /// Forget a file (deleted).
   void forget(hdfs::FileId file);
 
-  [[nodiscard]] std::size_t tracked_files() const { return tracked_; }
+  [[nodiscard]] std::size_t tracked_files() const {
+    return tracked_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
@@ -61,7 +70,7 @@ class AccessPredictor {
 
   Config config_;
   std::vector<State> state_;  // index = file.value(); slot 0 unused
-  std::size_t tracked_{0};
+  std::atomic<std::size_t> tracked_{0};
 };
 
 /// Wraps a DataJudge with prediction: classification uses the *larger* of

@@ -36,10 +36,11 @@ struct RunResult {
   std::string replicas;  // per-file replication + per-block location counts
 };
 
-/// One full chaos run at the given shard configuration. Everything else —
-/// seed, workload, fault plan, thresholds — is held fixed.
+/// One full chaos run at the given shard / batch / thread configuration.
+/// Everything else — seed, workload, fault plan, thresholds — is held fixed.
 RunResult run_scenario(std::uint64_t seed, std::size_t namespace_shards,
-                       std::size_t judge_shards) {
+                       std::size_t judge_shards, std::size_t batch_flush = 0,
+                       std::size_t sweep_threads = 1) {
   sim::Simulation sim;
   Topology topo = Topology::uniform(3, 6);
   ClusterConfig ccfg;
@@ -57,6 +58,8 @@ RunResult run_scenario(std::uint64_t seed, std::size_t namespace_shards,
   ecfg.observe = true;
   ecfg.trace_capacity = 65536;
   ecfg.judge_shards = judge_shards;
+  ecfg.judge_batch_flush_events = batch_flush;
+  ecfg.sweep_threads = sweep_threads;
   core::ErmsManager erms{cluster, pool, ecfg};
 
   std::vector<hdfs::FileId> files;
@@ -142,6 +145,47 @@ TEST(ScaleDifferential, ShardConfigsAreByteIdentical) {
       EXPECT_EQ(got.replicas, base.replicas);
       EXPECT_EQ(got.ok, base.ok);
     }
+  }
+}
+
+// Batched audit delivery and parallel judge sweeps are pure mechanics: any
+// flush threshold and any thread count must replay the same chaos run to the
+// same bytes as the per-event, single-threaded pipeline.
+TEST(ScaleDifferential, BatchAndSweepConfigsAreByteIdentical) {
+  const std::uint64_t seeds[] = {7, 11, 23};
+  struct Config {
+    std::size_t batch_flush;
+    std::size_t sweep_threads;
+  };
+  const Config variants[] = {{1, 1}, {7, 4}, {4096, 8}, {256, 3}};
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const RunResult base = run_scenario(seed, 1, 1);
+    EXPECT_TRUE(base.ok) << base.report;
+    EXPECT_FALSE(base.trace.empty());
+    for (const Config& v : variants) {
+      SCOPED_TRACE("batch_flush=" + std::to_string(v.batch_flush) +
+                   " sweep_threads=" + std::to_string(v.sweep_threads));
+      const RunResult got =
+          run_scenario(seed, 1, 1, v.batch_flush, v.sweep_threads);
+      EXPECT_EQ(got.trace, base.trace);
+      EXPECT_EQ(got.report, base.report);
+      EXPECT_EQ(got.replicas, base.replicas);
+      EXPECT_EQ(got.ok, base.ok);
+    }
+  }
+}
+
+// Batching, sweeping and sharding compose: the full stack enabled at once
+// still matches the plain baseline.
+TEST(ScaleDifferential, CombinedShardBatchSweepIsByteIdentical) {
+  for (const std::uint64_t seed : {7ull, 23ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const RunResult base = run_scenario(seed, 1, 1);
+    const RunResult got = run_scenario(seed, 4, 3, 7, 4);
+    EXPECT_EQ(got.trace, base.trace);
+    EXPECT_EQ(got.report, base.report);
+    EXPECT_EQ(got.replicas, base.replicas);
   }
 }
 

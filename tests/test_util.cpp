@@ -9,6 +9,7 @@
 #include "util/bytes.h"
 #include "util/ids.h"
 #include "util/log.h"
+#include "util/ring_buffer.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -194,6 +195,78 @@ TEST(ThreadPool, RunExecutesEnqueuedTasks) {
     }
   }  // destructor drains the queue
   EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(RingBuffer, PushPopFifo) {
+  RingBuffer<int> ring;
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 5; ++i) {
+    ring.push_back(i);
+  }
+  EXPECT_EQ(ring.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ring.front(), i);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, WrapsAroundWithoutGrowing) {
+  RingBuffer<int> ring;
+  ring.reserve(8);
+  const std::size_t cap = ring.capacity();
+  // Steady-state push/pop at half capacity cycles the head all the way
+  // around the buffer several times.
+  int next = 0;
+  int expect = 0;
+  for (int i = 0; i < 4; ++i) {
+    ring.push_back(next++);
+  }
+  for (int round = 0; round < 50; ++round) {
+    ring.push_back(next++);
+    EXPECT_EQ(ring.front(), expect++);
+    ring.pop_front();
+  }
+  EXPECT_EQ(ring.capacity(), cap) << "stagger within capacity must not grow";
+  while (!ring.empty()) {
+    EXPECT_EQ(ring.front(), expect++);
+    ring.pop_front();
+  }
+  EXPECT_EQ(expect, next);
+}
+
+TEST(RingBuffer, GrowthPreservesOrderMidWrap) {
+  RingBuffer<int> ring;
+  // Force a wrapped state, then overflow capacity so grow() relinearizes.
+  for (int i = 0; i < 10; ++i) {
+    ring.push_back(i);
+  }
+  for (int i = 0; i < 7; ++i) {
+    ring.pop_front();
+  }
+  const std::size_t cap = ring.capacity();
+  for (int i = 10; i < 200; ++i) {
+    ring.push_back(i);
+  }
+  EXPECT_GT(ring.capacity(), cap);
+  EXPECT_EQ(ring.size(), 193u);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i], static_cast<int>(i) + 7);
+  }
+}
+
+TEST(RingBuffer, IndexingCountsFromFront) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 20; ++i) {
+    ring.push_back(i * 3);
+  }
+  for (int i = 0; i < 12; ++i) {
+    ring.pop_front();
+  }
+  EXPECT_EQ(ring[0], ring.front());
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i], static_cast<int>(12 + i) * 3);
+  }
 }
 
 }  // namespace
