@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "ec/codec_registry.h"
 #include "ec/gf256.h"
 #include "ec/gf_region.h"
 #include "ec/reed_solomon.h"
@@ -158,6 +159,36 @@ void kernel_sweep(std::FILE* json) {
     std::printf("  %zu thread%s %10.1f MB/s\n", threads, threads == 1 ? " " : "s",
                 mbs);
     std::fprintf(json, "%s\"t%zu\": %.1f", first ? "" : ", ", threads, mbs);
+    first = false;
+  }
+  std::fprintf(json, "},\n");
+
+  // Repair bandwidth of the codec zoo: shard-equivalents read to rebuild
+  // one lost data shard (all other shards alive). Deterministic linear
+  // algebra, not a timing — the trajectory catches plan regressions.
+  std::printf("== Single-shard repair read cost (shard-equivalents) ==\n");
+  std::fprintf(json, "  \"repair_shard_equivalents\": {");
+  struct ZooShape {
+    const char* label;
+    erms::ec::CodecSpec spec;
+    std::size_t k;
+  };
+  const ZooShape zoo[] = {
+      {"rs8_4", {erms::ec::CodecKind::kRs, 4, 0, 0}, 8},
+      {"azure_lrc8_2_2", {erms::ec::CodecKind::kAzureLrc, 0, 2, 2}, 8},
+      {"hh_xor_plus8_4", {erms::ec::CodecKind::kHitchhikerXorPlus, 4, 0, 0}, 8},
+  };
+  first = true;
+  for (const ZooShape& z : zoo) {
+    const auto codec = erms::ec::make_codec(z.spec, z.k);
+    std::vector<bool> present(codec->total_shards(), true);
+    present[0] = false;
+    const auto plan = codec->plan_repair(0, present);
+    const double eq = plan ? plan->shard_equivalents() : 0.0;
+    const std::size_t fanout = plan ? plan->fanout() : 0;
+    std::printf("  %-16s %5.2f shards from %zu helpers\n", z.label, eq, fanout);
+    std::fprintf(json, "%s\"%s\": {\"shard_equivalents\": %.2f, \"fanout\": %zu}",
+                 first ? "" : ", ", z.label, eq, fanout);
     first = false;
   }
   std::fprintf(json, "}\n}\n");

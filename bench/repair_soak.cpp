@@ -1,0 +1,177 @@
+// Repair soak — the codec zoo's repair-bandwidth claim, measured as flow
+// bytes, not arithmetic. For each registered code the same scenario runs on
+// a fresh testbed: an 8-block cold file is erasure-coded, the node holding
+// data shard 0 dies, clients issue degraded reads during the outage, and
+// background reconstruction rebuilds the lost shards. The
+// hdfs.ec.repair.bytes.* / hdfs.ec.degraded.bytes.* counters then say how
+// many bytes each code actually pulled over the network.
+//
+// The headline acceptance gate of the zoo rides here: AzureLRC(8,2,2) must
+// repair a single lost data shard with strictly fewer bytes than RS(8,4),
+// and Hitchhiker-XOR+ must beat RS too. Exit status is non-zero otherwise.
+//
+// Results merge into BENCH_ec.json (micro_ec writes the file first in the
+// CI bench loop; this bench sorts after it alphabetically and appends its
+// own "repair_soak" key). Override the path with ERMS_BENCH_OUT.
+#include "bench_common.h"
+
+#include "ec/codec_registry.h"
+#include "obs/observability.h"
+
+namespace erms::bench {
+namespace {
+
+struct CodecResult {
+  const char* name;
+  std::uint64_t repair_bytes{0};
+  std::uint64_t degraded_bytes{0};
+  std::uint64_t fanout{0};
+  std::uint64_t degraded_reads_ok{0};
+  bool available{true};
+  bool healed{false};
+};
+
+/// One soak: encode with `spec`, kill the holder of data shard 0, issue
+/// degraded reads, drain recovery, scrape the per-codec counters.
+CodecResult run_codec(const char* name, const ec::CodecSpec& spec) {
+  CodecResult r;
+  r.name = name;
+
+  Testbed t;
+  obs::Observability obs{1 << 15};
+  t.cluster->set_observability(&obs);
+
+  // 8 blocks of 64 MiB -> a k=8 stripe, the shape the handbook tables use.
+  const auto file = t.cluster->populate_file("/soak/cold", 8 * 64 * util::MiB, 3);
+  if (!file) {
+    std::fprintf(stderr, "repair_soak: populate failed\n");
+    return r;
+  }
+
+  bool encoded = false;
+  t.cluster->encode_file(*file, spec, [&encoded](bool ok) { encoded = ok; });
+  t.sim.run();
+  if (!encoded) {
+    std::fprintf(stderr, "repair_soak: encode(%s) failed\n", name);
+    return r;
+  }
+
+  const hdfs::FileInfo* info = t.cluster->metadata().find(*file);
+  const hdfs::BlockId data0 = info->blocks[0];
+  const auto locs = t.cluster->locations(data0);
+  t.cluster->fail_node(locs.front());
+
+  // Degraded reads while the shard is still missing (scheduled now, before
+  // background reconstruction has had simulated time to finish).
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    t.cluster->read_block(hdfs::NodeId{(locs.front().value() + 1 + i) %
+                                       static_cast<std::uint32_t>(kNodes)},
+                          data0, [&r](const hdfs::ReadOutcome& out) {
+                            if (out.ok && out.degraded) {
+                              ++r.degraded_reads_ok;
+                            }
+                          });
+  }
+  t.sim.run_until(sim::SimTime{sim::minutes(30.0).micros()});
+
+  auto& reg = obs.registry();
+  auto scrape = [&reg](const std::string& counter) {
+    return reg.counter_value(reg.counter(counter));
+  };
+  const std::string suffix = std::string(".") + name;
+  r.repair_bytes = scrape("hdfs.ec.repair.bytes" + suffix);
+  r.degraded_bytes = scrape("hdfs.ec.degraded.bytes" + suffix);
+  r.fanout = scrape("hdfs.ec.repair.fanout");
+  r.available = t.cluster->file_available(*file);
+  r.healed = !t.cluster->locations(data0).empty() && t.cluster->blocks_lost() == 0;
+  return r;
+}
+
+int run() {
+  print_header("Repair soak — codec zoo repair bandwidth",
+               "LRC/Hitchhiker repair a lost shard with fewer bytes than RS");
+
+  const ec::CodecSpec specs[] = {
+      {ec::CodecKind::kRs, 4, 0, 0},
+      {ec::CodecKind::kAzureLrc, 0, 2, 2},
+      {ec::CodecKind::kHitchhikerXorPlus, 4, 0, 0},
+  };
+  std::vector<CodecResult> results;
+  for (const ec::CodecSpec& spec : specs) {
+    results.push_back(run_codec(ec::to_string(spec.kind), spec));
+  }
+
+  util::Table table({"codec", "repair MiB", "degraded MiB", "fanout",
+                     "degraded reads", "healed"});
+  for (const CodecResult& r : results) {
+    table.add_row({r.name,
+                   std::to_string(r.repair_bytes / util::MiB),
+                   std::to_string(r.degraded_bytes / util::MiB),
+                   std::to_string(r.fanout), std::to_string(r.degraded_reads_ok),
+                   r.available && r.healed ? "yes" : "NO"});
+  }
+  emit_table("repair_soak", table);
+
+  // Merge into BENCH_ec.json so the repair trajectory rides next to the
+  // kernel sweep across PRs.
+  const char* out_path = std::getenv("ERMS_BENCH_OUT");
+  if (out_path == nullptr) {
+    out_path = "BENCH_ec.json";
+  }
+  std::string existing;
+  {
+    std::ifstream in(out_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    existing = ss.str();
+  }
+  std::ostringstream section;
+  section << "  \"repair_soak\": {\"unit\": \"bytes\"";
+  for (const CodecResult& r : results) {
+    section << ", \"" << r.name << "\": {\"repair_bytes\": " << r.repair_bytes
+            << ", \"degraded_bytes\": " << r.degraded_bytes << "}";
+  }
+  section << "}\n}\n";
+  const std::size_t close = existing.rfind('}');
+  std::ofstream out(out_path);
+  if (close != std::string::npos) {
+    // Drop the final '}' (and anything after it) and splice our key in.
+    std::string head = existing.substr(0, close);
+    while (!head.empty() && (head.back() == '\n' || head.back() == ' ')) {
+      head.pop_back();
+    }
+    out << head << ",\n" << section.str();
+  } else {
+    out << "{\n" << section.str();
+  }
+  std::printf("repair_soak merged into %s\n", out_path);
+
+  // Gates: every codec must heal and stay available; the repair-cheap codes
+  // must beat RS on bytes (the zoo's reason to exist).
+  const CodecResult& rs = results[0];
+  bool ok = true;
+  for (const CodecResult& r : results) {
+    if (!r.available || !r.healed || r.degraded_reads_ok == 0) {
+      std::fprintf(stderr, "FAIL: %s did not heal/serve degraded reads\n", r.name);
+      ok = false;
+    }
+  }
+  if (results[1].repair_bytes >= rs.repair_bytes) {
+    std::fprintf(stderr, "FAIL: azure_lrc repair bytes (%llu) >= rs (%llu)\n",
+                 static_cast<unsigned long long>(results[1].repair_bytes),
+                 static_cast<unsigned long long>(rs.repair_bytes));
+    ok = false;
+  }
+  if (results[2].repair_bytes >= rs.repair_bytes) {
+    std::fprintf(stderr, "FAIL: hh_xor_plus repair bytes (%llu) >= rs (%llu)\n",
+                 static_cast<unsigned long long>(results[2].repair_bytes),
+                 static_cast<unsigned long long>(rs.repair_bytes));
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace erms::bench
+
+int main() { return erms::bench::run(); }

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Fail if docs/EC_CODECS.md misses a registered erasure codec.
+
+Parses the registry table (kCodecTable) in src/ec/codec_registry.cpp —
+the single source of truth for codec names — and requires each name to
+appear backticked in docs/EC_CODECS.md. Stdlib only, same spirit as
+check_ops_docs.py: add a codec, document it in the same commit.
+"""
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+REGISTRY = REPO / "src" / "ec" / "codec_registry.cpp"
+DOC = REPO / "docs" / "EC_CODECS.md"
+
+
+def registered_names():
+    text = REGISTRY.read_text()
+    m = re.search(r"kCodecTable\[\]\s*=\s*\{(.*?)\n\};", text, re.DOTALL)
+    if not m:
+        sys.exit(f"error: kCodecTable not found in {REGISTRY}")
+    names = re.findall(r'\{\s*CodecKind::\w+\s*,\s*"([a-z0-9_]+)"\s*\}', m.group(1))
+    if not names:
+        sys.exit(f"error: no codec names parsed from kCodecTable in {REGISTRY}")
+    return names
+
+
+def main():
+    if not DOC.exists():
+        print(f"docs/EC_CODECS.md is missing entirely", file=sys.stderr)
+        return 1
+    documented = set(re.findall(r"`([^`]+)`", DOC.read_text()))
+    names = registered_names()
+    missing = [n for n in names if n not in documented]
+    if missing:
+        print(f"docs/EC_CODECS.md is missing {len(missing)} of {len(names)} "
+              f"registered codec(s):", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"OK: all {len(names)} registered codecs are documented in docs/EC_CODECS.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

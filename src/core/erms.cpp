@@ -88,6 +88,8 @@ ErmsManager::ErmsManager(hdfs::Cluster& cluster, std::vector<hdfs::NodeId> stand
     obs_ids_.predictive_promotions = r.counter("erms.promotions.predictive");
     obs_ids_.cooldowns = r.counter("erms.cooldowns");
     obs_ids_.encodes = r.counter("erms.encodes");
+    obs_ids_.encodes_cooling = r.counter("erms.encodes.cooling");
+    obs_ids_.encodes_frozen = r.counter("erms.encodes.frozen");
     obs_ids_.decodes = r.counter("erms.decodes");
     obs_ids_.jobs_failed = r.counter("erms.jobs.failed");
     obs_ids_.in_flight = r.gauge("erms.actions.in_flight");
@@ -261,7 +263,9 @@ void ErmsManager::register_executors() {
             });
       });
 
-  // Erasure-encode cold data.
+  // Erasure-encode cold data. The temperature band's codec choice rides on
+  // the job's ClassAd; a job without one (externally submitted) encodes
+  // with the paper's RS default.
   scheduler_.register_command(
       "encode", [this](const classad::ClassAd& ad, std::function<void(bool)> done) {
         const hdfs::FileInfo* info = file_for_ad(cluster_, ad);
@@ -269,7 +273,20 @@ void ErmsManager::register_executors() {
           done(false);
           return;
         }
-        cluster_.encode_file(info->id, config_.parity_count, [this, done](bool ok) {
+        ec::CodecSpec spec{ec::CodecKind::kRs, config_.parity_count, 0, 0};
+        if (const auto name = ad.get_string("Codec")) {
+          if (const auto kind = ec::codec_kind_from(*name)) {
+            spec.kind = *kind;
+            if (*kind == ec::CodecKind::kAzureLrc) {
+              spec.parities = 0;
+              spec.local_groups = static_cast<std::uint32_t>(
+                  ad.get_int("LrcLocals").value_or(config_.lrc_local_groups));
+              spec.global_parities = static_cast<std::uint32_t>(
+                  ad.get_int("LrcGlobals").value_or(config_.lrc_global_parities));
+            }
+          }
+        }
+        cluster_.encode_file(info->id, spec, [this, done](bool ok) {
           if (config_.manage_standby_power) {
             standby_.power_down_drained();
           }
@@ -324,6 +341,16 @@ void ErmsManager::submit_change(hdfs::FileId file, const std::string& cmd,
   ad.insert_string("File", std::string(info->path));
   ad.insert_int("Target", target);
   ad.insert_int("Previous", info->replication);
+  if (ctx.band != nullptr) {
+    // Encode jobs carry the band's codec choice so the executor (and anyone
+    // reading the Condor queue) sees which code will be written and why.
+    ad.insert_string("Codec", std::string(ec::to_string(ctx.spec.kind)));
+    ad.insert_string("Band", ctx.band);
+    if (ctx.spec.kind == ec::CodecKind::kAzureLrc) {
+      ad.insert_int("LrcLocals", ctx.spec.local_groups);
+      ad.insert_int("LrcGlobals", ctx.spec.global_parities);
+    }
+  }
   set_in_flight(file);
 
   // Snapshot the file's replica footprint so the terminate event can report
@@ -369,6 +396,10 @@ void ErmsManager::submit_change(hdfs::FileId file, const std::string& cmd,
         ev.rep_before = rep_before;
         ev.job = static_cast<std::int64_t>(job.id.value());
         ev.outcome = condor::to_string(job.status);
+        if (ctx.band != nullptr) {
+          ev.codec = ec::to_string(ctx.spec.kind);
+          ev.band = ctx.band;
+        }
         if (job.status != condor::JobStatus::kCancelled) {
           ev.queue_wait = job.started - job.submitted;
           ev.exec_span = job.finished - job.started;
@@ -531,8 +562,12 @@ void ErmsManager::classify_file(SweepShard& shard, const hdfs::FileInfo& info,
       break;
   }
   if (flip || acts || predictive) {
+    // Temperature band for cold files: idle past frozen_age is deep archive
+    // (frozen-band codec); anything fresher is merely cooling.
+    const bool frozen = verdict.type == judge::DataType::kCold &&
+                        now - fobs.last_access >= config_.frozen_age;
     shard.decisions.push_back(
-        Decision{file, verdict, prev_type, accesses, flip, predictive});
+        Decision{file, verdict, prev_type, accesses, flip, predictive, frozen});
   }
 }
 
@@ -612,11 +647,38 @@ void ErmsManager::apply_decision(const Decision& d) {
     case judge::DataType::kCold: {
       if (!info->erasure_coded) {
         ++stats_.encodes;
+        if (d.frozen) {
+          ++stats_.encodes_frozen;
+        } else {
+          ++stats_.encodes_cooling;
+        }
         if (obs_ != nullptr) {
           obs_->registry().add(obs_ids_.encodes);
+          obs_->registry().add(d.frozen ? obs_ids_.encodes_frozen
+                                        : obs_ids_.encodes_cooling);
+        }
+        // Band → code: cooling keeps repairs cheap, frozen maximises rate
+        // and tolerance (docs/EC_CODECS.md has the mapping and overrides).
+        ActionContext ectx = ctx;
+        ectx.band = d.frozen ? "frozen" : "cooling";
+        const std::string& codec_name =
+            d.frozen ? config_.codec_frozen : config_.codec_cooling;
+        ectx.spec = ec::CodecSpec{ec::CodecKind::kRs, config_.parity_count, 0, 0};
+        if (const auto kind = ec::codec_kind_from(codec_name)) {
+          ectx.spec.kind = *kind;
+        }
+        if (ectx.spec.kind == ec::CodecKind::kAzureLrc) {
+          ectx.spec.parities = 0;
+          ectx.spec.local_groups = config_.lrc_local_groups;
+          ectx.spec.global_parities = config_.lrc_global_parities;
+        }
+        if (log_.enabled(util::LogLevel::kInfo)) {
+          log_.log(util::LogLevel::kInfo, "erms",
+                   std::string(info->path) + " cold (" + ectx.band + " band), encoding " +
+                       std::string(ec::to_string(ectx.spec.kind)));
         }
         submit_change(file, "encode", 1, condor::JobClass::kWhenIdle, kPriorityBackground,
-                      ctx);
+                      ectx);
       }
       break;
     }

@@ -36,6 +36,24 @@ struct ErmsConfig {
   /// hardware thread. The pool splits large shards into sub-ranges coded
   /// concurrently so a cold-conversion backlog drains at disk speed.
   std::size_t codec_threads = 0;
+  /// Erasure code per temperature band, by registry name ("rs",
+  /// "azure_lrc", "hh_xor_plus" — see docs/EC_CODECS.md). A file the judge
+  /// rules cold encodes with `codec_cooling` while it has been idle for
+  /// less than `frozen_age`: recently-cooled data still sees the odd read,
+  /// so a repair-cheap code (AzureLRC reads its local group, not k shards)
+  /// pays for itself on every degraded read and node failure. Once idle at
+  /// least `frozen_age` the file is deep archive and encodes with
+  /// `codec_frozen` — plain RS, the highest-rate MDS code, whose whole-k
+  /// repair cost almost never comes due. Unknown names fall back to "rs".
+  std::string codec_cooling = "azure_lrc";
+  std::string codec_frozen = "rs";
+  /// Idle-time boundary between the cooling and frozen bands.
+  sim::SimDuration frozen_age = sim::hours(72.0);
+  /// AzureLRC shape when a band selects "azure_lrc": l local groups and g
+  /// global parities over the file's k data blocks (l + g parity blocks
+  /// total; the default (2,2) matches the paper's 4-parity budget).
+  std::uint32_t lrc_local_groups = 2;
+  std::uint32_t lrc_global_parities = 2;
   /// How often the Data Judge evaluates the window and issues actions.
   sim::SimDuration evaluation_period = sim::seconds(30.0);
   /// Upper bound on any file's replication factor.
@@ -105,6 +123,8 @@ struct ErmsStats {
   std::uint64_t predictive_promotions{0};  // hot on forecast, not yet on facts
   std::uint64_t cooldowns{0};
   std::uint64_t encodes{0};
+  std::uint64_t encodes_cooling{0};  // encode chose the cooling-band codec
+  std::uint64_t encodes_frozen{0};   // encode chose the frozen-band codec
   std::uint64_t decodes{0};
   std::uint64_t jobs_failed{0};
 };
@@ -174,6 +194,10 @@ class ErmsManager {
     int rule{0};
     double trigger{0.0};
     double threshold{0.0};
+    /// Encode jobs only: which code the temperature band selected and why
+    /// ("cooling"/"frozen") — attributed on the job's ClassAd and trace.
+    ec::CodecSpec spec{ec::CodecKind::kRs, 0, 0, 0};
+    const char* band{nullptr};
   };
 
   /// One file's sweep outcome, recorded during the (possibly parallel)
@@ -187,6 +211,9 @@ class ErmsManager {
     std::uint64_t accesses{0};
     bool flip{false};
     bool predictive{false};
+    /// Cold verdicts: idle at least ErmsConfig::frozen_age at classify time
+    /// (selects the frozen-band codec instead of the cooling one).
+    bool frozen{false};
   };
   /// Per-worker scratch for the classify sweep; reused across evaluations.
   struct SweepShard {
@@ -268,7 +295,8 @@ class ErmsManager {
 
   struct ObsIds {
     obs::CounterId evaluations, classify_flips, hot_promotions, overload_promotions,
-        predictive_promotions, cooldowns, encodes, decodes, jobs_failed;
+        predictive_promotions, cooldowns, encodes, encodes_cooling, encodes_frozen,
+        decodes, jobs_failed;
     obs::GaugeId in_flight, tracked_files;
   };
   ObsIds obs_ids_;

@@ -1,0 +1,125 @@
+#include "ec/azure_lrc.h"
+
+#include <stdexcept>
+
+namespace erms::ec {
+
+namespace {
+
+std::vector<std::vector<std::size_t>> make_groups(std::size_t k, std::size_t l) {
+  // Balanced contiguous split: the first k%l groups get one extra member.
+  std::vector<std::vector<std::size_t>> groups(l);
+  const std::size_t base = k / l;
+  const std::size_t extra = k % l;
+  std::size_t next = 0;
+  for (std::size_t j = 0; j < l; ++j) {
+    const std::size_t size = base + (j < extra ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i) {
+      groups[j].push_back(next++);
+    }
+  }
+  return groups;
+}
+
+Matrix make_generator(std::size_t k, std::size_t l, std::size_t g,
+                      const std::vector<std::vector<std::size_t>>& groups) {
+  if (l == 0 || l > k || l + g == 0 || k + l + g > 255) {
+    throw std::invalid_argument("AzureLrcCodec: need 1<=l<=k, l+g>=1, k+l+g<=255");
+  }
+  Matrix gen(k + l + g, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    gen.set(i, i, 1);
+  }
+  for (std::size_t j = 0; j < l; ++j) {
+    for (const std::size_t i : groups[j]) {
+      gen.set(k + j, i, 1);  // local parity = XOR of the group
+    }
+  }
+  if (g > 0) {
+    // Global parities from the systematic RS construction: every square
+    // submatrix of its parity block is nonsingular, so any g data losses
+    // (plus local XORs for the rest) stay solvable.
+    const Matrix rs = systematic_rs_matrix(k, g);
+    for (std::size_t j = 0; j < g; ++j) {
+      for (std::size_t c = 0; c < k; ++c) {
+        gen.set(k + l + j, c, rs.at(k + j, c));
+      }
+    }
+  }
+  return gen;
+}
+
+}  // namespace
+
+AzureLrcCodec::AzureLrcCodec(std::size_t data_shards, std::size_t local_groups,
+                             std::size_t global_parities)
+    : LinearCodec("azure_lrc", data_shards, local_groups + global_parities, 1,
+                  make_generator(data_shards, local_groups, global_parities,
+                                 make_groups(data_shards, local_groups))),
+      l_(local_groups),
+      g_(global_parities),
+      groups_(make_groups(data_shards, local_groups)),
+      group_of_(data_shards) {
+  for (std::size_t j = 0; j < l_; ++j) {
+    for (const std::size_t i : groups_[j]) {
+      group_of_[i] = j;
+    }
+  }
+}
+
+std::optional<RepairPlan> AzureLrcCodec::plan_repair(
+    std::size_t lost, const std::vector<bool>& present) const {
+  const std::size_t k = data_shards();
+  const std::size_t n = total_shards();
+  if (lost >= n || present.size() != n || present[lost]) {
+    return std::nullopt;
+  }
+  auto all_present = [&](const std::vector<std::size_t>& shards,
+                         std::size_t skip) {
+    for (const std::size_t i : shards) {
+      if (i != skip && !present[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  RepairPlan plan;
+  plan.subshards = 1;
+  if (lost < k) {
+    // Data shard: its group's survivors + the local parity.
+    const std::size_t j = group_of_[lost];
+    if (all_present(groups_[j], lost) && present[k + j]) {
+      for (const std::size_t i : groups_[j]) {
+        if (i != lost) {
+          plan.cells.push_back({static_cast<std::uint16_t>(i), 0});
+        }
+      }
+      plan.cells.push_back({static_cast<std::uint16_t>(k + j), 0});
+      return plan;
+    }
+  } else if (lost < k + l_) {
+    // Local parity: re-XOR its group.
+    const std::size_t j = lost - k;
+    if (all_present(groups_[j], n)) {
+      for (const std::size_t i : groups_[j]) {
+        plan.cells.push_back({static_cast<std::uint16_t>(i), 0});
+      }
+      return plan;
+    }
+  } else {
+    // Global parity: re-encode from all k data shards.
+    bool have_data = true;
+    for (std::size_t i = 0; i < k; ++i) {
+      have_data = have_data && present[i];
+    }
+    if (have_data) {
+      for (std::size_t i = 0; i < k; ++i) {
+        plan.cells.push_back({static_cast<std::uint16_t>(i), 0});
+      }
+      return plan;
+    }
+  }
+  return generic_plan(lost, present);
+}
+
+}  // namespace erms::ec

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ec/codec.h"
+
+namespace erms::ec {
+
+/// Azure-style Locally Repairable Code LRC(k, l, g): k data shards split
+/// into l contiguous, balanced local groups, one XOR parity per group, plus
+/// g Reed–Solomon global parities over all k data shards (Huang et al.,
+/// "Erasure Coding in Windows Azure Storage", ATC'12).
+///
+/// Shard order: data 0..k-1, local parities k..k+l-1 (local j covers group
+/// j), globals k+l..k+l+g-1. The win is the repair plan: a single lost data
+/// shard is rebuilt from its group members plus the group's local parity —
+/// ⌈k/l⌉ reads instead of RS's k. LRC(8,2,2) repairs a data shard from 4
+/// shards where RS(8,4) needs 8, at the same storage overhead.
+///
+/// Fault tolerance: any g+1 losses are recoverable (the code is not MDS —
+/// some patterns of g+2 are also recoverable when they split across groups,
+/// e.g. one data shard plus its local parity; reconstruct() decides by
+/// rank, not by count).
+class AzureLrcCodec final : public LinearCodec {
+ public:
+  /// Requires 1 <= l <= k, l + g >= 1, k + l + g <= 255.
+  AzureLrcCodec(std::size_t data_shards, std::size_t local_groups,
+                std::size_t global_parities);
+
+  [[nodiscard]] std::size_t local_groups() const { return l_; }
+  [[nodiscard]] std::size_t global_parities() const { return g_; }
+  /// Data shard indices of group `j`.
+  [[nodiscard]] const std::vector<std::size_t>& group(std::size_t j) const {
+    return groups_[j];
+  }
+
+  /// Structured plans: a lost data shard reads its group + local parity; a
+  /// lost local parity reads its group; a lost global reads all k data
+  /// shards. Falls back to the generic span-based plan when the structured
+  /// helper set is degraded.
+  [[nodiscard]] std::optional<RepairPlan> plan_repair(
+      std::size_t lost, const std::vector<bool>& present) const override;
+
+ private:
+  std::size_t l_;
+  std::size_t g_;
+  std::vector<std::vector<std::size_t>> groups_;  // l groups of data indices
+  std::vector<std::size_t> group_of_;             // data index -> group
+};
+
+}  // namespace erms::ec

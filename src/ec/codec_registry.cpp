@@ -1,0 +1,91 @@
+#include "ec/codec_registry.h"
+
+#include <algorithm>
+
+#include "ec/azure_lrc.h"
+#include "ec/hh_xor_plus.h"
+
+namespace erms::ec {
+
+namespace {
+
+/// The registry table: one row per CodecKind, in enum order. The name
+/// strings are what ErmsConfig::codec_* fields, ClassAd "Codec" attributes,
+/// trace events and the docs-coverage gate all use.
+constexpr struct {
+  CodecKind kind;
+  const char* name;
+} kCodecTable[] = {
+    {CodecKind::kRs, "rs"},
+    {CodecKind::kAzureLrc, "azure_lrc"},
+    {CodecKind::kHitchhikerXorPlus, "hh_xor_plus"},
+};
+
+}  // namespace
+
+const char* to_string(CodecKind kind) {
+  for (const auto& row : kCodecTable) {
+    if (row.kind == kind) {
+      return row.name;
+    }
+  }
+  return "rs";
+}
+
+std::optional<CodecKind> codec_kind_from(std::string_view name) {
+  for (const auto& row : kCodecTable) {
+    if (name == row.name) {
+      return row.kind;
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string_view>& registered_codec_names() {
+  static const std::vector<std::string_view> names = [] {
+    std::vector<std::string_view> out;
+    for (const auto& row : kCodecTable) {
+      out.emplace_back(row.name);
+    }
+    return out;
+  }();
+  return names;
+}
+
+std::size_t codec_kind_count() { return std::size(kCodecTable); }
+
+CodecSpec normalize_spec(CodecSpec spec, std::size_t data_shards) {
+  const auto k = static_cast<std::uint32_t>(std::max<std::size_t>(data_shards, 1));
+  switch (spec.kind) {
+    case CodecKind::kRs:
+      spec.parities = std::max(spec.parities, 1u);
+      break;
+    case CodecKind::kAzureLrc:
+      spec.local_groups = std::clamp(spec.local_groups, 1u, k);
+      if (spec.local_groups + spec.global_parities == 0) {
+        spec.local_groups = 1;
+      }
+      break;
+    case CodecKind::kHitchhikerXorPlus:
+      // The piggyback needs a parity beyond the XOR parity to ride on.
+      spec.parities = std::max(spec.parities, 2u);
+      break;
+  }
+  return spec;
+}
+
+std::unique_ptr<ErasureCodec> make_codec(const CodecSpec& raw, std::size_t data_shards) {
+  const CodecSpec spec = normalize_spec(raw, data_shards);
+  switch (spec.kind) {
+    case CodecKind::kAzureLrc:
+      return std::make_unique<AzureLrcCodec>(data_shards, spec.local_groups,
+                                             spec.global_parities);
+    case CodecKind::kHitchhikerXorPlus:
+      return std::make_unique<HitchhikerXorPlusCodec>(data_shards, spec.parities);
+    case CodecKind::kRs:
+      break;
+  }
+  return std::make_unique<RsCodec>(data_shards, spec.parities);
+}
+
+}  // namespace erms::ec

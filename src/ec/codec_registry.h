@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "ec/codec.h"
+
+namespace erms::ec {
+
+/// Every pluggable code the zoo offers. The numeric values are persisted in
+/// the namespace fsimage and carried on FileInfo — never renumber.
+enum class CodecKind : std::uint8_t {
+  kRs = 0,                 // Reed–Solomon (k, m) — MDS, highest rate per parity
+  kAzureLrc = 1,           // AzureLRC (k, l, g) — local-group repair
+  kHitchhikerXorPlus = 2,  // Hitchhiker-XOR+ (k, m) — half-shard repair, MDS
+};
+
+/// Parameters selecting and shaping a code; `k` comes from the stripe.
+struct CodecSpec {
+  CodecKind kind{CodecKind::kRs};
+  /// Parity shards for rs / hh_xor_plus (ignored by azure_lrc).
+  std::uint32_t parities{4};
+  /// azure_lrc locals (l) and globals (g).
+  std::uint32_t local_groups{2};
+  std::uint32_t global_parities{2};
+
+  /// Total parity shards the stripe will carry.
+  [[nodiscard]] std::uint32_t total_parities() const {
+    return kind == CodecKind::kAzureLrc ? local_groups + global_parities : parities;
+  }
+};
+
+/// Registry name of a kind ("rs", "azure_lrc", "hh_xor_plus").
+[[nodiscard]] const char* to_string(CodecKind kind);
+
+/// Inverse of to_string; nullopt for unknown names.
+[[nodiscard]] std::optional<CodecKind> codec_kind_from(std::string_view name);
+
+/// All registered codec names, in CodecKind order. The docs-coverage gate
+/// (scripts/check_codec_docs.py) requires each of these to appear in
+/// docs/EC_CODECS.md.
+[[nodiscard]] const std::vector<std::string_view>& registered_codec_names();
+
+/// Number of registered kinds (for per-codec metric arrays).
+[[nodiscard]] std::size_t codec_kind_count();
+
+/// Clamp a spec to parameters valid for a k-shard stripe: parities >= 1
+/// (>= 2 for hh_xor_plus), 1 <= l <= k for azure_lrc, l + g >= 1. Does not
+/// enforce the GF(2^8) bound k + m <= 255 — make_codec throws on that, and
+/// callers that only need shard *counts* (the cluster's simulated flows)
+/// can still use the normalized spec.
+[[nodiscard]] CodecSpec normalize_spec(CodecSpec spec, std::size_t data_shards);
+
+/// Construct the codec a normalized spec describes. Throws
+/// std::invalid_argument for shapes the field cannot host (k + m > 255).
+[[nodiscard]] std::unique_ptr<ErasureCodec> make_codec(const CodecSpec& spec,
+                                                       std::size_t data_shards);
+
+}  // namespace erms::ec

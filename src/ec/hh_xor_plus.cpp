@@ -1,0 +1,117 @@
+#include "ec/hh_xor_plus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace erms::ec {
+
+namespace {
+
+/// Piggyback groups: data indices split contiguously and balanced across
+/// groups 1..m-1 (group 0 is unused — parity 0 carries no piggyback).
+std::vector<std::vector<std::size_t>> make_groups(std::size_t k, std::size_t m) {
+  std::vector<std::vector<std::size_t>> groups(m);
+  const std::size_t count = m - 1;
+  const std::size_t base = k / count;
+  const std::size_t extra = k % count;
+  std::size_t next = 0;
+  for (std::size_t j = 1; j < m; ++j) {
+    const std::size_t size = base + (j - 1 < extra ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i) {
+      groups[j].push_back(next++);
+    }
+  }
+  return groups;
+}
+
+Matrix make_generator(std::size_t k, std::size_t m,
+                      const std::vector<std::vector<std::size_t>>& groups) {
+  if (k == 0 || m < 2 || k + m > 255) {
+    throw std::invalid_argument("HitchhikerXorPlusCodec: need 1<=k, 2<=m, k+m<=255");
+  }
+  // Base parity matrix, column-normalized so row 0 is all ones. Scaling
+  // column c of the parity block by inv(P[0][c]) scales rows/columns of
+  // every k-row submatrix by nonzero constants, so the MDS property of the
+  // systematic construction survives.
+  const Matrix rs = systematic_rs_matrix(k, m);
+  Matrix p(m, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const GF256::Elem d = GF256::inv(rs.at(k, c));  // P[0][c] != 0 (MDS)
+    for (std::size_t j = 0; j < m; ++j) {
+      p.set(j, c, GF256::mul(rs.at(k + j, c), d));
+    }
+  }
+  // Sub-packetized generator, s = 2: column 2i is a_i, column 2i+1 is b_i.
+  const std::size_t s = 2;
+  Matrix gen((k + m) * s, k * s);
+  for (std::size_t r = 0; r < k * s; ++r) {
+    gen.set(r, r, 1);
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t row_a = (k + j) * s;
+    for (std::size_t c = 0; c < k; ++c) {
+      gen.set(row_a, 2 * c, p.at(j, c));          // f_j(a)
+      gen.set(row_a + 1, 2 * c + 1, p.at(j, c));  // f_j(b)
+    }
+    for (const std::size_t i : groups[j]) {
+      gen.set(row_a + 1, 2 * i, 1);  // ⊕ a_i piggyback (j >= 1)
+    }
+  }
+  return gen;
+}
+
+}  // namespace
+
+HitchhikerXorPlusCodec::HitchhikerXorPlusCodec(std::size_t data_shards,
+                                               std::size_t parity_shards)
+    : LinearCodec("hh_xor_plus", data_shards, parity_shards, 2,
+                  make_generator(data_shards, parity_shards,
+                                 make_groups(data_shards, parity_shards))),
+      groups_(make_groups(data_shards, parity_shards)),
+      group_of_(data_shards) {
+  for (std::size_t j = 1; j < parity_shards; ++j) {
+    for (const std::size_t i : groups_[j]) {
+      group_of_[i] = j;
+    }
+  }
+}
+
+std::optional<RepairPlan> HitchhikerXorPlusCodec::plan_repair(
+    std::size_t lost, const std::vector<bool>& present) const {
+  const std::size_t k = data_shards();
+  const std::size_t n = total_shards();
+  if (lost >= n || present.size() != n || present[lost]) {
+    return std::nullopt;
+  }
+  if (lost < k) {
+    // b_lost comes from the all-XOR parity-0 b row minus the other b's;
+    // a_lost comes from parity j's piggybacked b row once every b and the
+    // group's other a's are known. Requires every other shard's b half
+    // (i.e. all other shards present) — on multi-failures fall back.
+    const std::size_t j = group_of_[lost];  // always >= 1
+    bool helpers = present[k] && present[k + j];
+    for (std::size_t i = 0; i < k; ++i) {
+      helpers = helpers && (i == lost || present[i]);
+    }
+    if (helpers) {
+      RepairPlan plan;
+      plan.subshards = 2;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (i == lost) {
+          continue;
+        }
+        if (group_of_[i] == j) {
+          plan.cells.push_back({static_cast<std::uint16_t>(i), 0});  // a half
+        }
+        plan.cells.push_back({static_cast<std::uint16_t>(i), 1});  // b half
+      }
+      plan.cells.push_back({static_cast<std::uint16_t>(k), 1});      // f_0(b)
+      plan.cells.push_back({static_cast<std::uint16_t>(k + j), 1});  // piggyback
+      std::sort(plan.cells.begin(), plan.cells.end());
+      return plan;
+    }
+  }
+  return generic_plan(lost, present);
+}
+
+}  // namespace erms::ec

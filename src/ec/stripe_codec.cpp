@@ -6,8 +6,10 @@
 namespace erms::ec {
 
 StripeCodec::Stripe StripeCodec::encode(const std::vector<std::uint8_t>& bytes) const {
-  const std::size_t k = rs_.data_shards();
-  const std::size_t shard_len = bytes.empty() ? 1 : (bytes.size() + k - 1) / k;
+  const std::size_t k = codec_->data_shards();
+  const std::size_t s = codec_->subshards();
+  std::size_t shard_len = bytes.empty() ? 1 : (bytes.size() + k - 1) / k;
+  shard_len = (shard_len + s - 1) / s * s;  // sub-packetization alignment
 
   Stripe stripe;
   stripe.original_size = bytes.size();
@@ -21,7 +23,7 @@ StripeCodec::Stripe StripeCodec::encode(const std::vector<std::uint8_t>& bytes) 
                   stripe.shards[i].begin());
     }
   }
-  std::vector<ReedSolomon::Shard> parity = rs_.encode(stripe.shards);
+  std::vector<ErasureCodec::Shard> parity = codec_->encode(stripe.shards);
   for (auto& p : parity) {
     stripe.shards.push_back(std::move(p));
   }
@@ -30,12 +32,12 @@ StripeCodec::Stripe StripeCodec::encode(const std::vector<std::uint8_t>& bytes) 
 
 bool StripeCodec::decode(Stripe& stripe, const std::vector<bool>& present,
                          std::vector<std::uint8_t>& out) const {
-  if (!rs_.reconstruct(stripe.shards, present)) {
+  if (!codec_->reconstruct(stripe.shards, present)) {
     return false;
   }
   out.clear();
   out.reserve(stripe.original_size);
-  const std::size_t k = rs_.data_shards();
+  const std::size_t k = codec_->data_shards();
   for (std::size_t i = 0; i < k && out.size() < stripe.original_size; ++i) {
     const auto& shard = stripe.shards[i];
     const std::size_t n =

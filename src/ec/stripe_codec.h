@@ -1,45 +1,60 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "ec/reed_solomon.h"
+#include "ec/codec.h"
+#include "ec/codec_registry.h"
 
 namespace erms::ec {
 
-/// File-level striping on top of ReedSolomon: splits a byte buffer into k
-/// equal shards (zero-padded), computes m parities, and can rebuild the file
-/// from any k surviving shards. This mirrors what HDFS-RAID does to a block
-/// group when ERMS demotes a cold file.
+/// File-level striping on top of a pluggable ErasureCodec: splits a byte
+/// buffer into k equal shards (zero-padded), computes the code's parities,
+/// and can rebuild the file from any recoverable set of surviving shards.
+/// This mirrors what HDFS-RAID does to a block group when ERMS demotes a
+/// cold file — with the code chosen per temperature band (see
+/// docs/EC_CODECS.md).
 ///
 /// Attach a util::ThreadPool to encode/decode large stripes with the shards
-/// split into concurrently-coded sub-ranges (see ReedSolomon).
+/// split into concurrently-coded sub-ranges (see LinearCodec).
 class StripeCodec {
  public:
+  /// Reed–Solomon (k, m) — the historical default shape.
   StripeCodec(std::size_t data_shards, std::size_t parity_shards)
-      : rs_(data_shards, parity_shards) {}
+      : codec_(make_codec(
+            CodecSpec{CodecKind::kRs, static_cast<std::uint32_t>(parity_shards), 0, 0},
+            data_shards)) {}
+
+  /// Any registered code, shaped by `spec` over `data_shards`.
+  StripeCodec(const CodecSpec& spec, std::size_t data_shards)
+      : codec_(make_codec(spec, data_shards)) {}
 
   /// Borrow a pool for multi-threaded coding; nullptr reverts to serial.
   /// The pool must outlive every encode/decode call.
-  void set_thread_pool(util::ThreadPool* pool) { rs_.set_thread_pool(pool); }
-  [[nodiscard]] util::ThreadPool* thread_pool() const { return rs_.thread_pool(); }
+  void set_thread_pool(util::ThreadPool* pool) {
+    pool_ = pool;
+    codec_->set_thread_pool(pool);
+  }
+  [[nodiscard]] util::ThreadPool* thread_pool() const { return pool_; }
 
   struct Stripe {
-    std::vector<ReedSolomon::Shard> shards;  // k data shards then m parity
+    std::vector<ErasureCodec::Shard> shards;  // k data shards then m parity
     std::uint64_t original_size{0};
   };
 
-  /// Split + encode. The shard length is ceil(size/k), zero-padded.
+  /// Split + encode. The shard length is ceil(size/k), zero-padded (and
+  /// rounded up to the codec's sub-packetization).
   [[nodiscard]] Stripe encode(const std::vector<std::uint8_t>& bytes) const;
 
-  /// Rebuild the original bytes. `present[i]` marks surviving shards; missing
-  /// shards in `stripe.shards` may be empty. Returns false if fewer than k
-  /// shards survive.
+  /// Rebuild the original bytes. `present[i]` marks surviving shards;
+  /// missing shards in `stripe.shards` may be empty. Returns false when the
+  /// erasure pattern is unrecoverable for this code.
   bool decode(Stripe& stripe, const std::vector<bool>& present,
               std::vector<std::uint8_t>& out) const;
 
-  [[nodiscard]] const ReedSolomon& code() const { return rs_; }
-  [[nodiscard]] ReedSolomon& code() { return rs_; }
+  [[nodiscard]] const ErasureCodec& code() const { return *codec_; }
+  [[nodiscard]] ErasureCodec& code() { return *codec_; }
 
   /// Storage used by the stripe (all shards) vs. by `r` full replicas — the
   /// overhead comparison the paper's Fig. 5 makes.
@@ -49,7 +64,8 @@ class StripeCodec {
   }
 
  private:
-  ReedSolomon rs_;
+  std::unique_ptr<ErasureCodec> codec_;
+  util::ThreadPool* pool_{nullptr};
 };
 
 }  // namespace erms::ec

@@ -90,6 +90,15 @@ void Cluster::set_observability(obs::Observability* obs) {
   obs_ids_.recoveries_abandoned = r.counter("hdfs.recovery.abandoned");
   obs_ids_.nodes_revived = r.counter("hdfs.nodes.revived");
   obs_ids_.flow_aborts = r.counter("hdfs.flows.aborted");
+  obs_ids_.ec_repair_bytes = r.counter("hdfs.ec.repair.bytes");
+  obs_ids_.ec_degraded_bytes = r.counter("hdfs.ec.degraded.bytes");
+  obs_ids_.ec_repair_fanout = r.counter("hdfs.ec.repair.fanout");
+  for (const std::string_view name : ec::registered_codec_names()) {
+    obs_ids_.ec_repair_bytes_by_codec.push_back(
+        r.counter("hdfs.ec.repair.bytes." + std::string(name)));
+    obs_ids_.ec_degraded_bytes_by_codec.push_back(
+        r.counter("hdfs.ec.degraded.bytes." + std::string(name)));
+  }
   obs_ids_.bg_queue_depth = r.gauge("hdfs.background.queue_depth");
   obs_ids_.bg_streams = r.gauge("hdfs.background.streams");
   obs_ids_.read_seconds = r.histogram("hdfs.read.seconds", 0.0, 30.0, 60);
@@ -442,6 +451,129 @@ std::size_t Cluster::file_blocks_on_node(FileId file, NodeId node_id) const {
   return count;
 }
 
+const ec::ErasureCodec* Cluster::codec_for(const FileInfo& file) const {
+  const std::size_t k = file.blocks.size();
+  const std::size_t m = file.parity_blocks.size();
+  if (k == 0 || m == 0) {
+    return nullptr;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(file.ec_codec) << 40) |
+                            (static_cast<std::uint64_t>(file.ec_locals) << 32) |
+                            (static_cast<std::uint64_t>(k) << 16) |
+                            static_cast<std::uint64_t>(m);
+  const auto it = codec_cache_.find(key);
+  if (it != codec_cache_.end()) {
+    return it->second.get();
+  }
+  std::unique_ptr<ec::ErasureCodec> codec;
+  if (file.ec_codec < ec::codec_kind_count()) {
+    const auto kind = static_cast<ec::CodecKind>(file.ec_codec);
+    ec::CodecSpec spec{kind, static_cast<std::uint32_t>(m), 0, 0};
+    if (kind == ec::CodecKind::kAzureLrc) {
+      // The stripe stores l; g is whatever remains of the parity count.
+      spec.local_groups = file.ec_locals;
+      spec.global_parities =
+          file.ec_locals < m ? static_cast<std::uint32_t>(m) - file.ec_locals : 0;
+      spec.parities = 0;
+    }
+    try {
+      codec = ec::make_codec(spec, k);
+    } catch (const std::invalid_argument&) {
+      codec = nullptr;  // stripe wider than the field allows — legacy fallback
+    }
+    // normalize_spec may have bent the shape (e.g. a 1-parity Hitchhiker
+    // bumped to 2); a codec that doesn't match the actual stripe is useless.
+    if (codec != nullptr && codec->total_shards() != k + m) {
+      codec = nullptr;
+    }
+  }
+  return codec_cache_.emplace(key, std::move(codec)).first->second.get();
+}
+
+std::optional<Cluster::StripeReadSet> Cluster::plan_stripe_read(const FileInfo& file,
+                                                               BlockId lost) const {
+  const std::size_t k = file.blocks.size();
+  const std::size_t n = k + file.parity_blocks.size();
+  const auto shard_block = [&](std::size_t i) {
+    return i < k ? file.blocks[i] : file.parity_blocks[i - k];
+  };
+  std::size_t lost_idx = n;
+  std::vector<bool> present(n, false);
+  std::vector<NodeId> source(n, NodeId{0});
+  for (std::size_t i = 0; i < n; ++i) {
+    const BlockId b = shard_block(i);
+    if (b == lost) {
+      lost_idx = i;
+      continue;
+    }
+    for (const NodeId nd : locations_view(b)) {
+      if (is_serving(nd)) {
+        present[i] = true;
+        source[i] = nd;
+        break;
+      }
+    }
+  }
+  if (lost_idx == n) {
+    return std::nullopt;
+  }
+  StripeReadSet out;
+  const ec::ErasureCodec* codec = codec_for(file);
+  if (codec != nullptr) {
+    out.codec = static_cast<ec::CodecKind>(file.ec_codec);
+    const auto plan = codec->plan_repair(lost_idx, present);
+    if (!plan.has_value()) {
+      return std::nullopt;
+    }
+    const std::size_t s = plan->subshards;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t cells = plan->cells_on(i);
+      if (cells == 0) {
+        continue;
+      }
+      const BlockInfo* sinfo = namespace_.find_block(shard_block(i));
+      const std::uint64_t bytes = ec::RepairPlan::bytes_for(sinfo->size, cells, s);
+      out.sources.push_back({shard_block(i), source[i], bytes});
+      out.total_bytes += bytes;
+    }
+    return out;
+  }
+  // Legacy any-k full-block rule (pre-zoo behaviour, and the fallback for
+  // stripes no GF(2^8) code can span): first k live shards, data first.
+  for (std::size_t i = 0; i < n && out.sources.size() < k; ++i) {
+    if (!present[i]) {
+      continue;
+    }
+    const BlockInfo* sinfo = namespace_.find_block(shard_block(i));
+    out.sources.push_back({shard_block(i), source[i], sinfo->size});
+    out.total_bytes += sinfo->size;
+  }
+  if (out.sources.size() < k) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+void Cluster::record_repair_traffic(const StripeReadSet& plan, bool degraded) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  const auto codec = static_cast<std::size_t>(plan.codec);
+  obs::MetricsRegistry& r = obs_->registry();
+  if (degraded) {
+    r.add(obs_ids_.ec_degraded_bytes, plan.total_bytes);
+    if (codec < obs_ids_.ec_degraded_bytes_by_codec.size()) {
+      r.add(obs_ids_.ec_degraded_bytes_by_codec[codec], plan.total_bytes);
+    }
+  } else {
+    r.add(obs_ids_.ec_repair_bytes, plan.total_bytes);
+    r.add(obs_ids_.ec_repair_fanout, plan.sources.size());
+    if (codec < obs_ids_.ec_repair_bytes_by_codec.size()) {
+      r.add(obs_ids_.ec_repair_bytes_by_codec[codec], plan.total_bytes);
+    }
+  }
+}
+
 bool Cluster::file_available(FileId file) const {
   const FileInfo* info = namespace_.find(file);
   if (info == nullptr) {
@@ -466,15 +598,31 @@ bool Cluster::file_available(FileId file) const {
   if (!info->erasure_coded) {
     return false;
   }
-  for (const BlockId b : info->parity_blocks) {
-    for (const NodeId n : locations_view(b)) {
+  std::vector<bool> present(info->blocks.size() + info->parity_blocks.size(), false);
+  for (std::size_t i = 0; i < info->blocks.size(); ++i) {
+    for (const NodeId n : locations_view(info->blocks[i])) {
       if (is_serving(n)) {
+        present[i] = true;
+        break;
+      }
+    }
+  }
+  for (std::size_t j = 0; j < info->parity_blocks.size(); ++j) {
+    for (const NodeId n : locations_view(info->parity_blocks[j])) {
+      if (is_serving(n)) {
+        present[info->blocks.size() + j] = true;
         ++live_shards;
         break;
       }
     }
   }
-  // RS(k, m): any k of k+m shards rebuild the file.
+  // Ask the file's code whether the survivors span the data. For MDS codes
+  // (RS, Hitchhiker) this is exactly "any k of k+m"; for LRC it is the
+  // honest rank test — 10 live shards of an unrecoverable pattern do not
+  // make the file available.
+  if (const ec::ErasureCodec* codec = codec_for(*info)) {
+    return codec->recoverable(present);
+  }
   return live_shards >= info->blocks.size();
 }
 
@@ -798,40 +946,24 @@ void Cluster::read_block_via_reconstruction(NodeId client, const BlockInfo& info
                                             ReadCallback callback) {
   const FileInfo* file = namespace_.find(info.file);
   assert(file != nullptr);
-  // Gather k live shards from the stripe (other data blocks + parities).
-  std::vector<std::pair<BlockId, NodeId>> shards;
-  const std::size_t k = file->blocks.size();
-  auto consider = [&](BlockId b) {
-    if (b == info.id || shards.size() >= k) {
-      return;
-    }
-    for (const NodeId n : locations(b)) {
-      if (is_serving(n)) {
-        shards.emplace_back(b, n);
-        return;
-      }
-    }
-  };
-  for (const BlockId b : file->blocks) {
-    consider(b);
-  }
-  for (const BlockId b : file->parity_blocks) {
-    consider(b);
-  }
-  if (shards.size() < k) {
+  // Ask the file's code for its cheapest read set (LRC: the local group;
+  // Hitchhiker: half-blocks; RS/legacy: any k whole shards).
+  const auto plan = plan_stripe_read(*file, info.id);
+  if (!plan.has_value()) {
     ReadOutcome out;
     out.error = ReadError::kNoReplica;
     sim_.schedule_after(sim::micros(0), [callback, out] { callback(out); });
     return;
   }
-  // Degraded read: pull k shards in parallel and reconstruct at the client.
+  record_repair_traffic(*plan, /*degraded=*/true);
+  // Degraded read: pull the plan's shards in parallel and reconstruct at
+  // the client.
   const sim::SimTime start = sim_.now();
-  auto remaining = std::make_shared<std::size_t>(shards.size());
+  auto remaining = std::make_shared<std::size_t>(plan->sources.size());
   auto aborted = std::make_shared<bool>(false);
   const std::uint64_t bytes = info.size;
   const BlockId bid = info.id;
-  for (const auto& [shard_block, shard_node] : shards) {
-    const BlockInfo* sinfo = namespace_.find_block(shard_block);
+  for (const auto& [shard_block, shard_node, shard_bytes] : plan->sources) {
     net::NetworkModel::FlowOptions opts;
     opts.src_disk = true;
     // A shard holder died mid-decode: the first abort retries the whole
@@ -847,7 +979,7 @@ void Cluster::read_block_via_reconstruction(NodeId client, const BlockInfo& info
       *aborted = true;
       read_block(client, bid, callback);
     };
-    network_.start_flow(shard_node.value(), client.value(), sinfo->size, opts,
+    network_.start_flow(shard_node.value(), client.value(), shard_bytes, opts,
                         [this, remaining, aborted, callback, start, bytes](net::FlowId) {
                           if (*aborted || --*remaining > 0) {
                             return;
@@ -1226,38 +1358,24 @@ void Cluster::run_reconstruction(RecoveryTask task, std::function<void()> finish
   }
   const NodeId target = targets.front();
 
-  // Pull k live shards to the target and rebuild there.
-  std::vector<std::pair<BlockId, NodeId>> shards;
-  const std::size_t k = file->blocks.size();
-  auto consider = [&](BlockId b) {
-    if (b == block || shards.size() >= k) {
-      return;
-    }
-    for (const NodeId n : locations(b)) {
-      if (is_serving(n)) {
-        shards.emplace_back(b, n);
-        return;
-      }
-    }
-  };
-  for (const BlockId b : file->blocks) {
-    consider(b);
-  }
-  for (const BlockId b : file->parity_blocks) {
-    consider(b);
-  }
-  if (shards.size() < k) {
+  // Pull the code's repair read set to the target and rebuild there. LRC
+  // reads its local group; Hitchhiker reads half-blocks; RS (and legacy
+  // stripes) read any k whole shards.
+  const auto plan = plan_stripe_read(*file, block);
+  if (!plan.has_value()) {
     // Too many shards down right now; retry once some recover. The block is
     // only counted lost if retries run out with nothing live.
     finished();
     retry_or_abandon(std::move(task));
     return;
   }
-  auto remaining = std::make_shared<std::size_t>(shards.size());
+  record_repair_traffic(*plan, /*degraded=*/false);
+  const std::uint64_t plan_bytes = plan->total_bytes;
+  const ec::CodecKind plan_codec = plan->codec;
+  auto remaining = std::make_shared<std::size_t>(plan->sources.size());
   auto aborted = std::make_shared<bool>(false);
   auto shared_finished = std::make_shared<std::function<void()>>(std::move(finished));
-  for (const auto& [shard_block, shard_node] : shards) {
-    const BlockInfo* sinfo = namespace_.find_block(shard_block);
+  for (const auto& [shard_block, shard_node, shard_bytes] : plan->sources) {
     net::NetworkModel::FlowOptions opts;
     opts.src_disk = true;
     opts.dst_disk = true;
@@ -1278,8 +1396,9 @@ void Cluster::run_reconstruction(RecoveryTask task, std::function<void()> finish
       retry_or_abandon(task);
     };
     network_.start_flow(
-        shard_node.value(), target.value(), sinfo->size, opts,
-        [this, block, target, remaining, aborted, shared_finished, task](net::FlowId) {
+        shard_node.value(), target.value(), shard_bytes, opts,
+        [this, block, target, remaining, aborted, shared_finished, task, plan_bytes,
+         plan_codec](net::FlowId) {
           if (*aborted || --*remaining > 0) {
             return;
           }
@@ -1298,6 +1417,8 @@ void Cluster::run_reconstruction(RecoveryTask task, std::function<void()> finish
             ev.block = static_cast<std::int64_t>(block.value());
             ev.node = static_cast<std::int64_t>(target.value());
             ev.outcome = "reconstructed";
+            ev.codec = to_string(plan_codec);
+            ev.bytes_read = plan_bytes;
             const BlockInfo* info = namespace_.find_block(block);
             if (info != nullptr) {
               ev.bytes_moved = info->size;
@@ -1478,13 +1599,27 @@ void Cluster::change_replication(FileId file, std::uint32_t target, IncreaseMode
 }
 
 void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback done) {
+  encode_file(file,
+              ec::CodecSpec{ec::CodecKind::kRs, static_cast<std::uint32_t>(parity_count),
+                            0, 0},
+              std::move(done));
+}
+
+void Cluster::encode_file(FileId file, const ec::CodecSpec& spec, DoneCallback done) {
   const FileInfo* info = namespace_.find(file);
-  if (info == nullptr || info->erasure_coded || parity_count == 0) {
+  if (info == nullptr || info->erasure_coded || spec.total_parities() == 0) {
     if (done) {
       sim_.schedule_after(sim::micros(0), [done] { done(false); });
     }
     return;
   }
+  const ec::CodecSpec norm = ec::normalize_spec(spec, info->blocks.size());
+  const std::size_t parity_count = norm.total_parities();
+  const auto codec_kind = static_cast<std::uint8_t>(norm.kind);
+  const std::uint8_t codec_locals =
+      norm.kind == ec::CodecKind::kAzureLrc
+          ? static_cast<std::uint8_t>(std::min<std::uint32_t>(norm.local_groups, 255))
+          : 0;
   emit_audit("encode", info->id, info->path, NodeId{0}, std::nullopt, std::nullopt);
 
   // Pick the encoder: the least-used active node.
@@ -1514,15 +1649,16 @@ void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback do
     ev->path = info->path;
     ev->rep_before = info->replication;
     ev->node = static_cast<std::int64_t>(enc.value());
+    ev->codec = ec::to_string(norm.kind);
   }
 
   queue_background([this, fid, enc, parity_size, parity_count, data_blocks, ev,
-                    done](std::function<void()> finished) {
+                    codec_kind, codec_locals, done](std::function<void()> finished) {
     // Stage 1: stream the k data blocks to the encoder.
     auto stage1 = std::make_shared<std::size_t>(data_blocks.size());
     auto enc_failed = std::make_shared<bool>(false);
     auto after_reads = [this, fid, enc, parity_size, parity_count, ev, done,
-                        finished, enc_failed]() {
+                        codec_kind, codec_locals, finished, enc_failed]() {
       // Stage 2: write the m parity blocks to policy-chosen targets.
       const FileInfo* info = namespace_.find(fid);
       if (info == nullptr || *enc_failed || !is_serving(enc)) {
@@ -1545,11 +1681,13 @@ void Cluster::encode_file(FileId file, std::size_t parity_count, DoneCallback do
       }
       auto stage2 = std::make_shared<std::size_t>(parities.size());
       auto all_ok = std::make_shared<bool>(true);
-      auto finish_encode = [this, fid, ev, done, finished, all_ok] {
+      auto finish_encode = [this, fid, ev, done, codec_kind, codec_locals, finished,
+                            all_ok] {
         // Stage 3: keep one replica per data block, drop the rest.
         const FileInfo* info = namespace_.find(fid);
         if (info != nullptr && *all_ok) {
           namespace_.set_erasure_coded(fid, true);
+          namespace_.set_codec(fid, codec_kind, codec_locals);
           namespace_.set_replication(fid, 1);
           for (const BlockId b : info->blocks) {
             while (locations(b).size() > 1) {
@@ -1687,6 +1825,7 @@ void Cluster::decode_file(FileId file, std::uint32_t replication, DoneCallback d
                            }
                          }
                          namespace_.set_erasure_coded(fid, false);
+                         namespace_.set_codec(fid, 0, 0);
                        }
                        if (obs_ != nullptr) {
                          obs::TraceEvent ev;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "audit/audit.h"
+#include "ec/codec_registry.h"
 #include "hdfs/namespace.h"
 #include "obs/metrics_registry.h"
 #include "hdfs/placement.h"
@@ -233,6 +234,12 @@ class Cluster {
   /// (paper §III.C/IV.B: Reed–Solomon, replication 1 + 4 parities).
   void encode_file(FileId file, std::size_t parity_count, DoneCallback done);
 
+  /// Same, with the code chosen from the pluggable zoo (RS / AzureLRC /
+  /// Hitchhiker-XOR+, see docs/EC_CODECS.md). The codec identity is recorded
+  /// on the file so degraded reads and stripe reconstruction use that code's
+  /// repair plan — and its (smaller) repair read set — afterwards.
+  void encode_file(FileId file, const ec::CodecSpec& spec, DoneCallback done);
+
   /// Undo encoding: restore `replication` data replicas then remove
   /// parities (a re-warmed cold file).
   void decode_file(FileId file, std::uint32_t replication, DoneCallback done);
@@ -341,6 +348,37 @@ class Cluster {
   void read_block_via_reconstruction(NodeId client, const BlockInfo& info,
                                      ReadCallback callback);
 
+  /// The repair read set for one lost/unreadable block of a stripe: which
+  /// surviving shards to pull, how many bytes from each (sub-shard plans
+  /// read fractions of a block), and the codec that planned it. Shard index
+  /// i < k is file.blocks[i]; k + j is file.parity_blocks[j].
+  struct StripeReadSet {
+    struct Source {
+      BlockId block;
+      NodeId node;
+      std::uint64_t bytes;
+    };
+    std::vector<Source> sources;
+    ec::CodecKind codec{ec::CodecKind::kRs};
+    std::uint64_t total_bytes{0};
+  };
+
+  /// Plan the cheapest read set this file's code offers to rebuild `lost`
+  /// from the shards that are live right now. nullopt when the surviving
+  /// shards cannot determine the block. Files whose codec cannot be
+  /// materialised (stripe wider than GF(2^8) allows) fall back to the
+  /// legacy any-k full-block RS rule.
+  [[nodiscard]] std::optional<StripeReadSet> plan_stripe_read(const FileInfo& file,
+                                                             BlockId lost) const;
+
+  /// The file's erasure codec, from a shape-keyed cache shared by all files
+  /// of the same (kind, locals, k, m). nullptr when unmaterialisable.
+  [[nodiscard]] const ec::ErasureCodec* codec_for(const FileInfo& file) const;
+
+  /// Count repair traffic into the total and per-codec counters (and the
+  /// degraded-read equivalents when `degraded`).
+  void record_repair_traffic(const StripeReadSet& plan, bool degraded);
+
   /// Enqueue a throttled background task (re-replication, replication
   /// increase, EC transfers, stripe reconstruction).
   void queue_background(BackgroundJob job);
@@ -418,11 +456,23 @@ class Cluster {
 
   std::set<std::pair<BlockId, NodeId>> corrupt_replicas_;
 
+  /// Codec instances keyed by packed (kind, locals, k, m); an entry holding
+  /// nullptr caches "shape cannot be materialised" (legacy fallback).
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<ec::ErasureCodec>>
+      codec_cache_;
+
   struct ObsIds {
     obs::CounterId reads_completed, reads_rejected, reads_degraded, read_bytes;
     obs::CounterId corruptions, blocks_lost, rereplications, replication_changes;
     obs::CounterId encodes, decodes, audit_events;
     obs::CounterId recovery_retries, recoveries_abandoned, nodes_revived, flow_aborts;
+    /// Repair-bandwidth accounting for the codec zoo: bytes pulled over the
+    /// network to rebuild a shard (recovery path) or serve a degraded read,
+    /// and the fanout (distinct source nodes) of each repair. The per-codec
+    /// vectors are indexed by ec::CodecKind.
+    obs::CounterId ec_repair_bytes, ec_degraded_bytes, ec_repair_fanout;
+    std::vector<obs::CounterId> ec_repair_bytes_by_codec;
+    std::vector<obs::CounterId> ec_degraded_bytes_by_codec;
     obs::GaugeId bg_queue_depth, bg_streams;
     obs::HistogramId read_seconds;
   };

@@ -193,6 +193,13 @@ void Namespace::set_erasure_coded(FileId file, bool coded) {
   }
 }
 
+void Namespace::set_codec(FileId file, std::uint8_t codec, std::uint8_t locals) {
+  if (FileInfo* info = find_mutable(file)) {
+    info->ec_codec = codec;
+    info->ec_locals = locals;
+  }
+}
+
 const FileInfo* Namespace::find(FileId file) const {
   if (file.value() == 0 || file.value() >= files_.size()) return nullptr;
   const FileInfo& info = files_[file.value()];
@@ -229,8 +236,14 @@ void Namespace::save_image(std::ostream& os) const {
   for (const FileInfo& f : files_) {
     if (f.id.value() == 0) continue;
     os << "file " << f.id.value() << ' ' << f.path << ' ' << f.size << ' '
-       << f.block_size << ' ' << f.replication << ' ' << (f.erasure_coded ? 1 : 0)
-       << '\n';
+       << f.block_size << ' ' << f.replication << ' ' << (f.erasure_coded ? 1 : 0);
+    if (f.ec_codec != 0 || f.ec_locals != 0) {
+      // Optional trailing shape fields — old images (and plain-RS files)
+      // omit them, and the loader treats their absence as codec 0 ("rs").
+      os << ' ' << static_cast<unsigned>(f.ec_codec) << ' '
+         << static_cast<unsigned>(f.ec_locals);
+    }
+    os << '\n';
     for (const BlockId b : f.blocks) {
       const BlockInfo& info = blocks_[b.value()];
       os << "block " << info.id.value() << ' ' << info.size << ' ' << info.index
@@ -280,6 +293,15 @@ bool Namespace::load_image(std::istream& is) {
       }
       info.id = FileId{static_cast<FileId::rep_type>(id)};
       info.erasure_coded = coded != 0;
+      unsigned codec = 0;
+      unsigned locals = 0;
+      if (ss >> codec) {  // optional trailing codec shape (v1-compatible)
+        if (!(ss >> locals) || codec > 255 || locals > 255) {
+          return fail();
+        }
+        info.ec_codec = static_cast<std::uint8_t>(codec);
+        info.ec_locals = static_cast<std::uint8_t>(locals);
+      }
       max_file_id = std::max(max_file_id, id);
       const auto stored = paths_->intern(path, info.id);
       if (!stored) return fail();  // duplicate path in image

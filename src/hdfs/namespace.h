@@ -38,6 +38,12 @@ struct FileInfo {
   std::vector<BlockId> blocks;
   bool erasure_coded{false};
   std::vector<BlockId> parity_blocks;
+  // Which erasure code the stripe was written with (ec::CodecKind value) and
+  // the code's local-group count (AzureLRC only; 0 otherwise). k and the
+  // total parity count are derivable from blocks/parity_blocks, so only the
+  // non-derivable shape survives here and in the fsimage.
+  std::uint8_t ec_codec{0};
+  std::uint8_t ec_locals{0};
 };
 
 /// The namenode's namespace: file and block metadata (no locations — those
@@ -96,6 +102,9 @@ class Namespace {
 
   void set_replication(FileId file, std::uint32_t replication);
   void set_erasure_coded(FileId file, bool coded);
+
+  /// Record which code an erasure-coded stripe uses (see FileInfo::ec_codec).
+  void set_codec(FileId file, std::uint8_t codec, std::uint8_t locals);
 
   [[nodiscard]] const FileInfo* find(FileId file) const;
   [[nodiscard]] const FileInfo* find_path(std::string_view path) const;

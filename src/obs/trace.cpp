@@ -98,6 +98,9 @@ std::string TraceEvent::to_json() const {
     }
     out += ']';
   }
+  if (!codec.empty()) out += R"(,"codec":")" + json_escape(codec) + '"';
+  if (!band.empty()) out += R"(,"band":")" + json_escape(band) + '"';
+  if (bytes_read > 0) out += R"(,"bytes_read":)" + std::to_string(bytes_read);
   out += '}';
   return out;
 }

@@ -71,6 +71,10 @@ struct TraceEvent {
 
   std::vector<std::int64_t> targets;  // nodes gaining (or losing) replicas
 
+  std::string codec;             // erasure code involved (encode, repair)
+  std::string band;              // temperature band that chose it (kEncode)
+  std::uint64_t bytes_read{0};   // bytes pulled to repair / serve degraded
+
   /// Single-line JSON object (no trailing newline).
   [[nodiscard]] std::string to_json() const;
 };
