@@ -1,0 +1,563 @@
+#!/usr/bin/env python3
+"""Determinism linter for ERMS's sim-deterministic code (DESIGN.md §15).
+
+The simulator's contract is byte-identical replay: same seed, same config,
+same trace — across runs, shard counts, batch sizes and platforms. The
+chaos/scale differential suites enforce that dynamically; this linter bans
+the constructs that break it statically, at the line where they appear:
+
+  wall-clock       std::chrono::{system,steady,high_resolution}_clock,
+                   time(nullptr), gettimeofday, clock(), localtime/gmtime —
+                   sim code reads sim::Simulation::now(), never the host
+                   clock.
+  ambient-rng      std::rand/srand, std::random_device,
+                   default_random_engine, default-constructed mt19937 —
+                   randomness comes from an explicitly seeded sim::Rng so
+                   a seed reproduces the run.
+  unordered-drain  range-for over (or bulk-copy from) a std::unordered_map /
+                   std::unordered_set — hash-order iteration feeding traces,
+                   judge sweeps or recovery decisions makes the bucket
+                   layout observable. Fix by draining through a sort, or
+                   allowlist with `// erms-lint: ordered-drain — <reason>`.
+  pointer-key      std::map/std::set keyed on a raw pointer — pointer order
+                   is allocation order, which no two runs share.
+  raw-mutex        std::mutex / std::lock_guard / std::unique_lock /
+                   std::condition_variable outside util/mutex.h — raw types
+                   carry no thread-safety capability, so Clang's analysis
+                   (ERMS_STATIC_ANALYSIS=ON) is blind to them. Use
+                   util::Mutex / util::LockGuard / util::CondVar.
+  uninit-member    builtin-scalar member without an initializer in a struct
+                   marked `// erms-lint: trace-struct` — partially-filled
+                   events are exported as-is, so an uninitialized field
+                   leaks indeterminate bytes into the trace diff.
+
+Known violations live in a machine-readable baseline
+(scripts/determinism_baseline.json) keyed by (file, rule, line text), each
+with a mandatory human-written reason — pre-existing debt is burned down
+explicitly, never hidden. The linter fails on: a violation not in the
+baseline, a baseline entry without a reason, or a stale baseline entry
+(fixed code must shrink the baseline in the same commit).
+
+Stdlib only. If the optional libclang Python bindings are importable the
+unordered-drain rule is cross-checked against the AST (catches aliases and
+`auto` the regexes cannot see); without them the regex pass is the
+authoritative — and CI-enforced — contract.
+
+Usage:
+  lint_determinism.py [paths...] [--baseline FILE] [--no-baseline]
+                      [--write-baseline] [--list-rules]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO / "scripts" / "determinism_baseline.json"
+
+ALLOW_ORDERED_DRAIN = "erms-lint: ordered-drain"
+TRACE_STRUCT_MARK = "erms-lint: trace-struct"
+
+CPP_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+
+# ---------------------------------------------------------------------------
+# Simple line-based rules: (rule id, compiled regex, message).
+# ---------------------------------------------------------------------------
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|\bgettimeofday\s*\("
+    r"|\bstd::time\s*\("
+    r"|(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+    r"|(?<![\w:.>])clock\s*\(\s*\)"
+    r"|\b(?:localtime|gmtime)(?:_r)?\s*\("
+)
+AMBIENT_RNG_RE = re.compile(
+    r"\bstd::rand\b"
+    r"|(?<![\w:.>])s?rand\s*\(\s*\)"
+    r"|\bsrand\s*\("
+    r"|\brandom_device\b"
+    r"|\bdefault_random_engine\b"
+    r"|\bmt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\})"
+)
+POINTER_KEY_RE = re.compile(r"\bstd::(?:map|set)\s*<[^,<>]*\*\s*[,>]")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|shared_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|condition_variable(?:_any)?)\b"
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*"
+    r"(?:&\s*)?(\w+)\s*[;={(]"
+)
+ORDERED_DECL_RE = re.compile(
+    r"\bstd::(?:vector|map|set|multimap|multiset|deque|array|list)\s*"
+    r"<[^;{]*>\s*(?:&\s*)?(\w+)\s*[;={(]"
+)
+STRUCT_OPEN_RE = re.compile(r"\b(?:struct|class)\s+(\w+)[^;{]*\{")
+VAR_DECL_RE = re.compile(
+    r"(?:const\s+)?([A-Z]\w*)\s*(?:[*&]\s*)*(\w+)\s*(?:[=;({]|\s*:)"
+)
+QUOTED_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?:\s*([\w>\-.()*]+?)\s*\)")
+BULK_COPY_RE = re.compile(r"\(\s*([\w>\-.]+)\.begin\(\)\s*,\s*([\w>\-.]+)\.end\(\)\s*\)")
+SORT_NEARBY_RE = re.compile(r"\b(?:std::)?(?:sort|stable_sort)\s*\(")
+
+SCALAR_MEMBER_RE = re.compile(
+    r"^\s*(?:const\s+)?"
+    r"((?:unsigned\s+|signed\s+|long\s+|short\s+)*"
+    r"(?:bool|char|short|int|long|float|double|size_t|std::size_t|"
+    r"std::ptrdiff_t|(?:std::)?u?int(?:8|16|32|64)_t)|[\w:]+\s*\*)\s+"
+    r"(\w+)\s*;\s*(?://.*)?$"
+)
+
+RULES_DOC = {
+    "wall-clock": "host-clock read in sim-deterministic code",
+    "ambient-rng": "ambient / unseeded randomness",
+    "unordered-drain": "hash-order iteration over an unordered container",
+    "pointer-key": "ordered container keyed on a raw pointer",
+    "raw-mutex": "raw std::mutex family instead of annotated util::Mutex",
+    "uninit-member": "uninitialized scalar member in a trace-carried struct",
+}
+
+
+class Violation:
+    def __init__(self, file: str, line_no: int, rule: str, line_text: str, msg: str):
+        self.file = file
+        self.line_no = line_no
+        self.rule = rule
+        # Whitespace-normalized so the baseline survives reindents and
+        # line-number drift.
+        self.line_text = " ".join(line_text.split())
+        self.msg = msg
+
+    def key(self):
+        return (self.file, self.rule, self.line_text)
+
+    def __str__(self):
+        return f"{self.file}:{self.line_no}: [{self.rule}] {self.msg}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blank out string/char literals and // comments (keeps length)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                out.append(" ")
+                i += 2 if line[i] == "\\" else 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowlisted(lines: list[str], idx: int) -> bool:
+    """An ordered-drain waiver covers its own line or the 1-2 lines above,
+    and must carry a justification after the marker."""
+    for j in (idx, idx - 1, idx - 2):
+        if 0 <= j < len(lines) and ALLOW_ORDERED_DRAIN in lines[j]:
+            after = lines[j].split(ALLOW_ORDERED_DRAIN, 1)[1]
+            return len(after.strip(" -—:.")) >= 8  # demand an actual reason
+    return False
+
+
+_text_cache: dict[Path, str] = {}
+
+
+def read_cached(path: Path) -> str:
+    if path not in _text_cache:
+        _text_cache[path] = path.read_text(errors="replace")
+    return _text_cache[path]
+
+
+def transitive_texts(path: Path) -> list[str]:
+    """The file, its paired header, and every project-local quoted include
+    reachable from it (resolved against the repo's src/ roots). This is the
+    name-resolution scope for the unordered-drain rule: member containers
+    are declared in headers, drained in .cpp files."""
+    include_roots = [REPO / "src", REPO, path.parent]
+    seen: set[Path] = set()
+    queue = [path]
+    if path.suffix in {".cc", ".cpp", ".cxx"}:
+        for suffix in (".h", ".hpp"):
+            header = path.with_suffix(suffix)
+            if header.exists():
+                queue.append(header)
+    texts: list[str] = []
+    while queue:
+        cur = queue.pop()
+        if cur in seen or not cur.exists():
+            continue
+        seen.add(cur)
+        text = read_cached(cur)
+        texts.append(text)
+        for inc in QUOTED_INCLUDE_RE.findall(text):
+            for root in include_roots:
+                cand = (root / inc).resolve()
+                if cand.exists():
+                    queue.append(cand)
+                    break
+    return texts
+
+
+def struct_members(texts: list[str]) -> dict[tuple[str, str], str]:
+    """(StructName, member) -> 'unordered' | 'ordered' for container members
+    declared directly inside struct/class bodies in `texts`."""
+    out: dict[tuple[str, str], str] = {}
+    for text in texts:
+        clean = "\n".join(strip_comments_and_strings(l) for l in text.splitlines())
+        for m in STRUCT_OPEN_RE.finditer(clean):
+            depth, i = 1, m.end()
+            while i < len(clean) and depth:
+                if clean[i] == "{":
+                    depth += 1
+                elif clean[i] == "}":
+                    depth -= 1
+                i += 1
+            body = clean[m.end() : i]
+            for dm in UNORDERED_DECL_RE.finditer(body):
+                out[(m.group(1), dm.group(1))] = "unordered"
+            for dm in ORDERED_DECL_RE.finditer(body):
+                out.setdefault((m.group(1), dm.group(1)), "ordered")
+    return out
+
+
+def local_var_types(clean_lines: list[str]) -> dict[str, str]:
+    """Best-effort `name -> TypeName` for locals/params declared with a
+    project type (capitalized identifier). Last declaration wins."""
+    out: dict[str, str] = {}
+    for line in clean_lines:
+        for m in VAR_DECL_RE.finditer(line):
+            if m.group(1) not in {"Returns", "The"}:
+                out[m.group(2)] = m.group(1)
+    return out
+
+
+def base_identifier(expr: str) -> str:
+    """Last identifier segment of `a.b`, `a->b`, `(*a).b`, `a`."""
+    expr = expr.rstrip(")")
+    for sep in ("->", "."):
+        if sep in expr:
+            expr = expr.rsplit(sep, 1)[1]
+    return expr.strip("&*() ")
+
+
+def first_identifier(expr: str) -> str:
+    m = re.match(r"[&*( ]*(\w+)", expr)
+    return m.group(1) if m else ""
+
+
+class DrainScope:
+    """Name-resolution context for one translation unit."""
+
+    def __init__(self, path: Path, clean_lines: list[str]):
+        texts = transitive_texts(path)
+        self.members = struct_members(texts)
+        self.unordered_names: set[str] = set()
+        self.ordered_names: set[str] = set()
+        for text in texts:
+            self.unordered_names |= set(UNORDERED_DECL_RE.findall(text))
+            self.ordered_names |= set(ORDERED_DECL_RE.findall(text))
+        self.var_types = local_var_types(clean_lines)
+
+    def classify(self, expr: str) -> str:
+        """'unordered' | 'ordered' | 'unknown' for a range-for expression.
+        Unknown (including a name declared both ways with no resolvable
+        type) is skipped — false positives would train people to sprinkle
+        waivers; the AST cross-check catches what this under-reports."""
+        if "(" in expr.rstrip(")"):
+            return "unknown"  # function call result — type not resolvable
+        member = base_identifier(expr)
+        if ("->" in expr or "." in expr) and member:
+            var_type = self.var_types.get(first_identifier(expr))
+            if var_type and (var_type, member) in self.members:
+                return self.members[(var_type, member)]
+            classes = {
+                cls for (_, mem), cls in self.members.items() if mem == member
+            }
+            if len(classes) == 1:
+                return classes.pop()
+            if classes:
+                return "unknown"
+        if member in self.unordered_names:
+            return "unknown" if member in self.ordered_names else "unordered"
+        return "unknown"
+
+
+def lint_file(path: Path, repo_rel: str) -> list[Violation]:
+    text = read_cached(path)
+    lines = text.splitlines()
+    clean = [strip_comments_and_strings(l) for l in lines]
+    scope = DrainScope(path, clean)
+
+    is_mutex_wrapper = repo_rel.replace("\\", "/").endswith("util/mutex.h")
+    out: list[Violation] = []
+
+    # --- trace-struct member initialization ---------------------------------
+    trace_struct_depth = None
+    depth = 0
+    pending_mark = False
+    for idx, raw in enumerate(lines):
+        code = clean[idx]
+        if TRACE_STRUCT_MARK in raw:
+            pending_mark = True
+        opens, closes = code.count("{"), code.count("}")
+        if pending_mark and re.search(r"\b(?:struct|class)\s+\w+", code):
+            if opens:
+                trace_struct_depth = depth + 1
+                pending_mark = False
+            # else: marker seen, struct brace on a later line — handled below.
+        elif pending_mark and opens and trace_struct_depth is None:
+            trace_struct_depth = depth + 1
+            pending_mark = False
+        if trace_struct_depth is not None and depth == trace_struct_depth:
+            m = SCALAR_MEMBER_RE.match(code)
+            if m:
+                out.append(
+                    Violation(
+                        repo_rel, idx + 1, "uninit-member", raw,
+                        f"member '{m.group(2)}' of a trace-carried struct has no "
+                        "initializer; an unset field would export indeterminate "
+                        "bytes into the trace",
+                    )
+                )
+        depth += opens - closes
+        if trace_struct_depth is not None and depth < trace_struct_depth:
+            trace_struct_depth = None
+
+    # --- line rules ---------------------------------------------------------
+    for idx, raw in enumerate(lines):
+        code = clean[idx]
+        if not code.strip():
+            continue
+
+        if WALL_CLOCK_RE.search(code):
+            out.append(
+                Violation(
+                    repo_rel, idx + 1, "wall-clock", raw,
+                    "host-clock read in sim-deterministic code; use "
+                    "sim::Simulation::now()",
+                )
+            )
+        if AMBIENT_RNG_RE.search(code):
+            out.append(
+                Violation(
+                    repo_rel, idx + 1, "ambient-rng", raw,
+                    "ambient/unseeded randomness; draw from an explicitly "
+                    "seeded sim::Rng",
+                )
+            )
+        if POINTER_KEY_RE.search(code):
+            out.append(
+                Violation(
+                    repo_rel, idx + 1, "pointer-key", raw,
+                    "container ordered by raw pointer value; pointer order is "
+                    "allocation order, which no two runs share",
+                )
+            )
+        if not is_mutex_wrapper and RAW_MUTEX_RE.search(code):
+            out.append(
+                Violation(
+                    repo_rel, idx + 1, "raw-mutex", raw,
+                    "raw std::mutex family is invisible to thread-safety "
+                    "analysis; use util::Mutex / util::LockGuard / "
+                    "util::CondVar (util/mutex.h)",
+                )
+            )
+
+        for m in RANGE_FOR_RE.finditer(code):
+            if scope.classify(m.group(1)) == "unordered" and not allowlisted(lines, idx):
+                out.append(
+                    Violation(
+                        repo_rel, idx + 1, "unordered-drain", raw,
+                        f"range-for over unordered container "
+                        f"'{base_identifier(m.group(1))}' drains in hash order; "
+                        "sort the drain or justify with "
+                        f"'// {ALLOW_ORDERED_DRAIN} — <reason>'",
+                    )
+                )
+        for m in BULK_COPY_RE.finditer(code):
+            base = base_identifier(m.group(1))
+            if (base != base_identifier(m.group(2))
+                    or scope.classify(m.group(1)) != "unordered"):
+                continue
+            lookahead = " ".join(clean[idx + 1 : idx + 4])
+            if SORT_NEARBY_RE.search(lookahead) or SORT_NEARBY_RE.search(code):
+                continue  # drained through an explicit sort — ordered
+            if not allowlisted(lines, idx):
+                out.append(
+                    Violation(
+                        repo_rel, idx + 1, "unordered-drain", raw,
+                        f"bulk copy of unordered container '{base}' without a "
+                        "sort; hash order becomes element order",
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang cross-check (adds AST-confirmed unordered drains that the
+# regexes miss — aliases, autos, members brought in via using-decls).
+# ---------------------------------------------------------------------------
+def libclang_pass(paths: list[Path]) -> list[Violation]:
+    try:
+        from clang import cindex  # type: ignore
+    except Exception:
+        return []
+    out: list[Violation] = []
+    try:
+        index = cindex.Index.create()
+        for path in paths:
+            if path.suffix not in {".cc", ".cpp", ".cxx"}:
+                continue
+            tu = index.parse(
+                str(path), args=["-std=c++20", f"-I{REPO / 'src'}"],
+                options=cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0,
+            )
+            for cur in tu.cursor.walk_preorder():
+                if cur.kind != cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                    continue
+                if not cur.location.file or Path(str(cur.location.file)) != path:
+                    continue
+                children = list(cur.get_children())
+                if not children:
+                    continue
+                range_type = children[0].type.spelling
+                if "unordered_" in range_type:
+                    rel = str(path.relative_to(REPO))
+                    lines = path.read_text(errors="replace").splitlines()
+                    ln = cur.location.line
+                    if not allowlisted(lines, ln - 1):
+                        out.append(
+                            Violation(
+                                rel, ln, "unordered-drain",
+                                lines[ln - 1] if ln <= len(lines) else "",
+                                f"AST: range-for over '{range_type}'",
+                            )
+                        )
+    except Exception:
+        return []  # the regex pass remains authoritative
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+def load_baseline(path: Path):
+    if not path.exists():
+        return []
+    with open(path) as f:
+        data = json.load(f)
+    entries = data.get("entries", [])
+    for e in entries:
+        # Same whitespace normalization Violation applies, so hand-edited
+        # baselines match regardless of indentation.
+        e["line_text"] = " ".join(e.get("line_text", "").split())
+    return entries
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=None, help="files or directories (default: src/)")
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="every violation fails, baseline ignored (CI new-file gate)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="emit current violations as baseline entries (reasons left "
+                         "empty — the linter refuses empty reasons, fill them in)")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule, doc in RULES_DOC.items():
+            print(f"{rule:17s} {doc}")
+        return 0
+
+    roots = [Path(p) for p in (args.paths or [REPO / "src"])]
+    files: list[Path] = []
+    for root in roots:
+        root = root.resolve()
+        if root.is_dir():
+            files.extend(
+                p for p in sorted(root.rglob("*")) if p.suffix in CPP_SUFFIXES
+            )
+        elif root.exists():
+            files.append(root)
+        else:
+            print(f"error: no such path: {root}", file=sys.stderr)
+            return 2
+
+    violations: list[Violation] = []
+    for f in files:
+        try:
+            rel = str(f.relative_to(REPO))
+        except ValueError:
+            rel = str(f)
+        violations.extend(lint_file(f, rel))
+
+    seen = {v.key() for v in violations}
+    for v in libclang_pass(files):
+        if v.key() not in seen:
+            violations.append(v)
+            seen.add(v.key())
+
+    if args.write_baseline:
+        entries = [
+            {"file": v.file, "rule": v.rule, "line_text": v.line_text, "reason": ""}
+            for v in violations
+        ]
+        args.baseline.write_text(
+            json.dumps({"version": 1, "entries": entries}, indent=2) + "\n"
+        )
+        print(f"wrote {len(entries)} baseline entries to {args.baseline} "
+              "(fill in every 'reason' or fix the code)")
+        return 0
+
+    baseline = [] if args.no_baseline else load_baseline(args.baseline)
+    baseline_keys = {(e["file"], e["rule"], e["line_text"]): e for e in baseline}
+
+    failures = 0
+    matched_baseline = set()
+    for v in violations:
+        entry = baseline_keys.get(v.key())
+        if entry is not None:
+            matched_baseline.add(v.key())
+            if not entry.get("reason", "").strip():
+                print(f"{v}  [baselined WITHOUT a reason — explain or fix]")
+                failures += 1
+            continue
+        print(v)
+        failures += 1
+
+    for key, entry in baseline_keys.items():
+        if key not in matched_baseline:
+            print(f"{entry['file']}: [stale-baseline] entry for rule "
+                  f"'{entry['rule']}' no longer matches any code — remove it "
+                  f"from {args.baseline.name}")
+            failures += 1
+
+    if failures:
+        print(f"\n{failures} determinism-lint failure(s) across "
+              f"{len(files)} file(s).", file=sys.stderr)
+        return 1
+    print(f"determinism lint clean: {len(files)} file(s), "
+          f"{len(baseline)} baselined violation(s) remaining.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -189,7 +189,10 @@ void Cluster::decommission(NodeId id, DoneCallback done) {
     return;
   }
   set_node_state(id, NodeState::kDecommissioning);
-  const std::vector<BlockId> to_move(node.blocks.begin(), node.blocks.end());
+  // BlockId order, not hash order: the drain schedules one copy per block,
+  // so iteration order decides flow start order and therefore the trace.
+  std::vector<BlockId> to_move(node.blocks.begin(), node.blocks.end());
+  std::sort(to_move.begin(), to_move.end());
   if (to_move.empty()) {
     set_node_state(id, NodeState::kStandby);
     if (done) {
@@ -901,24 +904,33 @@ void Cluster::read_block(NodeId client, BlockId block, ReadCallback callback) {
     record_flow_abort(bid, static_cast<std::int64_t>(src.value()), partial, "read_retry");
     read_block(client, bid, callback);
   };
+  // Corruption is a property of the bytes that leave the disk, so it is
+  // sampled when the transfer starts: if another in-flight transfer detects
+  // the same bad replica first (dropping it and erasing the namenode's
+  // marker), this read still fails its checksum instead of laundering the
+  // corrupt data into a successful read.
+  const bool src_corrupt = is_corrupt(bid, src);
   network_.start_flow(
       src.value(), client.value(), bytes, opts,
-      [this, src, client, bid, callback, start, bytes, locality](net::FlowId) {
+      [this, src, client, bid, callback, start, bytes, locality, src_corrupt](net::FlowId) {
         DataNode& server = node_mutable(src);
         if (server.active_sessions > 0) {
           --server.active_sessions;
         }
         // Checksum verification at the client: a corrupt replica is
         // reported to the namenode, dropped, re-replicated from a clean
-        // copy, and the read transparently retries elsewhere.
-        if (is_corrupt(bid, src)) {
-          ++corruptions_detected_;
-          if (obs_ != nullptr) {
-            obs_->registry().add(obs_ids_.corruptions);
+        // copy, and the read transparently retries elsewhere. The drop and
+        // the detection count are attributed once — to the transfer that
+        // finds the replica still registered.
+        if (src_corrupt || is_corrupt(bid, src)) {
+          if (node_has_block(src, bid)) {
+            ++corruptions_detected_;
+            if (obs_ != nullptr) {
+              obs_->registry().add(obs_ids_.corruptions);
+            }
+            remove_replica(bid, src);
+            enqueue_recovery(bid);
           }
-          corrupt_replicas_.erase({bid, src});
-          remove_replica(bid, src);
-          enqueue_recovery(bid);
           if (log_.enabled(util::LogLevel::kWarn)) {
             log_.log(util::LogLevel::kWarn, "cluster",
                      "checksum failure: block " + std::to_string(bid.value()) +
@@ -1149,8 +1161,12 @@ void Cluster::copy_block(BlockId block, std::optional<NodeId> source, NodeId tar
       done(false);
     }
   };
+  // Sampled at start for the same reason as read_block: a copy of corrupt
+  // bytes is corrupt even if another transfer drops the source replica (and
+  // its corruption marker) while this copy is in flight.
+  const bool src_corrupt = is_corrupt(block, src);
   network_.start_flow(src.value(), target.value(), info->size, opts,
-                      [this, block, src, target, done](net::FlowId) {
+                      [this, block, src, target, done, src_corrupt](net::FlowId) {
                         DataNode& source_node = node_mutable(src);
                         if (source_node.background_reads > 0) {
                           --source_node.background_reads;
@@ -1158,14 +1174,17 @@ void Cluster::copy_block(BlockId block, std::optional<NodeId> source, NodeId tar
                         // Transfer checksums catch a corrupt source: the
                         // bad replica is dropped and the copy fails (the
                         // caller or the re-replication monitor retries from
-                        // a clean replica).
-                        if (is_corrupt(block, src)) {
-                          ++corruptions_detected_;
-                          if (obs_ != nullptr) {
-                            obs_->registry().add(obs_ids_.corruptions);
+                        // a clean replica). Detection is attributed to the
+                        // transfer that finds the replica still registered.
+                        if (src_corrupt || is_corrupt(block, src)) {
+                          if (node_has_block(src, block)) {
+                            ++corruptions_detected_;
+                            if (obs_ != nullptr) {
+                              obs_->registry().add(obs_ids_.corruptions);
+                            }
+                            remove_replica(block, src);
+                            enqueue_recovery(block);
                           }
-                          remove_replica(block, src);
-                          enqueue_recovery(block);
                           if (done) {
                             done(false);
                           }

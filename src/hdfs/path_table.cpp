@@ -48,7 +48,7 @@ PathTable::Shard& PathTable::shard_for(std::string_view path) const {
 
 std::optional<std::string_view> PathTable::intern(std::string_view path, FileId id) {
   Shard& s = shard_for(path);
-  std::lock_guard<std::mutex> lock{s.mu};
+  util::LockGuard lock{s.mu};
   if (s.index.count(path) != 0) return std::nullopt;
   const std::string_view stored = s.store(path);
   s.index.emplace(stored, id);
@@ -57,7 +57,7 @@ std::optional<std::string_view> PathTable::intern(std::string_view path, FileId 
 
 std::optional<FileId> PathTable::find(std::string_view path) const {
   Shard& s = shard_for(path);
-  std::lock_guard<std::mutex> lock{s.mu};
+  util::LockGuard lock{s.mu};
   const auto it = s.index.find(path);
   if (it == s.index.end()) return std::nullopt;
   return it->second;
@@ -65,14 +65,14 @@ std::optional<FileId> PathTable::find(std::string_view path) const {
 
 bool PathTable::erase(std::string_view path) {
   Shard& s = shard_for(path);
-  std::lock_guard<std::mutex> lock{s.mu};
+  util::LockGuard lock{s.mu};
   return s.index.erase(path) != 0;
 }
 
 std::size_t PathTable::size() const {
   std::size_t total = 0;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock{s->mu};
+    util::LockGuard lock{s->mu};
     total += s->index.size();
   }
   return total;
@@ -81,7 +81,7 @@ std::size_t PathTable::size() const {
 std::size_t PathTable::arena_bytes() const {
   std::size_t total = 0;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock{s->mu};
+    util::LockGuard lock{s->mu};
     total += s->bytes;
   }
   return total;
@@ -90,7 +90,7 @@ std::size_t PathTable::arena_bytes() const {
 void PathTable::reserve(std::size_t paths) {
   const std::size_t per_shard = paths / shards_.size() + 1;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock{s->mu};
+    util::LockGuard lock{s->mu};
     s->index.reserve(per_shard);
   }
 }

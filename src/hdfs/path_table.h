@@ -3,13 +3,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "hdfs/types.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace erms::hdfs {
 
@@ -63,14 +64,16 @@ class PathTable {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string_view, FileId> index;
-    std::vector<std::unique_ptr<char[]>> chunks;
-    std::size_t chunk_used{0};
-    std::size_t chunk_size{0};
-    std::size_t bytes{0};
+    mutable util::Mutex mu;
+    /// Lookup-only at steady state; never drained in hash order — size() and
+    /// arena accounting read the counters below instead.
+    std::unordered_map<std::string_view, FileId> index ERMS_GUARDED_BY(mu);
+    std::vector<std::unique_ptr<char[]>> chunks ERMS_GUARDED_BY(mu);
+    std::size_t chunk_used ERMS_GUARDED_BY(mu){0};
+    std::size_t chunk_size ERMS_GUARDED_BY(mu){0};
+    std::size_t bytes ERMS_GUARDED_BY(mu){0};
 
-    std::string_view store(std::string_view path);
+    std::string_view store(std::string_view path) ERMS_REQUIRES(mu);
   };
 
   [[nodiscard]] Shard& shard_for(std::string_view path) const;

@@ -103,7 +103,7 @@ class JobRunner {
     std::uint32_t retries{0};
     /// When the task was dispatched to a slot; the job's read time counts
     /// from here, so session-rejection retries (hot-spot stalls) are paid.
-    sim::SimTime dispatched;
+    sim::SimTime dispatched{};
   };
   struct ActiveJob {
     JobResult result;

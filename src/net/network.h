@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -182,7 +182,12 @@ class NetworkModel {
   FabricSpec spec_;
   std::vector<Link> links_;
   std::vector<double> node_degradation_;
-  std::unordered_map<FlowId, Flow> flows_;
+  /// Ordered by FlowId (= start order), not hashed: `rebalance()` subtracts
+  /// link capacity and freezes flows *in iteration order*, so with float
+  /// rounding the order is observable in the computed rates. A std::map
+  /// makes that order part of the determinism contract on every platform
+  /// instead of an accident of the hash table's bucket layout.
+  std::map<FlowId, Flow> flows_;
   util::IdGenerator<FlowId> flow_ids_{1};
   std::uint64_t bytes_completed_{0};
   std::uint64_t inter_rack_bytes_{0};

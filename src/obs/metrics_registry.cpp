@@ -95,7 +95,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
   auto owned = std::make_unique<Shard>();
   Shard* raw = owned.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::LockGuard lock(mu_);
     shards_.push_back(std::move(owned));
   }
   cache.emplace_back(serial_, raw);
@@ -103,7 +103,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
 }
 
 CounterId MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   auto it = counter_ids_.find(name);
   if (it != counter_ids_.end()) return CounterId{it->second};
   const auto index = static_cast<std::uint32_t>(counter_names_.size());
@@ -114,7 +114,7 @@ CounterId MetricsRegistry::counter(const std::string& name) {
 }
 
 GaugeId MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   auto it = gauge_ids_.find(name);
   if (it != gauge_ids_.end()) return GaugeId{it->second};
   const auto index = static_cast<std::uint32_t>(gauge_names_.size());
@@ -126,7 +126,7 @@ GaugeId MetricsRegistry::gauge(const std::string& name) {
 
 HistogramId MetricsRegistry::histogram(const std::string& name, double lo, double hi,
                                        std::size_t buckets) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   auto it = hist_ids_.find(name);
   if (it != hist_ids_.end()) return HistogramId{it->second};
   const auto index = static_cast<std::uint32_t>(hist_names_.size());
@@ -194,7 +194,7 @@ void MetricsRegistry::observe(HistogramId id, double x) {
 
 std::uint64_t MetricsRegistry::counter_value(CounterId id) const {
   if (!id.valid()) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     auto* block = shard->counter_blocks[id.index / kBlockSlots].load(std::memory_order_acquire);
@@ -215,7 +215,7 @@ metrics::Histogram MetricsRegistry::histogram_value(HistogramId id) const {
   const HistSpec* spec = id.valid() ? hist_spec(id.index) : nullptr;
   if (spec == nullptr) return metrics::Histogram(0.0, 1.0, 1);
   metrics::Histogram folded(spec->lo, spec->hi, spec->buckets);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   for (const auto& shard : shards_) {
     auto* block = shard->hist_blocks[id.index / kBlockSlots].load(std::memory_order_acquire);
     if (block == nullptr) continue;
@@ -232,7 +232,7 @@ metrics::Histogram MetricsRegistry::histogram_value(HistogramId id) const {
 
 double MetricsRegistry::histogram_sum(HistogramId id) const {
   if (!id.valid()) return 0.0;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   double total = 0.0;
   for (const auto& shard : shards_) {
     auto* block = shard->hist_blocks[id.index / kBlockSlots].load(std::memory_order_acquire);
@@ -250,7 +250,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   // cold path).
   std::vector<std::string> counters, gauges, hists;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::LockGuard lock(mu_);
     counters = counter_names_;
     gauges = gauge_names_;
     hists = hist_names_;
@@ -321,7 +321,7 @@ void MetricsRegistry::to_jsonl(std::ostream& os) const {
 }
 
 std::size_t MetricsRegistry::shard_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   return shards_.size();
 }
 

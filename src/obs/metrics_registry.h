@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "metrics/histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace erms::obs {
 
@@ -53,12 +54,13 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   // ----- registration (mutex; idempotent by name) -------------------------
-  CounterId counter(const std::string& name);
-  GaugeId gauge(const std::string& name);
+  CounterId counter(const std::string& name) ERMS_EXCLUDES(mu_);
+  GaugeId gauge(const std::string& name) ERMS_EXCLUDES(mu_);
   /// Fixed-width buckets over [lo, hi), like metrics::Histogram. If `name`
   /// is already registered the existing id is returned and the new bounds
   /// are ignored.
-  HistogramId histogram(const std::string& name, double lo, double hi, std::size_t buckets);
+  HistogramId histogram(const std::string& name, double lo, double hi, std::size_t buckets)
+      ERMS_EXCLUDES(mu_);
 
   // ----- recording (lock-free fast path) ----------------------------------
   void add(CounterId id, std::uint64_t delta = 1);
@@ -66,12 +68,12 @@ class MetricsRegistry {
   void observe(HistogramId id, double x);
 
   // ----- scrape (folds the per-thread shards) -----------------------------
-  [[nodiscard]] std::uint64_t counter_value(CounterId id) const;
+  [[nodiscard]] std::uint64_t counter_value(CounterId id) const ERMS_EXCLUDES(mu_);
   [[nodiscard]] double gauge_value(GaugeId id) const;
   /// Folded into a plain metrics::Histogram (counts summed across shards).
-  [[nodiscard]] metrics::Histogram histogram_value(HistogramId id) const;
+  [[nodiscard]] metrics::Histogram histogram_value(HistogramId id) const ERMS_EXCLUDES(mu_);
   /// Sum of every value observed into the histogram (for means).
-  [[nodiscard]] double histogram_sum(HistogramId id) const;
+  [[nodiscard]] double histogram_sum(HistogramId id) const ERMS_EXCLUDES(mu_);
 
   struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
@@ -83,7 +85,7 @@ class MetricsRegistry {
     };
     std::vector<Hist> histograms;
   };
-  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const ERMS_EXCLUDES(mu_);
 
   /// Human-readable dump: one aligned line per metric, histograms with
   /// count/mean/p50/p90/p99 estimated from the folded buckets.
@@ -91,7 +93,7 @@ class MetricsRegistry {
   /// One JSON object per line per metric (machine-readable scrape).
   void to_jsonl(std::ostream& os) const;
 
-  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] std::size_t shard_count() const ERMS_EXCLUDES(mu_);
 
  private:
   // Chunked id space: slot i of kind K lives in block i/kBlockSlots. Block
@@ -121,19 +123,19 @@ class MetricsRegistry {
     std::atomic<std::atomic<HistCell*>*> hist_blocks[kMaxBlocks];
   };
 
-  Shard& local_shard();
+  Shard& local_shard() ERMS_EXCLUDES(mu_);
   [[nodiscard]] const HistSpec* hist_spec(std::uint32_t index) const;
 
   const std::uint64_t serial_;
 
-  mutable std::mutex mu_;  // registration + shard list + scrape
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::unordered_map<std::string, std::uint32_t> counter_ids_;
-  std::unordered_map<std::string, std::uint32_t> gauge_ids_;
-  std::unordered_map<std::string, std::uint32_t> hist_ids_;
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::string> hist_names_;
+  mutable util::Mutex mu_;  // registration + shard list + scrape
+  std::vector<std::unique_ptr<Shard>> shards_ ERMS_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint32_t> counter_ids_ ERMS_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint32_t> gauge_ids_ ERMS_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint32_t> hist_ids_ ERMS_GUARDED_BY(mu_);
+  std::vector<std::string> counter_names_ ERMS_GUARDED_BY(mu_);
+  std::vector<std::string> gauge_names_ ERMS_GUARDED_BY(mu_);
+  std::vector<std::string> hist_names_ ERMS_GUARDED_BY(mu_);
 
   // Registry-level chunked storage: gauges and immutable histogram specs.
   std::atomic<std::atomic<double>*> gauge_blocks_[kMaxBlocks];

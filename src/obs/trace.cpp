@@ -110,7 +110,7 @@ TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capac
 }
 
 void TraceRing::record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   event.seq = next_seq_++;
   if (size_ < capacity_) {
     ring_.push_back(std::move(event));
@@ -122,22 +122,22 @@ void TraceRing::record(TraceEvent event) {
 }
 
 std::size_t TraceRing::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   return size_;
 }
 
 std::uint64_t TraceRing::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   return next_seq_ - 1;
 }
 
 std::uint64_t TraceRing::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   return (next_seq_ - 1) - size_;
 }
 
 std::vector<TraceEvent> TraceRing::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::LockGuard lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(size_);
   for (std::size_t i = 0; i < size_; ++i) {

@@ -2,12 +2,13 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace erms::obs {
 
@@ -43,7 +44,10 @@ enum class ActionKind : std::uint8_t {
 
 /// One sim-timestamped entry in the action trace. Only the fields that make
 /// sense for the `kind` are filled; numeric fields default to sentinel
-/// values that the JSONL export omits.
+/// values that the JSONL export omits. Every scalar member must carry an
+/// initializer — a partially-filled event is exported as-is, so an
+/// uninitialized field would leak indeterminate bytes into the trace diff.
+// erms-lint: trace-struct
 struct TraceEvent {
   std::uint64_t seq{0};          // assigned by the ring, monotonically increasing
   ActionKind kind{ActionKind::kClassify};
@@ -89,7 +93,7 @@ class TraceRing {
  public:
   explicit TraceRing(std::size_t capacity = 4096);
 
-  void record(TraceEvent event);
+  void record(TraceEvent event) ERMS_EXCLUDES(mu_);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t size() const;
@@ -105,12 +109,12 @@ class TraceRing {
   void to_jsonl(std::ostream& os) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
+  mutable util::Mutex mu_;
+  std::vector<TraceEvent> ring_ ERMS_GUARDED_BY(mu_);
   const std::size_t capacity_;
-  std::size_t head_{0};  // index of the oldest event
-  std::size_t size_{0};
-  std::uint64_t next_seq_{1};
+  std::size_t head_ ERMS_GUARDED_BY(mu_){0};  // index of the oldest event
+  std::size_t size_ ERMS_GUARDED_BY(mu_){0};
+  std::uint64_t next_seq_ ERMS_GUARDED_BY(mu_){1};
 };
 
 /// Escape a string for embedding in a JSON string literal.

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace erms::util {
+
+/// `std::mutex` carrying a Clang Thread Safety capability, so
+/// `ERMS_GUARDED_BY(mu_)` fields are checked at compile time under
+/// `-DERMS_STATIC_ANALYSIS=ON` (DESIGN.md §15). Off Clang this is exactly a
+/// `std::mutex`. All locking in src/ goes through this wrapper —
+/// scripts/lint_determinism.py fails the build on new raw `std::mutex`
+/// call sites.
+class ERMS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ERMS_ACQUIRE() { mu_.lock(); }
+  void unlock() ERMS_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() ERMS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// RAII lock for `util::Mutex`; the scoped-capability annotation tells the
+/// analysis the mutex is held for exactly this object's lifetime.
+class ERMS_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) ERMS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() ERMS_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Movable-free `std::unique_lock` equivalent for use with `CondVar`. Waits
+/// release and reacquire internally, so from the analysis's point of view
+/// the capability is held for the whole scope — which is the invariant that
+/// matters at every statement the caller can observe.
+class ERMS_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ERMS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~UniqueLock() ERMS_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with `util::Mutex` via `UniqueLock`. Prefer the
+/// explicit `while (!cond) cv.wait(lock);` form over a predicate lambda:
+/// the analysis checks the loop body in the caller's scope (where the lock
+/// is visibly held), whereas a lambda body is analyzed as a separate
+/// function holding nothing.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  /// Atomically release `lock`, wait, reacquire before returning.
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace erms::util

@@ -1,0 +1,89 @@
+#pragma once
+
+// Clang Thread Safety Analysis annotations (DESIGN.md §15).
+//
+// These macros attach compile-time locking contracts to data and functions:
+// which mutex guards which field, which capabilities a function needs on
+// entry, what it acquires and releases. Under Clang with
+// `-DERMS_STATIC_ANALYSIS=ON` the build compiles with
+// `-Werror=thread-safety`, so forgetting a lock acquisition around an
+// `ERMS_GUARDED_BY` field is a build break, not a TSan lottery ticket. Under
+// any other compiler every macro expands to nothing and the annotated code
+// is byte-identical to unannotated code.
+//
+// Use the `util::Mutex` / `util::LockGuard` wrappers from util/mutex.h
+// instead of `std::mutex` directly — the raw types carry no capability
+// attributes, so the analysis is blind to them (and
+// scripts/lint_determinism.py rejects new raw-mutex call sites for exactly
+// that reason).
+//
+// Naming follows the Clang documentation's canonical macro set
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with an ERMS_
+// prefix.
+
+#if defined(__clang__)
+#define ERMS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ERMS_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (e.g. a mutex type). The string is the
+/// capability kind shown in diagnostics ("mutex", "role", ...).
+#define ERMS_CAPABILITY(x) ERMS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose lifetime equals a capability hold
+/// (constructor acquires, destructor releases).
+#define ERMS_SCOPED_CAPABILITY ERMS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member may only be read or written while holding `x`.
+#define ERMS_GUARDED_BY(x) ERMS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while holding `x`
+/// (the pointer itself is unguarded).
+#define ERMS_PT_GUARDED_BY(x) ERMS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define ERMS_REQUIRES(...) \
+  ERMS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define ERMS_REQUIRES_SHARED(...) \
+  ERMS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not be held on entry).
+#define ERMS_ACQUIRE(...) \
+  ERMS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ERMS_ACQUIRE_SHARED(...) \
+  ERMS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define ERMS_RELEASE(...) \
+  ERMS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define ERMS_RELEASE_SHARED(...) \
+  ERMS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire and returns `success` on success.
+#define ERMS_TRY_ACQUIRE(...) \
+  ERMS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard for
+/// functions that acquire it themselves).
+#define ERMS_EXCLUDES(...) ERMS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares lock acquisition order between two mutexes.
+#define ERMS_ACQUIRED_BEFORE(...) \
+  ERMS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ERMS_ACQUIRED_AFTER(...) \
+  ERMS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define ERMS_RETURN_CAPABILITY(x) ERMS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Assert (not prove) that the capability is held — for code reachable only
+/// with the lock held via a path the analysis cannot see.
+#define ERMS_ASSERT_CAPABILITY(x) \
+  ERMS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: disable the analysis for one function. Every use needs a
+/// comment explaining why the contract cannot be expressed.
+#define ERMS_NO_THREAD_SAFETY_ANALYSIS \
+  ERMS_THREAD_ANNOTATION_(no_thread_safety_analysis)

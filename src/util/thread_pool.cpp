@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -31,7 +31,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     queue_.push(std::move(fn));
   }
   cv_.notify_one();
@@ -41,8 +41,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> fn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mu_);
+      while (!stopping_ && queue_.empty()) {
+        cv_.wait(lock);
+      }
       if (queue_.empty()) {
         return;  // stopping_ and drained
       }
@@ -70,8 +72,8 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     std::atomic<std::size_t> done{0};
     std::size_t total;
     const std::function<void(std::size_t)>* body;
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;  // cv handshake only; progress lives in the atomics above
+    CondVar cv;
   };
   auto state = std::make_shared<State>();
   state->total = n;
@@ -85,7 +87,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
       }
       (*s->body)(i);
       if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->total) {
-        std::lock_guard<std::mutex> lock(s->mu);
+        LockGuard lock(s->mu);
         s->cv.notify_all();
       }
     }
@@ -97,10 +99,10 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   }
   drain(state);
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == state->total;
-  });
+  UniqueLock lock(state->mu);
+  while (state->done.load(std::memory_order_acquire) != state->total) {
+    state->cv.wait(lock);
+  }
 }
 
 }  // namespace erms::util

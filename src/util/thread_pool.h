@@ -1,12 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace erms::util {
 
@@ -30,7 +31,7 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Enqueue a task for any worker. Tasks must not throw.
-  void run(std::function<void()> fn);
+  void run(std::function<void()> fn) ERMS_EXCLUDES(mu_);
 
   /// Execute fn(i) for every i in [0, n), spread across the workers and the
   /// calling thread. Returns when all n calls have finished. `fn` must be
@@ -38,13 +39,13 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop() ERMS_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
-  bool stopping_{false};
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ ERMS_GUARDED_BY(mu_);
+  bool stopping_ ERMS_GUARDED_BY(mu_){false};
 };
 
 }  // namespace erms::util

@@ -1,0 +1,16 @@
+// Linter fixture: containers ordered by raw pointer value. Never compiled —
+// exercises the `pointer-key` rule.
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Session;
+
+struct Registry {
+  std::map<Session*, std::string> names;  // BAD: pointer order = allocation order
+  std::set<const Session*> active;        // BAD: iteration order differs per run
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Linter fixture: raw std::mutex family outside util/mutex.h. Never
+// compiled — exercises the `raw-mutex` rule; these types carry no
+// thread-safety capability so the ERMS_STATIC_ANALYSIS build cannot check
+// their lock discipline.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Queue {
+ public:
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);  // BAD: use util::LockGuard
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;               // BAD: use util::Mutex
+  std::condition_variable cv_;  // BAD: use util::CondVar
+  bool closed_{false};
+};
+
+}  // namespace fixture

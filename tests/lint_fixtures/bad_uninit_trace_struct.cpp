@@ -1,0 +1,24 @@
+// Linter fixture: uninitialized scalar members in a trace-carried struct.
+// Never compiled — exercises the `uninit-member` rule on structs tagged with
+// the trace-struct marker; untagged structs must NOT fire.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+// erms-lint: trace-struct
+struct Event {
+  std::uint64_t seq;    // BAD: exported indeterminate if never assigned
+  double duration_s;    // BAD
+  bool important;       // BAD
+  std::uint32_t kind{0};        // OK: initialized
+  std::string label;            // OK: class type, default-constructs empty
+};
+
+// Untagged struct: same shape, not trace-carried, must not fire.
+struct Scratch {
+  std::uint64_t seq;
+  double duration_s;
+};
+
+}  // namespace fixture

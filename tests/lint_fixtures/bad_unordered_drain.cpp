@@ -1,0 +1,52 @@
+// Linter fixture: hash-order drains feeding observable decisions. Never
+// compiled — exercises the `unordered-drain` rule: plain range-for, bulk
+// copy without a sort, member access resolved through a struct type, and
+// the sorted / allowlisted forms that must NOT fire.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  std::unordered_set<std::uint64_t> blocks;
+  std::vector<std::uint64_t> ordered_blocks;
+};
+
+inline std::uint64_t drain_everything() {
+  std::unordered_map<std::string, std::uint64_t> pending;
+  std::uint64_t sum = 0;
+  for (const auto& [path, bytes] : pending) {  // BAD: hash-order drain
+    sum += bytes;
+  }
+
+  Node node;
+  for (const std::uint64_t b : node.blocks) {  // BAD: member resolved unordered
+    sum += b;
+  }
+
+  std::unordered_set<std::uint64_t> victims;
+  std::vector<std::uint64_t> copied(victims.begin(), victims.end());  // BAD: no sort
+  sum += copied.size();
+
+  // OK: bulk copy immediately ordered by an explicit sort.
+  std::vector<std::uint64_t> drained(victims.begin(), victims.end());
+  std::sort(drained.begin(), drained.end());
+
+  // erms-lint: ordered-drain — accumulation is commutative (pure sum), order
+  // cannot reach the trace.
+  for (const std::uint64_t v : victims) {
+    sum += v;
+  }
+
+  // OK: FileRecord-style ordered member sharing a name with an unordered one.
+  for (const std::uint64_t b : node.ordered_blocks) {
+    sum += b;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Linter fixture: ambient / unseeded randomness. Never compiled — exercises
+// the `ambient-rng` rule on every banned construct plus the sanctioned
+// explicitly-seeded form that must NOT fire.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+inline int roll_dice() {
+  std::random_device rd;                 // BAD: nondeterministic hardware seed
+  std::default_random_engine engine;    // BAD: implementation-defined default
+  std::mt19937 twister;                 // BAD: default-constructed, fixed seed
+  (void)engine;
+  (void)twister;
+  srand(static_cast<unsigned>(rd()));   // BAD: global C RNG state
+  return std::rand() % 6;               // BAD: ambient global generator
+}
+
+// OK: engine seeded explicitly from a caller-provided experiment seed.
+inline int roll_dice_seeded(std::uint64_t seed) {
+  std::mt19937_64 engine{seed};
+  return static_cast<int>(engine() % 6);
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Linter fixture: wall-clock reads in sim code. Never compiled — exists so
+// tests/test_lint_determinism.py can assert the `wall-clock` rule fires on
+// each of the banned host-clock constructs.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double sample_latency_seconds() {
+  auto begin = std::chrono::steady_clock::now();  // BAD: host monotonic clock
+  auto wall = std::chrono::system_clock::now();   // BAD: host wall clock
+  (void)wall;
+  auto end = std::chrono::high_resolution_clock::now();  // BAD
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+long stamp_event() {
+  return static_cast<long>(time(nullptr));  // BAD: C wall clock
+}
+
+}  // namespace fixture

@@ -1,0 +1,48 @@
+// Linter fixture: deterministic code that must produce ZERO findings — the
+// negative control for tests/test_lint_determinism.py. Uses the sanctioned
+// counterpart of every banned construct.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// erms-lint: trace-struct
+struct CleanEvent {
+  std::uint64_t seq{0};
+  double at_s{0.0};
+  std::string path;
+};
+
+inline std::uint64_t deterministic_work(std::uint64_t seed) {
+  // Explicitly seeded engine: the run is reproducible from `seed`.
+  std::mt19937_64 engine{seed};
+
+  // Ordered container: iteration order is the key order, same on every run.
+  std::map<std::uint64_t, std::uint64_t> by_id;
+  by_id[engine() % 16] = 1;
+  std::uint64_t sum = 0;
+  for (const auto& [id, count] : by_id) {
+    sum += id * count;
+  }
+
+  // Unordered map used for lookup only — never drained.
+  std::unordered_map<std::string, std::uint64_t> index;
+  index.emplace("a", 1);
+  sum += index.count("a");
+
+  // Drain through an explicit sort: hash order never escapes.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(by_id.size());
+  for (const auto& [id, count] : by_id) {
+    keys.push_back(id + count);
+  }
+  std::sort(keys.begin(), keys.end());
+  return sum + keys.size();
+}
+
+}  // namespace fixture

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Tests for scripts/lint_determinism.py, run under ctest.
+
+Each bad fixture in tests/lint_fixtures/ must trip exactly the rules it was
+written for; the clean fixture must produce zero findings; and the baseline
+mechanism must accept explained entries, reject unexplained ones, and flag
+stale ones. Stdlib only — this is part of the tier-1 test suite.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINTER = REPO / "scripts" / "lint_determinism.py"
+FIXTURES = REPO / "tests" / "lint_fixtures"
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), *map(str, args)],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def rule_counts(output):
+    counts = {}
+    for line in output.splitlines():
+        if "[" in line and "]" in line and ":" in line:
+            rule = line.split("[", 1)[1].split("]", 1)[0]
+            counts[rule] = counts.get(rule, 0) + 1
+    return counts
+
+
+class FixtureRules(unittest.TestCase):
+    def assert_fixture(self, name, rule, expected_count):
+        code, out = run_lint(FIXTURES / name, "--no-baseline")
+        self.assertEqual(code, 1, f"{name} should fail the linter:\n{out}")
+        counts = rule_counts(out)
+        self.assertEqual(
+            counts.get(rule, 0), expected_count,
+            f"{name}: expected {expected_count}x [{rule}], got {counts}:\n{out}",
+        )
+        self.assertEqual(
+            sum(counts.values()), expected_count,
+            f"{name}: unexpected extra rules fired: {counts}:\n{out}",
+        )
+
+    def test_wallclock(self):
+        self.assert_fixture("bad_wallclock.cpp", "wall-clock", 4)
+
+    def test_unordered_drain(self):
+        # Plain drain, member-resolved drain, unsorted bulk copy — and NOT
+        # the sorted copy, the allowlisted loop, or the ordered member.
+        self.assert_fixture("bad_unordered_drain.cpp", "unordered-drain", 3)
+
+    def test_unseeded_rng(self):
+        self.assert_fixture("bad_unseeded_rng.cpp", "ambient-rng", 5)
+
+    def test_pointer_key(self):
+        self.assert_fixture("bad_pointer_key.cpp", "pointer-key", 2)
+
+    def test_raw_mutex(self):
+        self.assert_fixture("bad_raw_mutex.cpp", "raw-mutex", 3)
+
+    def test_uninit_trace_struct(self):
+        self.assert_fixture("bad_uninit_trace_struct.cpp", "uninit-member", 3)
+
+    def test_clean_fixture_passes(self):
+        code, out = run_lint(FIXTURES / "clean_fixture.cpp", "--no-baseline")
+        self.assertEqual(code, 0, f"clean fixture must lint clean:\n{out}")
+
+
+class BaselineMechanism(unittest.TestCase):
+    def write_baseline(self, entries):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, dir=tempfile.gettempdir()
+        )
+        json.dump({"version": 1, "entries": entries}, f)
+        f.close()
+        self.addCleanup(Path(f.name).unlink)
+        return f.name
+
+    def entry(self, reason):
+        # Matches the std::set<const Session*> line in bad_pointer_key.cpp.
+        return {
+            "file": "tests/lint_fixtures/bad_pointer_key.cpp",
+            "rule": "pointer-key",
+            "line_text": "std::set<const Session*> active;"
+                         "        // BAD: iteration order differs per run",
+            "reason": reason,
+        }
+
+    def map_entry(self, reason):
+        return {
+            "file": "tests/lint_fixtures/bad_pointer_key.cpp",
+            "rule": "pointer-key",
+            "line_text": "std::map<Session*, std::string> names;"
+                         "  // BAD: pointer order = allocation order",
+            "reason": reason,
+        }
+
+    def test_explained_baseline_suppresses(self):
+        baseline = self.write_baseline(
+            [self.entry("fixture"), self.map_entry("fixture")]
+        )
+        code, out = run_lint(
+            FIXTURES / "bad_pointer_key.cpp", "--baseline", baseline
+        )
+        self.assertEqual(code, 0, f"explained baseline must suppress:\n{out}")
+
+    def test_unexplained_baseline_fails(self):
+        baseline = self.write_baseline(
+            [self.entry(""), self.map_entry("fixture")]
+        )
+        code, out = run_lint(
+            FIXTURES / "bad_pointer_key.cpp", "--baseline", baseline
+        )
+        self.assertEqual(code, 1)
+        self.assertIn("WITHOUT a reason", out)
+
+    def test_stale_baseline_entry_fails(self):
+        stale = {
+            "file": "tests/lint_fixtures/bad_pointer_key.cpp",
+            "rule": "wall-clock",
+            "line_text": "auto t = std::chrono::system_clock::now();",
+            "reason": "was fixed long ago",
+        }
+        baseline = self.write_baseline(
+            [self.entry("fixture"), self.map_entry("fixture"), stale]
+        )
+        code, out = run_lint(
+            FIXTURES / "bad_pointer_key.cpp", "--baseline", baseline
+        )
+        self.assertEqual(code, 1)
+        self.assertIn("stale-baseline", out)
+
+
+class TreeIsClean(unittest.TestCase):
+    def test_src_lints_clean_with_checked_in_baseline(self):
+        code, out = run_lint(REPO / "src")
+        self.assertEqual(code, 0, f"src/ must lint clean:\n{out}")
+
+    def test_checked_in_baseline_reasons_nonempty(self):
+        data = json.loads((REPO / "scripts" / "determinism_baseline.json").read_text())
+        for entry in data["entries"]:
+            self.assertTrue(
+                entry.get("reason", "").strip(),
+                f"baseline entry without a reason: {entry}",
+            )
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
