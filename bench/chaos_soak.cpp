@@ -2,27 +2,55 @@
 // under a seeded fault schedule, swept by the invariant checker at the end.
 //
 // Knobs (environment):
-//   ERMS_CHAOS_SEED    seed for the fault plan (default 42)
-//   ERMS_CHAOS_REPORT  write the deterministic invariant report here — CI
-//                      runs the same seed twice and byte-compares the files
+//   ERMS_CHAOS_SEED       seed for the fault plan (default 42)
+//   ERMS_CHAOS_REPORT     write the deterministic invariant report here — CI
+//                         runs the same seed twice and byte-compares the files
+//   ERMS_SNAPSHOT_AT      sim-seconds: arm a quiescent-point snapshot barrier
+//                         at this time and save to ERMS_SNAPSHOT_PATH. Must be
+//                         past the first ERMS evaluation (>= 20s in).
+//   ERMS_SNAPSHOT_PATH    snapshot file to save (with ERMS_SNAPSHOT_AT) or
+//                         load (with ERMS_SNAPSHOT_RESUME)
+//   ERMS_SNAPSHOT_EXIT    "1": stop right after the barrier save — phase one
+//                         of the rolling-restart drill
+//   ERMS_SNAPSHOT_RESUME  "1": restore from ERMS_SNAPSHOT_PATH, re-arm the
+//                         remaining workload/faults/tick, run to completion.
+//                         The fault seed travels inside the snapshot.
+//   ERMS_SNAPSHOT_EVERY   sim-seconds: additionally save a snapshot at every
+//                         such cadence and merge size + save/load latency
+//                         stats into BENCH_scale.json (ERMS_SCALE_OUT)
+//
+// The rolling-restart contract, enforced by CI: a run that saves at T and
+// exits, restored in a fresh process and run to the end, produces the very
+// same bytes in ERMS_CHAOS_REPORT as a run that saves at T and keeps going.
 //
 // Exit status is non-zero if any invariant is violated, so this binary
 // doubles as a replayable chaos gate.
 #include "bench_common.h"
 
+#include <chrono>
+#include <functional>
+
 #include "fault/fault_plan.h"
 #include "fault/invariant_checker.h"
+#include "snapshot/world.h"
 
 namespace erms::bench {
 namespace {
 
-int run() {
-  std::uint64_t seed = 42;
-  if (const char* env = std::getenv("ERMS_CHAOS_SEED")) {
-    seed = std::strtoull(env, nullptr, 10);
+double env_f64(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
   }
+  return std::strtod(v, nullptr);
+}
 
-  Testbed t;
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+core::ErmsConfig soak_erms_config() {
   core::ErmsConfig cfg;
   cfg.thresholds.window = sim::seconds(60.0);
   cfg.thresholds.cold_age = sim::minutes(12.0);
@@ -31,40 +59,43 @@ int run() {
   cfg.trace_capacity = 1 << 17;
   cfg.job_max_retries = 3;
   cfg.job_retry_backoff = sim::seconds(5.0);
-  core::ErmsManager erms{*t.cluster, t.standby_pool(), cfg};
+  return cfg;
+}
 
-  std::vector<hdfs::FileId> files;
-  for (int i = 0; i < 8; ++i) {
-    files.push_back(
-        *t.cluster->populate_file("/soak/f" + std::to_string(i), 128 * util::MiB, 3));
-  }
-  erms.start();
-
-  // Workload: /soak/f0 runs the whole lifecycle (hot phase, silence to cool
-  // and encode, then re-warm to decode); the rest serve a steady trickle so
-  // flows are always in the air when faults land.
-  for (int i = 0; i < 250; ++i) {
-    t.sim.schedule_at(sim::SimTime{static_cast<std::int64_t>(i * 0.6e6)}, [&t, &files, i] {
-      t.cluster->read_file(hdfs::NodeId{static_cast<std::uint32_t>(i % kNodes)}, files[0],
-                           [](const hdfs::ReadOutcome&) {});
+/// Workload: /soak/f0 runs the whole lifecycle (hot phase, silence to cool
+/// and encode, then re-warm to decode); the rest serve a steady trickle so
+/// flows are always in the air when faults land. `after` skips everything
+/// already executed before a restored snapshot — the re-arm must happen
+/// before fault arming and the manager tick so equal-time events keep the
+/// uninterrupted run's order (reads, then faults, then tick).
+void schedule_reads(Testbed& t, const std::vector<hdfs::FileId>& files,
+                    sim::SimTime after) {
+  const auto read_at = [&t, &files, after](sim::SimTime at, std::size_t file,
+                                           std::uint32_t node) {
+    if (at <= after) {
+      return;
+    }
+    const hdfs::FileId f = files[file];
+    t.sim.schedule_at(at, [&t, f, node] {
+      t.cluster->read_file(hdfs::NodeId{node}, f, [](const hdfs::ReadOutcome&) {});
     });
+  };
+  for (int i = 0; i < 250; ++i) {
+    read_at(sim::SimTime{static_cast<std::int64_t>(i * 0.6e6)}, 0,
+            static_cast<std::uint32_t>(i % kNodes));
   }
   for (int i = 0; i < 300; ++i) {
-    t.sim.schedule_at(sim::SimTime{static_cast<std::int64_t>(i * 8.0e6)}, [&t, &files, i] {
-      t.cluster->read_file(hdfs::NodeId{static_cast<std::uint32_t>(i % kNodes)},
-                           files[1 + static_cast<std::size_t>(i) % (files.size() - 1)],
-                           [](const hdfs::ReadOutcome&) {});
-    });
+    read_at(sim::SimTime{static_cast<std::int64_t>(i * 8.0e6)},
+            1 + static_cast<std::size_t>(i) % 7, static_cast<std::uint32_t>(i % kNodes));
   }
   for (int i = 0; i < 200; ++i) {
-    t.sim.schedule_at(
+    read_at(
         sim::SimTime{sim::minutes(32.0).micros() + static_cast<std::int64_t>(i * 0.6e6)},
-        [&t, &files, i] {
-          t.cluster->read_file(hdfs::NodeId{static_cast<std::uint32_t>(i % kNodes)},
-                               files[0], [](const hdfs::ReadOutcome&) {});
-        });
+        0, static_cast<std::uint32_t>(i % kNodes));
   }
+}
 
+fault::ChaosOptions soak_chaos(const Testbed& t) {
   fault::ChaosOptions opt;
   opt.start = sim::SimTime{sim::minutes(1.0).micros()};
   opt.end = sim::SimTime{sim::minutes(35.0).micros()};
@@ -76,12 +107,170 @@ int run() {
   opt.mean_gap = sim::seconds(50.0);
   opt.min_downtime = sim::seconds(30.0);
   opt.max_downtime = sim::minutes(2.0);
-  const fault::FaultPlan plan = fault::FaultPlan::randomized(opt, seed);
+  return opt;
+}
+
+/// Merge periodic-snapshot stats into BENCH_scale.json next to macro_scale's
+/// keys (same splice idiom as repair_soak -> BENCH_ec.json).
+void merge_snapshot_stats(double every_s, std::size_t count, std::size_t bytes_last,
+                          std::size_t bytes_max, double save_mean_s, double load_s) {
+  const char* out_path = std::getenv("ERMS_SCALE_OUT");
+  if (out_path == nullptr || *out_path == '\0') {
+    out_path = "BENCH_scale.json";
+  }
+  std::ostringstream section;
+  section << "  \"chaos_snapshot\": {\n"
+          << "    \"every_seconds\": " << every_s << ",\n"
+          << "    \"snapshots\": " << count << ",\n"
+          << "    \"bytes_last\": " << bytes_last << ",\n"
+          << "    \"bytes_max\": " << bytes_max << ",\n"
+          << "    \"save_seconds_mean\": " << save_mean_s << ",\n"
+          << "    \"load_seconds\": " << load_s << "\n"
+          << "  }\n"
+          << "}\n";
+  std::string existing;
+  {
+    std::ifstream in(out_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    existing = ss.str();
+  }
+  const std::size_t close = existing.rfind('}');
+  std::ofstream out(out_path);
+  if (close != std::string::npos) {
+    std::string head = existing.substr(0, close);
+    while (!head.empty() && (head.back() == '\n' || head.back() == ' ')) {
+      head.pop_back();
+    }
+    out << head << ",\n" << section.str();
+  } else {
+    out << "{\n" << section.str();
+  }
+  std::printf("chaos_snapshot stats merged into %s\n", out_path);
+}
+
+int run() {
+  std::uint64_t seed = 42;
+  if (const char* env = std::getenv("ERMS_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  const char* snap_path = std::getenv("ERMS_SNAPSHOT_PATH");
+  const double snap_at = env_f64("ERMS_SNAPSHOT_AT", 0.0);
+  const bool snap_exit = env_flag("ERMS_SNAPSHOT_EXIT");
+  const bool snap_resume = env_flag("ERMS_SNAPSHOT_RESUME");
+  const double snap_every = env_f64("ERMS_SNAPSHOT_EVERY", 0.0);
+
+  Testbed t;
+  core::ErmsManager erms{*t.cluster, t.standby_pool(), soak_erms_config()};
+
+  std::vector<hdfs::FileId> files;
+  for (int i = 0; i < 8; ++i) {
+    files.push_back(
+        *t.cluster->populate_file("/soak/f" + std::to_string(i), 128 * util::MiB, 3));
+  }
+
   fault::FaultInjector injector{*t.cluster, &erms.observability()->trace()};
-  injector.arm(plan);
+  const snapshot::WorldParts parts{&t.sim, t.cluster.get(), &erms, &injector, nullptr};
+
+  sim::SimTime resumed_from{-1};
+  if (snap_resume) {
+    if (snap_path == nullptr) {
+      std::fprintf(stderr, "error: ERMS_SNAPSHOT_RESUME needs ERMS_SNAPSHOT_PATH\n");
+      return 2;
+    }
+    std::string user_data;
+    if (const snapshot::SnapshotResult err =
+            snapshot::restore_world(snap_path, parts, &user_data)) {
+      std::fprintf(stderr, "error: cannot restore %s: %s\n", snap_path,
+                   err->to_string().c_str());
+      return 2;
+    }
+    // The snapshot carries its own fault seed; the environment's is ignored.
+    seed = std::strtoull(user_data.c_str() + user_data.find('=') + 1, nullptr, 10);
+    resumed_from = t.sim.now();
+    std::printf("resumed from %s at t=%.1fs (seed=%llu)\n", snap_path,
+                resumed_from.seconds(), static_cast<unsigned long long>(seed));
+  } else {
+    erms.start();
+  }
+
+  schedule_reads(t, files, resumed_from);
+
+  const fault::FaultPlan plan = fault::FaultPlan::randomized(soak_chaos(t), seed);
+  if (snap_resume) {
+    injector.arm_after(plan, resumed_from);
+    erms.resume();
+  } else {
+    injector.arm(plan);
+  }
+
+  // One-shot barrier: the rolling-restart save point. Armed in the reference
+  // run too (without ERMS_SNAPSHOT_EXIT) so the save's flush side effects land
+  // at the identical point in both histories.
+  snapshot::SnapshotBarrier barrier{t.sim, parts};
+  bool saved = false;
+  int save_rc = 0;
+  if (!snap_resume && snap_at > 0.0) {
+    if (snap_path == nullptr) {
+      std::fprintf(stderr, "error: ERMS_SNAPSHOT_AT needs ERMS_SNAPSHOT_PATH\n");
+      return 2;
+    }
+    barrier.arm(sim::SimTime{static_cast<std::int64_t>(snap_at * 1e6)}, [&] {
+      const std::string bytes =
+          snapshot::save_world_bytes(parts, "seed=" + std::to_string(seed));
+      if (const snapshot::SnapshotResult err = snapshot::write_file(snap_path, bytes)) {
+        std::fprintf(stderr, "error: cannot save %s: %s\n", snap_path,
+                     err->to_string().c_str());
+        save_rc = 2;
+        t.sim.stop();
+        return;
+      }
+      saved = true;
+      std::printf("snapshot saved to %s at t=%.1fs (%zu bytes)\n", snap_path,
+                  t.sim.now().seconds(), bytes.size());
+      if (snap_exit) {
+        t.sim.stop();
+      }
+    });
+  }
+
+  // Periodic snapshot cadence for the scale report: size and save latency at
+  // every quiescent point the cadence hits, plus one timed restore at the end.
+  snapshot::SnapshotBarrier periodic{t.sim, parts};
+  std::string periodic_bytes;
+  std::size_t periodic_count = 0;
+  std::size_t periodic_max = 0;
+  double periodic_save_s = 0.0;
+  std::function<void()> take_periodic;
+  if (!snap_resume && snap_every > 0.0) {
+    const sim::SimDuration cadence{static_cast<std::int64_t>(snap_every * 1e6)};
+    take_periodic = [&, cadence] {
+      const auto t0 = std::chrono::steady_clock::now();
+      periodic_bytes = snapshot::save_world_bytes(parts, "seed=" + std::to_string(seed));
+      periodic_save_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      ++periodic_count;
+      periodic_max = std::max(periodic_max, periodic_bytes.size());
+      periodic.arm(periodic.fired_at() + cadence, take_periodic);
+    };
+    periodic.arm(sim::SimTime{cadence.micros()}, take_periodic);
+  }
 
   // 35 min of chaos, then a 10 min drain so recovery and revivals settle.
   t.sim.run_until(sim::SimTime{sim::minutes(45.0).micros()});
+
+  if (save_rc != 0) {
+    return save_rc;
+  }
+  if (!snap_resume && snap_at > 0.0 && !saved) {
+    std::fprintf(stderr, "error: no quiescent point after t=%.1fs\n", snap_at);
+    return 2;
+  }
+  if (snap_exit && saved) {
+    // Phase one of the restart drill ends here; phase two resumes from disk.
+    erms.stop();
+    return 0;
+  }
 
   const fault::InvariantChecker checker{*t.cluster, &erms.scheduler(),
                                         &erms.observability()->trace()};
@@ -101,6 +290,32 @@ int run() {
   // stdout only — never part of the byte-compared ERMS_CHAOS_REPORT file.
   std::printf("peak_rss_bytes=%llu\n",
               static_cast<unsigned long long>(peak_rss_bytes()));
+
+  if (!snap_resume && snap_every > 0.0 && periodic_count > 0) {
+    // Time a full restore of the last periodic snapshot into a fresh world.
+    Testbed fresh;
+    core::ErmsManager fresh_erms{*fresh.cluster, fresh.standby_pool(), soak_erms_config()};
+    fault::FaultInjector fresh_injector{*fresh.cluster,
+                                        &fresh_erms.observability()->trace()};
+    const snapshot::WorldParts fresh_parts{&fresh.sim, fresh.cluster.get(), &fresh_erms,
+                                           &fresh_injector, nullptr};
+    const auto t0 = std::chrono::steady_clock::now();
+    const snapshot::SnapshotResult err =
+        snapshot::restore_world_bytes(periodic_bytes, fresh_parts);
+    const double load_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (err) {
+      std::fprintf(stderr, "error: periodic snapshot does not restore: %s\n",
+                   err->to_string().c_str());
+      return 2;
+    }
+    std::printf("snapshots: %zu taken, last=%zu bytes, save mean %.1fms, load %.1fms\n",
+                periodic_count, periodic_bytes.size(),
+                1e3 * periodic_save_s / static_cast<double>(periodic_count),
+                1e3 * load_s);
+    merge_snapshot_stats(snap_every, periodic_count, periodic_bytes.size(), periodic_max,
+                         periodic_save_s / static_cast<double>(periodic_count), load_s);
+  }
 
   if (const char* path = std::getenv("ERMS_CHAOS_REPORT")) {
     std::ofstream out{path};

@@ -1,0 +1,92 @@
+// Generates tests/fixtures/aged_cluster.snap: a small cluster that has
+// already lived a little — served reads, cooled and erasure-coded its file,
+// survived a crash and a re-replication cycle — frozen at a quiescent point.
+// Chaos tests restore it to start from "day two" state instead of a
+// freshly populated cluster.
+//
+// The world shape here MUST stay in sync with the restoring test
+// (tests/test_chaos.cpp, Chaos.DegradedEcReadDuringOutage): same topology,
+// same ClusterConfig, same population order. The snapshot's fingerprint
+// rejects a drifted shape, so a mismatch fails loudly, not subtly.
+//
+// Usage: make_aged_fixture <output-path>
+// Regenerate via scripts/make_aged_fixture.py after changing any serialized
+// component's format (and bump snapshot::kFormatVersion when the change is
+// incompatible).
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "hdfs/cluster.h"
+#include "snapshot/world.h"
+
+namespace {
+
+int run(const std::string& out_path) {
+  using namespace erms;
+
+  sim::Simulation sim;
+  hdfs::Topology topo = hdfs::Topology::uniform(3, 6);
+  auto cluster = std::make_unique<hdfs::Cluster>(sim, topo, hdfs::ClusterConfig{});
+
+  const auto file = *cluster->populate_file("/cold", 128 * util::MiB, 3);
+
+  // Age 1: a burst of reads from every rack.
+  for (int i = 0; i < 30; ++i) {
+    sim.schedule_at(sim::SimTime{static_cast<std::int64_t>(i) * 2'000'000}, [&, i] {
+      cluster->read_file(hdfs::NodeId{static_cast<std::uint32_t>(i % 10)}, file,
+                         [](const hdfs::ReadOutcome&) {});
+    });
+  }
+
+  // Age 2: crash a node that actually holds a replica, so the fixture has a
+  // real re-replication in its history, then bring it back.
+  hdfs::NodeId crashed{0};
+  sim.schedule_at(sim::SimTime{sim::seconds(70.0).micros()}, [&] {
+    crashed = cluster->locations(cluster->metadata().find(file)->blocks[0]).front();
+    cluster->fail_node(crashed);
+  });
+  sim.schedule_at(sim::SimTime{sim::minutes(4.0).micros()},
+                  [&] { cluster->revive_node(crashed); });
+
+  // Age 3: the file goes cold and is erasure-coded.
+  bool encoded = false;
+  sim.schedule_at(sim::SimTime{sim::minutes(6.0).micros()},
+                  [&] { cluster->encode_file(file, 4, [&](bool ok) { encoded = ok; }); });
+
+  sim.run_until(sim::SimTime{sim::minutes(12.0).micros()});
+  if (!encoded) {
+    std::fprintf(stderr, "error: encode did not finish\n");
+    return 1;
+  }
+
+  const snapshot::WorldParts parts{&sim, cluster.get(), nullptr, nullptr, nullptr};
+  if (!snapshot::quiescent(parts)) {
+    std::fprintf(stderr, "error: world not quiescent at capture time\n");
+    return 1;
+  }
+  if (const snapshot::SnapshotResult err =
+          snapshot::save_world(out_path, parts, "aged_cluster v1")) {
+    std::fprintf(stderr, "error: cannot save %s: %s\n", out_path.c_str(),
+                 err->to_string().c_str());
+    return 1;
+  }
+  std::printf(
+      "aged fixture written to %s (t=%.0fs, revived=%llu, rereplications=%llu, "
+      "ec=%s)\n",
+      out_path.c_str(), sim.now().seconds(),
+      static_cast<unsigned long long>(cluster->nodes_revived()),
+      static_cast<unsigned long long>(cluster->rereplications_completed()),
+      cluster->metadata().find(file)->erasure_coded ? "yes" : "no");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-path>\n", argv[0]);
+    return 2;
+  }
+  return run(argv[1]);
+}

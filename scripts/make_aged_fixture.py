@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate tests/fixtures/aged_cluster.snap.
+
+The fixture is a snapshot of a small cluster with some history behind it
+(reads served, a crash healed by re-replication, the file cooled into
+erasure coding). Chaos tests restore it so they start from aged state
+rather than a freshly populated world.
+
+Run after any change to a serialized component's on-disk format:
+
+    ./scripts/make_aged_fixture.py [--build-dir build]
+
+The script builds the `make_aged_fixture` example and runs it. Commit the
+regenerated fixture together with the format change (and a
+snapshot::kFormatVersion bump if the change is incompatible).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+FIXTURE = REPO / "tests" / "fixtures" / "aged_cluster.snap"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build", help="CMake build directory")
+    args = parser.parse_args()
+
+    build_dir = REPO / args.build_dir
+    if not (build_dir / "CMakeCache.txt").exists():
+        print(f"error: {build_dir} is not a configured build directory", file=sys.stderr)
+        print("hint: cmake -S . -B build first", file=sys.stderr)
+        return 1
+
+    subprocess.run(
+        ["cmake", "--build", str(build_dir), "--target", "make_aged_fixture"],
+        check=True,
+    )
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    subprocess.run(
+        [str(build_dir / "examples" / "make_aged_fixture"), str(FIXTURE)],
+        check=True,
+    )
+    print(f"wrote {FIXTURE} ({FIXTURE.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "cep/event.h"
+#include "snapshot/codec.h"
 
 namespace erms::cep {
 
@@ -720,6 +721,153 @@ std::optional<ResultRow> Engine::group_row(QueryId id, const std::vector<std::st
     return std::nullopt;
   }
   return render_row(qs->query, *raw);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot support. The layout is serialised verbatim — bucket table, slot
+// pool, freelist, ring contents — rather than replayed, so probe sequences,
+// slot reuse order and therefore every subsequent visit order are identical
+// to the uninterrupted run. Doubles travel as raw bit patterns.
+// ---------------------------------------------------------------------------
+
+void Engine::save_state(snapshot::Writer& w) {
+  w.u64(queries_.size());
+  for (const QueryState& qs : queries_) {
+    w.u64(qs.id.value());
+    w.u32(static_cast<std::uint32_t>(qs.plan.numeric_aggs));
+
+    w.u64(qs.ring.size());
+    for (std::size_t i = 0; i < qs.ring.size(); ++i) {
+      const WindowEntry& e = qs.ring[i];
+      w.i64(e.time_us);
+      w.u32(e.slot);
+      w.u64(e.seq);
+    }
+    w.u64(qs.ring_values.size());
+    for (std::size_t i = 0; i < qs.ring_values.size(); ++i) {
+      w.f64(qs.ring_values[i]);
+    }
+
+    w.u64(qs.buckets.size());
+    for (const std::uint32_t b : qs.buckets) w.u32(b);
+
+    w.u64(qs.slots.size());
+    for (const GroupState& g : qs.slots) {
+      w.u64(g.hash);
+      w.u32(g.bucket);
+      w.str(g.key);
+      w.u64(g.key_values.size());
+      for (const std::string& v : g.key_values) w.str(v);
+      w.u64(g.count);
+      w.u64(g.next_seq);
+      w.u64(g.sums.size());
+      for (const double s : g.sums) w.f64(s);
+      w.u64(g.non_null.size());
+      for (const std::uint64_t n : g.non_null) w.u64(n);
+      w.u64(g.mono.size());
+      for (const auto& dq : g.mono) {
+        w.u64(dq.size());
+        for (const MonoEntry& m : dq) {
+          w.f64(m.value);
+          w.u64(m.seq);
+        }
+      }
+    }
+
+    w.u64(qs.free_slots.size());
+    for (const std::uint32_t s : qs.free_slots) w.u32(s);
+    w.u64(qs.live_groups);
+    w.u64(qs.bucket_used);
+  }
+  w.u64(ids_.peek());
+  w.u64(events_processed_);
+}
+
+void Engine::load_state(snapshot::Reader& r) {
+  const std::uint64_t nq = r.u64();
+  if (!r.require(nq == queries_.size(), "engine query count")) return;
+  for (QueryState& qs : queries_) {
+    const std::uint64_t id = r.u64();
+    if (!r.require(id == qs.id.value(), "engine query id")) return;
+    const std::uint32_t naggs = r.u32();
+    if (!r.require(naggs == qs.plan.numeric_aggs, "query aggregate shape")) return;
+
+    const std::uint64_t ring_n = r.u64();
+    if (!r.require(ring_n <= r.remaining() / 20 + 1, "window ring size")) return;
+    qs.ring.clear();
+    for (std::uint64_t i = 0; i < ring_n && r.ok(); ++i) {
+      WindowEntry e;
+      e.time_us = r.i64();
+      e.slot = r.u32();
+      e.seq = r.u64();
+      qs.ring.push_back(e);
+    }
+    const std::uint64_t rv_n = r.u64();
+    if (!r.require(rv_n <= r.remaining() / 8 + 1, "window values size")) return;
+    qs.ring_values.clear();
+    for (std::uint64_t i = 0; i < rv_n && r.ok(); ++i) {
+      qs.ring_values.push_back(r.f64());
+    }
+
+    const std::uint64_t nbuckets = r.u64();
+    if (!r.require(nbuckets <= r.remaining() / 4 + 1, "bucket table size")) return;
+    qs.buckets.clear();
+    qs.buckets.reserve(nbuckets);
+    for (std::uint64_t i = 0; i < nbuckets && r.ok(); ++i) {
+      qs.buckets.push_back(r.u32());
+    }
+
+    const std::uint64_t nslots = r.u64();
+    if (!r.require(nslots <= r.remaining(), "slot pool size")) return;
+    qs.slots.clear();
+    qs.slots.resize(nslots);
+    for (std::uint64_t i = 0; i < nslots && r.ok(); ++i) {
+      GroupState& g = qs.slots[i];
+      g.hash = r.u64();
+      g.bucket = r.u32();
+      g.key = r.str();
+      const std::uint64_t nkv = r.u64();
+      if (!r.require(nkv <= r.remaining(), "key value count")) return;
+      g.key_values.resize(nkv);
+      for (auto& v : g.key_values) v = r.str();
+      g.count = r.u64();
+      g.next_seq = r.u64();
+      const std::uint64_t nsums = r.u64();
+      if (!r.require(nsums <= r.remaining() / 8 + 1, "sums size")) return;
+      g.sums.resize(nsums);
+      for (auto& s : g.sums) s = r.f64();
+      const std::uint64_t nnn = r.u64();
+      if (!r.require(nnn <= r.remaining() / 8 + 1, "non-null size")) return;
+      g.non_null.resize(nnn);
+      for (auto& n : g.non_null) n = r.u64();
+      const std::uint64_t nmono = r.u64();
+      if (!r.require(nmono <= r.remaining(), "mono deque count")) return;
+      g.mono.clear();
+      g.mono.resize(nmono);
+      for (auto& dq : g.mono) {
+        const std::uint64_t dn = r.u64();
+        if (!r.require(dn <= r.remaining() / 16 + 1, "mono deque size")) return;
+        for (std::uint64_t j = 0; j < dn && r.ok(); ++j) {
+          MonoEntry m;
+          m.value = r.f64();
+          m.seq = r.u64();
+          dq.push_back(m);
+        }
+      }
+    }
+
+    const std::uint64_t nfree = r.u64();
+    if (!r.require(nfree <= r.remaining() / 4 + 1, "freelist size")) return;
+    qs.free_slots.clear();
+    qs.free_slots.reserve(nfree);
+    for (std::uint64_t i = 0; i < nfree && r.ok(); ++i) {
+      qs.free_slots.push_back(r.u32());
+    }
+    qs.live_groups = r.u64();
+    qs.bucket_used = r.u64();
+  }
+  ids_.reset(r.u64());
+  events_processed_ = r.u64();
 }
 
 }  // namespace erms::cep

@@ -15,6 +15,11 @@
 #include "util/ids.h"
 #include "util/ring_buffer.h"
 
+namespace erms::snapshot {
+class Reader;
+class Writer;
+}
+
 namespace erms::cep {
 
 struct QueryTag {};
@@ -91,6 +96,15 @@ class EngineBase {
   /// events with no string handling at all.
   [[nodiscard]] virtual SymbolTable& attr_symbols() = 0;
   [[nodiscard]] virtual SymbolTable& stream_symbols() = 0;
+
+  /// Snapshot support (src/snapshot/): serialise / restore all window and
+  /// group state. load_state expects an engine with the identical query set
+  /// already registered (the feed re-registers its standing queries at
+  /// construction) and fails the Reader with kStateMismatch otherwise.
+  /// Aggregate running sums are stored as raw double bit patterns, so a
+  /// restored engine renders byte-identical rows.
+  virtual void save_state(snapshot::Writer& w) = 0;
+  virtual void load_state(snapshot::Reader& r) = 0;
 };
 
 /// The CEP engine: continuous queries over pushed event streams with sliding
@@ -132,6 +146,8 @@ class Engine final : public EngineBase {
   [[nodiscard]] std::uint64_t events_processed() const override { return events_processed_; }
   [[nodiscard]] SymbolTable& attr_symbols() override { return *attrs_; }
   [[nodiscard]] SymbolTable& stream_symbols() override { return *streams_; }
+  void save_state(snapshot::Writer& w) override;
+  void load_state(snapshot::Reader& r) override;
 
   /// Force WHERE evaluation through the ClassAd adapter even when a fast
   /// plan exists — the differential tests prove both paths byte-identical.

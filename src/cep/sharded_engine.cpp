@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "cep/event.h"
+#include "snapshot/codec.h"
 
 namespace erms::cep {
 
@@ -310,6 +311,25 @@ std::optional<ResultRow> ShardedEngine::group_row(QueryId id,
     return std::nullopt;
   }
   return Engine::render_row(*q, *merged);
+}
+
+void ShardedEngine::save_state(snapshot::Writer& w) {
+  flush();
+  w.u64(shards_.size());
+  for (const auto& shard : shards_) {
+    shard->save_state(w);
+  }
+  w.u64(events_);
+}
+
+void ShardedEngine::load_state(snapshot::Reader& r) {
+  const std::uint64_t n = r.u64();
+  if (!r.require(n == shards_.size(), "engine shard count")) return;
+  for (const auto& shard : shards_) {
+    shard->load_state(r);
+    if (!r.ok()) return;
+  }
+  events_ = r.u64();
 }
 
 }  // namespace erms::cep

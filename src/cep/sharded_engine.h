@@ -60,6 +60,10 @@ class ShardedEngine final : public EngineBase {
   [[nodiscard]] std::uint64_t events_processed() const override { return events_; }
   [[nodiscard]] SymbolTable& attr_symbols() override { return *attrs_; }
   [[nodiscard]] SymbolTable& stream_symbols() override { return *streams_; }
+  /// Flushes pending batches, then saves every shard in order (plus the
+  /// aggregate event counter). Restore requires the same shard count.
+  void save_state(snapshot::Writer& w) override;
+  void load_state(snapshot::Reader& r) override;
 
   /// Drain all pending batches into the shards. Called automatically by
   /// reads and whenever a shard's batch fills.

@@ -4,8 +4,72 @@
 #include <cassert>
 
 #include "classad/parser.h"
+#include "snapshot/codec.h"
 
 namespace erms::condor {
+
+namespace {
+
+// ERMS job and machine ads hold only literal values (built with insert_*),
+// so (name, typed value) pairs round-trip them exactly.
+void save_ad(snapshot::Writer& w, const classad::ClassAd& ad) {
+  const std::vector<std::string> names = ad.attribute_names();
+  w.u64(names.size());
+  for (const std::string& name : names) {
+    const classad::Value v = ad.evaluate(name);
+    w.str(name);
+    w.u8(static_cast<std::uint8_t>(v.type()));
+    switch (v.type()) {
+      case classad::Value::Type::kBool:
+        w.u8(v.as_bool() ? 1 : 0);
+        break;
+      case classad::Value::Type::kInt:
+        w.i64(v.as_int());
+        break;
+      case classad::Value::Type::kReal:
+        w.f64(v.as_real());
+        break;
+      case classad::Value::Type::kString:
+        w.str(v.as_string());
+        break;
+      default:
+        break;  // undefined/error carry no payload
+    }
+  }
+}
+
+classad::ClassAd load_ad(snapshot::Reader& r) {
+  classad::ClassAd ad;
+  const std::uint64_t n = r.u64();
+  if (!r.require(n <= r.remaining(), "classad attribute count")) return ad;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    const std::string name = r.str();
+    const auto type = static_cast<classad::Value::Type>(r.u8());
+    switch (type) {
+      case classad::Value::Type::kBool:
+        ad.insert_bool(name, r.u8() != 0);
+        break;
+      case classad::Value::Type::kInt:
+        ad.insert_int(name, r.i64());
+        break;
+      case classad::Value::Type::kReal:
+        ad.insert_real(name, r.f64());
+        break;
+      case classad::Value::Type::kString:
+        ad.insert_string(name, r.str());
+        break;
+      case classad::Value::Type::kUndefined:
+      case classad::Value::Type::kError:
+        break;
+      default:
+        r.fail(snapshot::ErrorCode::kBadSection, "unknown classad value type");
+        return ad;
+    }
+  }
+  return ad;
+}
+
+}  // namespace
 
 std::map<JobId, JobStatus> recover_statuses(const std::vector<JobLogRecord>& log) {
   std::map<JobId, JobStatus> statuses;
@@ -386,6 +450,96 @@ std::vector<std::string> Scheduler::query_machines(const std::string& constraint
     }
   }
   return out;
+}
+
+void Scheduler::save_state(snapshot::Writer& w) const {
+  // The snapshot layer saves only at quiescence: nothing queued, nothing
+  // running, no idle poll pending — every surviving job is terminal, so its
+  // on_terminate has already fired and the closure need not travel.
+  assert(running_ == 0 && queued_count() == 0 && !idle_poll_scheduled_);
+  w.u64(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    const Job& job = entry.job;
+    w.u64(job.id.value());
+    save_ad(w, job.ad);
+    w.u8(static_cast<std::uint8_t>(job.sched_class));
+    w.i64(job.priority);
+    w.u8(static_cast<std::uint8_t>(job.status));
+    w.u32(job.attempts);
+    w.i64(job.submitted.micros());
+    w.i64(job.started.micros());
+    w.i64(job.finished.micros());
+  }
+  w.u64(log_.size());
+  for (const JobLogRecord& rec : log_) {
+    w.u8(static_cast<std::uint8_t>(rec.kind));
+    w.i64(rec.time.micros());
+    w.u64(rec.job.value());
+    w.str(rec.cmd);
+  }
+  w.u64(machines_.size());
+  for (const auto& [name, ad] : machines_) {
+    w.str(name);
+    save_ad(w, ad);
+  }
+  w.u64(ids_.peek());
+  w.u64(retries_);
+  w.u64(timeouts_);
+}
+
+void Scheduler::load_state(snapshot::Reader& r) {
+  std::map<JobId, Entry> entries;
+  const std::uint64_t njobs = r.u64();
+  if (!r.require(njobs <= r.remaining(), "job table size")) return;
+  for (std::uint64_t i = 0; i < njobs && r.ok(); ++i) {
+    Entry entry;
+    Job& job = entry.job;
+    job.id = JobId{r.u64()};
+    job.ad = load_ad(r);
+    job.sched_class = static_cast<JobClass>(r.u8());
+    job.priority = static_cast<int>(r.i64());
+    job.status = static_cast<JobStatus>(r.u8());
+    job.attempts = r.u32();
+    job.submitted = sim::SimTime{r.i64()};
+    job.started = sim::SimTime{r.i64()};
+    job.finished = sim::SimTime{r.i64()};
+    if (!r.require(job.status == JobStatus::kCompleted || job.status == JobStatus::kFailed ||
+                       job.status == JobStatus::kRolledBack ||
+                       job.status == JobStatus::kCancelled,
+                   "non-terminal job in snapshot")) {
+      return;
+    }
+    entries.emplace(job.id, std::move(entry));
+  }
+  std::vector<JobLogRecord> log;
+  const std::uint64_t nlog = r.u64();
+  if (!r.require(nlog <= r.remaining(), "job log size")) return;
+  log.reserve(nlog);
+  for (std::uint64_t i = 0; i < nlog && r.ok(); ++i) {
+    JobLogRecord rec;
+    rec.kind = static_cast<JobLogRecord::Kind>(r.u8());
+    rec.time = sim::SimTime{r.i64()};
+    rec.job = JobId{r.u64()};
+    rec.cmd = r.str();
+    log.push_back(std::move(rec));
+  }
+  std::map<std::string, classad::ClassAd> machines;
+  const std::uint64_t nmachines = r.u64();
+  if (!r.require(nmachines <= r.remaining(), "machine ad count")) return;
+  for (std::uint64_t i = 0; i < nmachines && r.ok(); ++i) {
+    std::string name = r.str();
+    machines.emplace(std::move(name), load_ad(r));
+  }
+  const std::uint64_t next_id = r.u64();
+  const std::uint64_t retries = r.u64();
+  const std::uint64_t timeouts = r.u64();
+  if (!r.ok()) return;
+  entries_ = std::move(entries);
+  log_ = std::move(log);
+  machines_ = std::move(machines);
+  ids_.reset(next_id);
+  retries_ = retries;
+  timeouts_ = timeouts;
 }
 
 }  // namespace erms::condor

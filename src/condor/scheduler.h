@@ -15,6 +15,11 @@
 #include "util/ids.h"
 #include "util/log.h"
 
+namespace erms::snapshot {
+class Reader;
+class Writer;
+}
+
 namespace erms::condor {
 
 struct JobTag {};
@@ -172,6 +177,17 @@ class Scheduler {
 
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+
+  /// True while a deferred-job idle poll is pending on the simulation
+  /// clock — part of the snapshot quiescence predicate (a pending poll is a
+  /// live event the snapshot could not re-arm faithfully).
+  [[nodiscard]] bool idle_poll_pending() const { return idle_poll_scheduled_; }
+
+  /// Snapshot support (src/snapshot/): job table (terminal jobs only — save
+  /// requires an idle scheduler), user log, machine ads, id sequence and
+  /// counters. Executors/rollbacks/probes are re-registered by the owner.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   struct Entry {

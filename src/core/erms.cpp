@@ -5,6 +5,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "snapshot/codec.h"
+
 namespace erms::core {
 
 namespace {
@@ -168,7 +170,56 @@ void ErmsManager::start() {
 }
 
 void ErmsManager::schedule_tick() {
-  tick_ = cluster_.simulation().schedule_after(config_.evaluation_period, [this] {
+  next_tick_time_ = cluster_.simulation().now() + config_.evaluation_period;
+  tick_ = cluster_.simulation().schedule_at(next_tick_time_, [this] {
+    if (!running_) {
+      return;
+    }
+    evaluate();
+    schedule_tick();
+  });
+}
+
+void ErmsManager::resume() {
+  // Same wiring as start(), with two deliberate differences: machine ads are
+  // NOT re-advertised (the restored ads are exactly as stale as the original
+  // run's were at this point), and the next evaluation fires at the restored
+  // absolute tick time rather than one period from now.
+  cluster_.set_placement_policy(placement_);
+  if (config_.judge_batch_flush_events > 0) {
+    cluster_.set_audit_batch_sink(
+        [this](const audit::AuditEvent* events, std::size_t n) {
+          feed_.on_audit_batch(events, n);
+        },
+        config_.judge_batch_flush_events);
+  } else {
+    cluster_.set_audit_sink([this](const audit::AuditEvent& e) { feed_.on_audit(e); });
+  }
+  cluster_.set_failure_listener([this](hdfs::NodeId n) {
+    scheduler_.invalidate("dn" + std::to_string(n.value()));
+    if (config_.heal_capacity) {
+      standby_.ensure_commissioned(standby_.commissioned_count() + 1,
+                                   [this] { advertise_nodes(); });
+    }
+  });
+  if (config_.auto_calibrate) {
+    // Deterministic recomputation: max_sessions is static node config, so
+    // this reproduces the τ_M the original start() derived.
+    double sessions = 0.0;
+    std::size_t nodes = 0;
+    for (const hdfs::NodeId n : cluster_.nodes()) {
+      sessions += cluster_.node(n).config.max_sessions;
+      ++nodes;
+    }
+    if (nodes > 0) {
+      judge_.calibrate(sessions / static_cast<double>(nodes));
+    }
+  }
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  tick_ = cluster_.simulation().schedule_at(next_tick_time_, [this] {
     if (!running_) {
       return;
     }
@@ -861,6 +912,227 @@ void ErmsManager::evaluate() {
   if (obs_ != nullptr) {
     obs_->registry().add(obs_ids_.evaluations);
     obs_->registry().set(obs_ids_.tracked_files, static_cast<double>(tracked_files_));
+  }
+}
+
+namespace {
+
+void save_trace_event(snapshot::Writer& w, const obs::TraceEvent& e) {
+  w.u64(e.seq);
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.i64(e.at.micros());
+  w.str(e.path);
+  w.i64(e.node);
+  w.i64(e.block);
+  w.i64(e.rule);
+  w.f64(e.trigger);
+  w.f64(e.threshold);
+  w.str(e.from);
+  w.str(e.to);
+  w.i64(e.rep_before);
+  w.i64(e.rep_after);
+  w.u64(e.bytes_moved);
+  w.u64(e.count);
+  w.i64(e.queue_wait.micros());
+  w.i64(e.exec_span.micros());
+  w.i64(e.job);
+  w.str(e.outcome);
+  w.u64(e.targets.size());
+  for (const std::int64_t t : e.targets) w.i64(t);
+  w.str(e.codec);
+  w.str(e.band);
+  w.u64(e.bytes_read);
+}
+
+obs::TraceEvent load_trace_event(snapshot::Reader& r) {
+  obs::TraceEvent e;
+  e.seq = r.u64();
+  e.kind = static_cast<obs::ActionKind>(r.u8());
+  e.at = sim::SimTime{r.i64()};
+  e.path = r.str();
+  e.node = r.i64();
+  e.block = r.i64();
+  e.rule = static_cast<int>(r.i64());
+  e.trigger = r.f64();
+  e.threshold = r.f64();
+  e.from = r.str();
+  e.to = r.str();
+  e.rep_before = r.i64();
+  e.rep_after = r.i64();
+  e.bytes_moved = r.u64();
+  e.count = r.u64();
+  e.queue_wait = sim::SimDuration{r.i64()};
+  e.exec_span = sim::SimDuration{r.i64()};
+  e.job = r.i64();
+  e.outcome = r.str();
+  const std::uint64_t ntargets = r.u64();
+  if (!r.require(ntargets <= r.remaining() / 8 + 1, "trace target count")) return e;
+  e.targets.reserve(ntargets);
+  for (std::uint64_t i = 0; i < ntargets && r.ok(); ++i) e.targets.push_back(r.i64());
+  e.codec = r.str();
+  e.band = r.str();
+  e.bytes_read = r.u64();
+  return e;
+}
+
+}  // namespace
+
+void ErmsManager::save_state(snapshot::Writer& w) {
+  engine_->save_state(w);
+  feed_.save_state(w);
+  w.u8(predictor_.has_value() ? 1 : 0);
+  if (predictor_) {
+    predictor_->save_state(w);
+  }
+  scheduler_.save_state(w);
+  standby_.save_state(w);
+
+  w.u64(stats_.evaluations);
+  w.u64(stats_.hot_promotions);
+  w.u64(stats_.overload_promotions);
+  w.u64(stats_.predictive_promotions);
+  w.u64(stats_.cooldowns);
+  w.u64(stats_.encodes);
+  w.u64(stats_.encodes_cooling);
+  w.u64(stats_.encodes_frozen);
+  w.u64(stats_.decodes);
+  w.u64(stats_.jobs_failed);
+
+  w.u64(types_.size());
+  for (const std::uint8_t t : types_) w.u8(t);
+  w.u64(in_flight_.size());
+  for (const std::uint8_t f : in_flight_) w.u8(f);
+  w.u64(first_seen_.size());
+  for (const sim::SimTime t : first_seen_) w.i64(t.micros());
+  w.u64(tracked_files_);
+  w.u64(in_flight_count_);
+  w.i64(next_tick_time_.micros());
+
+  w.u8(obs_ != nullptr ? 1 : 0);
+  if (obs_ != nullptr) {
+    const std::vector<obs::TraceEvent> events = obs_->trace().snapshot();
+    w.u64(events.size());
+    for (const obs::TraceEvent& e : events) save_trace_event(w, e);
+    w.u64(obs_->trace().recorded() + 1);  // next_seq
+
+    const obs::MetricsRegistry::Snapshot metrics = obs_->registry().snapshot();
+    w.u64(metrics.counters.size());
+    for (const auto& [name, value] : metrics.counters) {
+      w.str(name);
+      w.u64(value);
+    }
+    w.u64(metrics.gauges.size());
+    for (const auto& [name, value] : metrics.gauges) {
+      w.str(name);
+      w.f64(value);
+    }
+    w.u64(metrics.histograms.size());
+    for (const auto& h : metrics.histograms) {
+      w.str(h.name);
+      w.f64(h.histogram.lo());
+      w.f64(h.histogram.hi());
+      w.u64(h.histogram.bucket_count());
+      for (std::size_t i = 0; i < h.histogram.bucket_count(); ++i) {
+        w.u64(h.histogram.bucket(i));
+      }
+      w.u64(h.histogram.underflow());
+      w.u64(h.histogram.overflow());
+      w.f64(h.sum);
+    }
+  }
+}
+
+void ErmsManager::load_state(snapshot::Reader& r) {
+  engine_->load_state(r);
+  feed_.load_state(r);
+  const bool had_predictor = r.u8() != 0;
+  if (!r.require(had_predictor == predictor_.has_value(), "predictor config")) return;
+  if (predictor_) {
+    predictor_->load_state(r);
+  }
+  scheduler_.load_state(r);
+  standby_.load_state(r);
+  if (!r.ok()) return;
+
+  stats_.evaluations = r.u64();
+  stats_.hot_promotions = r.u64();
+  stats_.overload_promotions = r.u64();
+  stats_.predictive_promotions = r.u64();
+  stats_.cooldowns = r.u64();
+  stats_.encodes = r.u64();
+  stats_.encodes_cooling = r.u64();
+  stats_.encodes_frozen = r.u64();
+  stats_.decodes = r.u64();
+  stats_.jobs_failed = r.u64();
+
+  const std::uint64_t ntypes = r.u64();
+  if (!r.require(ntypes <= r.remaining() + 1, "types table size")) return;
+  types_.resize(ntypes);
+  for (auto& t : types_) t = r.u8();
+  const std::uint64_t nflight = r.u64();
+  if (!r.require(nflight <= r.remaining() + 1, "in-flight table size")) return;
+  in_flight_.resize(nflight);
+  for (auto& f : in_flight_) f = r.u8();
+  const std::uint64_t nseen = r.u64();
+  if (!r.require(nseen <= r.remaining() / 8 + 1, "first-seen table size")) return;
+  first_seen_.resize(nseen);
+  for (auto& t : first_seen_) t = sim::SimTime{r.i64()};
+  tracked_files_ = r.u64();
+  in_flight_count_ = r.u64();
+  next_tick_time_ = sim::SimTime{r.i64()};
+
+  const bool had_obs = r.u8() != 0;
+  if (!r.require(had_obs == (obs_ != nullptr), "observability config")) return;
+  if (obs_ != nullptr) {
+    const std::uint64_t nevents = r.u64();
+    if (!r.require(nevents <= r.remaining(), "trace event count")) return;
+    std::vector<obs::TraceEvent> events;
+    events.reserve(nevents);
+    for (std::uint64_t i = 0; i < nevents && r.ok(); ++i) {
+      events.push_back(load_trace_event(r));
+    }
+    const std::uint64_t next_seq = r.u64();
+    if (!r.ok()) return;
+    obs_->trace().restore(std::move(events), next_seq);
+
+    obs::MetricsRegistry& reg = obs_->registry();
+    const std::uint64_t ncounters = r.u64();
+    if (!r.require(ncounters <= r.remaining(), "counter count")) return;
+    for (std::uint64_t i = 0; i < ncounters && r.ok(); ++i) {
+      const std::string name = r.str();
+      const std::uint64_t value = r.u64();
+      const obs::CounterId id = reg.counter(name);
+      // Counters are monotonic adders with no absolute store, so bridge from
+      // whatever this world counted before the restore (population noise on
+      // a fresh world) up to the saved value.
+      const std::uint64_t current = reg.counter_value(id);
+      if (!r.require(current <= value, "counter " + name + " exceeds snapshot")) return;
+      reg.add(id, value - current);
+    }
+    const std::uint64_t ngauges = r.u64();
+    if (!r.require(ngauges <= r.remaining(), "gauge count")) return;
+    for (std::uint64_t i = 0; i < ngauges && r.ok(); ++i) {
+      const std::string name = r.str();
+      const double value = r.f64();
+      reg.set(reg.gauge(name), value);
+    }
+    const std::uint64_t nhists = r.u64();
+    if (!r.require(nhists <= r.remaining(), "histogram count")) return;
+    for (std::uint64_t i = 0; i < nhists && r.ok(); ++i) {
+      const std::string name = r.str();
+      const double lo = r.f64();
+      const double hi = r.f64();
+      const std::uint64_t buckets = r.u64();
+      if (!r.require(buckets <= r.remaining() / 8 + 1, "histogram bucket count")) return;
+      std::vector<std::uint64_t> counts;
+      counts.reserve(buckets + 2);
+      for (std::uint64_t j = 0; j < buckets && r.ok(); ++j) counts.push_back(r.u64());
+      counts.push_back(r.u64());  // underflow
+      counts.push_back(r.u64());  // overflow
+      const double sum = r.f64();
+      if (!r.ok()) return;
+      reg.restore_histogram(name, lo, hi, counts, sum);
+    }
   }
 }
 

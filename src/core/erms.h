@@ -21,6 +21,11 @@
 #include "util/log.h"
 #include "util/thread_pool.h"
 
+namespace erms::snapshot {
+class Reader;
+class Writer;
+}
+
 namespace erms::core {
 
 /// Tunables of the ERMS control loop.
@@ -145,6 +150,12 @@ class ErmsManager {
   /// Install the audit sink + placement policy and start the periodic
   /// evaluation loop.
   void start();
+  /// Resume after Cluster/manager state was restored from a snapshot:
+  /// installs the same sinks/listeners as start() but does NOT re-advertise
+  /// machine ads (the restored ads are as stale as the original run's were)
+  /// and schedules the next evaluation at the restored absolute tick time
+  /// instead of one period from now. Call after snapshot::restore_world.
+  void resume();
   /// Stop evaluating (the placement policy stays installed). When observe is
   /// on and ERMS_TRACE_PATH is set, exports the action trace as JSONL there.
   void stop();
@@ -187,6 +198,18 @@ class ErmsManager {
   /// The manager-owned observability bundle — nullptr unless
   /// ErmsConfig::observe was true at construction.
   [[nodiscard]] obs::Observability* observability() { return obs_.get(); }
+
+  /// Condor actions currently in flight (snapshot quiescence input).
+  [[nodiscard]] std::size_t actions_in_flight() const { return in_flight_count_; }
+
+  /// Snapshot support (src/snapshot/): sweep state (types_/in_flight_/
+  /// first_seen_), stats, the next-tick time, and the owned subcomponents —
+  /// CEP engine, feed, predictor, scheduler, standby manager, trace ring
+  /// and metrics registry. The manager must be constructed with the same
+  /// config as the saved one (kStateMismatch otherwise); restore before
+  /// resume(), never while running.
+  void save_state(snapshot::Writer& w);
+  void load_state(snapshot::Reader& r);
 
  private:
   /// Why a Condor job was submitted — threaded into its trace event.
@@ -292,6 +315,9 @@ class ErmsManager {
   std::unique_ptr<util::ThreadPool> sweep_pool_;  // null when sweep_threads == 1
   bool running_{false};
   sim::EventHandle tick_;
+  /// Absolute time the pending tick_ fires — serialised so a resumed run
+  /// evaluates at exactly the times the uninterrupted run would have.
+  sim::SimTime next_tick_time_;
 
   struct ObsIds {
     obs::CounterId evaluations, classify_flips, hot_promotions, overload_promotions,

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "obs/observability.h"
+#include "snapshot/codec.h"
 
 namespace erms::core {
 
@@ -119,6 +120,26 @@ std::size_t StandbyManager::power_down_drained() {
     obs_->registry().set(obs_ids_.commissioned, static_cast<double>(commissioned_count()));
   }
   return count;
+}
+
+void StandbyManager::save_state(snapshot::Writer& w) const {
+  w.u64(pool_.size());
+  for (const hdfs::NodeId id : pool_) {
+    w.u32(id.value());
+  }
+  w.u64(commissions_);
+  w.u64(power_downs_);
+}
+
+void StandbyManager::load_state(snapshot::Reader& r) {
+  const std::uint64_t n = r.u64();
+  if (!r.require(n == pool_.size(), "standby pool size")) return;
+  for (const hdfs::NodeId id : pool_) {
+    const std::uint32_t saved = r.u32();
+    if (!r.require(saved == id.value(), "standby pool member")) return;
+  }
+  commissions_ = r.u64();
+  power_downs_ = r.u64();
 }
 
 void StandbyManager::set_observability(obs::Observability* obs) {

@@ -12,6 +12,11 @@ namespace erms::obs {
 class Observability;
 }
 
+namespace erms::snapshot {
+class Reader;
+class Writer;
+}
+
 namespace erms::core {
 
 /// Manages the standby half of the active/standby storage model (§III.B):
@@ -46,6 +51,11 @@ class StandbyManager {
   /// power-down counters and a commissioned-count gauge in the registry,
   /// plus one TraceEvent per node powered up or down.
   void set_observability(obs::Observability* obs);
+
+  /// Snapshot support (src/snapshot/): counters, plus a pool check (the
+  /// pool itself comes from the constructor and must match).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   hdfs::Cluster& cluster_;

@@ -154,6 +154,14 @@ void FaultInjector::arm(const FaultPlan& plan) {
   }
 }
 
+void FaultInjector::arm_after(const FaultPlan& plan, sim::SimTime after) {
+  for (const FaultEvent& event : plan.events()) {
+    if (event.at > after) {
+      cluster_.simulation().schedule_at(event.at, [this, event] { apply(event); });
+    }
+  }
+}
+
 void FaultInjector::apply(const FaultEvent& event) {
   const hdfs::NodeId node{event.target};
   bool applied = true;

@@ -100,8 +100,19 @@ class FaultInjector {
   /// Schedule every event of `plan`. Call once before running the sim.
   void arm(const FaultPlan& plan);
 
+  /// Resume path: schedule only the events of `plan` strictly after
+  /// `after` (plan order preserved for equal times) — the ones a snapshot
+  /// taken at `after` had not yet fired.
+  void arm_after(const FaultPlan& plan, sim::SimTime after);
+
   [[nodiscard]] std::uint64_t injected() const { return injected_; }
   [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
+
+  /// Snapshot support: restore the counters a saved run had accumulated.
+  void restore_counters(std::uint64_t injected, std::uint64_t skipped) {
+    injected_ = injected;
+    skipped_ = skipped;
+  }
 
  private:
   void apply(const FaultEvent& event);

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "obs/observability.h"
+#include "snapshot/codec.h"
 
 namespace erms::hdfs {
 
@@ -2000,6 +2001,143 @@ void Cluster::emit_audit(const std::string& cmd, FileId file, std::string_view s
     event.datanode = static_cast<std::int64_t>(datanode->value());
   }
   audit_sink_(event);
+}
+
+void Cluster::save_state(snapshot::Writer& w) {
+  // Deliver buffered audit records through the installed sink first — the
+  // reference (uninterrupted) run performs the same flush at its snapshot
+  // barrier, so both runs feed the CEP engine identical prefixes.
+  flush_audit();
+  assert(network_.active_flows() == 0 && background_idle());
+
+  // Fingerprint of the construction-time shape the restoring driver must
+  // reproduce; checked before any state is read.
+  w.u64(config_.seed);
+  w.u64(config_.block_size);
+  w.u64(nodes_.size());
+
+  const sim::Rng::State rng_state = rng_.state();
+  for (const std::uint64_t word : rng_state) w.u64(word);
+
+  network_.save_state(w);
+  namespace_.save_state(w);
+
+  for (const DataNode& node : nodes_) {
+    assert(node.state != NodeState::kCommissioning &&
+           node.state != NodeState::kDecommissioning);
+    w.u32(node.id.value());
+    w.u32(node.rack.value());
+    w.u8(static_cast<std::uint8_t>(node.state));
+    w.u64(node.used_bytes);
+    w.u32(node.active_sessions);
+    w.u32(node.background_reads);
+    // Unordered sets travel sorted; every live drain of these sets sorts
+    // before iterating, so insertion order is unobservable anyway.
+    std::vector<BlockId> blocks(node.blocks.begin(), node.blocks.end());
+    std::sort(blocks.begin(), blocks.end());
+    w.u64(blocks.size());
+    for (const BlockId b : blocks) w.u64(b.value());
+    std::vector<BlockId> stale(node.stale_blocks.begin(), node.stale_blocks.end());
+    std::sort(stale.begin(), stale.end());
+    w.u64(stale.size());
+    for (const BlockId b : stale) w.u64(b.value());
+    w.f64(node.energy_joules);
+    w.i64(node.last_energy_update.micros());
+  }
+
+  w.u64(block_locations_.size());
+  for (const auto& locs : block_locations_) {
+    w.u32(static_cast<std::uint32_t>(locs.size()));
+    for (const NodeId n : locs) w.u32(n.value());
+  }
+
+  w.u64(corrupt_replicas_.size());
+  for (const auto& [block, node] : corrupt_replicas_) {
+    w.u64(block.value());
+    w.u32(node.value());
+  }
+
+  w.u64(reads_rejected_);
+  w.u64(reads_completed_);
+  w.u64(blocks_lost_);
+  w.u64(rereplications_completed_);
+  w.u64(corruptions_detected_);
+  w.u64(recovery_retries_);
+  w.u64(recoveries_abandoned_);
+  w.u64(nodes_revived_);
+}
+
+void Cluster::load_state(snapshot::Reader& r) {
+  // The snapshot was taken right after a flush, so anything this world
+  // buffered before the restore (e.g. population audit records) belongs to
+  // the discarded pre-restore history, not the restored one.
+  audit_buf_.clear();
+  if (!r.require(r.u64() == config_.seed, "cluster seed")) return;
+  if (!r.require(r.u64() == config_.block_size, "cluster block size")) return;
+  if (!r.require(r.u64() == nodes_.size(), "cluster node count")) return;
+
+  sim::Rng::State rng_state;
+  for (std::uint64_t& word : rng_state) word = r.u64();
+
+  network_.load_state(r);
+  namespace_.load_state(r);
+  if (!r.ok()) return;
+
+  for (DataNode& node : nodes_) {
+    if (!r.require(r.u32() == node.id.value(), "node id")) return;
+    if (!r.require(r.u32() == node.rack.value(), "node rack")) return;
+    node.state = static_cast<NodeState>(r.u8());
+    node.used_bytes = r.u64();
+    node.active_sessions = r.u32();
+    node.background_reads = r.u32();
+    const std::uint64_t nblocks = r.u64();
+    if (!r.require(nblocks <= r.remaining() / 8 + 1, "node block count")) return;
+    node.blocks.clear();
+    for (std::uint64_t i = 0; i < nblocks && r.ok(); ++i) {
+      node.blocks.insert(BlockId{r.u64()});
+    }
+    const std::uint64_t nstale = r.u64();
+    if (!r.require(nstale <= r.remaining() / 8 + 1, "stale block count")) return;
+    node.stale_blocks.clear();
+    for (std::uint64_t i = 0; i < nstale && r.ok(); ++i) {
+      node.stale_blocks.insert(BlockId{r.u64()});
+    }
+    node.energy_joules = r.f64();
+    node.last_energy_update = sim::SimTime{r.i64()};
+  }
+
+  const std::uint64_t nloc = r.u64();
+  if (!r.require(nloc <= r.remaining() / 4 + 1, "block map size")) return;
+  block_locations_.clear();
+  block_locations_.resize(nloc);
+  for (std::uint64_t i = 0; i < nloc && r.ok(); ++i) {
+    const std::uint32_t count = r.u32();
+    if (!r.require(count <= r.remaining() / 4 + 1, "replica count")) return;
+    for (std::uint32_t j = 0; j < count && r.ok(); ++j) {
+      block_locations_[i].push_back(NodeId{r.u32()});
+    }
+  }
+
+  const std::uint64_t ncorrupt = r.u64();
+  if (!r.require(ncorrupt <= r.remaining() / 12 + 1, "corrupt replica count")) return;
+  corrupt_replicas_.clear();
+  for (std::uint64_t i = 0; i < ncorrupt && r.ok(); ++i) {
+    const BlockId block{r.u64()};
+    const NodeId node{r.u32()};
+    corrupt_replicas_.emplace(block, node);
+  }
+
+  reads_rejected_ = r.u64();
+  reads_completed_ = r.u64();
+  blocks_lost_ = r.u64();
+  rereplications_completed_ = r.u64();
+  corruptions_detected_ = r.u64();
+  recovery_retries_ = r.u64();
+  recoveries_abandoned_ = r.u64();
+  nodes_revived_ = r.u64();
+  if (!r.ok()) return;
+  rng_.set_state(rng_state);
+  codec_cache_.clear();
 }
 
 }  // namespace erms::hdfs

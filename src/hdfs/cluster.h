@@ -28,6 +28,11 @@ namespace erms::obs {
 class Observability;
 }
 
+namespace erms::snapshot {
+class Reader;
+class Writer;
+}
+
 namespace erms::hdfs {
 
 /// Cluster-wide simulation parameters.
@@ -322,6 +327,18 @@ class Cluster {
   /// rereplication, node_failure) into its trace ring. Metric ids are
   /// resolved here once, so the disabled path is a single null test.
   void set_observability(obs::Observability* obs);
+
+  // ----- snapshot (src/snapshot/) ------------------------------------------
+  /// Serialise namespace, block map, per-node state, counters and the Rng
+  /// stream. Only valid at a quiescent point: no flows, no background or
+  /// recovery work, no node mid-(de)commission — snapshot::quiescent()
+  /// checks; save_state flushes buffered audit records first and asserts
+  /// the rest. Callbacks (sinks, listeners, placement) are not serialised;
+  /// the restoring driver reinstalls them. Non-const: flushes audit.
+  void save_state(snapshot::Writer& w);
+  /// Restore into a freshly constructed cluster of the same topology and
+  /// config (load fails with kStateMismatch otherwise).
+  void load_state(snapshot::Reader& r);
 
  private:
   /// A throttled background task (block copy, stripe reconstruction). The

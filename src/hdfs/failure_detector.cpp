@@ -1,5 +1,10 @@
 #include "hdfs/failure_detector.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "snapshot/codec.h"
+
 namespace erms::hdfs {
 
 FailureDetector::FailureDetector(Cluster& cluster, Config config)
@@ -14,8 +19,8 @@ void FailureDetector::start() {
   for (const NodeId n : cluster_.nodes()) {
     last_heartbeat_[n] = now;
   }
-  tick_handle_ = cluster_.simulation().schedule_after(config_.heartbeat_interval,
-                                                      [this] { tick(); });
+  next_tick_time_ = now + config_.heartbeat_interval;
+  tick_handle_ = cluster_.simulation().schedule_at(next_tick_time_, [this] { tick(); });
 }
 
 void FailureDetector::stop() {
@@ -74,8 +79,56 @@ void FailureDetector::tick() {
       muted_.erase(n);
     }
   }
-  tick_handle_ = cluster_.simulation().schedule_after(config_.heartbeat_interval,
-                                                      [this] { tick(); });
+  next_tick_time_ = now + config_.heartbeat_interval;
+  tick_handle_ = cluster_.simulation().schedule_at(next_tick_time_, [this] { tick(); });
+}
+
+void FailureDetector::save_state(snapshot::Writer& w) const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(last_heartbeat_.size());
+  // erms-lint: ordered-drain — keys are collected then sorted before use
+  for (const auto& [n, _] : last_heartbeat_) nodes.push_back(n);
+  std::sort(nodes.begin(), nodes.end());
+  w.u64(nodes.size());
+  for (const NodeId n : nodes) {
+    w.u32(n.value());
+    w.i64(last_heartbeat_.at(n).micros());
+  }
+  std::vector<NodeId> muted(muted_.begin(), muted_.end());
+  std::sort(muted.begin(), muted.end());
+  w.u64(muted.size());
+  for (const NodeId n : muted) w.u32(n.value());
+  w.u64(failures_declared_);
+  w.u64(reregistrations_);
+  w.u8(running_ ? 1 : 0);
+  w.i64(next_tick_time_.micros());
+}
+
+void FailureDetector::load_state(snapshot::Reader& r) {
+  const std::uint64_t nhb = r.u64();
+  if (!r.require(nhb <= r.remaining() / 12 + 1, "heartbeat table size")) return;
+  last_heartbeat_.clear();
+  for (std::uint64_t i = 0; i < nhb && r.ok(); ++i) {
+    const NodeId n{r.u32()};
+    last_heartbeat_[n] = sim::SimTime{r.i64()};
+  }
+  const std::uint64_t nmuted = r.u64();
+  if (!r.require(nmuted <= r.remaining() / 4 + 1, "muted set size")) return;
+  muted_.clear();
+  for (std::uint64_t i = 0; i < nmuted && r.ok(); ++i) {
+    muted_.insert(NodeId{r.u32()});
+  }
+  failures_declared_ = r.u64();
+  reregistrations_ = r.u64();
+  running_ = r.u8() != 0;
+  next_tick_time_ = sim::SimTime{r.i64()};
+}
+
+void FailureDetector::resume() {
+  if (!running_) {
+    return;
+  }
+  tick_handle_ = cluster_.simulation().schedule_at(next_tick_time_, [this] { tick(); });
 }
 
 }  // namespace erms::hdfs

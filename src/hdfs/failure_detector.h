@@ -6,6 +6,11 @@
 
 #include "hdfs/cluster.h"
 
+namespace erms::snapshot {
+class Reader;
+class Writer;
+}
+
 namespace erms::hdfs {
 
 /// The namenode's heartbeat-based failure detector. Datanodes heartbeat
@@ -49,6 +54,16 @@ class FailureDetector {
   [[nodiscard]] std::uint64_t failures_declared() const { return failures_declared_; }
   [[nodiscard]] bool running() const { return running_; }
 
+  /// Snapshot support (src/snapshot/): heartbeat clocks, muted set, counters
+  /// and — when running — the absolute time of the pending tick, which
+  /// resume() re-arms so restored heartbeat checks fire at the same times as
+  /// the uninterrupted run's.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
+  /// Re-arm the tick after load_state; no-op if the saved detector was
+  /// stopped.
+  void resume();
+
  private:
   void tick();
 
@@ -60,6 +75,7 @@ class FailureDetector {
   std::uint64_t reregistrations_{0};
   bool running_{false};
   sim::EventHandle tick_handle_;
+  sim::SimTime next_tick_time_;
 };
 
 }  // namespace erms::hdfs

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "snapshot/codec.h"
 #include "util/thread_pool.h"
 
 namespace erms::hdfs {
@@ -335,6 +336,94 @@ bool Namespace::load_image(std::istream& is) {
   file_ids_ = util::IdGenerator<FileId>{static_cast<FileId::rep_type>(max_file_id + 1)};
   block_ids_ = util::IdGenerator<BlockId>{max_block_id + 1};
   return true;
+}
+
+void Namespace::save_state(snapshot::Writer& w) const {
+  // Dense tables verbatim: tombstoned slots (zero id) are written too, so
+  // every surviving id keeps its exact slot — the dense side tables
+  // downstream (block map, feed, predictor, manager) depend on that.
+  w.u64(files_.size());
+  for (const FileInfo& f : files_) {
+    w.u32(f.id.value());
+    if (f.id.value() == 0) continue;
+    w.str(std::string(f.path));
+    w.u64(f.size);
+    w.u64(f.block_size);
+    w.u32(f.replication);
+    w.u8(f.erasure_coded ? 1 : 0);
+    w.u8(f.ec_codec);
+    w.u8(f.ec_locals);
+    w.u64(f.blocks.size());
+    for (const BlockId b : f.blocks) w.u64(b.value());
+    w.u64(f.parity_blocks.size());
+    for (const BlockId b : f.parity_blocks) w.u64(b.value());
+  }
+  w.u64(blocks_.size());
+  for (const BlockInfo& b : blocks_) {
+    w.u64(b.id.value());
+    if (b.id.value() == 0) continue;
+    w.u32(b.file.value());
+    w.u64(b.size);
+    w.u32(b.index);
+    w.u8(b.is_parity ? 1 : 0);
+  }
+  w.u64(live_files_);
+  w.u32(file_ids_.peek());
+  w.u64(block_ids_.peek());
+}
+
+void Namespace::load_state(snapshot::Reader& r) {
+  const std::size_t shards = paths_->shard_count();
+  *this = Namespace{};
+  set_shards(shards);
+
+  const std::uint64_t file_slots = r.u64();
+  if (!r.require(file_slots < (1ull << 32), "file table size")) return;
+  files_.resize(file_slots);
+  for (std::uint64_t i = 0; i < file_slots && r.ok(); ++i) {
+    FileInfo& f = files_[i];
+    const std::uint32_t id = r.u32();
+    if (!r.require(id == 0 || id == i, "file id matches slot")) return;
+    f.id = FileId{id};
+    if (id == 0) continue;
+    const std::string path = r.str();
+    f.size = r.u64();
+    f.block_size = r.u64();
+    f.replication = r.u32();
+    f.erasure_coded = r.u8() != 0;
+    f.ec_codec = r.u8();
+    f.ec_locals = r.u8();
+    const std::uint64_t nblocks = r.u64();
+    if (!r.require(nblocks <= r.remaining() / sizeof(std::uint64_t), "block list length")) return;
+    f.blocks.reserve(nblocks);
+    for (std::uint64_t j = 0; j < nblocks; ++j) f.blocks.push_back(BlockId{r.u64()});
+    const std::uint64_t nparity = r.u64();
+    if (!r.require(nparity <= r.remaining() / sizeof(std::uint64_t), "parity list length")) return;
+    f.parity_blocks.reserve(nparity);
+    for (std::uint64_t j = 0; j < nparity; ++j) f.parity_blocks.push_back(BlockId{r.u64()});
+    const auto stored = paths_->intern(path, f.id);
+    if (!r.require(stored.has_value(), "duplicate path in snapshot")) return;
+    f.path = *stored;
+  }
+
+  const std::uint64_t block_slots = r.u64();
+  if (!r.require(block_slots <= r.remaining(), "block table size")) return;
+  blocks_.resize(block_slots);
+  for (std::uint64_t i = 0; i < block_slots && r.ok(); ++i) {
+    BlockInfo& b = blocks_[i];
+    const std::uint64_t id = r.u64();
+    if (!r.require(id == 0 || id == i, "block id matches slot")) return;
+    b.id = BlockId{id};
+    if (id == 0) continue;
+    b.file = FileId{r.u32()};
+    b.size = r.u64();
+    b.index = r.u32();
+    b.is_parity = r.u8() != 0;
+  }
+
+  live_files_ = r.u64();
+  file_ids_.reset(r.u32());
+  block_ids_.reset(r.u64());
 }
 
 std::uint64_t Namespace::logical_bytes() const {

@@ -15,6 +15,11 @@ namespace erms::util {
 class ThreadPool;
 }
 
+namespace erms::snapshot {
+class Reader;
+class Writer;
+}
+
 namespace erms::hdfs {
 
 /// Metadata of one block.
@@ -133,6 +138,14 @@ class Namespace {
   /// shard count is preserved). Returns false and leaves the namespace
   /// empty on a malformed image.
   bool load_image(std::istream& is);
+
+  /// Snapshot support (src/snapshot/): unlike the fsimage, this serialises
+  /// the dense tables verbatim — tombstoned slots, id generators and
+  /// erasure shape included — so every FileId/BlockId (and therefore every
+  /// dense side table downstream) survives a restore bit-for-bit. The
+  /// PathTable is rebuilt by re-interning live paths with their saved ids.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   FileInfo* find_mutable(FileId file);

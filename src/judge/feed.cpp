@@ -5,6 +5,7 @@
 #include <string>
 
 #include "cep/epl_parser.h"
+#include "snapshot/codec.h"
 
 namespace erms::judge {
 
@@ -174,6 +175,23 @@ std::vector<hdfs::FileId> AccessStatsFeed::active_files() const {
   std::vector<hdfs::FileId> out;
   for_each_file_access([&](hdfs::FileId fid, std::uint64_t) { out.push_back(fid); });
   return out;
+}
+
+void AccessStatsFeed::save_state(snapshot::Writer& w) const {
+  w.u64(last_access_.size());
+  for (const sim::SimTime t : last_access_) w.i64(t.micros());
+  w.u64(events_ingested_);
+}
+
+void AccessStatsFeed::load_state(snapshot::Reader& r) {
+  const std::uint64_t n = r.u64();
+  if (!r.require(n <= r.remaining() / sizeof(std::int64_t) + 1, "last-access table size")) return;
+  last_access_.clear();
+  last_access_.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    last_access_.push_back(sim::SimTime{r.i64()});
+  }
+  events_ingested_ = r.u64();
 }
 
 }  // namespace erms::judge

@@ -9,6 +9,11 @@
 #include "hdfs/types.h"
 #include "judge/thresholds.h"
 
+namespace erms::snapshot {
+class Reader;
+class Writer;
+}
+
 namespace erms::judge {
 
 /// Bridges the audit stream to the Data Judge: converts audit records to CEP
@@ -82,6 +87,13 @@ class AccessStatsFeed {
   [[nodiscard]] std::vector<hdfs::FileId> active_files() const;
 
   [[nodiscard]] std::uint64_t events_ingested() const { return events_ingested_; }
+
+  /// Snapshot support (src/snapshot/): the dense last-access table and the
+  /// ingest counter. Query ids and attribute slots are re-resolved at
+  /// construction, not serialised; the engine's window state is saved by
+  /// the engine itself.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   cep::EngineBase& engine_;

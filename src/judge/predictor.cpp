@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "snapshot/codec.h"
+
 namespace erms::judge {
+
+void AccessPredictor::save_state(snapshot::Writer& w) const {
+  w.u64(state_.size());
+  for (const State& s : state_) {
+    w.f64(s.level);
+    w.f64(s.trend);
+    w.u8(s.primed ? 1 : 0);
+  }
+  w.u64(tracked_.load(std::memory_order_relaxed));
+}
+
+void AccessPredictor::load_state(snapshot::Reader& r) {
+  const std::uint64_t n = r.u64();
+  if (!r.require(n <= r.remaining() / 17 + 1, "predictor table size")) return;
+  state_.clear();
+  state_.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    State s;
+    s.level = r.f64();
+    s.trend = r.f64();
+    s.primed = r.u8() != 0;
+    state_.push_back(s);
+  }
+  tracked_.store(r.u64(), std::memory_order_relaxed);
+}
 
 void AccessPredictor::observe(hdfs::FileId file, double accesses) {
   if (state_.size() <= file.value()) {

@@ -8,6 +8,11 @@
 #include "judge/judge.h"
 #include "sim/time.h"
 
+namespace erms::snapshot {
+class Reader;
+class Writer;
+}
+
 namespace erms::judge {
 
 /// Trend-based access prediction — the paper's future work ("we plan to
@@ -59,6 +64,11 @@ class AccessPredictor {
     return tracked_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Snapshot support (src/snapshot/): the dense level/trend table, with
+  /// doubles stored as raw bit patterns.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   struct State {

@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "snapshot/codec.h"
+
 namespace erms::net {
 
 namespace {
@@ -359,6 +361,41 @@ void NetworkModel::complete_flow(FlowId id) {
   if (on_done) {
     on_done(id);
   }
+}
+
+void NetworkModel::save_state(snapshot::Writer& w) const {
+  // Flows hold completion closures; the snapshot layer only saves at
+  // quiescence, when none are in flight.
+  assert(flows_.empty());
+  w.u64(links_.size());
+  for (const Link& link : links_) {
+    w.f64(link.capacity);
+    w.f64(link.base);
+  }
+  w.u64(node_degradation_.size());
+  for (const double d : node_degradation_) w.f64(d);
+  w.u64(flow_ids_.peek());
+  w.u64(bytes_completed_);
+  w.u64(inter_rack_bytes_);
+  w.u64(flows_aborted_);
+  w.u64(bytes_aborted_);
+}
+
+void NetworkModel::load_state(snapshot::Reader& r) {
+  const std::uint64_t nlinks = r.u64();
+  if (!r.require(nlinks == links_.size(), "fabric link count")) return;
+  for (Link& link : links_) {
+    link.capacity = r.f64();
+    link.base = r.f64();
+  }
+  const std::uint64_t ndeg = r.u64();
+  if (!r.require(ndeg == node_degradation_.size(), "fabric node count")) return;
+  for (double& d : node_degradation_) d = r.f64();
+  flow_ids_.reset(r.u64());
+  bytes_completed_ = r.u64();
+  inter_rack_bytes_ = r.u64();
+  flows_aborted_ = r.u64();
+  bytes_aborted_ = r.u64();
 }
 
 void NetworkModel::set_metrics(obs::MetricsRegistry* metrics) {

@@ -10,6 +10,11 @@
 #include "sim/simulation.h"
 #include "util/ids.h"
 
+namespace erms::snapshot {
+class Reader;
+class Writer;
+}
+
 namespace erms::net {
 
 struct FlowTag {};
@@ -127,6 +132,13 @@ class NetworkModel {
   /// histogram. Ids resolve once here; detached costs one null test per
   /// flow event.
   void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// Snapshot support (src/snapshot/): link capacities (degradation
+  /// episodes straddle snapshots), the flow-id sequence and the aggregate
+  /// counters. Flows hold closures and must be drained first — save asserts
+  /// active_flows() == 0, load requires a same-spec fabric.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   // Link ids are indices into links_: per node disk / nic_out / nic_in, then

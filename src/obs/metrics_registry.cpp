@@ -192,6 +192,29 @@ void MetricsRegistry::observe(HistogramId id, double x) {
   }
 }
 
+void MetricsRegistry::restore_histogram(const std::string& name, double lo, double hi,
+                                        const std::vector<std::uint64_t>& counts, double sum) {
+  if (counts.size() < 3) return;  // [b0..bn-1, under, over] needs >= 1 bucket
+  const std::size_t buckets = counts.size() - 2;
+  const HistogramId id = histogram(name, lo, hi, buckets);
+  if (!id.valid()) return;
+  const HistSpec* spec = hist_spec(id.index);
+  if (spec == nullptr || spec->buckets != buckets) return;
+  Shard& shard = local_shard();
+  auto* block = ensure_block(shard.hist_blocks, id.index / kBlockSlots, kBlockSlots);
+  if (block == nullptr) return;
+  auto& slot = block[id.index % kBlockSlots];
+  HistCell* cell = slot.load(std::memory_order_acquire);
+  if (cell == nullptr) {
+    cell = new HistCell(*spec);
+    slot.store(cell, std::memory_order_release);
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cell->counts[i].store(counts[i], std::memory_order_relaxed);
+  }
+  cell->sum.store(sum, std::memory_order_relaxed);
+}
+
 std::uint64_t MetricsRegistry::counter_value(CounterId id) const {
   if (!id.valid()) return 0;
   util::LockGuard lock(mu_);

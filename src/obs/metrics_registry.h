@@ -95,6 +95,14 @@ class MetricsRegistry {
 
   [[nodiscard]] std::size_t shard_count() const ERMS_EXCLUDES(mu_);
 
+  /// Snapshot support (src/snapshot/): bulk-load a histogram's folded cell
+  /// (bucket counts, under/overflow, value sum) into the calling thread's
+  /// shard. Registers the name if needed; counters and gauges restore
+  /// through the public counter()/add()/gauge()/set() paths.
+  void restore_histogram(const std::string& name, double lo, double hi,
+                         const std::vector<std::uint64_t>& counts, double sum)
+      ERMS_EXCLUDES(mu_);
+
  private:
   // Chunked id space: slot i of kind K lives in block i/kBlockSlots. Block
   // pointers are allocated on first touch with compare-exchange, so readers

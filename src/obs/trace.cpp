@@ -152,4 +152,21 @@ void TraceRing::to_jsonl(std::ostream& os) const {
   }
 }
 
+void TraceRing::restore(std::vector<TraceEvent> events, std::uint64_t next_seq) {
+  util::LockGuard lock(mu_);
+  // Over-capacity input keeps only the newest, exactly like live recording
+  // would have. While not yet full, record() appends at ring_[size_], so the
+  // vector length must track size_ exactly.
+  const std::size_t keep = std::min(events.size(), capacity_);
+  const std::size_t first = events.size() - keep;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  for (std::size_t i = 0; i < keep; ++i) {
+    ring_.push_back(std::move(events[first + i]));
+  }
+  head_ = 0;
+  size_ = keep;
+  next_seq_ = next_seq;
+}
+
 }  // namespace erms::obs

@@ -108,6 +108,12 @@ class TraceRing {
   /// One JSON object per line, oldest first.
   void to_jsonl(std::ostream& os) const;
 
+  /// Snapshot support (src/snapshot/): replace the contents with `events`
+  /// (oldest first, seq fields preserved) and the next sequence number.
+  /// `events` beyond capacity keeps only the newest, like live recording.
+  void restore(std::vector<TraceEvent> events, std::uint64_t next_seq)
+      ERMS_EXCLUDES(mu_);
+
  private:
   mutable util::Mutex mu_;
   std::vector<TraceEvent> ring_ ERMS_GUARDED_BY(mu_);

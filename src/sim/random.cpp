@@ -3,33 +3,108 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numbers>
 #include <stdexcept>
 
 namespace erms::sim {
 
+namespace {
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// SplitMix64 — the canonical seed expander for xoshiro: one word of seed
+/// becomes four well-mixed state words, and a zero seed cannot produce the
+/// (forbidden) all-zero state.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (std::uint64_t& word : s_) {
+    word = splitmix64(x);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl64(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl64(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   assert(lo <= hi);
-  return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection below 2^64 mod span keeps the modulo unbiased.
+  const std::uint64_t reject = (0 - span) % span;
+  std::uint64_t r = next_u64();
+  while (r < reject) {
+    r = next_u64();
+  }
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + r % span);
 }
 
 double Rng::uniform_real(double lo, double hi) {
-  return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  return lo + (hi - lo) * uniform01();
 }
 
 double Rng::exponential(double mean) {
   assert(mean > 0.0);
-  return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  // 1 - u is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform01());
 }
 
 std::int64_t Rng::poisson(double mean) {
   if (mean <= 0.0) {
     return 0;
   }
-  return std::poisson_distribution<std::int64_t>{mean}(engine_);
+  // Knuth's product-of-uniforms, chunked so exp(-chunk) never underflows:
+  // Poisson(a + b) = Poisson(a) + Poisson(b) for independent draws.
+  std::int64_t count = 0;
+  double remaining = mean;
+  while (remaining > 0.0) {
+    const double chunk = std::min(remaining, 30.0);
+    remaining -= chunk;
+    const double limit = std::exp(-chunk);
+    double prod = 1.0;
+    std::int64_t k = 0;
+    do {
+      ++k;
+      prod *= uniform01();
+    } while (prod > limit);
+    count += k - 1;
+  }
+  return count;
 }
 
 double Rng::lognormal(double mu, double sigma) {
-  return std::lognormal_distribution<double>{mu, sigma}(engine_);
+  // Box–Muller, discarding the second normal so the generator carries no
+  // hidden cached value between calls (the four state words are the whole
+  // stream state — the property snapshots rely on).
+  const double u1 = 1.0 - uniform01();  // (0, 1]: log stays finite
+  const double u2 = uniform01();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return std::exp(mu + sigma * z);
 }
 
 bool Rng::chance(double p) {
@@ -39,7 +114,7 @@ bool Rng::chance(double p) {
   if (p >= 1.0) {
     return true;
   }
-  return std::bernoulli_distribution{p}(engine_);
+  return uniform01() < p;
 }
 
 ZipfDistribution::ZipfDistribution(std::size_t n, double exponent) : exponent_(exponent) {

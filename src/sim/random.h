@@ -1,19 +1,36 @@
 #pragma once
 
-#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <random>
+#include <utility>
 #include <vector>
 
 namespace erms::sim {
 
 /// Deterministic random source for a simulation run. One instance per run,
 /// seeded explicitly, so experiments are reproducible.
+///
+/// The generator is xoshiro256** (Blackman & Vigna) with every distribution
+/// hand-rolled on top of the raw 64-bit stream. Two reasons, both
+/// determinism (DESIGN.md §15):
+///   1. The complete stream state is four u64 words, exposed via state() /
+///      set_state() so snapshots capture and restore mid-run randomness
+///      exactly — std::mt19937_64 buried its 2.5 KiB state behind an
+///      iostream interface and std::*_distribution kept hidden per-object
+///      state on top of it.
+///   2. std::uniform_int_distribution and friends are
+///      implementation-defined: the same seed draws different sequences on
+///      libstdc++ vs libc++. Explicit algorithms make the byte-identical
+///      replay contract hold across standard libraries.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  /// Complete generator state. Serializable; restoring it resumes the
+  /// stream at exactly the draw where state() was taken.
+  using State = std::array<std::uint64_t, 4>;
 
-  /// Uniform integer in [lo, hi] inclusive.
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform integer in [lo, hi] inclusive (unbiased, by rejection).
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Uniform real in [lo, hi).
@@ -31,16 +48,28 @@ class Rng {
   /// Bernoulli trial.
   bool chance(double p);
 
-  /// Shuffle a vector in place.
+  /// Fisher–Yates shuffle (std::shuffle's element order is
+  /// implementation-defined; this one is pinned).
   template <typename T>
   void shuffle(std::vector<T>& v) {
-    std::shuffle(v.begin(), v.end(), engine_);
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
   }
 
-  std::mt19937_64& engine() { return engine_; }
+  /// Next raw 64-bit draw from the stream.
+  std::uint64_t next_u64();
+
+  [[nodiscard]] State state() const { return s_; }
+  void set_state(const State& s) { s_ = s; }
 
  private:
-  std::mt19937_64 engine_;
+  /// Uniform in [0, 1) with 53 random bits.
+  double uniform01();
+
+  State s_;
 };
 
 /// Zipf-distributed ranks in [1, n]: P(k) ∝ 1/k^s. Used to model heavy-tailed

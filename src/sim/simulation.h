@@ -41,6 +41,16 @@ class Simulation {
 
   [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Snapshot support: restore the clock and event counter verbatim. Pending
+  /// events are closures and cannot be serialized — a restored run starts
+  /// with an empty queue and every component re-arms its own events, which
+  /// is why snapshots are only taken at quiescent points (DESIGN.md §16).
+  void restore_clock(SimTime now, std::uint64_t events_executed) {
+    now_ = now;
+    events_executed_ = events_executed;
+    stopped_ = false;
+  }
+
  private:
   SimTime now_{};
   EventQueue queue_;

@@ -1,0 +1,279 @@
+#include "snapshot/world.h"
+
+#include <cassert>
+#include <cstdint>
+
+#include "core/erms.h"
+#include "fault/fault_plan.h"
+#include "hdfs/cluster.h"
+#include "hdfs/failure_detector.h"
+
+namespace erms::snapshot {
+
+namespace {
+
+// Section tags. kMeta must stay first in the file so restore can reject a
+// wrong-shaped world before reading anything heavier.
+constexpr std::uint32_t kMeta = 1;
+constexpr std::uint32_t kSimClock = 2;
+constexpr std::uint32_t kCluster = 3;
+constexpr std::uint32_t kManager = 4;
+constexpr std::uint32_t kInjector = 5;
+constexpr std::uint32_t kDetector = 6;
+constexpr std::uint32_t kUserData = 7;
+
+void write_meta(Writer& w, const WorldParts& parts) {
+  const auto& cfg = parts.cluster->config();
+  w.u64(cfg.seed);
+  w.u64(cfg.block_size);
+  w.u32(static_cast<std::uint32_t>(parts.cluster->nodes().size()));
+  w.u8(parts.manager != nullptr ? 1 : 0);
+  w.u8(parts.injector != nullptr ? 1 : 0);
+  w.u8(parts.detector != nullptr ? 1 : 0);
+  if (parts.manager != nullptr) {
+    w.i64(parts.manager->config().evaluation_period.micros());
+    w.u64(parts.manager->cep_engine().query_count());
+    w.u64(parts.manager->standby().pool().size());
+  }
+}
+
+// Validates the snapshot's fingerprint against the live world WITHOUT
+// mutating it. Every mismatch is a kStateMismatch with a named field.
+void check_meta(Reader& r, const WorldParts& parts) {
+  const auto& cfg = parts.cluster->config();
+  r.require(r.u64() == cfg.seed, "cluster seed");
+  r.require(r.u64() == cfg.block_size, "cluster block size");
+  r.require(r.u32() == parts.cluster->nodes().size(), "node count");
+  const bool has_manager = r.u8() != 0;
+  const bool has_injector = r.u8() != 0;
+  const bool has_detector = r.u8() != 0;
+  r.require(has_manager == (parts.manager != nullptr), "manager presence");
+  r.require(has_injector == (parts.injector != nullptr), "injector presence");
+  r.require(has_detector == (parts.detector != nullptr), "detector presence");
+  if (!r.ok()) {
+    return;
+  }
+  if (has_manager) {
+    r.require(r.i64() == parts.manager->config().evaluation_period.micros(),
+              "evaluation period");
+    r.require(r.u64() == parts.manager->cep_engine().query_count(), "CEP query count");
+    r.require(r.u64() == parts.manager->standby().pool().size(), "standby pool size");
+  }
+  r.require(r.remaining() == 0, "meta section trailing bytes");
+}
+
+const Section* find_section(const std::vector<Section>& sections, std::uint32_t tag) {
+  const Section* found = nullptr;
+  for (const Section& s : sections) {
+    if (s.tag == tag) {
+      if (found != nullptr) {
+        return nullptr;  // duplicate — treat as missing, caller reports
+      }
+      found = &s;
+    }
+  }
+  return found;
+}
+
+SnapshotResult section_error(Reader& r, const char* what) {
+  if (r.ok() && r.remaining() != 0) {
+    return SnapshotError{ErrorCode::kBadSection,
+                         std::string(what) + ": trailing bytes in section"};
+  }
+  if (r.ok()) {
+    return std::nullopt;
+  }
+  SnapshotError err = r.error();
+  err.message = std::string(what) + ": " + err.message;
+  return err;
+}
+
+}  // namespace
+
+bool quiescent(const WorldParts& parts) {
+  const hdfs::Cluster& cluster = *parts.cluster;
+  if (cluster.network().active_flows() != 0 || !cluster.background_idle()) {
+    return false;
+  }
+  for (const hdfs::NodeId n : cluster.nodes()) {
+    const hdfs::NodeState s = cluster.node(n).state;
+    if (s == hdfs::NodeState::kCommissioning || s == hdfs::NodeState::kDecommissioning) {
+      return false;
+    }
+  }
+  if (parts.manager != nullptr) {
+    const condor::Scheduler& sched = parts.manager->scheduler();
+    if (sched.queued_count() != 0 || sched.running_count() != 0 ||
+        sched.idle_poll_pending() || parts.manager->actions_in_flight() != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string save_world_bytes(const WorldParts& parts, const std::string& user_data) {
+  assert(parts.sim != nullptr && parts.cluster != nullptr);
+  assert(quiescent(parts));
+
+  Writer w;
+  w.begin_section(kMeta);
+  write_meta(w, parts);
+  w.end_section();
+
+  w.begin_section(kSimClock);
+  w.i64(parts.sim->now().micros());
+  w.u64(parts.sim->events_executed());
+  w.end_section();
+
+  w.begin_section(kCluster);
+  parts.cluster->save_state(w);
+  w.end_section();
+
+  if (parts.manager != nullptr) {
+    w.begin_section(kManager);
+    parts.manager->save_state(w);
+    w.end_section();
+  }
+  if (parts.injector != nullptr) {
+    w.begin_section(kInjector);
+    w.u64(parts.injector->injected());
+    w.u64(parts.injector->skipped());
+    w.end_section();
+  }
+  if (parts.detector != nullptr) {
+    w.begin_section(kDetector);
+    parts.detector->save_state(w);
+    w.end_section();
+  }
+
+  w.begin_section(kUserData);
+  w.str(user_data);
+  w.end_section();
+
+  return w.finish();
+}
+
+SnapshotResult save_world(const std::string& path, const WorldParts& parts,
+                          const std::string& user_data) {
+  return write_file(path, save_world_bytes(parts, user_data));
+}
+
+SnapshotResult restore_world_bytes(const std::string& bytes, const WorldParts& parts,
+                                   std::string* user_data) {
+  assert(parts.sim != nullptr && parts.cluster != nullptr);
+
+  // Phase 1: validate the whole image (magic, version, framing, CRCs) and
+  // the world fingerprint. Nothing live is touched until every check holds.
+  std::vector<Section> sections;
+  if (SnapshotResult err = parse_file(bytes, sections)) {
+    return err;
+  }
+  const Section* meta = find_section(sections, kMeta);
+  const Section* clock = find_section(sections, kSimClock);
+  const Section* cluster = find_section(sections, kCluster);
+  const Section* manager = find_section(sections, kManager);
+  const Section* injector = find_section(sections, kInjector);
+  const Section* detector = find_section(sections, kDetector);
+  const Section* user = find_section(sections, kUserData);
+  if (meta == nullptr || clock == nullptr || cluster == nullptr || user == nullptr) {
+    return SnapshotError{ErrorCode::kBadSection, "required section missing or duplicated"};
+  }
+  {
+    Reader r(meta->data, meta->size);
+    check_meta(r, parts);
+    if (SnapshotResult err = section_error(r, "meta")) {
+      return err;
+    }
+  }
+  if ((manager != nullptr) != (parts.manager != nullptr) ||
+      (injector != nullptr) != (parts.injector != nullptr) ||
+      (detector != nullptr) != (parts.detector != nullptr)) {
+    return SnapshotError{ErrorCode::kBadSection, "section set does not match world shape"};
+  }
+
+  // Phase 2: apply. Component decoders still fingerprint-check their own
+  // payloads (require → kStateMismatch) as they go; a failure here means a
+  // shape mismatch the meta section could not see, and the world must be
+  // considered unusable (the caller rebuilds it — cheap, it was freshly
+  // constructed for the restore).
+  {
+    Reader r(clock->data, clock->size);
+    const sim::SimTime now{r.i64()};
+    const std::uint64_t events = r.u64();
+    if (SnapshotResult err = section_error(r, "sim clock")) {
+      return err;
+    }
+    parts.sim->restore_clock(now, events);
+  }
+  {
+    Reader r(cluster->data, cluster->size);
+    parts.cluster->load_state(r);
+    if (SnapshotResult err = section_error(r, "cluster")) {
+      return err;
+    }
+  }
+  if (parts.manager != nullptr) {
+    Reader r(manager->data, manager->size);
+    parts.manager->load_state(r);
+    if (SnapshotResult err = section_error(r, "manager")) {
+      return err;
+    }
+  }
+  if (parts.injector != nullptr) {
+    Reader r(injector->data, injector->size);
+    const std::uint64_t injected = r.u64();
+    const std::uint64_t skipped = r.u64();
+    if (SnapshotResult err = section_error(r, "injector")) {
+      return err;
+    }
+    parts.injector->restore_counters(injected, skipped);
+  }
+  if (parts.detector != nullptr) {
+    Reader r(detector->data, detector->size);
+    parts.detector->load_state(r);
+    if (SnapshotResult err = section_error(r, "detector")) {
+      return err;
+    }
+  }
+  {
+    Reader r(user->data, user->size);
+    std::string blob = r.str();
+    if (SnapshotResult err = section_error(r, "user data")) {
+      return err;
+    }
+    if (user_data != nullptr) {
+      *user_data = std::move(blob);
+    }
+  }
+  return std::nullopt;
+}
+
+SnapshotResult restore_world(const std::string& path, const WorldParts& parts,
+                             std::string* user_data) {
+  std::string bytes;
+  if (SnapshotResult err = read_file(path, bytes)) {
+    return err;
+  }
+  return restore_world_bytes(bytes, parts, user_data);
+}
+
+void SnapshotBarrier::arm(sim::SimTime at, Callback fn) {
+  fn_ = std::move(fn);
+  fired_ = false;
+  sim_.schedule_at(at, [this] { poll(); });
+}
+
+void SnapshotBarrier::poll() {
+  if (fired_) {
+    return;
+  }
+  if (!quiescent(parts_)) {
+    sim_.schedule_at(sim_.now() + poll_, [this] { poll(); });
+    return;
+  }
+  fired_ = true;
+  fired_at_ = sim_.now();
+  fn_();
+}
+
+}  // namespace erms::snapshot

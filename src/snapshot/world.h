@@ -1,0 +1,104 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "snapshot/codec.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace erms::hdfs {
+class Cluster;
+class FailureDetector;
+}
+namespace erms::core {
+class ErmsManager;
+}
+namespace erms::fault {
+class FaultInjector;
+}
+
+namespace erms::snapshot {
+
+/// The components one snapshot covers. `sim` and `cluster` are mandatory;
+/// the rest are saved/restored only when present (a present/absent flag per
+/// part travels in the file, and restore requires the same shape).
+struct WorldParts {
+  sim::Simulation* sim{nullptr};
+  hdfs::Cluster* cluster{nullptr};
+  core::ErmsManager* manager{nullptr};
+  fault::FaultInjector* injector{nullptr};
+  hdfs::FailureDetector* detector{nullptr};
+};
+
+/// True when the world is at a snapshot-safe point: no network flows, no
+/// background/recovery work, no node mid-(de)commission, no Condor job
+/// queued or running, no idle poll pending, no ERMS action in flight. At
+/// such a point every pending simulation event is re-armable from
+/// serialised state (workload closures, remaining fault-plan events, the
+/// manager's and failure detector's periodic ticks), which is what makes
+/// byte-identical resume possible at all (DESIGN.md §16).
+[[nodiscard]] bool quiescent(const WorldParts& parts);
+
+/// Serialise the world to a snapshot file image. Must only be called when
+/// quiescent(parts) — asserts in debug builds, and the saved state is
+/// silently wrong otherwise. `user_data` is an opaque caller blob (e.g. the
+/// chaos seed and plan parameters) returned verbatim by restore.
+[[nodiscard]] std::string save_world_bytes(const WorldParts& parts,
+                                           const std::string& user_data = {});
+
+/// save_world_bytes + write_file. kIo on write failure.
+SnapshotResult save_world(const std::string& path, const WorldParts& parts,
+                          const std::string& user_data = {});
+
+/// Restore a world from a snapshot image, two-phase: the whole image is
+/// parsed and CRC-validated first (kBadMagic / kBadVersion / kCorrupt /
+/// kBadSection with ZERO live mutation), then a fingerprint section is
+/// checked against the live world (kStateMismatch, still no mutation), and
+/// only then is component state applied. The caller must pass a freshly
+/// constructed world of the same shape (same topology, config, query set)
+/// and afterwards re-arm continuation events: ErmsManager::resume(),
+/// FailureDetector::resume(), FaultInjector::arm_after(plan, sim->now()),
+/// and any workload events later than sim->now().
+SnapshotResult restore_world_bytes(const std::string& bytes, const WorldParts& parts,
+                                   std::string* user_data = nullptr);
+
+/// read_file + restore_world_bytes.
+SnapshotResult restore_world(const std::string& path, const WorldParts& parts,
+                             std::string* user_data = nullptr);
+
+/// Waits for the next quiescent point at or after an arm time, then fires a
+/// callback — the schedulable snapshot event. The barrier polls quiescence
+/// on the simulation clock (default every 250 ms of sim time) because
+/// quiescence is a global predicate, not an event; the poll cadence is part
+/// of the run's event sequence, so the reference (uninterrupted) run must
+/// schedule the identical barrier for its trace to stay byte-identical with
+/// a snapshot/restore run.
+class SnapshotBarrier {
+ public:
+  using Callback = std::function<void()>;
+
+  SnapshotBarrier(sim::Simulation& sim, WorldParts parts)
+      : sim_(sim), parts_(parts) {}
+
+  /// Fire `fn` once, at the first quiescent point at or after `at`.
+  void arm(sim::SimTime at, Callback fn);
+
+  [[nodiscard]] bool fired() const { return fired_; }
+  [[nodiscard]] sim::SimTime fired_at() const { return fired_at_; }
+
+  /// Poll cadence while waiting for quiescence.
+  void set_poll_interval(sim::SimDuration poll) { poll_ = poll; }
+
+ private:
+  void poll();
+
+  sim::Simulation& sim_;
+  WorldParts parts_;
+  Callback fn_;
+  bool fired_{false};
+  sim::SimTime fired_at_{};
+  sim::SimDuration poll_{sim::SimDuration{250000}};  // 250 ms
+};
+
+}  // namespace erms::snapshot

@@ -39,6 +39,11 @@ class IdGenerator {
   constexpr explicit IdGenerator(typename Id::rep_type first = 0) : next_(first) {}
   [[nodiscard]] Id next() { return Id{next_++}; }
 
+  /// The id the next call to next() would mint (snapshot support: restoring
+  /// this value resumes the id sequence without gaps or reuse).
+  [[nodiscard]] constexpr typename Id::rep_type peek() const { return next_; }
+  constexpr void reset(typename Id::rep_type next) { next_ = next; }
+
  private:
   typename Id::rep_type next_;
 };

@@ -15,6 +15,7 @@
 #include "fault/invariant_checker.h"
 #include "hdfs/cluster.h"
 #include "hdfs/failure_detector.h"
+#include "snapshot/world.h"
 
 namespace erms {
 namespace {
@@ -173,17 +174,27 @@ TEST(Chaos, RecoveryRetriesAfterFlowAborts) {
 
 /// An erasure-coded file whose single data replica dies is still readable —
 /// the read reconstructs from surviving shards (degraded read) while the
-/// recovery queue rebuilds the lost replica in the background.
+/// recovery queue rebuilds the lost replica in the background. Starts from
+/// the checked-in aged-cluster fixture (examples/make_aged_fixture.cpp): the
+/// file is already encoded and the cluster already has a healed crash and
+/// served reads in its history, so the degraded path runs against "day two"
+/// state rather than a pristine world.
 TEST(Chaos, DegradedEcReadDuringOutage) {
   ChaosBed t;
-  const auto file = *t.cluster->populate_file("/cold", 128 * MiB, 3);
-  bool encoded = false;
-  t.cluster->encode_file(file, 4, [&encoded](bool ok) { encoded = ok; });
-  t.sim.run();
-  ASSERT_TRUE(encoded);
+  snapshot::WorldParts parts{&t.sim, t.cluster.get(), nullptr, nullptr, nullptr};
+  std::string user_data;
+  const snapshot::SnapshotResult err = snapshot::restore_world(
+      std::string(ERMS_FIXTURE_DIR) + "/aged_cluster.snap", parts, &user_data);
+  ASSERT_FALSE(err.has_value())
+      << err->to_string() << "\n(regenerate with scripts/make_aged_fixture.py)";
+  EXPECT_EQ(user_data, "aged_cluster v1");
+  // The aged history came along: a crash was already healed here.
+  EXPECT_GT(t.cluster->nodes_revived(), 0u);
 
-  const hdfs::FileInfo* info = t.cluster->metadata().find(file);
+  const hdfs::FileInfo* info = t.cluster->metadata().find_path("/cold");
+  ASSERT_NE(info, nullptr);
   ASSERT_TRUE(info->erasure_coded);
+  const auto file = info->id;
   const hdfs::BlockId data0 = info->blocks[0];
   const auto locs = t.cluster->locations(data0);
   ASSERT_EQ(locs.size(), 1u);
@@ -196,7 +207,7 @@ TEST(Chaos, DegradedEcReadDuringOutage) {
                           read_ok = out.ok;
                           degraded = out.degraded;
                         });
-  t.sim.run_until(sim::SimTime{sim::minutes(5.0).micros()});
+  t.sim.run_until(t.sim.now() + sim::minutes(5.0));
   EXPECT_TRUE(read_ok);
   EXPECT_TRUE(degraded);
   // Background reconstruction restored the data replica.
